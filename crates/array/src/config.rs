@@ -1,0 +1,171 @@
+//! Physical IMC crossbar array configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// Physical parameters of one IMC crossbar array.
+///
+/// The paper evaluates square arrays of 32×32, 64×64 and 128×128 cells with
+/// 4-bit weights stored in 4-bit cells (one physical column per logical
+/// weight column) and bit-serial inputs. `cell_bits` and `input_bits` are
+/// kept explicit so the quantization comparison (Fig. 8) can scale the
+/// column count and load count of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Number of wordlines (rows) per array.
+    pub rows: usize,
+    /// Number of bitlines (columns) per array.
+    pub cols: usize,
+    /// Bits stored per memory cell.
+    pub cell_bits: usize,
+    /// Bits per weight; `ceil(weight_bits / cell_bits)` physical columns are
+    /// needed per logical weight column.
+    pub weight_bits: usize,
+    /// Bits per input activation; inputs are applied bit-serially, so each
+    /// input-vector load takes `input_bits` wordline activations.
+    pub input_bits: usize,
+}
+
+impl ArrayConfig {
+    /// Creates an array configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArray`] when any parameter is zero.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        cell_bits: usize,
+        weight_bits: usize,
+        input_bits: usize,
+    ) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(Error::InvalidArray {
+                what: "rows and cols must be non-zero",
+            });
+        }
+        if cell_bits == 0 || weight_bits == 0 || input_bits == 0 {
+            return Err(Error::InvalidArray {
+                what: "bit precisions must be non-zero",
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            cell_bits,
+            weight_bits,
+            input_bits,
+        })
+    }
+
+    /// The paper's default configuration for a square array: 4-bit weights in
+    /// 4-bit cells, 4-bit activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArray`] when `size` is zero.
+    pub fn square(size: usize) -> Result<Self> {
+        Self::new(size, size, 4, 4, 4)
+    }
+
+    /// The three array sizes evaluated in the paper (32, 64, 128), in the
+    /// default 4-bit configuration.
+    pub fn paper_sizes() -> [Self; 3] {
+        [
+            Self::square(32).expect("32 is a valid array size"),
+            Self::square(64).expect("64 is a valid array size"),
+            Self::square(128).expect("128 is a valid array size"),
+        ]
+    }
+
+    /// Number of physical columns needed per logical weight column.
+    pub fn columns_per_weight(&self) -> usize {
+        self.weight_bits.div_ceil(self.cell_bits)
+    }
+
+    /// Number of logical weight columns that fit in one array.
+    pub fn logical_cols(&self) -> usize {
+        self.cols / self.columns_per_weight()
+    }
+
+    /// Total number of cells in one array.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Returns a copy with a different weight precision (used by the
+    /// quantization sweep of Fig. 8).
+    pub fn with_weight_bits(&self, weight_bits: usize) -> Result<Self> {
+        Self::new(
+            self.rows,
+            self.cols,
+            self.cell_bits,
+            weight_bits,
+            self.input_bits,
+        )
+    }
+
+    /// Returns a copy with a different activation precision.
+    pub fn with_input_bits(&self, input_bits: usize) -> Result<Self> {
+        Self::new(
+            self.rows,
+            self.cols,
+            self.cell_bits,
+            self.weight_bits,
+            input_bits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_parameters() {
+        assert!(ArrayConfig::new(0, 64, 4, 4, 4).is_err());
+        assert!(ArrayConfig::new(64, 0, 4, 4, 4).is_err());
+        assert!(ArrayConfig::new(64, 64, 0, 4, 4).is_err());
+        assert!(ArrayConfig::new(64, 64, 4, 0, 4).is_err());
+        assert!(ArrayConfig::new(64, 64, 4, 4, 0).is_err());
+        assert!(ArrayConfig::new(64, 64, 4, 4, 4).is_ok());
+    }
+
+    #[test]
+    fn square_uses_paper_defaults() {
+        let a = ArrayConfig::square(64).unwrap();
+        assert_eq!(a.rows, 64);
+        assert_eq!(a.cols, 64);
+        assert_eq!(a.cell_bits, 4);
+        assert_eq!(a.weight_bits, 4);
+        assert_eq!(a.input_bits, 4);
+        assert_eq!(a.columns_per_weight(), 1);
+        assert_eq!(a.logical_cols(), 64);
+        assert_eq!(a.cells(), 4096);
+    }
+
+    #[test]
+    fn paper_sizes_are_32_64_128() {
+        let sizes: Vec<usize> = ArrayConfig::paper_sizes().iter().map(|a| a.rows).collect();
+        assert_eq!(sizes, vec![32, 64, 128]);
+    }
+
+    #[test]
+    fn higher_weight_precision_costs_extra_columns() {
+        let a = ArrayConfig::new(64, 64, 2, 8, 4).unwrap();
+        assert_eq!(a.columns_per_weight(), 4);
+        assert_eq!(a.logical_cols(), 16);
+    }
+
+    #[test]
+    fn with_weight_bits_keeps_other_fields() {
+        let a = ArrayConfig::square(128).unwrap();
+        let b = a.with_weight_bits(2).unwrap();
+        assert_eq!(b.rows, 128);
+        assert_eq!(b.weight_bits, 2);
+        assert_eq!(b.input_bits, 4);
+        let c = a.with_input_bits(1).unwrap();
+        assert_eq!(c.input_bits, 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! The array-row / array-column (AR/AC) computing-cycle model.
+//!
+//! Following Rhe et al. (VW-SDK) and ConvMapSIM, the cost of executing a
+//! mapped weight matrix on a tiled IMC fabric is expressed as
+//!
+//! ```text
+//! cycles = AR · AC · loads
+//! ```
+//!
+//! where `AR = ⌈rows_used / array_rows⌉` is the number of array tiles needed
+//! in the row (wordline) direction, `AC = ⌈cols_used / array_logical_cols⌉`
+//! in the column (bitline) direction, and `loads` is the number of distinct
+//! input vectors that must be applied (sliding-window positions for im2col,
+//! parallel-window positions for SDK, 1 for a fully connected layer).
+//!
+//! One "computing cycle" is one array MVM with the default 4-bit activation
+//! encoding; comparisons across activation precisions (Fig. 8) additionally
+//! scale by the relative number of input bit-slices, which is handled by the
+//! quantization layer rather than here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ArrayConfig;
+
+/// Number of array tiles needed to host `extent` logical units when each
+/// array offers `per_array` of them. Zero extents need zero tiles.
+pub fn tiles_for(extent: usize, per_array: usize) -> usize {
+    if extent == 0 {
+        0
+    } else {
+        extent.div_ceil(per_array)
+    }
+}
+
+/// Cycle accounting for one mapped matrix region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Array tiles in the row (wordline) direction.
+    pub array_rows: usize,
+    /// Array tiles in the column (bitline) direction.
+    pub array_cols: usize,
+    /// Number of input-vector loads.
+    pub loads: usize,
+}
+
+impl CycleBreakdown {
+    /// Total computing cycles `AR · AC · loads`.
+    pub fn cycles(&self) -> u64 {
+        self.array_rows as u64 * self.array_cols as u64 * self.loads as u64
+    }
+
+    /// Total number of physical arrays occupied by the weights (`AR · AC`).
+    pub fn arrays_used(&self) -> usize {
+        self.array_rows * self.array_cols
+    }
+}
+
+/// Computes the cycle breakdown for a dense `rows_used × cols_used` logical
+/// matrix applied `loads` times on arrays of the given configuration.
+pub fn matrix_cycles(
+    rows_used: usize,
+    cols_used: usize,
+    loads: usize,
+    config: &ArrayConfig,
+) -> CycleBreakdown {
+    CycleBreakdown {
+        array_rows: tiles_for(rows_used, config.rows),
+        array_cols: tiles_for(cols_used, config.logical_cols()),
+        loads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_round_up() {
+        assert_eq!(tiles_for(0, 64), 0);
+        assert_eq!(tiles_for(1, 64), 1);
+        assert_eq!(tiles_for(64, 64), 1);
+        assert_eq!(tiles_for(65, 64), 2);
+        assert_eq!(tiles_for(288, 64), 5);
+    }
+
+    #[test]
+    fn cycles_multiply_all_three_factors() {
+        let b = CycleBreakdown {
+            array_rows: 3,
+            array_cols: 2,
+            loads: 100,
+        };
+        assert_eq!(b.cycles(), 600);
+        assert_eq!(b.arrays_used(), 6);
+    }
+
+    #[test]
+    fn matrix_cycles_for_resnet_layer() {
+        // 16->16 3x3 conv on a 32x32 feature map, 64x64 array:
+        // rows = 144 -> AR 3, cols = 16 -> AC 1, loads = 1024.
+        let cfg = ArrayConfig::square(64).unwrap();
+        let b = matrix_cycles(144, 16, 1024, &cfg);
+        assert_eq!(b.array_rows, 3);
+        assert_eq!(b.array_cols, 1);
+        assert_eq!(b.cycles(), 3 * 1024);
+    }
+
+    #[test]
+    fn weight_precision_reduces_logical_columns() {
+        // 8-bit weights in 4-bit cells need 2 physical columns per weight.
+        let cfg = ArrayConfig::new(64, 64, 4, 8, 4).unwrap();
+        let b = matrix_cycles(64, 40, 10, &cfg);
+        assert_eq!(cfg.logical_cols(), 32);
+        assert_eq!(b.array_cols, 2);
+    }
+
+    #[test]
+    fn empty_matrix_needs_no_arrays() {
+        let cfg = ArrayConfig::square(32).unwrap();
+        let b = matrix_cycles(0, 0, 5, &cfg);
+        assert_eq!(b.cycles(), 0);
+        assert_eq!(b.arrays_used(), 0);
+    }
+}

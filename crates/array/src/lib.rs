@@ -1,0 +1,101 @@
+//! IMC crossbar array model, convolutional weight mapping and the
+//! array-row / array-column (AR/AC) computing-cycle model.
+//!
+//! An in-memory-computing (IMC) crossbar performs a matrix-vector
+//! multiplication in one analog step: the weight matrix is programmed into
+//! the cell conductances (wordlines = matrix rows = input dimension,
+//! bitlines = matrix columns = output dimension) and the input vector is
+//! applied to the wordlines. A real layer rarely fits into one physical
+//! array, so the mapping determines how many **array-row tiles** (`AR`) and
+//! **array-column tiles** (`AC`) are needed and, together with the number of
+//! input-vector loads, the total number of **computing cycles** — the
+//! performance metric used throughout the paper (Rhe et al., VW-SDK).
+//!
+//! Three mapping families are modeled:
+//!
+//! * [`mapping::im2col_mapping`] — the baseline image-to-column mapping: one
+//!   sliding window per load, `n = IC·K·K` wordlines, `OC` bitlines.
+//! * [`sdk::SdkMapping`] — shift-and-duplicate-kernel mapping: a larger
+//!   *parallel window* is applied per load and duplicated, shifted copies of
+//!   the kernels occupy otherwise-idle bitlines, producing `N` outputs per
+//!   load at the cost of structurally sparse rows.
+//! * [`vwsdk::search_best_window`] — the VW-SDK search that picks the
+//!   parallel-window geometry minimizing computing cycles for a given layer
+//!   and array size.
+//!
+//! The crate is weight-agnostic: it reasons about shapes and occupancy. The
+//! actual crossbar *contents* for SDK mappings (needed to verify Theorem 2 of
+//! the paper) are materialized by [`sdk::sdk_matrix`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cycles;
+pub mod mapping;
+pub mod sdk;
+pub mod vwsdk;
+
+pub use config::ArrayConfig;
+pub use cycles::{matrix_cycles, tiles_for, CycleBreakdown};
+pub use mapping::{im2col_mapping, linear_mapping, MappedLayer, MappingKind};
+pub use sdk::{assemble_sdk_output, sdk_matrix, unroll_parallel_window, ParallelWindow, SdkMapping};
+pub use vwsdk::{search_best_window, WindowSearchResult};
+
+/// Errors produced by the array-mapping layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The array configuration is invalid (zero rows/columns or zero
+    /// precision).
+    InvalidArray {
+        /// Description of the offending parameter.
+        what: &'static str,
+    },
+    /// The parallel window is smaller than the kernel or otherwise
+    /// inconsistent with the layer shape.
+    InvalidWindow {
+        /// Description of the inconsistency.
+        what: &'static str,
+    },
+    /// An error bubbled up from the tensor layer.
+    Tensor(imc_tensor::Error),
+    /// An error bubbled up from the linear-algebra layer.
+    Linalg(imc_linalg::Error),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::InvalidArray { what } => write!(f, "invalid array configuration: {what}"),
+            Error::InvalidWindow { what } => write!(f, "invalid parallel window: {what}"),
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+            Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Tensor(e) => Some(e),
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<imc_tensor::Error> for Error {
+    fn from(e: imc_tensor::Error) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+impl From<imc_linalg::Error> for Error {
+    fn from(e: imc_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;

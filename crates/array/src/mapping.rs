@@ -1,0 +1,176 @@
+//! Weight-to-array mapping descriptors.
+
+use serde::{Deserialize, Serialize};
+
+use imc_tensor::{ConvShape, LinearShape};
+
+use crate::config::ArrayConfig;
+use crate::cycles::{matrix_cycles, CycleBreakdown};
+
+/// The mapping strategy that produced a [`MappedLayer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingKind {
+    /// Image-to-column mapping (one sliding window per load).
+    Im2col,
+    /// Shift-and-duplicate-kernel mapping (one parallel window per load).
+    Sdk,
+    /// Fully connected layer mapping (a single load per inference).
+    Linear,
+    /// A generic dense matrix region (used for low-rank factor stages).
+    Dense,
+}
+
+/// One dense region of weights mapped onto the IMC fabric, together with the
+/// number of input-vector loads it must serve per inference.
+///
+/// A conventional layer maps to exactly one `MappedLayer`; a low-rank
+/// compressed layer maps to one per factor stage (the compression crate
+/// combines them).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MappedLayer {
+    /// Which mapping strategy produced this region.
+    pub kind: MappingKind,
+    /// Logical wordlines (matrix rows) occupied.
+    pub rows_used: usize,
+    /// Logical bitlines (matrix columns) occupied, before the
+    /// physical-columns-per-weight expansion.
+    pub cols_used: usize,
+    /// Input-vector loads per inference.
+    pub loads: usize,
+    /// Array configuration the region is mapped onto.
+    pub config: ArrayConfig,
+}
+
+impl MappedLayer {
+    /// Creates a mapping descriptor for a generic dense matrix region.
+    pub fn dense(rows_used: usize, cols_used: usize, loads: usize, config: ArrayConfig) -> Self {
+        Self {
+            kind: MappingKind::Dense,
+            rows_used,
+            cols_used,
+            loads,
+            config,
+        }
+    }
+
+    /// The AR/AC/loads cycle breakdown of this region.
+    pub fn breakdown(&self) -> CycleBreakdown {
+        matrix_cycles(self.rows_used, self.cols_used, self.loads, &self.config)
+    }
+
+    /// Total computing cycles contributed by this region.
+    pub fn cycles(&self) -> u64 {
+        self.breakdown().cycles()
+    }
+
+    /// Number of physical arrays occupied by the weights of this region.
+    pub fn arrays_used(&self) -> usize {
+        self.breakdown().arrays_used()
+    }
+
+    /// Fraction of allocated array cells that actually hold weights
+    /// (`0.0 ..= 1.0`). Idle rows and columns of partially filled tiles count
+    /// against utilization, which is exactly the effect the paper's SDK
+    /// mapping is designed to mitigate.
+    pub fn utilization(&self) -> f64 {
+        let allocated = self.arrays_used() as f64 * self.config.cells() as f64;
+        if allocated == 0.0 {
+            return 0.0;
+        }
+        let used =
+            (self.rows_used * self.cols_used * self.config.columns_per_weight()) as f64;
+        (used / allocated).min(1.0)
+    }
+
+    /// Number of weight cells (physical) this region programs.
+    pub fn programmed_cells(&self) -> usize {
+        self.rows_used * self.cols_used * self.config.columns_per_weight()
+    }
+}
+
+/// im2col mapping of a convolutional layer: `n = IC·K_h·K_w` wordlines,
+/// `OC` bitlines, one sliding window per load.
+pub fn im2col_mapping(shape: &ConvShape, config: ArrayConfig) -> MappedLayer {
+    MappedLayer {
+        kind: MappingKind::Im2col,
+        rows_used: shape.im2col_rows(),
+        cols_used: shape.im2col_cols(),
+        loads: shape.output_pixels(),
+        config,
+    }
+}
+
+/// Mapping of a fully connected layer: `in_features` wordlines,
+/// `out_features` bitlines, one load per inference.
+pub fn linear_mapping(shape: &LinearShape, config: ArrayConfig) -> MappedLayer {
+    MappedLayer {
+        kind: MappingKind::Linear,
+        rows_used: shape.in_features,
+        cols_used: shape.out_features,
+        loads: 1,
+    config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn im2col_mapping_of_resnet_layer() {
+        let cfg = ArrayConfig::square(64).unwrap();
+        let shape = ConvShape::square(16, 16, 3, 1, 1, 32).unwrap();
+        let m = im2col_mapping(&shape, cfg);
+        assert_eq!(m.kind, MappingKind::Im2col);
+        assert_eq!(m.rows_used, 144);
+        assert_eq!(m.cols_used, 16);
+        assert_eq!(m.loads, 1024);
+        assert_eq!(m.cycles(), 3 * 1024);
+        assert_eq!(m.arrays_used(), 3);
+    }
+
+    #[test]
+    fn im2col_utilization_is_low_for_few_output_channels() {
+        // 144x16 on 64x64 arrays: 3 arrays allocated, 2304 of 12288 cells used.
+        let cfg = ArrayConfig::square(64).unwrap();
+        let shape = ConvShape::square(16, 16, 3, 1, 1, 32).unwrap();
+        let m = im2col_mapping(&shape, cfg);
+        let exp = (144.0 * 16.0) / (3.0 * 4096.0);
+        assert!((m.utilization() - exp).abs() < 1e-12);
+        assert!(m.utilization() < 0.2);
+    }
+
+    #[test]
+    fn linear_mapping_uses_single_load() {
+        let cfg = ArrayConfig::square(128).unwrap();
+        let shape = LinearShape::new(256, 100).unwrap();
+        let m = linear_mapping(&shape, cfg);
+        assert_eq!(m.loads, 1);
+        assert_eq!(m.cycles(), 2 * 1);
+        assert_eq!(m.rows_used, 256);
+    }
+
+    #[test]
+    fn dense_region_cycles_and_cells() {
+        let cfg = ArrayConfig::square(32).unwrap();
+        let m = MappedLayer::dense(40, 20, 7, cfg);
+        assert_eq!(m.breakdown().array_rows, 2);
+        assert_eq!(m.breakdown().array_cols, 1);
+        assert_eq!(m.cycles(), 2 * 7);
+        assert_eq!(m.programmed_cells(), 800);
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one() {
+        let cfg = ArrayConfig::square(32).unwrap();
+        let m = MappedLayer::dense(32, 32, 1, cfg);
+        assert!((m.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_weight_precision_scales_programmed_cells() {
+        let cfg = ArrayConfig::new(64, 64, 4, 8, 4).unwrap();
+        let m = MappedLayer::dense(10, 10, 1, cfg);
+        assert_eq!(m.programmed_cells(), 200);
+    }
+}

@@ -1,0 +1,425 @@
+//! Shift-and-duplicate-kernel (SDK) mapping.
+//!
+//! The SDK method (Zhang et al., Rhe et al.) applies a *parallel window* —
+//! a patch larger than the kernel — to the crossbar wordlines and places
+//! shifted, duplicated copies of every kernel in otherwise-idle bitlines, so
+//! that one array access produces the outputs of `N` sliding windows at once.
+//!
+//! This module provides both the *shape-level* description used by the cycle
+//! model ([`SdkMapping`]) and the *value-level* construction of the crossbar
+//! contents ([`sdk_matrix`]), which is what the core crate uses to verify the
+//! paper's Theorem 2 (`D(SDK(W)) = (I_N ⊗ L)·SDK(R)`) numerically.
+
+use serde::{Deserialize, Serialize};
+
+use imc_linalg::Matrix;
+use imc_tensor::{ConvShape, FeatureMap};
+
+use crate::config::ArrayConfig;
+use crate::mapping::{MappedLayer, MappingKind};
+use crate::{Error, Result};
+
+/// A parallel-window geometry (`P_h × P_w` input pixels per channel).
+///
+/// The im2col mapping is the degenerate case `P_h = K_h`, `P_w = K_w`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelWindow {
+    /// Window height in input pixels.
+    pub h: usize,
+    /// Window width in input pixels.
+    pub w: usize,
+}
+
+impl ParallelWindow {
+    /// Creates a parallel window.
+    pub fn new(h: usize, w: usize) -> Self {
+        Self { h, w }
+    }
+
+    /// The degenerate window equal to the kernel itself (im2col).
+    pub fn kernel_sized(shape: &ConvShape) -> Self {
+        Self {
+            h: shape.kernel_h,
+            w: shape.kernel_w,
+        }
+    }
+}
+
+/// A shape-level SDK mapping of one convolutional layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SdkMapping {
+    /// The parallel-window geometry.
+    pub window: ParallelWindow,
+    /// Number of sliding windows covered vertically by one parallel window.
+    pub windows_h: usize,
+    /// Number of sliding windows covered horizontally by one parallel window.
+    pub windows_w: usize,
+    /// The dense-region descriptor (rows/cols/loads) of the mapping.
+    pub mapped: MappedLayer,
+}
+
+impl SdkMapping {
+    /// Builds the SDK mapping of `shape` with parallel window `window` onto
+    /// arrays of configuration `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWindow`] when the window is smaller than the
+    /// kernel or larger than the padded input.
+    pub fn new(shape: &ConvShape, window: ParallelWindow, config: ArrayConfig) -> Result<Self> {
+        validate_window(shape, &window)?;
+        let windows_h = (window.h - shape.kernel_h) / shape.stride + 1;
+        let windows_w = (window.w - shape.kernel_w) / shape.stride + 1;
+        let n_outputs = windows_h * windows_w;
+        let rows_used = shape.in_channels * window.h * window.w;
+        let cols_used = n_outputs * shape.out_channels;
+        let loads = shape.output_h().div_ceil(windows_h) * shape.output_w().div_ceil(windows_w);
+        Ok(Self {
+            window,
+            windows_h,
+            windows_w,
+            mapped: MappedLayer {
+                kind: MappingKind::Sdk,
+                rows_used,
+                cols_used,
+                loads,
+                config,
+            },
+        })
+    }
+
+    /// Number of parallel outputs `N` per load.
+    pub fn parallel_outputs(&self) -> usize {
+        self.windows_h * self.windows_w
+    }
+
+    /// Total computing cycles of this mapping.
+    pub fn cycles(&self) -> u64 {
+        self.mapped.cycles()
+    }
+
+    /// Fraction of programmed cells that hold non-structural (possibly
+    /// non-zero) weights. SDK mapping places each kernel column only in the
+    /// rows its shifted window touches, so the density is
+    /// `K_h·K_w / (P_h·P_w)`; the remaining cells are structural zeros.
+    pub fn structural_density(&self, shape: &ConvShape) -> f64 {
+        (shape.kernel_h * shape.kernel_w) as f64 / (self.window.h * self.window.w) as f64
+    }
+}
+
+fn validate_window(shape: &ConvShape, window: &ParallelWindow) -> Result<()> {
+    if window.h < shape.kernel_h || window.w < shape.kernel_w {
+        return Err(Error::InvalidWindow {
+            what: "parallel window must be at least as large as the kernel",
+        });
+    }
+    if window.h > shape.input_h + 2 * shape.padding || window.w > shape.input_w + 2 * shape.padding
+    {
+        return Err(Error::InvalidWindow {
+            what: "parallel window exceeds the padded input",
+        });
+    }
+    Ok(())
+}
+
+/// Materializes the crossbar contents of the SDK mapping of a weight matrix.
+///
+/// `weight` is the im2col weight matrix in the paper's orientation
+/// (`m × n`, `m` = output channels, `n = IC·K_h·K_w`). The result is the
+/// `b × (N·m)` matrix programmed into the crossbar, where `b = IC·P_h·P_w`
+/// is the flattened parallel-window length and `N` the number of parallel
+/// outputs; column `s·m + o` holds output channel `o` of the `s`-th shifted
+/// kernel copy. Cells not touched by a shifted kernel are structural zeros.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidWindow`] for inconsistent windows and
+/// [`Error::Tensor`]/[`Error::Linalg`] when `weight` does not match `shape`.
+pub fn sdk_matrix(weight: &Matrix, shape: &ConvShape, window: ParallelWindow) -> Result<Matrix> {
+    validate_window(shape, &window)?;
+    if weight.rows() != shape.out_channels || weight.cols() != shape.im2col_rows() {
+        return Err(Error::Linalg(imc_linalg::Error::ShapeMismatch {
+            left: weight.shape(),
+            right: (shape.out_channels, shape.im2col_rows()),
+            op: "sdk_matrix (weight must be OC x IC*Kh*Kw)",
+        }));
+    }
+    let windows_h = (window.h - shape.kernel_h) / shape.stride + 1;
+    let windows_w = (window.w - shape.kernel_w) / shape.stride + 1;
+    let n = windows_h * windows_w;
+    let m = shape.out_channels;
+    let b = shape.in_channels * window.h * window.w;
+    let mut out = Matrix::zeros(b, n * m);
+    for sy in 0..windows_h {
+        for sx in 0..windows_w {
+            let s = sy * windows_w + sx;
+            let dy = sy * shape.stride;
+            let dx = sx * shape.stride;
+            for o in 0..m {
+                for ic in 0..shape.in_channels {
+                    for ky in 0..shape.kernel_h {
+                        for kx in 0..shape.kernel_w {
+                            let j = (ic * shape.kernel_h + ky) * shape.kernel_w + kx;
+                            let row = (ic * window.h + dy + ky) * window.w + dx + kx;
+                            out.set(row, s * m + o, weight.get(o, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Unrolls the input feature map into parallel-window patches.
+///
+/// The result has `b = IC·P_h·P_w` rows and one column per parallel-window
+/// position (`⌈OH/N_h⌉ · ⌈OW/N_w⌉` columns). Applying the transpose of the
+/// [`sdk_matrix`] crossbar contents to column `p` yields the `N·m` outputs of
+/// that parallel-window position.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidWindow`] for inconsistent windows and
+/// [`Error::Tensor`] when the input does not match `shape`.
+pub fn unroll_parallel_window(
+    input: &FeatureMap,
+    shape: &ConvShape,
+    window: ParallelWindow,
+) -> Result<Matrix> {
+    validate_window(shape, &window)?;
+    if input.channels() != shape.in_channels
+        || input.height() != shape.input_h
+        || input.width() != shape.input_w
+    {
+        return Err(Error::Tensor(imc_tensor::Error::DimensionMismatch {
+            expected: shape.in_channels * shape.input_h * shape.input_w,
+            actual: input.channels() * input.height() * input.width(),
+        }));
+    }
+    let windows_h = (window.h - shape.kernel_h) / shape.stride + 1;
+    let windows_w = (window.w - shape.kernel_w) / shape.stride + 1;
+    let pos_h = shape.output_h().div_ceil(windows_h);
+    let pos_w = shape.output_w().div_ceil(windows_w);
+    let b = shape.in_channels * window.h * window.w;
+    let mut out = Matrix::zeros(b, pos_h * pos_w);
+    for ty in 0..pos_h {
+        for tx in 0..pos_w {
+            let col = ty * pos_w + tx;
+            let base_y = (ty * windows_h * shape.stride) as isize - shape.padding as isize;
+            let base_x = (tx * windows_w * shape.stride) as isize - shape.padding as isize;
+            for ic in 0..shape.in_channels {
+                for py in 0..window.h {
+                    for px in 0..window.w {
+                        let row = (ic * window.h + py) * window.w + px;
+                        let v = input.get_padded(ic, base_y + py as isize, base_x + px as isize);
+                        out.set(row, col, v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Assembles the output feature map from per-position SDK crossbar outputs.
+///
+/// `outputs` must be the `(N·m) × positions` matrix obtained as
+/// `sdk_matrix(W)ᵀ · unroll_parallel_window(x)`. Outputs that fall outside
+/// the feature map (parallel windows overhanging the right/bottom edge) are
+/// discarded.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidWindow`] when the output matrix dimensions do not
+/// match the mapping geometry.
+pub fn assemble_sdk_output(
+    outputs: &Matrix,
+    shape: &ConvShape,
+    window: ParallelWindow,
+) -> Result<FeatureMap> {
+    validate_window(shape, &window)?;
+    let windows_h = (window.h - shape.kernel_h) / shape.stride + 1;
+    let windows_w = (window.w - shape.kernel_w) / shape.stride + 1;
+    let pos_h = shape.output_h().div_ceil(windows_h);
+    let pos_w = shape.output_w().div_ceil(windows_w);
+    let n = windows_h * windows_w;
+    let m = shape.out_channels;
+    if outputs.rows() != n * m || outputs.cols() != pos_h * pos_w {
+        return Err(Error::InvalidWindow {
+            what: "output matrix does not match SDK mapping geometry",
+        });
+    }
+    let oh = shape.output_h();
+    let ow = shape.output_w();
+    let mut fm = FeatureMap::zeros(m, oh, ow).map_err(Error::Tensor)?;
+    for ty in 0..pos_h {
+        for tx in 0..pos_w {
+            let col = ty * pos_w + tx;
+            for sy in 0..windows_h {
+                for sx in 0..windows_w {
+                    let oy = ty * windows_h + sy;
+                    let ox = tx * windows_w + sx;
+                    if oy >= oh || ox >= ow {
+                        continue;
+                    }
+                    let s = sy * windows_w + sx;
+                    for o in 0..m {
+                        fm.set(o, oy, ox, outputs.get(s * m + o, col));
+                    }
+                }
+            }
+        }
+    }
+    Ok(fm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_tensor::{conv2d_im2col, Tensor4};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_feature_map(c: usize, h: usize, w: usize, seed: u64) -> FeatureMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        FeatureMap::from_vec(c, h, w, data).unwrap()
+    }
+
+    #[test]
+    fn window_validation() {
+        let shape = ConvShape::square(4, 8, 3, 1, 1, 8).unwrap();
+        let cfg = ArrayConfig::square(64).unwrap();
+        assert!(SdkMapping::new(&shape, ParallelWindow::new(2, 3), cfg).is_err());
+        assert!(SdkMapping::new(&shape, ParallelWindow::new(3, 3), cfg).is_ok());
+        assert!(SdkMapping::new(&shape, ParallelWindow::new(64, 4), cfg).is_err());
+    }
+
+    #[test]
+    fn kernel_sized_window_reduces_to_im2col() {
+        let shape = ConvShape::square(16, 16, 3, 1, 1, 32).unwrap();
+        let cfg = ArrayConfig::square(64).unwrap();
+        let sdk = SdkMapping::new(&shape, ParallelWindow::kernel_sized(&shape), cfg).unwrap();
+        assert_eq!(sdk.parallel_outputs(), 1);
+        assert_eq!(sdk.mapped.rows_used, shape.im2col_rows());
+        assert_eq!(sdk.mapped.cols_used, shape.im2col_cols());
+        assert_eq!(sdk.mapped.loads, shape.output_pixels());
+        let im2col = crate::mapping::im2col_mapping(&shape, cfg);
+        assert_eq!(sdk.cycles(), im2col.cycles());
+    }
+
+    #[test]
+    fn four_by_four_window_gives_four_parallel_outputs() {
+        // The paper's running example: a 4x4 PW over a 3x3 kernel duplicates
+        // the kernel 3 extra times (4 parallel outputs).
+        let shape = ConvShape::square(16, 16, 3, 1, 1, 32).unwrap();
+        let cfg = ArrayConfig::square(64).unwrap();
+        let sdk = SdkMapping::new(&shape, ParallelWindow::new(4, 4), cfg).unwrap();
+        assert_eq!(sdk.parallel_outputs(), 4);
+        assert_eq!(sdk.mapped.rows_used, 16 * 16);
+        assert_eq!(sdk.mapped.cols_used, 4 * 16);
+        // 32x32 outputs tiled by 2x2 windows -> 16x16 = 256 loads.
+        assert_eq!(sdk.mapped.loads, 256);
+    }
+
+    #[test]
+    fn sdk_reduces_cycles_versus_im2col_on_small_channel_layers() {
+        let shape = ConvShape::square(16, 16, 3, 1, 1, 32).unwrap();
+        let cfg = ArrayConfig::square(64).unwrap();
+        let im2col = crate::mapping::im2col_mapping(&shape, cfg).cycles();
+        let sdk = SdkMapping::new(&shape, ParallelWindow::new(4, 4), cfg)
+            .unwrap()
+            .cycles();
+        assert!(sdk < im2col, "sdk {sdk} should beat im2col {im2col}");
+    }
+
+    #[test]
+    fn structural_density_matches_kernel_to_window_ratio() {
+        let shape = ConvShape::square(8, 8, 3, 1, 1, 16).unwrap();
+        let cfg = ArrayConfig::square(64).unwrap();
+        let sdk = SdkMapping::new(&shape, ParallelWindow::new(5, 5), cfg).unwrap();
+        assert!((sdk.structural_density(&shape) - 9.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sdk_matrix_shape_and_density() {
+        let shape = ConvShape::square(2, 3, 3, 1, 1, 8).unwrap();
+        let w = Tensor4::kaiming_for(&shape, 1).unwrap().to_im2col_matrix();
+        let window = ParallelWindow::new(4, 4);
+        let m = sdk_matrix(&w, &shape, window).unwrap();
+        assert_eq!(m.rows(), 2 * 16);
+        assert_eq!(m.cols(), 4 * 3);
+        // Each column holds exactly Kh*Kw*IC potentially-nonzero weights.
+        let per_col_nonzero = m.col(0).unwrap().iter().filter(|&&x| x != 0.0).count();
+        assert!(per_col_nonzero <= 18);
+        assert!(per_col_nonzero >= 10);
+    }
+
+    #[test]
+    fn sdk_matrix_rejects_wrong_weight_shape() {
+        let shape = ConvShape::square(2, 3, 3, 1, 1, 8).unwrap();
+        let w = Matrix::zeros(3, 17);
+        assert!(sdk_matrix(&w, &shape, ParallelWindow::new(4, 4)).is_err());
+    }
+
+    #[test]
+    fn sdk_crossbar_outputs_match_im2col_convolution() {
+        // Functional check: applying the SDK crossbar contents to parallel
+        // window patches reproduces the ordinary convolution outputs exactly.
+        for (ph, pw_w) in [(3, 3), (4, 4), (4, 6), (5, 5)] {
+            let shape = ConvShape::square(3, 4, 3, 1, 1, 8).unwrap();
+            let weight = Tensor4::kaiming_for(&shape, 11).unwrap();
+            let wmat = weight.to_im2col_matrix();
+            let x = random_feature_map(3, 8, 8, 5);
+            let window = ParallelWindow::new(ph, pw_w);
+
+            let crossbar = sdk_matrix(&wmat, &shape, window).unwrap();
+            let patches = unroll_parallel_window(&x, &shape, window).unwrap();
+            let outputs = crossbar.transpose().matmul(&patches).unwrap();
+            let fm = assemble_sdk_output(&outputs, &shape, window).unwrap();
+
+            let reference = conv2d_im2col(&x, &weight, &shape).unwrap();
+            let max_diff = fm
+                .as_slice()
+                .iter()
+                .zip(reference.as_slice().iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(
+                max_diff < 1e-9,
+                "window {ph}x{pw_w}: SDK output mismatch {max_diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn sdk_matches_convolution_with_stride_two() {
+        let shape = ConvShape::square(2, 3, 3, 2, 1, 9).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 7).unwrap();
+        let wmat = weight.to_im2col_matrix();
+        let x = random_feature_map(2, 9, 9, 3);
+        let window = ParallelWindow::new(5, 5);
+
+        let crossbar = sdk_matrix(&wmat, &shape, window).unwrap();
+        let patches = unroll_parallel_window(&x, &shape, window).unwrap();
+        let outputs = crossbar.transpose().matmul(&patches).unwrap();
+        let fm = assemble_sdk_output(&outputs, &shape, window).unwrap();
+
+        let reference = conv2d_im2col(&x, &weight, &shape).unwrap();
+        let max_diff = fm
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice().iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max_diff < 1e-9, "stride-2 SDK output mismatch {max_diff}");
+    }
+
+    #[test]
+    fn assemble_rejects_mismatched_output_matrix() {
+        let shape = ConvShape::square(2, 3, 3, 1, 1, 8).unwrap();
+        let bad = Matrix::zeros(5, 5);
+        assert!(assemble_sdk_output(&bad, &shape, ParallelWindow::new(4, 4)).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Variable-window SDK (VW-SDK) parallel-window search.
+//!
+//! Rhe et al. observe that the best parallel-window geometry depends on the
+//! layer shape *and* the array size: larger windows amortize more sliding
+//! windows per load but inflate the wordline count (and therefore `AR`).
+//! The search below enumerates candidate windows, computes the AR/AC cycle
+//! count of each and returns the minimum. The kernel-sized window (plain
+//! im2col) is always a candidate, so the result never loses to im2col.
+
+use serde::{Deserialize, Serialize};
+
+use imc_tensor::ConvShape;
+
+use crate::config::ArrayConfig;
+use crate::sdk::{ParallelWindow, SdkMapping};
+use crate::Result;
+
+/// Upper bound on how many pixels a parallel window may extend beyond the
+/// kernel in each dimension during the search. Windows larger than this give
+/// rapidly diminishing returns because `AR` grows linearly with the window
+/// area while `N` grows sub-quadratically.
+const MAX_WINDOW_GROWTH: usize = 13;
+
+/// The outcome of a VW-SDK window search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowSearchResult {
+    /// The selected parallel window.
+    pub window: ParallelWindow,
+    /// The mapping induced by the selected window.
+    pub mapping: SdkMapping,
+    /// Computing cycles of the best window.
+    pub cycles: u64,
+    /// Computing cycles of the kernel-sized (im2col) window, for reference.
+    pub im2col_cycles: u64,
+}
+
+impl WindowSearchResult {
+    /// Speed-up of the selected window over plain im2col mapping.
+    pub fn speedup_vs_im2col(&self) -> f64 {
+        if self.cycles == 0 {
+            return 1.0;
+        }
+        self.im2col_cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Enumerates candidate parallel windows for a layer.
+///
+/// Candidates range from the kernel itself up to `MAX_WINDOW_GROWTH` extra
+/// pixels per dimension, clamped to the padded input extent.
+pub fn candidate_windows(shape: &ConvShape) -> Vec<ParallelWindow> {
+    let max_h = (shape.input_h + 2 * shape.padding).min(shape.kernel_h + MAX_WINDOW_GROWTH);
+    let max_w = (shape.input_w + 2 * shape.padding).min(shape.kernel_w + MAX_WINDOW_GROWTH);
+    let mut out = Vec::new();
+    for h in shape.kernel_h..=max_h {
+        for w in shape.kernel_w..=max_w {
+            out.push(ParallelWindow::new(h, w));
+        }
+    }
+    out
+}
+
+/// Searches for the parallel window minimizing computing cycles for `shape`
+/// on arrays of configuration `config`.
+///
+/// Ties are broken toward smaller windows (fewer structural zeros, lower
+/// write energy). The kernel-sized window is always a candidate, so the
+/// returned cycle count never exceeds the im2col cycle count.
+///
+/// # Errors
+///
+/// Propagates window-construction errors (which cannot occur for the
+/// candidates generated internally, but the signature stays fallible for
+/// future custom candidate lists).
+pub fn search_best_window(shape: &ConvShape, config: ArrayConfig) -> Result<WindowSearchResult> {
+    let im2col = SdkMapping::new(shape, ParallelWindow::kernel_sized(shape), config)?;
+    let im2col_cycles = im2col.cycles();
+    let mut best = im2col;
+    let mut best_cycles = im2col_cycles;
+    let mut best_area = best.window.h * best.window.w;
+    for window in candidate_windows(shape) {
+        let mapping = SdkMapping::new(shape, window, config)?;
+        let cycles = mapping.cycles();
+        let area = window.h * window.w;
+        if cycles < best_cycles || (cycles == best_cycles && area < best_area) {
+            best = mapping;
+            best_cycles = cycles;
+            best_area = area;
+        }
+    }
+    Ok(WindowSearchResult {
+        window: best.window,
+        mapping: best,
+        cycles: best_cycles,
+        im2col_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_include_kernel_sized_window() {
+        let shape = ConvShape::square(16, 16, 3, 1, 1, 32).unwrap();
+        let cands = candidate_windows(&shape);
+        assert!(cands.contains(&ParallelWindow::new(3, 3)));
+        assert!(cands.len() > 10);
+    }
+
+    #[test]
+    fn candidates_respect_small_inputs() {
+        let shape = ConvShape::square(64, 64, 3, 1, 1, 8).unwrap();
+        let cands = candidate_windows(&shape);
+        assert!(cands.iter().all(|w| w.h <= 10 && w.w <= 10));
+    }
+
+    #[test]
+    fn search_never_loses_to_im2col() {
+        let cfg = ArrayConfig::square(64).unwrap();
+        for (ic, oc, input) in [(16, 16, 32), (32, 32, 16), (64, 64, 8), (3, 16, 32)] {
+            let shape = ConvShape::square(ic, oc, 3, 1, 1, input).unwrap();
+            let res = search_best_window(&shape, cfg).unwrap();
+            assert!(res.cycles <= res.im2col_cycles);
+            assert!(res.speedup_vs_im2col() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn search_finds_larger_windows_for_small_channel_counts() {
+        // With 16 output channels on a 64-wide array, im2col leaves 48
+        // columns idle, so the search should pick a window with N > 1.
+        let cfg = ArrayConfig::square(64).unwrap();
+        let shape = ConvShape::square(16, 16, 3, 1, 1, 32).unwrap();
+        let res = search_best_window(&shape, cfg).unwrap();
+        assert!(res.mapping.parallel_outputs() > 1);
+        assert!(res.speedup_vs_im2col() > 1.5);
+    }
+
+    #[test]
+    fn search_sticks_to_small_windows_when_columns_are_saturated() {
+        // 256 output channels on a 32-wide array already saturate the
+        // columns; duplicating kernels cannot reduce AC, so the benefit of a
+        // larger window is limited and the speed-up stays modest.
+        let cfg = ArrayConfig::square(32).unwrap();
+        let shape = ConvShape::square(256, 256, 3, 1, 1, 8).unwrap();
+        let res = search_best_window(&shape, cfg).unwrap();
+        assert!(res.speedup_vs_im2col() < 2.0);
+    }
+
+    #[test]
+    fn larger_arrays_enable_larger_speedups() {
+        let shape = ConvShape::square(16, 16, 3, 1, 1, 32).unwrap();
+        let s32 = search_best_window(&shape, ArrayConfig::square(32).unwrap()).unwrap();
+        let s128 = search_best_window(&shape, ArrayConfig::square(128).unwrap()).unwrap();
+        assert!(s128.speedup_vs_im2col() >= s32.speedup_vs_im2col());
+    }
+}

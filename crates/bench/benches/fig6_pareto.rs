@@ -1,0 +1,45 @@
+//! Fig. 6 bench: regenerates the ResNet-20 / 64×64 panel once and benchmarks
+//! the pruning-baseline cycle sweep it is compared against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use imc_array::ArrayConfig;
+use imc_nn::resnet20;
+use imc_pruning::{PairsPruning, PatternPruning};
+use imc_sim::experiments::{fig6, DEFAULT_SEED};
+use imc_sim::report::fig6_markdown;
+use imc_tensor::Tensor4;
+
+fn pruning_cycle_sweep(array: &ArrayConfig) -> u64 {
+    let arch = resnet20();
+    let mut total = 0u64;
+    for (index, (_, shape)) in arch.compressible_convs().iter().enumerate() {
+        let weight = Tensor4::kaiming_for(shape, index as u64).expect("valid weight");
+        for entries in 1..=8 {
+            total += PatternPruning::new(entries)
+                .expect("valid entries")
+                .map_layer(shape, *array)
+                .cycles();
+            total += PairsPruning::new(entries)
+                .expect("valid entries")
+                .map_layer(shape, &weight, *array)
+                .expect("mapping succeeds")
+                .cycles();
+        }
+    }
+    total
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let panel = fig6(&resnet20(), 64, DEFAULT_SEED).expect("panel evaluation succeeds");
+    println!("\n== Fig. 6 (ResNet-20, 64x64, regenerated) ==\n{}", fig6_markdown(&panel));
+
+    let array = ArrayConfig::square(64).expect("valid array");
+    c.bench_function("fig6_pruning_cycle_sweep_resnet20_64", |b| {
+        b.iter(|| pruning_cycle_sweep(black_box(&array)))
+    });
+}
+
+criterion_group!(fig6_bench, bench_fig6);
+criterion_main!(fig6_bench);

@@ -1,0 +1,43 @@
+//! Fig. 7 bench: regenerates the ResNet-20 normalized-energy bars once and
+//! benchmarks the energy-model evaluation of the three access schedules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use imc_array::ArrayConfig;
+use imc_core::{CompressionConfig, RankSpec};
+use imc_energy::EnergyParams;
+use imc_nn::resnet20;
+use imc_sim::experiments::{fig7, DEFAULT_SEED};
+use imc_sim::network::{evaluate, CompressionMethod, NetworkEvaluation};
+use imc_sim::report::fig7_markdown;
+
+fn bench_fig7(c: &mut Criterion) {
+    let bars = fig7(&resnet20(), DEFAULT_SEED).expect("energy evaluation succeeds");
+    println!("\n== Fig. 7 (ResNet-20, regenerated) ==\n{}", fig7_markdown(&bars));
+
+    // Pre-build the three evaluations; the timed loop exercises only the
+    // energy model itself (the part specific to Fig. 7).
+    let arch = resnet20();
+    let array = ArrayConfig::square(64).expect("valid array");
+    let cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true).expect("valid config");
+    let evals: Vec<NetworkEvaluation> = vec![
+        evaluate(&arch, &CompressionMethod::Uncompressed { sdk: false }, array, DEFAULT_SEED)
+            .expect("baseline"),
+        evaluate(&arch, &CompressionMethod::PatternPruning { entries: 6 }, array, DEFAULT_SEED)
+            .expect("pruning"),
+        evaluate(&arch, &CompressionMethod::LowRank(cfg), array, DEFAULT_SEED).expect("ours"),
+    ];
+    let params = EnergyParams::default();
+    c.bench_function("fig7_energy_model_three_methods", |b| {
+        b.iter(|| {
+            evals
+                .iter()
+                .map(|e| e.energy(black_box(&params)))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(fig7_bench, bench_fig7);
+criterion_main!(fig7_bench);

@@ -1,0 +1,35 @@
+//! Fig. 8 bench: regenerates the quantization comparison once and benchmarks
+//! the quantized-layer cycle model across the 1–4-bit sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use imc_array::ArrayConfig;
+use imc_nn::resnet20;
+use imc_quant::{quantized_conv_cycles, QuantConfig};
+use imc_sim::experiments::{fig8, DEFAULT_SEED};
+use imc_sim::report::fig8_markdown;
+
+fn quant_cycle_sweep(array: &ArrayConfig) -> f64 {
+    let arch = resnet20();
+    let mut total = 0.0;
+    for (_, shape) in arch.compressible_convs() {
+        for cfg in QuantConfig::paper_sweep() {
+            total += quantized_conv_cycles(shape, array, &cfg).expect("valid config");
+        }
+    }
+    total
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let panels = fig8(DEFAULT_SEED).expect("quantization comparison succeeds");
+    println!("\n== Fig. 8 (regenerated) ==\n{}", fig8_markdown(&panels));
+
+    let array = ArrayConfig::square(64).expect("valid array");
+    c.bench_function("fig8_quantized_cycle_sweep_resnet20_64", |b| {
+        b.iter(|| quant_cycle_sweep(black_box(&array)))
+    });
+}
+
+criterion_group!(fig8_bench, bench_fig8);
+criterion_main!(fig8_bench);

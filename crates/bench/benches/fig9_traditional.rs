@@ -1,0 +1,45 @@
+//! Fig. 9 bench: regenerates the ResNet-20 half of the proposed-vs-traditional
+//! comparison once and benchmarks the two-stage cycle model that separates
+//! the two methods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use imc_array::ArrayConfig;
+use imc_core::{lowrank_im2col_cycles, search_lowrank_window, RankSpec};
+use imc_nn::resnet20;
+use imc_sim::experiments::{fig9_for, DEFAULT_SEED};
+use imc_sim::report::fig9_markdown;
+
+fn proposed_vs_traditional_cycles(array: &ArrayConfig) -> (u64, u64) {
+    let arch = resnet20();
+    let mut traditional = 0u64;
+    let mut proposed = 0u64;
+    for (_, shape) in arch.compressible_convs() {
+        for rank in RankSpec::paper_divisors() {
+            let k1 = rank.resolve(shape.out_channels, shape.max_rank());
+            traditional += lowrank_im2col_cycles(shape, k1, 1, array)
+                .expect("valid config")
+                .total();
+            let per_group_cols = shape.im2col_rows() / 4;
+            let k4 = rank.resolve(shape.out_channels, shape.out_channels.min(per_group_cols));
+            proposed += search_lowrank_window(shape, k4, 4, array)
+                .expect("search succeeds")
+                .total();
+        }
+    }
+    (traditional, proposed)
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let rows = fig9_for(&resnet20(), 64, DEFAULT_SEED).expect("comparison succeeds");
+    println!("\n== Fig. 9 (ResNet-20, regenerated) ==\n{}", fig9_markdown(&rows));
+
+    let array = ArrayConfig::square(64).expect("valid array");
+    c.bench_function("fig9_proposed_vs_traditional_cycles", |b| {
+        b.iter(|| proposed_vs_traditional_cycles(black_box(&array)))
+    });
+}
+
+criterion_group!(fig9_bench, bench_fig9);
+criterion_main!(fig9_bench);

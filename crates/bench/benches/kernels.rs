@@ -1,0 +1,44 @@
+//! Micro-benchmarks of the computational kernels underneath every
+//! experiment: SVD, group decomposition, SDK matrix construction and the
+//! parallel-window searches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use imc_array::{search_best_window, sdk_matrix, ArrayConfig, ParallelWindow};
+use imc_bench::{stage1_layer, stage3_layer};
+use imc_core::{search_lowrank_window, GroupLowRank, LowRankFactors};
+use imc_linalg::Svd;
+
+fn bench_kernels(c: &mut Criterion) {
+    let (shape1, weight1) = stage1_layer();
+    let (shape3, weight3) = stage3_layer();
+    let w1 = weight1.to_im2col_matrix();
+    let w3 = weight3.to_im2col_matrix();
+    let array = ArrayConfig::square(64).expect("valid array");
+
+    c.bench_function("svd_16x144", |b| {
+        b.iter(|| Svd::compute(black_box(&w1)).expect("SVD converges"))
+    });
+    c.bench_function("svd_64x576", |b| {
+        b.iter(|| Svd::compute(black_box(&w3)).expect("SVD converges"))
+    });
+    c.bench_function("lowrank_factors_64x576_k8", |b| {
+        b.iter(|| LowRankFactors::compute(black_box(&w3), 8).expect("valid rank"))
+    });
+    c.bench_function("group_lowrank_64x576_g4_k8", |b| {
+        b.iter(|| GroupLowRank::compute(black_box(&w3), 4, 8).expect("valid config"))
+    });
+    c.bench_function("sdk_matrix_16x144_pw4x4", |b| {
+        b.iter(|| sdk_matrix(black_box(&w1), &shape1, ParallelWindow::new(4, 4)).expect("valid"))
+    });
+    c.bench_function("vwsdk_window_search_stage1", |b| {
+        b.iter(|| search_best_window(black_box(&shape1), array).expect("search succeeds"))
+    });
+    c.bench_function("lowrank_window_search_stage3_g4_k8", |b| {
+        b.iter(|| search_lowrank_window(black_box(&shape3), 8, 4, &array).expect("search succeeds"))
+    });
+}
+
+criterion_group!(kernels, bench_kernels);
+criterion_main!(kernels);

@@ -1,0 +1,25 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! Each bench target corresponds to one table or figure of the paper (see
+//! `DESIGN.md` §4) and benchmarks the computation path that regenerates it.
+//! The accuracy-side SVD sweeps are exercised once per target (not inside the
+//! timed loop) so that `cargo bench --workspace` completes in minutes while
+//! still regenerating every artifact.
+
+#![forbid(unsafe_code)]
+
+use imc_tensor::{ConvShape, Tensor4};
+
+/// The ResNet-20 stage-1 layer used by several micro-benches.
+pub fn stage1_layer() -> (ConvShape, Tensor4) {
+    let shape = ConvShape::square(16, 16, 3, 1, 1, 32).expect("valid layer shape");
+    let weight = Tensor4::kaiming_for(&shape, 7).expect("valid weight tensor");
+    (shape, weight)
+}
+
+/// The ResNet-20 stage-3 layer used by several micro-benches.
+pub fn stage3_layer() -> (ConvShape, Tensor4) {
+    let shape = ConvShape::square(64, 64, 3, 1, 1, 8).expect("valid layer shape");
+    let weight = Tensor4::kaiming_for(&shape, 11).expect("valid weight tensor");
+    (shape, weight)
+}

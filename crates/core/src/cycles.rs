@@ -1,0 +1,300 @@
+//! Computing-cycle model for low-rank compressed layers.
+//!
+//! A low-rank compressed layer executes in two crossbar stages per input
+//! load: the `R` stage (input dimension → `g·k` intermediates) and the `L`
+//! stage (`g·k` intermediates → `m` outputs). This module accounts for both
+//! stages under im2col and SDK mappings and searches for the parallel window
+//! minimizing the total cycle count (the low-rank analogue of the VW-SDK
+//! search).
+//!
+//! Stage-2 accounting: the SDK-mapped second stage is the block-diagonal
+//! matrix `I_N ⊗ [L_1 … L_g]`. Two mapping policies are possible — map the
+//! whole block-diagonal matrix and answer all `N` parallel outputs in one
+//! access, or map a single `[L_1 … L_g]` block and run the `N` intermediate
+//! vectors sequentially. Which is cheaper depends on whether the replicated
+//! blocks fit into one physical array, so the model takes the minimum of the
+//! two (see `DESIGN.md` §3).
+
+use serde::{Deserialize, Serialize};
+
+use imc_array::{matrix_cycles, ArrayConfig, CycleBreakdown, ParallelWindow};
+use imc_tensor::ConvShape;
+
+use crate::{Error, Result};
+
+/// Cycle accounting for one compressed layer (two stages).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressedCycles {
+    /// Breakdown of the first (`R`) stage.
+    pub stage1: CycleBreakdown,
+    /// Breakdown of the second (`L`) stage.
+    pub stage2: CycleBreakdown,
+    /// The parallel window used (kernel-sized for im2col mapping).
+    pub window: ParallelWindow,
+    /// Parallel outputs `N` of the mapping (1 for im2col).
+    pub parallel_outputs: usize,
+}
+
+impl CompressedCycles {
+    /// Total computing cycles over both stages.
+    pub fn total(&self) -> u64 {
+        self.stage1.cycles() + self.stage2.cycles()
+    }
+
+    /// Total number of physical arrays occupied by both stages.
+    pub fn arrays_used(&self) -> usize {
+        self.stage1.arrays_used() + self.stage2.arrays_used()
+    }
+}
+
+fn validate(shape: &ConvShape, k: usize, groups: usize) -> Result<()> {
+    if k == 0 {
+        return Err(Error::InvalidConfig {
+            what: "rank must be at least 1".to_owned(),
+        });
+    }
+    if groups == 0 {
+        return Err(Error::InvalidConfig {
+            what: "group count must be at least 1".to_owned(),
+        });
+    }
+    let n_per_group = shape.im2col_rows() / groups;
+    if n_per_group == 0 {
+        return Err(Error::InvalidConfig {
+            what: format!(
+                "group count {groups} exceeds the input dimension {}",
+                shape.im2col_rows()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Cycles of a low-rank compressed layer mapped with plain im2col: stage 1 is
+/// the `n × g·k` crossbar, stage 2 the `g·k × m` crossbar, one sliding window
+/// per load.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for a zero rank/group count or groups
+/// exceeding the input dimension.
+pub fn lowrank_im2col_cycles(
+    shape: &ConvShape,
+    k: usize,
+    groups: usize,
+    config: &ArrayConfig,
+) -> Result<CompressedCycles> {
+    validate(shape, k, groups)?;
+    let loads = shape.output_pixels();
+    let gk = groups * k;
+    let stage1 = matrix_cycles(shape.im2col_rows(), gk, loads, config);
+    let stage2 = matrix_cycles(gk, shape.out_channels, loads, config);
+    Ok(CompressedCycles {
+        stage1,
+        stage2,
+        window: ParallelWindow::kernel_sized(shape),
+        parallel_outputs: 1,
+    })
+}
+
+/// Cycles of a low-rank compressed layer whose `R` stage is SDK-mapped with
+/// the given parallel window (Theorem 2 mapping).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for invalid rank/groups and
+/// [`Error::Array`] for an invalid window.
+pub fn lowrank_sdk_cycles(
+    shape: &ConvShape,
+    k: usize,
+    groups: usize,
+    config: &ArrayConfig,
+    window: ParallelWindow,
+) -> Result<CompressedCycles> {
+    validate(shape, k, groups)?;
+    if window.h < shape.kernel_h || window.w < shape.kernel_w {
+        return Err(Error::Array(imc_array::Error::InvalidWindow {
+            what: "parallel window must be at least as large as the kernel",
+        }));
+    }
+    if window.h > shape.input_h + 2 * shape.padding
+        || window.w > shape.input_w + 2 * shape.padding
+    {
+        return Err(Error::Array(imc_array::Error::InvalidWindow {
+            what: "parallel window exceeds the padded input",
+        }));
+    }
+    let windows_h = (window.h - shape.kernel_h) / shape.stride + 1;
+    let windows_w = (window.w - shape.kernel_w) / shape.stride + 1;
+    let n_par = windows_h * windows_w;
+    let positions =
+        shape.output_h().div_ceil(windows_h) * shape.output_w().div_ceil(windows_w);
+    let gk = groups * k;
+    let m = shape.out_channels;
+
+    // Stage 1: SDK mapping of the R factors.
+    let b = shape.in_channels * window.h * window.w;
+    let stage1 = matrix_cycles(b, n_par * gk, positions, config);
+
+    // Stage 2: block-diagonal I_N ⊗ [L_1 … L_g] answered once per position,
+    // or a single [L_1 … L_g] block answered once per sliding window —
+    // whichever is cheaper on this array size.
+    let replicated = matrix_cycles(n_par * gk, n_par * m, positions, config);
+    let sequential = matrix_cycles(gk, m, positions * n_par, config);
+    let stage2 = if replicated.cycles() <= sequential.cycles() {
+        replicated
+    } else {
+        sequential
+    };
+
+    Ok(CompressedCycles {
+        stage1,
+        stage2,
+        window,
+        parallel_outputs: n_par,
+    })
+}
+
+/// Searches the parallel window minimizing the *total* (stage 1 + stage 2)
+/// cycles of the SDK-mapped low-rank layer. The kernel-sized window (plain
+/// im2col mapping of the factors) is always a candidate.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for invalid rank/groups.
+pub fn search_lowrank_window(
+    shape: &ConvShape,
+    k: usize,
+    groups: usize,
+    config: &ArrayConfig,
+) -> Result<CompressedCycles> {
+    validate(shape, k, groups)?;
+    let mut best = lowrank_sdk_cycles(shape, k, groups, config, ParallelWindow::kernel_sized(shape))?;
+    for window in imc_array::vwsdk::candidate_windows(shape) {
+        let candidate = lowrank_sdk_cycles(shape, k, groups, config, window)?;
+        let better = candidate.total() < best.total()
+            || (candidate.total() == best.total()
+                && window.h * window.w < best.window.h * best.window.w);
+        if better {
+            best = candidate;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_array::im2col_mapping;
+
+    fn resnet_stage3_layer() -> ConvShape {
+        ConvShape::square(64, 64, 3, 1, 1, 8).unwrap()
+    }
+
+    fn resnet_stage1_layer() -> ConvShape {
+        ConvShape::square(16, 16, 3, 1, 1, 32).unwrap()
+    }
+
+    #[test]
+    fn im2col_lowrank_counts_both_stages() {
+        let shape = resnet_stage1_layer();
+        let cfg = ArrayConfig::square(64).unwrap();
+        let c = lowrank_im2col_cycles(&shape, 8, 1, &cfg).unwrap();
+        // stage1: 144 rows -> 3 tiles, 8 cols -> 1 tile, 1024 loads.
+        assert_eq!(c.stage1.cycles(), 3 * 1024);
+        // stage2: 8 rows -> 1 tile, 16 cols -> 1 tile, 1024 loads.
+        assert_eq!(c.stage2.cycles(), 1024);
+        assert_eq!(c.total(), 4 * 1024);
+        assert_eq!(c.parallel_outputs, 1);
+    }
+
+    #[test]
+    fn plain_low_rank_can_be_slower_than_uncompressed_im2col() {
+        // The paper's Fig. 4 motivation: naive low-rank adds a cycle per
+        // window because of the extra stage, despite fewer parameters.
+        let shape = resnet_stage1_layer();
+        let cfg = ArrayConfig::square(64).unwrap();
+        let uncompressed = im2col_mapping(&shape, cfg).cycles();
+        let lowrank = lowrank_im2col_cycles(&shape, 8, 1, &cfg).unwrap().total();
+        assert!(lowrank > uncompressed);
+    }
+
+    #[test]
+    fn sdk_mapping_recovers_the_lost_cycles() {
+        // With the SDK-mapped R stage the compressed layer beats both the
+        // naive low-rank mapping and the uncompressed im2col baseline.
+        let shape = resnet_stage1_layer();
+        let cfg = ArrayConfig::square(64).unwrap();
+        let uncompressed = im2col_mapping(&shape, cfg).cycles();
+        let naive = lowrank_im2col_cycles(&shape, 2, 4, &cfg).unwrap().total();
+        let sdk = search_lowrank_window(&shape, 2, 4, &cfg).unwrap();
+        assert!(sdk.total() < naive);
+        assert!(sdk.total() < uncompressed);
+        assert!(sdk.parallel_outputs > 1);
+    }
+
+    #[test]
+    fn grouping_is_cheap_when_intermediates_fit_idle_rows() {
+        // Going from g=1 to g=4 at the same rank increases cycles only
+        // marginally (the extra L_i land in rows/columns that were idle),
+        // which is the paper's "accuracy gain at (almost) no cost" argument.
+        let shape = resnet_stage3_layer();
+        let cfg = ArrayConfig::square(64).unwrap();
+        let g1 = search_lowrank_window(&shape, 8, 1, &cfg).unwrap().total();
+        let g4 = search_lowrank_window(&shape, 8, 4, &cfg).unwrap().total();
+        assert!(g4 as f64 <= 2.0 * g1 as f64);
+    }
+
+    #[test]
+    fn search_never_loses_to_kernel_sized_window() {
+        let cfg = ArrayConfig::square(128).unwrap();
+        for shape in [resnet_stage1_layer(), resnet_stage3_layer()] {
+            let kernel_sized =
+                lowrank_sdk_cycles(&shape, 4, 2, &cfg, ParallelWindow::kernel_sized(&shape))
+                    .unwrap()
+                    .total();
+            let best = search_lowrank_window(&shape, 4, 2, &cfg).unwrap().total();
+            assert!(best <= kernel_sized);
+        }
+    }
+
+    #[test]
+    fn kernel_sized_sdk_equals_im2col_mapping_of_factors() {
+        let shape = resnet_stage1_layer();
+        let cfg = ArrayConfig::square(32).unwrap();
+        let im2col = lowrank_im2col_cycles(&shape, 4, 2, &cfg).unwrap();
+        let sdk =
+            lowrank_sdk_cycles(&shape, 4, 2, &cfg, ParallelWindow::kernel_sized(&shape)).unwrap();
+        assert_eq!(im2col.stage1.cycles(), sdk.stage1.cycles());
+        // Stage 2 of the kernel-sized SDK mapping may pick the sequential
+        // policy, which coincides with the im2col stage-2.
+        assert_eq!(im2col.stage2.cycles(), sdk.stage2.cycles());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let shape = resnet_stage1_layer();
+        let cfg = ArrayConfig::square(64).unwrap();
+        assert!(lowrank_im2col_cycles(&shape, 0, 1, &cfg).is_err());
+        assert!(lowrank_im2col_cycles(&shape, 4, 0, &cfg).is_err());
+        assert!(lowrank_im2col_cycles(&shape, 4, 1000, &cfg).is_err());
+        assert!(lowrank_sdk_cycles(&shape, 4, 1, &cfg, ParallelWindow::new(2, 2)).is_err());
+        assert!(lowrank_sdk_cycles(&shape, 4, 1, &cfg, ParallelWindow::new(99, 4)).is_err());
+    }
+
+    #[test]
+    fn larger_arrays_reduce_total_cycles() {
+        let shape = resnet_stage3_layer();
+        let c32 = search_lowrank_window(&shape, 8, 4, &ArrayConfig::square(32).unwrap())
+            .unwrap()
+            .total();
+        let c64 = search_lowrank_window(&shape, 8, 4, &ArrayConfig::square(64).unwrap())
+            .unwrap()
+            .total();
+        let c128 = search_lowrank_window(&shape, 8, 4, &ArrayConfig::square(128).unwrap())
+            .unwrap()
+            .total();
+        assert!(c64 <= c32);
+        assert!(c128 <= c64);
+    }
+}

@@ -1,0 +1,207 @@
+//! Plain (un-grouped) low-rank factorization of a weight matrix.
+
+use imc_linalg::{Matrix, TruncatedSvd};
+
+use crate::{Error, Result};
+
+/// A rank-`k` factorization `W ≈ L·R` of an `m × n` weight matrix, with
+/// `L ∈ R^{m×k}` (singular values absorbed, following the paper) and
+/// `R ∈ R^{k×n}`.
+#[derive(Debug, Clone)]
+pub struct LowRankFactors {
+    l: Matrix,
+    r: Matrix,
+}
+
+impl LowRankFactors {
+    /// Computes the rank-`k` truncated-SVD factorization of `weight`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `k` is zero or exceeds
+    /// `min(m, n)`, or propagates an SVD convergence failure.
+    pub fn compute(weight: &Matrix, k: usize) -> Result<Self> {
+        let max_rank = weight.rows().min(weight.cols());
+        if k == 0 || k > max_rank {
+            return Err(Error::InvalidConfig {
+                what: format!(
+                    "rank {k} is out of range for a {}x{} matrix (max {max_rank})",
+                    weight.rows(),
+                    weight.cols()
+                ),
+            });
+        }
+        let svd = TruncatedSvd::compute(weight, k)?;
+        Ok(Self {
+            l: svd.left_factor(),
+            r: svd.right_factor(),
+        })
+    }
+
+    /// Builds factors directly from existing matrices (used by tests and by
+    /// the group decomposition when reassembling factors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the inner dimensions disagree.
+    pub fn from_parts(l: Matrix, r: Matrix) -> Result<Self> {
+        if l.cols() != r.rows() {
+            return Err(Error::InvalidConfig {
+                what: format!(
+                    "factor shapes {}x{} and {}x{} are not composable",
+                    l.rows(),
+                    l.cols(),
+                    r.rows(),
+                    r.cols()
+                ),
+            });
+        }
+        Ok(Self { l, r })
+    }
+
+    /// The left factor `L` (`m × k`).
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// The right factor `R` (`k × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// The factorization rank `k`.
+    pub fn rank(&self) -> usize {
+        self.l.cols()
+    }
+
+    /// The number of output rows `m` of the original matrix.
+    pub fn output_dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The number of input columns `n` of the original matrix.
+    pub fn input_dim(&self) -> usize {
+        self.r.cols()
+    }
+
+    /// Reconstructs the rank-`k` approximation `L·R`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.l
+            .matmul(&self.r)
+            .expect("factor shapes are consistent by construction")
+    }
+
+    /// Frobenius reconstruction error `‖W − L·R‖_F`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape mismatch when `reference` has different dimensions.
+    pub fn reconstruction_error(&self, reference: &Matrix) -> Result<f64> {
+        Ok(reference.sub(&self.reconstruct())?.frobenius_norm())
+    }
+
+    /// Relative Frobenius reconstruction error `‖W − L·R‖_F / ‖W‖_F`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape mismatch when `reference` has different dimensions.
+    pub fn relative_error(&self, reference: &Matrix) -> Result<f64> {
+        let err = self.reconstruction_error(reference)?;
+        let norm = reference.frobenius_norm();
+        Ok(if norm > 0.0 { err / norm } else { err })
+    }
+
+    /// Number of parameters stored by the factorization, `k·(m + n)`.
+    pub fn parameter_count(&self) -> usize {
+        self.rank() * (self.output_dim() + self.input_dim())
+    }
+
+    /// Compression ratio versus the dense matrix, `m·n / (k·(m+n))`.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.output_dim() * self.input_dim()) as f64 / self.parameter_count() as f64
+    }
+
+    /// Applies the factorization to an input patch matrix (`n × p`),
+    /// returning the `m × p` output computed through the two stages
+    /// (`L·(R·X)`), exactly as the two crossbar stages would.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape mismatch when `input` has the wrong row count.
+    pub fn apply(&self, input: &Matrix) -> Result<Matrix> {
+        let intermediate = self.r.matmul(input)?;
+        Ok(self.l.matmul(&intermediate)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_linalg::random::{low_rank_matrix, randn_matrix};
+    use imc_linalg::Svd;
+
+    #[test]
+    fn factors_have_expected_shapes() {
+        let w = randn_matrix(16, 144, 0.2, 1);
+        let f = LowRankFactors::compute(&w, 4).unwrap();
+        assert_eq!(f.l().shape(), (16, 4));
+        assert_eq!(f.r().shape(), (4, 144));
+        assert_eq!(f.rank(), 4);
+        assert_eq!(f.output_dim(), 16);
+        assert_eq!(f.input_dim(), 144);
+        assert_eq!(f.parameter_count(), 4 * 160);
+        assert!(f.compression_ratio() > 3.0);
+    }
+
+    #[test]
+    fn rank_validation() {
+        let w = randn_matrix(8, 12, 1.0, 2);
+        assert!(LowRankFactors::compute(&w, 0).is_err());
+        assert!(LowRankFactors::compute(&w, 9).is_err());
+        assert!(LowRankFactors::compute(&w, 8).is_ok());
+    }
+
+    #[test]
+    fn full_rank_factorization_is_exact() {
+        let w = randn_matrix(10, 20, 1.0, 3);
+        let f = LowRankFactors::compute(&w, 10).unwrap();
+        assert!(f.relative_error(&w).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn error_matches_eckart_young_tail() {
+        let w = randn_matrix(12, 18, 1.0, 4);
+        let svd = Svd::compute(&w).unwrap();
+        for k in [1, 3, 6, 12] {
+            let f = LowRankFactors::compute(&w, k).unwrap();
+            let err = f.reconstruction_error(&w).unwrap();
+            assert!((err - svd.truncation_error(k)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn exactly_low_rank_matrices_are_recovered() {
+        let w = low_rank_matrix(20, 30, 3, 7);
+        let f = LowRankFactors::compute(&w, 3).unwrap();
+        assert!(f.relative_error(&w).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn apply_equals_reconstruct_times_input() {
+        let w = randn_matrix(6, 10, 1.0, 5);
+        let f = LowRankFactors::compute(&w, 3).unwrap();
+        let x = randn_matrix(10, 4, 1.0, 6);
+        let via_apply = f.apply(&x).unwrap();
+        let via_reconstruct = f.reconstruct().matmul(&x).unwrap();
+        assert!(via_apply.approx_eq(&via_reconstruct, 1e-9));
+    }
+
+    #[test]
+    fn from_parts_checks_compatibility() {
+        let l = randn_matrix(4, 2, 1.0, 1);
+        let r = randn_matrix(3, 5, 1.0, 2);
+        assert!(LowRankFactors::from_parts(l.clone(), r).is_err());
+        let r_ok = randn_matrix(2, 5, 1.0, 2);
+        assert!(LowRankFactors::from_parts(l, r_ok).is_ok());
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-layer compression summary: factors, error and cycle accounting.
+
+use imc_array::{im2col_mapping, search_best_window, ArrayConfig};
+use imc_tensor::{ConvShape, Tensor4};
+
+use crate::config::CompressionConfig;
+use crate::cycles::{lowrank_im2col_cycles, search_lowrank_window, CompressedCycles};
+use crate::group::GroupLowRank;
+use crate::Result;
+
+/// The result of compressing one convolutional layer with a given
+/// [`CompressionConfig`] on a given array size.
+///
+/// This is the unit of work of the experiment harness: it carries the actual
+/// factor matrices (so accuracy modelling can use the true reconstruction
+/// error), the resolved rank, and the cycle accounting of both the compressed
+/// layer and the uncompressed baselines.
+#[derive(Debug, Clone)]
+pub struct LayerCompression {
+    shape: ConvShape,
+    config: CompressionConfig,
+    array: ArrayConfig,
+    decomposition: GroupLowRank,
+    relative_error: f64,
+    cycles: CompressedCycles,
+    baseline_im2col_cycles: u64,
+    baseline_sdk_cycles: u64,
+}
+
+impl LayerCompression {
+    /// Compresses `weight` (the layer's weight tensor) according to `config`
+    /// and accounts its cycles on arrays of configuration `array`.
+    ///
+    /// The rank is resolved per the paper's convention (`m / divisor`,
+    /// clamped to the per-group maximum); the group count is clamped to the
+    /// layer's input dimension.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decomposition and mapping errors (e.g. a rank that exceeds
+    /// what the layer's group blocks allow).
+    pub fn compress(
+        shape: &ConvShape,
+        weight: &Tensor4,
+        config: &CompressionConfig,
+        array: ArrayConfig,
+    ) -> Result<Self> {
+        let w = weight.to_im2col_matrix();
+        let groups = config.groups.min(shape.im2col_rows());
+        // The per-group block has n/groups columns; the resolvable rank is
+        // bounded by min(m, n/groups).
+        let per_group_cols = shape.im2col_rows() / groups;
+        let max_rank = shape.out_channels.min(per_group_cols).max(1);
+        let k = config.rank.resolve(shape.out_channels, max_rank);
+
+        let decomposition = GroupLowRank::compute(&w, groups, k)?;
+        let relative_error = decomposition.relative_error(&w)?;
+
+        let cycles = if config.use_sdk {
+            search_lowrank_window(shape, k, groups, &array)?
+        } else {
+            lowrank_im2col_cycles(shape, k, groups, &array)?
+        };
+        let baseline_im2col_cycles = im2col_mapping(shape, array).cycles();
+        let baseline_sdk_cycles = search_best_window(shape, array)?.cycles;
+
+        Ok(Self {
+            shape: *shape,
+            config: *config,
+            array,
+            decomposition,
+            relative_error,
+            cycles,
+            baseline_im2col_cycles,
+            baseline_sdk_cycles,
+        })
+    }
+
+    /// The layer geometry.
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// The compression configuration used.
+    pub fn config(&self) -> &CompressionConfig {
+        &self.config
+    }
+
+    /// The array configuration used for cycle accounting.
+    pub fn array(&self) -> &ArrayConfig {
+        &self.array
+    }
+
+    /// The grouped factorization (actual matrices).
+    pub fn decomposition(&self) -> &GroupLowRank {
+        &self.decomposition
+    }
+
+    /// The resolved rank `k`.
+    pub fn rank(&self) -> usize {
+        self.decomposition.rank()
+    }
+
+    /// The resolved group count `g`.
+    pub fn groups(&self) -> usize {
+        self.decomposition.group_count()
+    }
+
+    /// Relative Frobenius reconstruction error of this layer's weights.
+    pub fn relative_error(&self) -> f64 {
+        self.relative_error
+    }
+
+    /// Cycle breakdown of the compressed layer.
+    pub fn cycle_breakdown(&self) -> &CompressedCycles {
+        &self.cycles
+    }
+
+    /// Total computing cycles of the compressed layer.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.total()
+    }
+
+    /// Cycles of the uncompressed layer under im2col mapping.
+    pub fn baseline_im2col_cycles(&self) -> u64 {
+        self.baseline_im2col_cycles
+    }
+
+    /// Cycles of the uncompressed layer under (VW-)SDK mapping.
+    pub fn baseline_sdk_cycles(&self) -> u64 {
+        self.baseline_sdk_cycles
+    }
+
+    /// Speed-up of the compressed layer over the uncompressed im2col
+    /// baseline.
+    pub fn speedup_vs_im2col(&self) -> f64 {
+        self.baseline_im2col_cycles as f64 / self.cycles().max(1) as f64
+    }
+
+    /// Number of parameters stored by the compressed layer.
+    pub fn parameter_count(&self) -> usize {
+        self.decomposition.parameter_count()
+    }
+
+    /// Number of parameters of the dense (uncompressed) layer.
+    pub fn dense_parameter_count(&self) -> usize {
+        self.shape.weight_count()
+    }
+
+    /// Parameter compression ratio (dense / compressed).
+    pub fn compression_ratio(&self) -> f64 {
+        self.dense_parameter_count() as f64 / self.parameter_count().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RankSpec;
+
+    fn layer() -> (ConvShape, Tensor4) {
+        let shape = ConvShape::square(64, 64, 3, 1, 1, 8).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 77).unwrap();
+        (shape, weight)
+    }
+
+    #[test]
+    fn compress_resolves_rank_from_divisor() {
+        let (shape, weight) = layer();
+        let cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true).unwrap();
+        let array = ArrayConfig::square(64).unwrap();
+        let c = LayerCompression::compress(&shape, &weight, &cfg, array).unwrap();
+        assert_eq!(c.rank(), 8);
+        assert_eq!(c.groups(), 4);
+        assert!(c.relative_error() > 0.0 && c.relative_error() < 1.0);
+    }
+
+    #[test]
+    fn sdk_config_beats_non_sdk_config_on_cycles() {
+        let (shape, weight) = layer();
+        let array = ArrayConfig::square(64).unwrap();
+        let with_sdk = LayerCompression::compress(
+            &shape,
+            &weight,
+            &CompressionConfig::new(RankSpec::Divisor(8), 4, true).unwrap(),
+            array,
+        )
+        .unwrap();
+        let without_sdk = LayerCompression::compress(
+            &shape,
+            &weight,
+            &CompressionConfig::new(RankSpec::Divisor(8), 4, false).unwrap(),
+            array,
+        )
+        .unwrap();
+        assert!(with_sdk.cycles() <= without_sdk.cycles());
+    }
+
+    #[test]
+    fn grouping_improves_error_at_same_rank() {
+        let (shape, weight) = layer();
+        let array = ArrayConfig::square(64).unwrap();
+        let g1 = LayerCompression::compress(
+            &shape,
+            &weight,
+            &CompressionConfig::new(RankSpec::Divisor(8), 1, true).unwrap(),
+            array,
+        )
+        .unwrap();
+        let g4 = LayerCompression::compress(
+            &shape,
+            &weight,
+            &CompressionConfig::new(RankSpec::Divisor(8), 4, true).unwrap(),
+            array,
+        )
+        .unwrap();
+        assert!(g4.relative_error() <= g1.relative_error() + 1e-12);
+    }
+
+    #[test]
+    fn compression_reduces_parameters() {
+        let (shape, weight) = layer();
+        let array = ArrayConfig::square(64).unwrap();
+        let cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true).unwrap();
+        let c = LayerCompression::compress(&shape, &weight, &cfg, array).unwrap();
+        assert!(c.compression_ratio() > 1.0);
+        assert!(c.parameter_count() < c.dense_parameter_count());
+    }
+
+    #[test]
+    fn proposed_method_beats_im2col_baseline_on_cycles() {
+        let (shape, weight) = layer();
+        let array = ArrayConfig::square(64).unwrap();
+        let cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true).unwrap();
+        let c = LayerCompression::compress(&shape, &weight, &cfg, array).unwrap();
+        assert!(c.speedup_vs_im2col() > 1.0);
+        assert!(c.cycles() < c.baseline_im2col_cycles());
+    }
+
+    #[test]
+    fn rank_is_clamped_for_small_group_blocks() {
+        // 16 output channels, 27 input columns, 8 groups -> blocks of 3-4
+        // columns; a divisor-2 rank request (8) must clamp to the block max.
+        let shape = ConvShape::square(3, 16, 3, 1, 1, 32).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 5).unwrap();
+        let cfg = CompressionConfig::new(RankSpec::Divisor(2), 8, false).unwrap();
+        let array = ArrayConfig::square(32).unwrap();
+        let c = LayerCompression::compress(&shape, &weight, &cfg, array).unwrap();
+        assert!(c.rank() <= 3);
+    }
+}

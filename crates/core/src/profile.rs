@@ -1,0 +1,142 @@
+//! Rank-sweep error profiles.
+//!
+//! Sweeping Table I requires the reconstruction error of every (group, rank)
+//! combination for every layer. Re-running the decomposition for each rank
+//! would repeat the same SVD work `|ranks|` times, so this module computes
+//! the per-block singular spectra once per (layer, group-count) pair and then
+//! answers any rank query in O(rank) time via the Eckart–Young tail formula.
+
+use imc_linalg::{Matrix, Svd};
+
+use crate::{Error, Result};
+
+/// Per-block singular spectra of a group-partitioned weight matrix, from
+/// which the reconstruction error of any rank can be derived cheaply.
+#[derive(Debug, Clone)]
+pub struct GroupErrorProfile {
+    /// Singular values of each column block, sorted non-increasing.
+    block_spectra: Vec<Vec<f64>>,
+    /// Squared Frobenius norm of the full matrix.
+    total_sq_norm: f64,
+    groups: usize,
+}
+
+impl GroupErrorProfile {
+    /// Computes the profile of `weight` partitioned into `groups` column
+    /// blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the group count exceeds the
+    /// column count, or propagates SVD convergence failures.
+    pub fn compute(weight: &Matrix, groups: usize) -> Result<Self> {
+        if groups == 0 || groups > weight.cols() {
+            return Err(Error::InvalidConfig {
+                what: format!(
+                    "group count {groups} is out of range for a matrix with {} columns",
+                    weight.cols()
+                ),
+            });
+        }
+        let blocks = weight.split_cols(groups)?;
+        let mut block_spectra = Vec::with_capacity(groups);
+        for block in &blocks {
+            block_spectra.push(Svd::compute(block)?.singular_values().to_vec());
+        }
+        let total_sq_norm = weight.frobenius_norm().powi(2);
+        Ok(Self {
+            block_spectra,
+            total_sq_norm,
+            groups,
+        })
+    }
+
+    /// Number of groups the profile was computed for.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Largest rank any block supports.
+    pub fn max_rank(&self) -> usize {
+        self.block_spectra
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Absolute Frobenius reconstruction error of truncating every block to
+    /// rank `k` (ranks beyond a block's spectrum contribute zero error for
+    /// that block).
+    pub fn error_for_rank(&self, k: usize) -> f64 {
+        let k = k.max(1);
+        self.block_spectra
+            .iter()
+            .map(|spectrum| spectrum.iter().skip(k).map(|s| s * s).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Relative Frobenius reconstruction error at rank `k`.
+    pub fn relative_error_for_rank(&self, k: usize) -> f64 {
+        if self.total_sq_norm <= 0.0 {
+            return 0.0;
+        }
+        self.error_for_rank(k) / self.total_sq_norm.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupLowRank;
+    use imc_linalg::random::randn_matrix;
+
+    #[test]
+    fn profile_errors_match_actual_decomposition_errors() {
+        let w = randn_matrix(16, 96, 1.0, 3);
+        for g in [1, 2, 4] {
+            let profile = GroupErrorProfile::compute(&w, g).unwrap();
+            for k in [1, 2, 4, 8] {
+                let actual = GroupLowRank::compute(&w, g, k)
+                    .unwrap()
+                    .reconstruction_error(&w)
+                    .unwrap();
+                let predicted = profile.error_for_rank(k);
+                assert!(
+                    (actual - predicted).abs() < 1e-8,
+                    "g={g} k={k}: {actual} vs {predicted}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_for_gaussian_weights() {
+        let w = randn_matrix(12, 60, 1.0, 7);
+        let profile = GroupErrorProfile::compute(&w, 4).unwrap();
+        for k in 1..=profile.max_rank() {
+            let rel = profile.relative_error_for_rank(k);
+            assert!((0.0..=1.0 + 1e-12).contains(&rel));
+        }
+    }
+
+    #[test]
+    fn error_is_monotone_in_rank() {
+        let w = randn_matrix(20, 80, 1.0, 9);
+        let profile = GroupErrorProfile::compute(&w, 2).unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 1..=profile.max_rank() {
+            let err = profile.error_for_rank(k);
+            assert!(err <= prev + 1e-12);
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn invalid_group_counts_are_rejected() {
+        let w = randn_matrix(4, 8, 1.0, 1);
+        assert!(GroupErrorProfile::compute(&w, 0).is_err());
+        assert!(GroupErrorProfile::compute(&w, 9).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! SDK-aware low-rank mapping (the paper's Theorem 2).
+//!
+//! For a weight matrix `W = L·R` and an SDK mapping with `N` parallel
+//! outputs, Theorem 2 states
+//!
+//! ```text
+//! D(SDK(W)) = (I_N ⊗ L) · SDK(R)
+//! ```
+//!
+//! In crossbar-contents form (wordlines × bitlines, which is the transpose of
+//! the paper's operator form) this reads
+//!
+//! ```text
+//! sdk_matrix(W) = sdk_matrix(R) · (I_N ⊗ Lᵀ)
+//! ```
+//!
+//! i.e. the first crossbar stage is the SDK mapping of the small factor `R`
+//! (treated as a convolution kernel with `k` output channels) and the second
+//! stage is a block-diagonal replication of `L`. This module materializes
+//! both stages — for the plain and the *grouped* decomposition — and provides
+//! a functional convolution path so the identity and its end-to-end effect on
+//! outputs can be verified numerically.
+
+use imc_array::{sdk_matrix, ParallelWindow};
+use imc_linalg::{identity_kron, Matrix};
+use imc_tensor::ConvShape;
+
+use crate::factors::LowRankFactors;
+use crate::group::GroupLowRank;
+use crate::{Error, Result};
+
+/// The two crossbar stages of the SDK-mapped (possibly grouped) low-rank
+/// factorization of one convolutional layer.
+#[derive(Debug, Clone)]
+pub struct SdkLowRank {
+    /// First-stage crossbar contents: `b × (N·g·k)` where `b = IC·P_h·P_w`.
+    stage1: Matrix,
+    /// Second-stage crossbar contents: `(N·g·k) × (N·m)`.
+    stage2: Matrix,
+    /// Parallel outputs `N` of the SDK mapping.
+    parallel_outputs: usize,
+    /// The parallel window used.
+    window: ParallelWindow,
+}
+
+impl SdkLowRank {
+    /// Builds the two stages for an *un-grouped* factorization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape or window inconsistencies.
+    pub fn from_factors(
+        factors: &LowRankFactors,
+        shape: &ConvShape,
+        window: ParallelWindow,
+    ) -> Result<Self> {
+        if factors.input_dim() != shape.im2col_rows() || factors.output_dim() != shape.out_channels
+        {
+            return Err(Error::InvalidConfig {
+                what: format!(
+                    "factors for a {}x{} matrix do not match layer with m={} n={}",
+                    factors.output_dim(),
+                    factors.input_dim(),
+                    shape.out_channels,
+                    shape.im2col_rows()
+                ),
+            });
+        }
+        // R is a "convolution kernel" with k output channels.
+        let r_shape = ConvShape::new(
+            shape.in_channels,
+            factors.rank(),
+            shape.kernel_h,
+            shape.kernel_w,
+            shape.stride,
+            shape.padding,
+            shape.input_h,
+            shape.input_w,
+        )?;
+        let stage1 = sdk_matrix(factors.r(), &r_shape, window)?;
+        let n = parallel_outputs(shape, &window);
+        let stage2 = identity_kron(n, &factors.l().transpose());
+        Ok(Self {
+            stage1,
+            stage2,
+            parallel_outputs: n,
+            window,
+        })
+    }
+
+    /// Builds the two stages for a *grouped* factorization.
+    ///
+    /// The group split must be aligned to input channels (`g` divides `IC`),
+    /// which holds for every layer/group combination evaluated in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::GroupChannelMismatch`] when `g` does not divide the
+    /// input-channel count, and propagates shape errors otherwise.
+    pub fn from_group(
+        group: &GroupLowRank,
+        shape: &ConvShape,
+        window: ParallelWindow,
+    ) -> Result<Self> {
+        let g = group.group_count();
+        if shape.in_channels % g != 0 {
+            return Err(Error::GroupChannelMismatch {
+                groups: g,
+                in_channels: shape.in_channels,
+            });
+        }
+        if group.input_dim() != shape.im2col_rows() || group.output_dim() != shape.out_channels {
+            return Err(Error::InvalidConfig {
+                what: "grouped factors do not match the layer shape".to_owned(),
+            });
+        }
+        let ic_per_group = shape.in_channels / g;
+        let k = group.rank();
+        let m = shape.out_channels;
+        let n_par = parallel_outputs(shape, &window);
+
+        // Stage 1: block-diagonal over groups of the SDK mapping of each R_i,
+        // laid out so that group i's rows coincide with its channel slice of
+        // the parallel-window input vector.
+        let group_shape = ConvShape::new(
+            ic_per_group,
+            k,
+            shape.kernel_h,
+            shape.kernel_w,
+            shape.stride,
+            shape.padding,
+            shape.input_h,
+            shape.input_w,
+        )?;
+        let per_group_rows = ic_per_group * window.h * window.w;
+        let mut stage1 = Matrix::zeros(
+            shape.in_channels * window.h * window.w,
+            n_par * g * k,
+        );
+        // Stage 2: row (i·N·k + s·k + j) -> column (s·m + o) holds L_i[o][j].
+        let mut stage2 = Matrix::zeros(n_par * g * k, n_par * m);
+        for (i, factors) in group.factors().iter().enumerate() {
+            let block = sdk_matrix(factors.r(), &group_shape, window)?;
+            // block is (ic_per_group·Ph·Pw) × (N·k); its columns are ordered
+            // s-major then k.
+            stage1.set_block(i * per_group_rows, i * n_par * k, &block)?;
+            let l = factors.l();
+            for s in 0..n_par {
+                for j in 0..k {
+                    for o in 0..m {
+                        stage2.set(i * n_par * k + s * k + j, s * m + o, l.get(o, j));
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            stage1,
+            stage2,
+            parallel_outputs: n_par,
+            window,
+        })
+    }
+
+    /// First-stage crossbar contents (`b × N·g·k`).
+    pub fn stage1(&self) -> &Matrix {
+        &self.stage1
+    }
+
+    /// Second-stage crossbar contents (`N·g·k × N·m`).
+    pub fn stage2(&self) -> &Matrix {
+        &self.stage2
+    }
+
+    /// Number of parallel outputs `N`.
+    pub fn parallel_outputs(&self) -> usize {
+        self.parallel_outputs
+    }
+
+    /// The parallel window the stages were built for.
+    pub fn window(&self) -> ParallelWindow {
+        self.window
+    }
+
+    /// The product `stage1 · stage2`, i.e. the effective crossbar contents of
+    /// the composed two-stage pipeline. By Theorem 2 this equals the SDK
+    /// mapping of the reconstructed weight `L·R`.
+    pub fn composed(&self) -> Matrix {
+        self.stage1
+            .matmul(&self.stage2)
+            .expect("stage shapes are consistent by construction")
+    }
+
+    /// Applies the two crossbar stages to parallel-window patches
+    /// (`b × positions`), returning the `(N·m) × positions` outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape mismatch when `patches` has the wrong row count.
+    pub fn apply(&self, patches: &Matrix) -> Result<Matrix> {
+        let intermediate = self.stage1.transpose().matmul(patches)?;
+        Ok(self.stage2.transpose().matmul(&intermediate)?)
+    }
+}
+
+fn parallel_outputs(shape: &ConvShape, window: &ParallelWindow) -> usize {
+    let wh = (window.h - shape.kernel_h) / shape.stride + 1;
+    let ww = (window.w - shape.kernel_w) / shape.stride + 1;
+    wh * ww
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_array::{assemble_sdk_output, unroll_parallel_window};
+    use imc_tensor::im2col::conv2d_with_matrix;
+    use imc_tensor::{FeatureMap, Tensor4};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_feature_map(c: usize, h: usize, w: usize, seed: u64) -> FeatureMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        FeatureMap::from_vec(c, h, w, data).unwrap()
+    }
+
+    fn max_abs_diff(a: &FeatureMap, b: &FeatureMap) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice().iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn theorem2_identity_holds_numerically() {
+        // sdk_matrix(L·R) == sdk_matrix(R) · (I_N ⊗ Lᵀ)
+        let shape = ConvShape::square(4, 6, 3, 1, 1, 8).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 21).unwrap().to_im2col_matrix();
+        let factors = LowRankFactors::compute(&weight, 3).unwrap();
+        for (h, w) in [(3, 3), (4, 4), (5, 4), (6, 6)] {
+            let window = ParallelWindow::new(h, w);
+            let lowrank = SdkLowRank::from_factors(&factors, &shape, window).unwrap();
+            let reconstructed = factors.reconstruct();
+            let direct = sdk_matrix(&reconstructed, &shape, window).unwrap();
+            assert!(
+                lowrank.composed().approx_eq(&direct, 1e-9),
+                "Theorem 2 identity failed for window {h}x{w}"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_shapes_follow_theorem2() {
+        let shape = ConvShape::square(8, 16, 3, 1, 1, 16).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 5).unwrap().to_im2col_matrix();
+        let factors = LowRankFactors::compute(&weight, 4).unwrap();
+        let window = ParallelWindow::new(4, 4);
+        let lowrank = SdkLowRank::from_factors(&factors, &shape, window).unwrap();
+        // N = 4, b = 8*16 = 128, k = 4, m = 16.
+        assert_eq!(lowrank.parallel_outputs(), 4);
+        assert_eq!(lowrank.stage1().shape(), (128, 16));
+        assert_eq!(lowrank.stage2().shape(), (16, 64));
+    }
+
+    #[test]
+    fn functional_path_matches_low_rank_convolution() {
+        // Running the two crossbar stages over parallel-window patches must
+        // produce exactly the convolution with the reconstructed weight L·R.
+        let shape = ConvShape::square(4, 6, 3, 1, 1, 8).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 33).unwrap().to_im2col_matrix();
+        let factors = LowRankFactors::compute(&weight, 2).unwrap();
+        let window = ParallelWindow::new(4, 6);
+        let lowrank = SdkLowRank::from_factors(&factors, &shape, window).unwrap();
+
+        let x = random_feature_map(4, 8, 8, 9);
+        let patches = unroll_parallel_window(&x, &shape, window).unwrap();
+        let outputs = lowrank.apply(&patches).unwrap();
+        let fm = assemble_sdk_output(&outputs, &shape, window).unwrap();
+
+        let reference = conv2d_with_matrix(&x, &factors.reconstruct(), &shape).unwrap();
+        assert!(max_abs_diff(&fm, &reference) < 1e-9);
+    }
+
+    #[test]
+    fn grouped_stages_match_grouped_reconstruction() {
+        let shape = ConvShape::square(8, 12, 3, 1, 1, 8).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 13).unwrap().to_im2col_matrix();
+        let group = GroupLowRank::compute(&weight, 4, 3).unwrap();
+        let window = ParallelWindow::new(4, 4);
+        let lowrank = SdkLowRank::from_group(&group, &shape, window).unwrap();
+
+        let x = random_feature_map(8, 8, 8, 17);
+        let patches = unroll_parallel_window(&x, &shape, window).unwrap();
+        let outputs = lowrank.apply(&patches).unwrap();
+        let fm = assemble_sdk_output(&outputs, &shape, window).unwrap();
+
+        let reference = conv2d_with_matrix(&x, &group.reconstruct(), &shape).unwrap();
+        assert!(max_abs_diff(&fm, &reference) < 1e-9);
+    }
+
+    #[test]
+    fn grouped_composition_equals_sdk_of_grouped_reconstruction() {
+        // The grouped analogue of Theorem 2.
+        let shape = ConvShape::square(4, 6, 3, 1, 1, 8).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 3).unwrap().to_im2col_matrix();
+        let group = GroupLowRank::compute(&weight, 2, 2).unwrap();
+        let window = ParallelWindow::new(5, 5);
+        let lowrank = SdkLowRank::from_group(&group, &shape, window).unwrap();
+        let direct = sdk_matrix(&group.reconstruct(), &shape, window).unwrap();
+        assert!(lowrank.composed().approx_eq(&direct, 1e-9));
+    }
+
+    #[test]
+    fn group_count_must_divide_channels() {
+        let shape = ConvShape::square(6, 8, 3, 1, 1, 8).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 1).unwrap().to_im2col_matrix();
+        let group = GroupLowRank::compute(&weight, 4, 2).unwrap();
+        let window = ParallelWindow::new(4, 4);
+        assert!(matches!(
+            SdkLowRank::from_group(&group, &shape, window),
+            Err(Error::GroupChannelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_factors_are_rejected() {
+        let shape = ConvShape::square(4, 6, 3, 1, 1, 8).unwrap();
+        let other = ConvShape::square(4, 8, 3, 1, 1, 8).unwrap();
+        let weight = Tensor4::kaiming_for(&other, 2).unwrap().to_im2col_matrix();
+        let factors = LowRankFactors::compute(&weight, 2).unwrap();
+        assert!(SdkLowRank::from_factors(&factors, &shape, ParallelWindow::new(4, 4)).is_err());
+    }
+
+    #[test]
+    fn kernel_sized_window_reduces_to_plain_two_stage() {
+        // With N = 1 the second stage is just Lᵀ and the composition is the
+        // ordinary im2col low-rank factorization.
+        let shape = ConvShape::square(4, 6, 3, 1, 1, 8).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 8).unwrap().to_im2col_matrix();
+        let factors = LowRankFactors::compute(&weight, 2).unwrap();
+        let window = ParallelWindow::kernel_sized(&shape);
+        let lowrank = SdkLowRank::from_factors(&factors, &shape, window).unwrap();
+        assert_eq!(lowrank.parallel_outputs(), 1);
+        assert_eq!(lowrank.stage2().shape(), (2, 6));
+        let composed = lowrank.composed();
+        // The im2col crossbar contents are Wᵀ (n × m).
+        assert!(composed.approx_eq(&factors.reconstruct().transpose(), 1e-9));
+    }
+}

@@ -1,0 +1,89 @@
+//! Energy model parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants of the crossbar and its periphery, in
+/// picojoules.
+///
+/// The defaults are representative 32 nm RRAM values in the range reported by
+/// the DNN+NeuroSIM papers (wordline DAC drive well below a picojoule, a few
+/// picojoules per ADC conversion, tens of femtojoules per cell read). The
+/// absolute values only set the scale; the Fig. 7 experiment normalizes them
+/// away and reports ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy to drive one wordline (DAC + driver) for one load.
+    pub dac_per_row: f64,
+    /// Energy of one ADC conversion on one physical column.
+    pub adc_per_column: f64,
+    /// Energy of one cell multiply-accumulate (read current integration).
+    pub mac_per_cell: f64,
+    /// Energy of sample-and-hold on one physical column.
+    pub sample_hold_per_column: f64,
+    /// Extra energy per physical column of the input-realignment MUX network
+    /// required by pattern pruning.
+    pub mux_per_column: f64,
+    /// Extra energy per wordline of the DEMUX/driver realignment required by
+    /// pattern pruning.
+    pub demux_per_row: f64,
+    /// Extra energy per wordline of the zero-skip detection logic required by
+    /// row-skipping methods.
+    pub zero_skip_per_row: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            dac_per_row: 0.08,
+            adc_per_column: 1.6,
+            mac_per_cell: 0.012,
+            sample_hold_per_column: 0.05,
+            mux_per_column: 0.35,
+            demux_per_row: 0.06,
+            zero_skip_per_row: 0.03,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// A parameter set with every peripheral term zeroed, useful for
+    /// isolating the pure crossbar energy in ablations.
+    pub fn without_peripherals(&self) -> Self {
+        Self {
+            mux_per_column: 0.0,
+            demux_per_row: 0.0,
+            zero_skip_per_row: 0.0,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let p = EnergyParams::default();
+        for v in [
+            p.dac_per_row,
+            p.adc_per_column,
+            p.mac_per_cell,
+            p.sample_hold_per_column,
+            p.mux_per_column,
+            p.demux_per_row,
+            p.zero_skip_per_row,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn without_peripherals_zeroes_only_peripheral_terms() {
+        let p = EnergyParams::default().without_peripherals();
+        assert_eq!(p.mux_per_column, 0.0);
+        assert_eq!(p.demux_per_row, 0.0);
+        assert_eq!(p.zero_skip_per_row, 0.0);
+        assert!(p.adc_per_column > 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Matrix norms and distances.
+
+use crate::{Error, Matrix, Result};
+
+/// Maximum number of power-iteration steps for the spectral norm.
+const POWER_ITER_MAX: usize = 500;
+
+/// Convergence tolerance (relative change of the Rayleigh quotient) for the
+/// spectral-norm power iteration.
+const POWER_ITER_TOL: f64 = 1e-12;
+
+/// Frobenius distance `‖A − B‖_F` between two equally shaped matrices.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when the shapes differ.
+pub fn frobenius_distance(a: &Matrix, b: &Matrix) -> Result<f64> {
+    Ok(a.sub(b)?.frobenius_norm())
+}
+
+/// Relative Frobenius error `‖A − B‖_F / ‖A‖_F` (zero-norm references give
+/// the absolute error instead).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when the shapes differ.
+pub fn relative_frobenius_error(reference: &Matrix, approx: &Matrix) -> Result<f64> {
+    let dist = frobenius_distance(reference, approx)?;
+    let denom = reference.frobenius_norm();
+    Ok(if denom > 0.0 { dist / denom } else { dist })
+}
+
+/// Spectral norm (largest singular value) computed by power iteration on
+/// `AᵀA`.
+///
+/// # Errors
+///
+/// Returns [`Error::NoConvergence`] if the Rayleigh quotient has not
+/// stabilized after the iteration budget.
+pub fn spectral_norm(a: &Matrix) -> Result<f64> {
+    let ata = a.transpose().matmul(a)?;
+    let n = ata.rows();
+    // Deterministic non-degenerate start vector.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 1e-3).collect();
+    normalize(&mut v);
+    let mut lambda_prev = 0.0;
+    for iter in 0..POWER_ITER_MAX {
+        let mut w = ata.matvec(&v)?;
+        let lambda: f64 = v.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+        let norm = normalize(&mut w);
+        if norm <= f64::EPSILON {
+            // A is (numerically) the zero matrix.
+            return Ok(0.0);
+        }
+        v = w;
+        if (lambda - lambda_prev).abs() <= POWER_ITER_TOL * lambda.abs().max(1e-30) {
+            return Ok(lambda.max(0.0).sqrt());
+        }
+        lambda_prev = lambda;
+        if iter + 1 == POWER_ITER_MAX {
+            break;
+        }
+    }
+    Err(Error::NoConvergence {
+        algorithm: "power iteration (spectral norm)",
+        iterations: POWER_ITER_MAX,
+    })
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|&x| x * x).sum::<f64>().sqrt();
+    if norm > f64::EPSILON {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::randn_matrix;
+    use crate::svd::Svd;
+
+    #[test]
+    fn frobenius_distance_of_identical_matrices_is_zero() {
+        let a = randn_matrix(5, 7, 1.0, 1);
+        assert_eq!(frobenius_distance(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn frobenius_distance_checks_shapes() {
+        let a = randn_matrix(2, 2, 1.0, 1);
+        let b = randn_matrix(3, 2, 1.0, 1);
+        assert!(frobenius_distance(&a, &b).is_err());
+    }
+
+    #[test]
+    fn relative_error_is_scale_invariant() {
+        let a = randn_matrix(6, 6, 1.0, 2);
+        let b = a.map(|x| x * 1.01);
+        let e1 = relative_frobenius_error(&a, &b).unwrap();
+        let a10 = a.scale(10.0);
+        let b10 = b.scale(10.0);
+        let e2 = relative_frobenius_error(&a10, &b10).unwrap();
+        assert!((e1 - e2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal_matrix() {
+        let a = Matrix::from_diag(&[2.0, -7.0, 3.0]);
+        assert!((spectral_norm(&a).unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_norm_matches_largest_singular_value() {
+        let a = randn_matrix(14, 9, 1.0, 44);
+        let sigma_max = Svd::compute(&a).unwrap().singular_values()[0];
+        let spec = spectral_norm(&a).unwrap();
+        assert!((spec - sigma_max).abs() < 1e-6 * sigma_max.max(1.0));
+    }
+
+    #[test]
+    fn spectral_norm_of_zero_matrix_is_zero() {
+        let z = Matrix::zeros(4, 4);
+        assert_eq!(spectral_norm(&z).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn spectral_norm_bounded_by_frobenius() {
+        let a = randn_matrix(10, 10, 1.0, 5);
+        assert!(spectral_norm(&a).unwrap() <= a.frobenius_norm() + 1e-9);
+    }
+}

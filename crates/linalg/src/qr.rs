@@ -1,0 +1,246 @@
+//! Householder QR decomposition and least-squares solves.
+//!
+//! QR is used by the spectral-norm power iteration (re-orthogonalization) and
+//! by the least-squares routines in [`crate::solve`]; it also provides an
+//! independent path to validate the SVD in tests.
+
+use crate::{Error, Matrix, Result};
+
+/// A thin QR decomposition `A = Q R` with `Q` of shape `m × n` (orthonormal
+/// columns) and `R` upper-triangular of shape `n × n`, for `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Computes the thin QR decomposition of `a` (requires `rows ≥ cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the matrix has more columns than
+    /// rows (use the transpose, or an LQ formulation, for wide systems).
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(Error::ShapeMismatch {
+                left: (m, n),
+                right: (n, n),
+                op: "thin QR (requires rows >= cols)",
+            });
+        }
+        // Householder reflections applied to a working copy; Q accumulated by
+        // applying the same reflections to the identity.
+        let mut r_work = a.clone();
+        let mut q_full = Matrix::identity(m);
+
+        for k in 0..n {
+            // Build the Householder vector for column k below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                let x = r_work.get(i, k);
+                norm += x * x;
+            }
+            let norm = norm.sqrt();
+            if norm <= f64::EPSILON {
+                continue;
+            }
+            let alpha = if r_work.get(k, k) >= 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; m];
+            v[k] = r_work.get(k, k) - alpha;
+            for i in (k + 1)..m {
+                v[i] = r_work.get(i, k);
+            }
+            let vnorm2: f64 = v.iter().map(|&x| x * x).sum();
+            if vnorm2 <= f64::EPSILON {
+                continue;
+            }
+
+            // Apply H = I - 2 v vᵀ / (vᵀ v) to R (from the left).
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r_work.get(i, j);
+                }
+                let factor = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    let val = r_work.get(i, j) - factor * v[i];
+                    r_work.set(i, j, val);
+                }
+            }
+            // Accumulate into Q (apply H from the right: Q ← Q·H).
+            for i in 0..m {
+                let mut dot = 0.0;
+                for l in k..m {
+                    dot += q_full.get(i, l) * v[l];
+                }
+                let factor = 2.0 * dot / vnorm2;
+                for l in k..m {
+                    let val = q_full.get(i, l) - factor * v[l];
+                    q_full.set(i, l, val);
+                }
+            }
+        }
+
+        let q = q_full.submatrix(0, 0, m, n)?;
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r.set(i, j, r_work.get(i, j));
+            }
+        }
+        Ok(Self { q, r })
+    }
+
+    /// The orthonormal factor `Q` (`m × n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Reconstructs `Q·R`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.q
+            .matmul(&self.r)
+            .expect("QR factor shapes are consistent by construction")
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂` through the QR
+    /// factors: `R x = Qᵀ b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `b` has the wrong length and
+    /// [`Error::SingularSystem`] if `R` is numerically singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.q.rows() {
+            return Err(Error::ShapeMismatch {
+                left: self.q.shape(),
+                right: (b.len(), 1),
+                op: "QR solve",
+            });
+        }
+        let qtb = self.q.transpose().matvec(b)?;
+        back_substitute(&self.r, &qtb)
+    }
+}
+
+/// Solves the upper-triangular system `R x = y` by back substitution.
+///
+/// # Errors
+///
+/// Returns [`Error::SingularSystem`] when a diagonal entry is numerically
+/// zero and [`Error::ShapeMismatch`] on incompatible dimensions.
+pub fn back_substitute(r: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    let n = r.cols();
+    if r.rows() != n || y.len() != n {
+        return Err(Error::ShapeMismatch {
+            left: r.shape(),
+            right: (y.len(), 1),
+            op: "back substitution",
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for j in (i + 1)..n {
+            sum -= r.get(i, j) * x[j];
+        }
+        let diag = r.get(i, i);
+        if diag.abs() <= 1e-14 {
+            return Err(Error::SingularSystem);
+        }
+        x[i] = sum / diag;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::randn_matrix;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = randn_matrix(12, 5, 1.0, 42);
+        let qr = Qr::compute(&a).unwrap();
+        assert!(qr.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = randn_matrix(15, 6, 2.0, 8);
+        let qr = Qr::compute(&a).unwrap();
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(6), 1e-9));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = randn_matrix(9, 4, 1.0, 3);
+        let qr = Qr::compute(&a).unwrap();
+        for i in 0..4 {
+            for j in 0..i {
+                assert!(qr.r().get(i, j).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrices() {
+        let a = randn_matrix(3, 5, 1.0, 1);
+        assert!(matches!(
+            Qr::compute(&a),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution_of_square_system() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0],
+            vec![1.0, 3.0],
+        ])
+        .unwrap();
+        let x_true = vec![1.0, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let qr = Qr::compute(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns() {
+        let a = randn_matrix(20, 4, 1.0, 77);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let qr = Qr::compute(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let residual: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, axi)| bi - axi).collect();
+        // Normal equations: Aᵀ r = 0 at the least-squares optimum.
+        let at_r = a.transpose().matvec(&residual).unwrap();
+        assert!(at_r.iter().all(|&v| v.abs() < 1e-8));
+    }
+
+    #[test]
+    fn solve_validates_rhs_length() {
+        let a = randn_matrix(6, 3, 1.0, 5);
+        let qr = Qr::compute(&a).unwrap();
+        assert!(qr.solve(&[1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn back_substitution_detects_singularity() {
+        let r = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            back_substitute(&r, &[1.0, 1.0]),
+            Err(Error::SingularSystem)
+        ));
+    }
+}

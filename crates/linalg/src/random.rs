@@ -1,0 +1,121 @@
+//! Deterministic, seeded random matrix generators.
+//!
+//! Trained checkpoints of ResNet-20 / WRN16-4 are not available offline, so
+//! the experiment harness synthesizes weight tensors from seeded random
+//! distributions (see `DESIGN.md`, "Substitutions"). All generators take an
+//! explicit `u64` seed so every table and figure regenerates identically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Matrix;
+
+/// A matrix with i.i.d. normal entries `N(0, std²)`, generated from `seed`.
+pub fn randn_matrix(rows: usize, cols: usize, std: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| normal_sample(&mut rng) * std)
+}
+
+/// A matrix with i.i.d. uniform entries in `[low, high)`, generated from
+/// `seed`.
+pub fn uniform_matrix(rows: usize, cols: usize, low: f64, high: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(low..high))
+}
+
+/// A matrix of exact rank `k` (product of two random Gaussian factors),
+/// useful for testing rank-detection and truncation behaviour.
+pub fn low_rank_matrix(rows: usize, cols: usize, k: usize, seed: u64) -> Matrix {
+    let k = k.clamp(1, rows.min(cols));
+    let l = randn_matrix(rows, k, 1.0, seed);
+    let r = randn_matrix(k, cols, 1.0, seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    l.matmul(&r)
+        .expect("factor shapes are consistent by construction")
+}
+
+/// Kaiming/He-style initialization for a convolutional weight matrix with
+/// `fan_in` input connections: `N(0, sqrt(2 / fan_in)²)`.
+pub fn kaiming_matrix(rows: usize, cols: usize, fan_in: usize, seed: u64) -> Matrix {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    randn_matrix(rows, cols, std, seed)
+}
+
+/// Draws one standard-normal sample using the Box–Muller transform.
+///
+/// `rand`'s distribution machinery is avoided on purpose: the `rand_distr`
+/// crate is not part of the allowed dependency set, and Box–Muller is
+/// perfectly adequate here.
+pub fn normal_sample<R: Rng>(rng: &mut R) -> f64 {
+    // Reject u1 == 0 to keep ln() finite.
+    let mut u1: f64 = rng.gen();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.gen();
+    }
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::Svd;
+
+    #[test]
+    fn same_seed_gives_same_matrix() {
+        let a = randn_matrix(8, 8, 1.0, 123);
+        let b = randn_matrix(8, 8, 1.0, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_matrices() {
+        let a = randn_matrix(8, 8, 1.0, 123);
+        let b = randn_matrix(8, 8, 1.0, 124);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn randn_moments_are_roughly_correct() {
+        let a = randn_matrix(200, 200, 2.0, 7);
+        let n = a.len() as f64;
+        let mean = a.sum() / n;
+        let var = a.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_entries_respect_bounds() {
+        let a = uniform_matrix(50, 50, -0.25, 0.75, 11);
+        assert!(a.as_slice().iter().all(|&x| (-0.25..0.75).contains(&x)));
+    }
+
+    #[test]
+    fn low_rank_matrix_has_requested_rank() {
+        let a = low_rank_matrix(20, 15, 3, 99);
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-9), 3);
+    }
+
+    #[test]
+    fn low_rank_matrix_clamps_rank() {
+        let a = low_rank_matrix(4, 6, 100, 5);
+        assert_eq!(a.shape(), (4, 6));
+        let svd = Svd::compute(&a).unwrap();
+        assert!(svd.rank(1e-9) <= 4);
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let small_fan = kaiming_matrix(300, 100, 9, 1);
+        let large_fan = kaiming_matrix(300, 100, 900, 1);
+        let std = |m: &Matrix| {
+            let n = m.len() as f64;
+            let mean = m.sum() / n;
+            (m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt()
+        };
+        // std ∝ 1/sqrt(fan_in), so the ratio should be about 10.
+        let ratio = std(&small_fan) / std(&large_fan);
+        assert!((ratio - 10.0).abs() < 1.0, "ratio {ratio}");
+    }
+}

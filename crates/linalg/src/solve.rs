@@ -1,0 +1,107 @@
+//! Linear solves built on the QR decomposition.
+
+use crate::qr::Qr;
+use crate::{Error, Matrix, Result};
+
+/// Solves the least-squares problem `min_x ‖A x − b‖₂` for a tall or square
+/// full-column-rank `A`.
+///
+/// # Errors
+///
+/// Propagates shape and singularity errors from the underlying QR solve.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::compute(a)?.solve(b)
+}
+
+/// Solves `A X = B` column by column for a square, full-rank `A`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] for non-square `A` or mismatched `B`,
+/// and [`Error::SingularSystem`] when `A` is numerically singular.
+pub fn solve_matrix(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if !a.is_square() || a.rows() != b.rows() {
+        return Err(Error::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "solve_matrix",
+        });
+    }
+    let qr = Qr::compute(a)?;
+    let mut cols = Vec::with_capacity(b.cols());
+    for j in 0..b.cols() {
+        cols.push(qr.solve(&b.col(j)?)?);
+    }
+    let mut x = Matrix::zeros(a.cols(), b.cols());
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            x.set(i, j, v);
+        }
+    }
+    Ok(x)
+}
+
+/// Computes the inverse of a square, full-rank matrix.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] for non-square inputs and
+/// [`Error::SingularSystem`] for singular ones.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    solve_matrix(a, &Matrix::identity(a.rows()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::randn_matrix;
+
+    #[test]
+    fn least_squares_on_overdetermined_system() {
+        let a = randn_matrix(30, 5, 1.0, 10);
+        let x_true: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = least_squares(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_inverts_well_conditioned_system() {
+        // Diagonally dominant => invertible.
+        let mut a = randn_matrix(6, 6, 0.1, 3);
+        for i in 0..6 {
+            a.set(i, i, a.get(i, i) + 5.0);
+        }
+        let b = randn_matrix(6, 4, 1.0, 4);
+        let x = solve_matrix(&a, &b).unwrap();
+        assert!(a.matmul(&x).unwrap().approx_eq(&b, 1e-8));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let mut a = randn_matrix(5, 5, 0.2, 8);
+        for i in 0..5 {
+            a.set(i, i, a.get(i, i) + 3.0);
+        }
+        let inv = inverse(&a).unwrap();
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(5), 1e-8));
+    }
+
+    #[test]
+    fn solve_matrix_rejects_non_square() {
+        let a = randn_matrix(4, 3, 1.0, 1);
+        let b = randn_matrix(4, 2, 1.0, 2);
+        assert!(solve_matrix(&a, &b).is_err());
+    }
+
+    #[test]
+    fn inverse_of_singular_matrix_fails() {
+        let a = Matrix::zeros(3, 3);
+        assert!(matches!(inverse(&a), Err(Error::SingularSystem)));
+    }
+}

@@ -1,0 +1,448 @@
+//! Singular value decomposition and Eckart–Young low-rank truncation.
+//!
+//! The decomposition is computed with the one-sided Jacobi method: columns of
+//! the working matrix are repeatedly orthogonalized with plane rotations
+//! while the same rotations are accumulated into `V`. The method is slower
+//! than Golub–Kahan bidiagonalization but is simple, numerically robust and
+//! more than fast enough for the layer-sized matrices (a few thousand rows by
+//! a few hundred columns) that occur in this workspace.
+
+use crate::{Error, Matrix, Result};
+
+/// Maximum number of Jacobi sweeps before the algorithm reports
+/// [`Error::NoConvergence`].
+const MAX_SWEEPS: usize = 60;
+
+/// Relative off-diagonal tolerance used as the Jacobi convergence criterion.
+const JACOBI_TOL: f64 = 1e-12;
+
+/// A full singular value decomposition `A = U Σ Vᵀ`.
+///
+/// `U` is `m × r`, `Σ` is represented by the vector of singular values of
+/// length `r`, and `V` is `n × r`, where `r = min(m, n)`. Singular values are
+/// sorted in non-increasing order.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: Matrix,
+    singular_values: Vec<f64>,
+    v: Matrix,
+}
+
+impl Svd {
+    /// Computes the SVD of `a` using one-sided Jacobi rotations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoConvergence`] if the Jacobi sweeps fail to
+    /// orthogonalize the columns within the iteration budget (this does not
+    /// happen for well-scaled inputs such as neural-network weights).
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        // One-sided Jacobi works on the columns; for wide matrices it is both
+        // cheaper and better conditioned to decompose the transpose and swap
+        // the roles of U and V afterwards.
+        if n > m {
+            let svd_t = Self::compute(&a.transpose())?;
+            return Ok(Self {
+                u: svd_t.v,
+                singular_values: svd_t.singular_values,
+                v: svd_t.u,
+            });
+        }
+
+        let mut u = a.clone(); // working copy whose columns converge to U·Σ
+        let mut v = Matrix::identity(n);
+        let r = n;
+
+        let mut converged = false;
+        let mut sweeps = 0;
+        while sweeps < MAX_SWEEPS && !converged {
+            converged = true;
+            for p in 0..r {
+                for q in (p + 1)..r {
+                    // Gram entries for columns p and q.
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for i in 0..m {
+                        let up = u.get(i, p);
+                        let uq = u.get(i, q);
+                        alpha += up * up;
+                        beta += uq * uq;
+                        gamma += up * uq;
+                    }
+                    if gamma.abs() <= JACOBI_TOL * (alpha * beta).sqrt() || gamma == 0.0 {
+                        continue;
+                    }
+                    converged = false;
+                    // Jacobi rotation that zeroes the (p, q) Gram entry.
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..m {
+                        let up = u.get(i, p);
+                        let uq = u.get(i, q);
+                        u.set(i, p, c * up - s * uq);
+                        u.set(i, q, s * up + c * uq);
+                    }
+                    for i in 0..n {
+                        let vp = v.get(i, p);
+                        let vq = v.get(i, q);
+                        v.set(i, p, c * vp - s * vq);
+                        v.set(i, q, s * vp + c * vq);
+                    }
+                }
+            }
+            sweeps += 1;
+        }
+        if !converged {
+            return Err(Error::NoConvergence {
+                algorithm: "one-sided Jacobi SVD",
+                iterations: sweeps,
+            });
+        }
+
+        // Column norms of the rotated matrix are the singular values.
+        let mut order: Vec<usize> = (0..r).collect();
+        let mut sigma = vec![0.0; r];
+        for (j, s) in sigma.iter_mut().enumerate() {
+            let mut norm = 0.0;
+            for i in 0..m {
+                norm += u.get(i, j) * u.get(i, j);
+            }
+            *s = norm.sqrt();
+        }
+        order.sort_by(|&a_idx, &b_idx| {
+            sigma[b_idx]
+                .partial_cmp(&sigma[a_idx])
+                .unwrap_or(core::cmp::Ordering::Equal)
+        });
+
+        let mut u_sorted = Matrix::zeros(m, r);
+        let mut v_sorted = Matrix::zeros(n, r);
+        let mut sigma_sorted = vec![0.0; r];
+        for (new_j, &old_j) in order.iter().enumerate() {
+            let s = sigma[old_j];
+            sigma_sorted[new_j] = s;
+            for i in 0..m {
+                let val = if s > f64::EPSILON {
+                    u.get(i, old_j) / s
+                } else {
+                    0.0
+                };
+                u_sorted.set(i, new_j, val);
+            }
+            for i in 0..n {
+                v_sorted.set(i, new_j, v.get(i, old_j));
+            }
+        }
+
+        Ok(Self {
+            u: u_sorted,
+            singular_values: sigma_sorted,
+            v: v_sorted,
+        })
+    }
+
+    /// The left singular vectors, `m × r`.
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// The right singular vectors, `n × r` (not transposed).
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// The singular values in non-increasing order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// Numerical rank: the number of singular values above
+    /// `tol * max(singular value)`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let max = self.singular_values.first().copied().unwrap_or(0.0);
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > tol * max)
+            .count()
+    }
+
+    /// Reconstructs the full matrix `U Σ Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let sigma = Matrix::from_diag(&self.singular_values);
+        self.u
+            .matmul(&sigma)
+            .and_then(|us| us.matmul(&self.v.transpose()))
+            .expect("SVD factor shapes are consistent by construction")
+    }
+
+    /// Truncates the decomposition to the leading `k` singular triplets.
+    ///
+    /// The truncation is clamped to the available rank, so `k` larger than
+    /// `min(m, n)` simply returns the full decomposition. A `k` of zero is
+    /// clamped to one (a rank-zero factorization is never useful here).
+    pub fn truncate(&self, k: usize) -> TruncatedSvd {
+        let r = self.singular_values.len();
+        let k = k.clamp(1, r);
+        let u_k = self
+            .u
+            .submatrix(0, 0, self.u.rows(), k)
+            .expect("truncation rank validated against factor width");
+        let v_k = self
+            .v
+            .submatrix(0, 0, self.v.rows(), k)
+            .expect("truncation rank validated against factor width");
+        TruncatedSvd {
+            u: u_k,
+            singular_values: self.singular_values[..k].to_vec(),
+            v: v_k,
+        }
+    }
+
+    /// The Eckart–Young optimal reconstruction error for a rank-`k`
+    /// truncation: `sqrt(Σ_{i>k} σ_i²)`.
+    pub fn truncation_error(&self, k: usize) -> f64 {
+        self.singular_values
+            .iter()
+            .skip(k)
+            .map(|&s| s * s)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// A rank-`k` truncated SVD, the basic low-rank factorization `W ≈ L·R`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    u: Matrix,
+    singular_values: Vec<f64>,
+    v: Matrix,
+}
+
+impl TruncatedSvd {
+    /// Computes the truncated SVD of `a` at rank `k` directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRank`] if `k` is zero or exceeds `min(m, n)`,
+    /// or propagates [`Error::NoConvergence`] from the Jacobi iteration.
+    pub fn compute(a: &Matrix, k: usize) -> Result<Self> {
+        let max_rank = a.rows().min(a.cols());
+        if k == 0 || k > max_rank {
+            return Err(Error::InvalidRank {
+                requested: k,
+                max: max_rank,
+            });
+        }
+        Ok(Svd::compute(a)?.truncate(k))
+    }
+
+    /// The retained rank `k`.
+    pub fn rank(&self) -> usize {
+        self.singular_values.len()
+    }
+
+    /// The truncated left singular vectors, `m × k`.
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// The truncated right singular vectors, `n × k`.
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// The retained singular values.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// The left factor `L = U·Σ` of shape `m × k`.
+    ///
+    /// Following the paper's convention (Section III), the singular values
+    /// are absorbed into the left factor.
+    pub fn left_factor(&self) -> Matrix {
+        let sigma = Matrix::from_diag(&self.singular_values);
+        self.u
+            .matmul(&sigma)
+            .expect("U and Σ shapes are consistent by construction")
+    }
+
+    /// The right factor `R = Vᵀ` of shape `k × n`.
+    pub fn right_factor(&self) -> Matrix {
+        self.v.transpose()
+    }
+
+    /// Reconstructs the rank-`k` approximation `L·R`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.left_factor()
+            .matmul(&self.right_factor())
+            .expect("factor shapes are consistent by construction")
+    }
+
+    /// Frobenius reconstruction error `‖A − L·R‖_F` against a reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `reference` has a different
+    /// shape than the reconstruction.
+    pub fn reconstruction_error(&self, reference: &Matrix) -> Result<f64> {
+        Ok(reference.sub(&self.reconstruct())?.frobenius_norm())
+    }
+
+    /// Number of parameters in the factorization, `k·(m + n)`.
+    pub fn parameter_count(&self) -> usize {
+        self.rank() * (self.u.rows() + self.v.rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::randn_matrix;
+
+    #[test]
+    fn svd_of_diagonal_matrix_recovers_diagonal() {
+        let a = Matrix::from_diag(&[5.0, 3.0, 1.0]);
+        let svd = Svd::compute(&a).unwrap();
+        let sv = svd.singular_values();
+        assert!((sv[0] - 5.0).abs() < 1e-10);
+        assert!((sv[1] - 3.0).abs() < 1e-10);
+        assert!((sv[2] - 1.0).abs() < 1e-10);
+        assert!(svd.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn svd_reconstructs_random_tall_matrix() {
+        let a = randn_matrix(40, 12, 0.5, 7);
+        let svd = Svd::compute(&a).unwrap();
+        assert!(svd.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn svd_reconstructs_random_wide_matrix() {
+        let a = randn_matrix(9, 30, 1.0, 3);
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.u().shape(), (9, 9));
+        assert_eq!(svd.v().shape(), (30, 9));
+        assert!(svd.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn singular_values_are_sorted_and_nonnegative() {
+        let a = randn_matrix(25, 25, 1.0, 11);
+        let svd = Svd::compute(&a).unwrap();
+        let sv = svd.singular_values();
+        assert!(sv.windows(2).all(|w| w[0] >= w[1]));
+        assert!(sv.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn left_and_right_factors_are_orthonormal() {
+        let a = randn_matrix(20, 8, 1.0, 21);
+        let svd = Svd::compute(&a).unwrap();
+        let utu = svd.u().transpose().matmul(svd.u()).unwrap();
+        let vtv = svd.v().transpose().matmul(svd.v()).unwrap();
+        assert!(utu.approx_eq(&Matrix::identity(8), 1e-8));
+        assert!(vtv.approx_eq(&Matrix::identity(8), 1e-8));
+    }
+
+    #[test]
+    fn truncation_error_matches_eckart_young_tail() {
+        let a = randn_matrix(16, 10, 1.0, 5);
+        let svd = Svd::compute(&a).unwrap();
+        for k in 1..=10 {
+            let trunc = svd.truncate(k);
+            let err = trunc.reconstruction_error(&a).unwrap();
+            let tail = svd.truncation_error(k);
+            assert!(
+                (err - tail).abs() < 1e-8,
+                "k={k}: measured {err} vs tail {tail}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_error_is_monotone_in_rank() {
+        let a = randn_matrix(30, 18, 1.0, 13);
+        let svd = Svd::compute(&a).unwrap();
+        let errors: Vec<f64> = (1..=18).map(|k| svd.truncation_error(k)).collect();
+        assert!(errors.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        assert!(errors[17] < 1e-9);
+    }
+
+    #[test]
+    fn truncated_svd_is_optimal_among_random_competitors() {
+        // Eckart–Young: no rank-k factorization can beat the truncated SVD.
+        let a = randn_matrix(12, 12, 1.0, 17);
+        let k = 3;
+        let best = TruncatedSvd::compute(&a, k).unwrap();
+        let best_err = best.reconstruction_error(&a).unwrap();
+        for seed in 0..5 {
+            let l = randn_matrix(12, k, 1.0, 100 + seed);
+            let r = randn_matrix(k, 12, 1.0, 200 + seed);
+            let competitor_err = a.sub(&l.matmul(&r).unwrap()).unwrap().frobenius_norm();
+            assert!(best_err <= competitor_err + 1e-9);
+        }
+    }
+
+    #[test]
+    fn truncated_svd_validates_rank() {
+        let a = randn_matrix(6, 4, 1.0, 1);
+        assert!(matches!(
+            TruncatedSvd::compute(&a, 0),
+            Err(Error::InvalidRank { .. })
+        ));
+        assert!(matches!(
+            TruncatedSvd::compute(&a, 5),
+            Err(Error::InvalidRank { .. })
+        ));
+        assert!(TruncatedSvd::compute(&a, 4).is_ok());
+    }
+
+    #[test]
+    fn factor_shapes_and_parameter_count() {
+        let a = randn_matrix(10, 6, 1.0, 9);
+        let t = TruncatedSvd::compute(&a, 2).unwrap();
+        assert_eq!(t.left_factor().shape(), (10, 2));
+        assert_eq!(t.right_factor().shape(), (2, 6));
+        assert_eq!(t.parameter_count(), 2 * (10 + 6));
+        assert_eq!(t.rank(), 2);
+    }
+
+    #[test]
+    fn rank_detects_low_rank_matrices() {
+        // Build an exactly rank-2 matrix.
+        let l = randn_matrix(10, 2, 1.0, 30);
+        let r = randn_matrix(2, 8, 1.0, 31);
+        let a = l.matmul(&r).unwrap();
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-9), 2);
+        let t = svd.truncate(2);
+        assert!(t.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn truncate_clamps_out_of_range_ranks() {
+        let a = randn_matrix(5, 4, 1.0, 2);
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.truncate(0).rank(), 1);
+        assert_eq!(svd.truncate(100).rank(), 4);
+    }
+
+    #[test]
+    fn svd_handles_rank_one_and_tiny_matrices() {
+        let a = Matrix::from_rows(&[vec![2.0], vec![0.0], vec![0.0]]).unwrap();
+        let svd = Svd::compute(&a).unwrap();
+        assert!((svd.singular_values()[0] - 2.0).abs() < 1e-12);
+        assert!(svd.reconstruct().approx_eq(&a, 1e-12));
+
+        let b = Matrix::from_rows(&[vec![-3.5]]).unwrap();
+        let svd_b = Svd::compute(&b).unwrap();
+        assert!((svd_b.singular_values()[0] - 3.5).abs() < 1e-12);
+        assert!(svd_b.reconstruct().approx_eq(&b, 1e-12));
+    }
+}

@@ -1,0 +1,216 @@
+//! Calibrated accuracy model.
+//!
+//! Offline we cannot retrain ResNet-20 / WRN16-4 on CIFAR, so classification
+//! accuracy is *modelled* instead of measured (see `DESIGN.md`,
+//! "Substitutions"): the model maps an aggregate, parameter-weighted relative
+//! weight-reconstruction error to an accuracy drop through a power law
+//!
+//! ```text
+//! accuracy = baseline − sensitivity · errorᵞ        (clamped to chance level)
+//! ```
+//!
+//! with the sensitivity proportional to `ln(classes)` and the exponent
+//! calibrated once against the paper's Table I end points (ResNet-20:
+//! rank `m/2` ⇒ ≈1 pt drop, rank `m/16` ⇒ ≈14 pt drop; WRN16-4: ≈2.6 pt and
+//! ≈27 pt). The same curve is applied to every compression family (low-rank,
+//! group low-rank, pattern pruning, quantization) so comparisons between
+//! methods remain structurally meaningful even though absolute accuracies are
+//! synthetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::models::NetworkArch;
+
+/// Power-law exponent calibrated against Table I.
+const DEFAULT_EXPONENT: f64 = 4.8;
+
+/// Sensitivity per natural-log of class count, calibrated against Table I.
+const SENSITIVITY_PER_LOG_CLASS: f64 = 7.7;
+
+/// The calibrated error → accuracy model for one network/dataset pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyModel {
+    /// Uncompressed baseline accuracy in percent.
+    pub baseline: f64,
+    /// Chance-level accuracy in percent (100 / classes).
+    pub chance: f64,
+    /// Multiplicative sensitivity of the accuracy drop.
+    pub sensitivity: f64,
+    /// Power-law exponent of the accuracy drop.
+    pub exponent: f64,
+}
+
+impl AccuracyModel {
+    /// Builds the model for a network architecture using the calibrated
+    /// defaults.
+    pub fn for_network(arch: &NetworkArch) -> Self {
+        let classes = arch.classes.max(2) as f64;
+        Self {
+            baseline: arch.baseline_accuracy,
+            chance: 100.0 / classes,
+            sensitivity: SENSITIVITY_PER_LOG_CLASS * classes.ln(),
+            exponent: DEFAULT_EXPONENT,
+        }
+    }
+
+    /// Builds a model with explicit parameters (used by ablations and tests).
+    pub fn with_parameters(baseline: f64, chance: f64, sensitivity: f64, exponent: f64) -> Self {
+        Self {
+            baseline,
+            chance,
+            sensitivity,
+            exponent,
+        }
+    }
+
+    /// Predicted accuracy (percent) for an aggregate relative reconstruction
+    /// error in `[0, 1]`.
+    pub fn accuracy_for_error(&self, relative_error: f64) -> f64 {
+        let err = relative_error.clamp(0.0, 1.0);
+        let drop = self.sensitivity * err.powf(self.exponent);
+        (self.baseline - drop).max(self.chance)
+    }
+
+    /// Predicted accuracy for a compressed network given per-layer relative
+    /// errors and weights (typically the per-layer parameter counts).
+    /// Layers with zero total weight fall back to an unweighted mean.
+    pub fn accuracy_for_layers(&self, errors_and_weights: &[(f64, f64)]) -> f64 {
+        self.accuracy_for_error(aggregate_error(errors_and_weights))
+    }
+
+    /// Additional accuracy drop (percentage points) of quantizing weights and
+    /// activations to `bits`, relative to the 4-bit baseline the paper uses.
+    /// Values follow typical DoReFa results on CIFAR-scale networks.
+    pub fn quantization_drop(bits: usize) -> f64 {
+        match bits {
+            0 | 1 => 11.0,
+            2 => 2.2,
+            3 => 0.6,
+            _ => 0.0,
+        }
+    }
+
+    /// Predicted accuracy of a `bits`-bit quantized, otherwise uncompressed
+    /// model.
+    pub fn quantized_accuracy(&self, bits: usize) -> f64 {
+        (self.baseline - Self::quantization_drop(bits)).max(self.chance)
+    }
+
+    /// Effective relative error of a pattern-pruned layer that keeps
+    /// `entries` of the `kernel_elems` kernel positions: the fraction of
+    /// weight energy removed is `1 − entries/kernel_elems`, and for
+    /// identically distributed weights the relative Frobenius error is its
+    /// square root.
+    pub fn pattern_pruning_error(entries: usize, kernel_elems: usize) -> f64 {
+        if kernel_elems == 0 || entries >= kernel_elems {
+            return 0.0;
+        }
+        (1.0 - entries as f64 / kernel_elems as f64).sqrt()
+    }
+}
+
+/// Aggregates per-layer `(relative_error, weight)` pairs into one
+/// weight-averaged error.
+pub fn aggregate_error(errors_and_weights: &[(f64, f64)]) -> f64 {
+    if errors_and_weights.is_empty() {
+        return 0.0;
+    }
+    let total_weight: f64 = errors_and_weights.iter().map(|(_, w)| w).sum();
+    if total_weight <= 0.0 {
+        return errors_and_weights.iter().map(|(e, _)| e).sum::<f64>()
+            / errors_and_weights.len() as f64;
+    }
+    errors_and_weights
+        .iter()
+        .map(|(e, w)| e * w)
+        .sum::<f64>()
+        / total_weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{resnet20, wrn16_4};
+
+    #[test]
+    fn zero_error_gives_baseline_accuracy() {
+        let m = AccuracyModel::for_network(&resnet20());
+        assert!((m.accuracy_for_error(0.0) - 91.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_is_monotone_in_error() {
+        let m = AccuracyModel::for_network(&resnet20());
+        let mut prev = 100.0;
+        for i in 0..=20 {
+            let acc = m.accuracy_for_error(i as f64 / 20.0);
+            assert!(acc <= prev + 1e-12);
+            prev = acc;
+        }
+    }
+
+    #[test]
+    fn accuracy_never_drops_below_chance() {
+        let m = AccuracyModel::for_network(&wrn16_4());
+        assert!(m.accuracy_for_error(1.0) >= 1.0 - 1e-9);
+        assert!(m.accuracy_for_error(5.0) >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn calibration_matches_table1_endpoints_for_resnet20() {
+        // rank m/2 corresponds to a relative error around 0.59 for the
+        // synthetic weights and should drop roughly 1-2 points; rank m/16
+        // (error around 0.95) should drop roughly 12-16 points.
+        let m = AccuracyModel::for_network(&resnet20());
+        let small = m.baseline - m.accuracy_for_error(0.59);
+        let large = m.baseline - m.accuracy_for_error(0.95);
+        assert!((0.5..3.0).contains(&small), "small drop {small}");
+        assert!((10.0..18.0).contains(&large), "large drop {large}");
+    }
+
+    #[test]
+    fn cifar100_is_more_sensitive_than_cifar10() {
+        let r = AccuracyModel::for_network(&resnet20());
+        let w = AccuracyModel::for_network(&wrn16_4());
+        assert!(w.sensitivity > r.sensitivity);
+        let drop_r = r.baseline - r.accuracy_for_error(0.9);
+        let drop_w = w.baseline - w.accuracy_for_error(0.9);
+        assert!(drop_w > drop_r);
+    }
+
+    #[test]
+    fn quantization_drop_decreases_with_bits() {
+        assert!(AccuracyModel::quantization_drop(1) > AccuracyModel::quantization_drop(2));
+        assert!(AccuracyModel::quantization_drop(2) > AccuracyModel::quantization_drop(3));
+        assert_eq!(AccuracyModel::quantization_drop(4), 0.0);
+        assert_eq!(AccuracyModel::quantization_drop(8), 0.0);
+    }
+
+    #[test]
+    fn pattern_pruning_error_behaviour() {
+        assert_eq!(AccuracyModel::pattern_pruning_error(9, 9), 0.0);
+        assert!(AccuracyModel::pattern_pruning_error(1, 9) > 0.9);
+        let e4 = AccuracyModel::pattern_pruning_error(4, 9);
+        let e6 = AccuracyModel::pattern_pruning_error(6, 9);
+        assert!(e4 > e6);
+        assert_eq!(AccuracyModel::pattern_pruning_error(3, 0), 0.0);
+    }
+
+    #[test]
+    fn aggregate_error_weights_layers() {
+        let agg = aggregate_error(&[(0.2, 100.0), (0.8, 300.0)]);
+        assert!((agg - 0.65).abs() < 1e-12);
+        assert_eq!(aggregate_error(&[]), 0.0);
+        // Zero weights fall back to the unweighted mean.
+        let agg = aggregate_error(&[(0.2, 0.0), (0.6, 0.0)]);
+        assert!((agg - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_aggregation_feeds_the_curve() {
+        let m = AccuracyModel::for_network(&resnet20());
+        let acc = m.accuracy_for_layers(&[(0.3, 1000.0), (0.4, 2000.0)]);
+        let direct = m.accuracy_for_error(aggregate_error(&[(0.3, 1000.0), (0.4, 2000.0)]));
+        assert!((acc - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal neural-network substrate for the IMC low-rank compression
+//! reproduction.
+//!
+//! Trained CIFAR checkpoints and GPU-scale quantization-aware training are
+//! not available in this offline environment, so this crate provides the two
+//! substitutes documented in `DESIGN.md`:
+//!
+//! * **Architecture descriptions** ([`models`]) — exact per-layer geometry of
+//!   ResNet-20 (CIFAR-10) and Wide-ResNet 16-4 (CIFAR-100), the two networks
+//!   evaluated in the paper. Cycle and energy results depend only on these
+//!   shapes, so they are reproduced faithfully.
+//! * **Accuracy modelling** ([`accuracy`]) — a calibrated map from aggregate
+//!   weight-reconstruction error (and quantization noise) to classification
+//!   accuracy, anchored to the operating points reported in the paper's
+//!   Table I, plus a *real* trainable model ([`mlp`]) and synthetic dataset
+//!   ([`dataset`]) that demonstrate the same qualitative orderings
+//!   empirically (group low-rank ≥ plain low-rank at equal rank, higher rank
+//!   ≥ lower rank).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod dataset;
+pub mod mlp;
+pub mod models;
+
+pub use accuracy::AccuracyModel;
+pub use dataset::SyntheticDataset;
+pub use mlp::{Mlp, TrainConfig};
+pub use models::{resnet20, wrn16_4, NetworkArch};
+
+/// Errors produced by the neural-network layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A model or training configuration parameter is invalid.
+    InvalidConfig {
+        /// Description of the offending parameter.
+        what: String,
+    },
+    /// A provided matrix or sample has an unexpected shape.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// An error bubbled up from the linear-algebra layer.
+    Linalg(imc_linalg::Error),
+    /// An error bubbled up from the tensor layer.
+    Tensor(imc_tensor::Error),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            Error::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+            Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            Error::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<imc_linalg::Error> for Error {
+    fn from(e: imc_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+impl From<imc_tensor::Error> for Error {
+    fn from(e: imc_tensor::Error) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;

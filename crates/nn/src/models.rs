@@ -1,0 +1,309 @@
+//! Architecture descriptions of the networks evaluated in the paper.
+//!
+//! Only the *geometry* of each layer matters for cycle and energy accounting;
+//! the weight values are synthesized separately (see `imc_tensor::Tensor4`).
+//! Following the paper, the first convolution and the final classifier are
+//! flagged non-compressible.
+
+use serde::{Deserialize, Serialize};
+
+use imc_tensor::{ConvShape, LayerShape, LinearShape};
+
+use crate::{Error, Result};
+
+/// A full network architecture: an ordered list of layers plus metadata used
+/// by the accuracy model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkArch {
+    /// Human-readable network name (`"ResNet-20"`, `"WRN16-4"`).
+    pub name: String,
+    /// Dataset the paper evaluates this network on.
+    pub dataset: String,
+    /// Number of classes of the dataset.
+    pub classes: usize,
+    /// Uncompressed (4-bit QAT) baseline accuracy reported in the paper, in
+    /// percent.
+    pub baseline_accuracy: f64,
+    /// Ordered layers.
+    pub layers: Vec<LayerShape>,
+}
+
+impl NetworkArch {
+    /// Creates an architecture from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the layer list is empty.
+    pub fn new(
+        name: impl Into<String>,
+        dataset: impl Into<String>,
+        classes: usize,
+        baseline_accuracy: f64,
+        layers: Vec<LayerShape>,
+    ) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(Error::InvalidConfig {
+                what: "network must have at least one layer".to_owned(),
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            dataset: dataset.into(),
+            classes,
+            baseline_accuracy,
+            layers,
+        })
+    }
+
+    /// The convolutional layers eligible for compression.
+    pub fn compressible_convs(&self) -> Vec<(&str, &ConvShape)> {
+        self.layers
+            .iter()
+            .filter(|l| l.compressible)
+            .filter_map(|l| l.conv.as_ref().map(|c| (l.name.as_str(), c)))
+            .collect()
+    }
+
+    /// Total parameter count of the network.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(LayerShape::weight_count).sum()
+    }
+
+    /// Total multiply-accumulate count of one inference pass.
+    pub fn macs(&self) -> usize {
+        self.layers.iter().map(LayerShape::macs).sum()
+    }
+
+    /// Parameter count of compressible layers only.
+    pub fn compressible_parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.compressible)
+            .map(LayerShape::weight_count)
+            .sum()
+    }
+}
+
+fn conv(
+    name: &str,
+    ic: usize,
+    oc: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    input: usize,
+    compressible: bool,
+) -> LayerShape {
+    let shape = ConvShape::square(ic, oc, kernel, stride, padding, input)
+        .expect("architecture tables only contain valid shapes");
+    LayerShape::conv(name, shape, compressible)
+}
+
+/// ResNet-20 for CIFAR-10 (expansion 1: the first basic block has 16
+/// input/output channels), as used in the paper.
+///
+/// Structure: a 3×3 stem, three stages of three basic blocks (two 3×3
+/// convolutions each) at 16/32/64 channels and 32/16/8 spatial resolution,
+/// global average pooling and a 10-way classifier. Identity shortcuts carry
+/// no weights (option-A downsampling).
+pub fn resnet20() -> NetworkArch {
+    let mut layers = vec![conv("stem", 3, 16, 3, 1, 1, 32, false)];
+    // Stage 1: 16 channels at 32x32.
+    for block in 0..3 {
+        layers.push(conv(
+            &format!("stage1.block{block}.conv1"),
+            16,
+            16,
+            3,
+            1,
+            1,
+            32,
+            true,
+        ));
+        layers.push(conv(
+            &format!("stage1.block{block}.conv2"),
+            16,
+            16,
+            3,
+            1,
+            1,
+            32,
+            true,
+        ));
+    }
+    // Stage 2: 32 channels at 16x16 (first conv downsamples from 32x32).
+    layers.push(conv("stage2.block0.conv1", 16, 32, 3, 2, 1, 32, true));
+    layers.push(conv("stage2.block0.conv2", 32, 32, 3, 1, 1, 16, true));
+    for block in 1..3 {
+        layers.push(conv(
+            &format!("stage2.block{block}.conv1"),
+            32,
+            32,
+            3,
+            1,
+            1,
+            16,
+            true,
+        ));
+        layers.push(conv(
+            &format!("stage2.block{block}.conv2"),
+            32,
+            32,
+            3,
+            1,
+            1,
+            16,
+            true,
+        ));
+    }
+    // Stage 3: 64 channels at 8x8 (first conv downsamples from 16x16).
+    layers.push(conv("stage3.block0.conv1", 32, 64, 3, 2, 1, 16, true));
+    layers.push(conv("stage3.block0.conv2", 64, 64, 3, 1, 1, 8, true));
+    for block in 1..3 {
+        layers.push(conv(
+            &format!("stage3.block{block}.conv1"),
+            64,
+            64,
+            3,
+            1,
+            1,
+            8,
+            true,
+        ));
+        layers.push(conv(
+            &format!("stage3.block{block}.conv2"),
+            64,
+            64,
+            3,
+            1,
+            1,
+            8,
+            true,
+        ));
+    }
+    layers.push(LayerShape::linear(
+        "fc",
+        LinearShape::new(64, 10).expect("valid classifier shape"),
+        false,
+    ));
+    NetworkArch::new("ResNet-20", "CIFAR-10", 10, 91.6, layers)
+        .expect("architecture table is non-empty")
+}
+
+/// Wide ResNet 16-4 for CIFAR-100, as used in the paper.
+///
+/// Depth 16 with widening factor 4: a 3×3 stem at 16 channels, three groups
+/// of two basic blocks (two 3×3 convolutions each) at 64/128/256 channels and
+/// 32/16/8 resolution, 1×1 projection shortcuts where the channel count
+/// changes, and a 100-way classifier. Projection shortcuts are kept
+/// uncompressed (they are small and rank-limited).
+pub fn wrn16_4() -> NetworkArch {
+    let mut layers = vec![conv("stem", 3, 16, 3, 1, 1, 32, false)];
+    // Group 1: 64 channels at 32x32.
+    layers.push(conv("group1.block0.conv1", 16, 64, 3, 1, 1, 32, true));
+    layers.push(conv("group1.block0.conv2", 64, 64, 3, 1, 1, 32, true));
+    layers.push(conv("group1.block0.shortcut", 16, 64, 1, 1, 0, 32, false));
+    layers.push(conv("group1.block1.conv1", 64, 64, 3, 1, 1, 32, true));
+    layers.push(conv("group1.block1.conv2", 64, 64, 3, 1, 1, 32, true));
+    // Group 2: 128 channels at 16x16.
+    layers.push(conv("group2.block0.conv1", 64, 128, 3, 2, 1, 32, true));
+    layers.push(conv("group2.block0.conv2", 128, 128, 3, 1, 1, 16, true));
+    layers.push(conv("group2.block0.shortcut", 64, 128, 1, 2, 0, 32, false));
+    layers.push(conv("group2.block1.conv1", 128, 128, 3, 1, 1, 16, true));
+    layers.push(conv("group2.block1.conv2", 128, 128, 3, 1, 1, 16, true));
+    // Group 3: 256 channels at 8x8.
+    layers.push(conv("group3.block0.conv1", 128, 256, 3, 2, 1, 16, true));
+    layers.push(conv("group3.block0.conv2", 256, 256, 3, 1, 1, 8, true));
+    layers.push(conv("group3.block0.shortcut", 128, 256, 1, 2, 0, 16, false));
+    layers.push(conv("group3.block1.conv1", 256, 256, 3, 1, 1, 8, true));
+    layers.push(conv("group3.block1.conv2", 256, 256, 3, 1, 1, 8, true));
+    layers.push(LayerShape::linear(
+        "fc",
+        LinearShape::new(256, 100).expect("valid classifier shape"),
+        false,
+    ));
+    NetworkArch::new("WRN16-4", "CIFAR-100", 100, 72.4, layers)
+        .expect("architecture table is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet20_has_nineteen_weight_layers_plus_classifier() {
+        let net = resnet20();
+        // Stem + 18 block convs + fc.
+        assert_eq!(net.layers.len(), 20);
+        assert_eq!(net.compressible_convs().len(), 18);
+        assert_eq!(net.classes, 10);
+    }
+
+    #[test]
+    fn resnet20_parameter_count_matches_reference() {
+        // The canonical CIFAR ResNet-20 has ~0.27M parameters; without
+        // batch-norm and bias terms the conv+fc weights alone are ~0.268M.
+        let net = resnet20();
+        let params = net.parameter_count();
+        assert!(
+            (260_000..280_000).contains(&params),
+            "unexpected parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn resnet20_macs_match_reference_order() {
+        // ~41M MACs for CIFAR ResNet-20.
+        let net = resnet20();
+        let macs = net.macs();
+        assert!(
+            (38_000_000..44_000_000).contains(&macs),
+            "unexpected MAC count {macs}"
+        );
+    }
+
+    #[test]
+    fn wrn16_4_parameter_count_matches_reference() {
+        // WRN16-4 has ~2.7-2.8M parameters (convs + classifier).
+        let net = wrn16_4();
+        let params = net.parameter_count();
+        assert!(
+            (2_600_000..2_900_000).contains(&params),
+            "unexpected parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn first_and_last_layers_are_not_compressible() {
+        for net in [resnet20(), wrn16_4()] {
+            assert!(!net.layers.first().unwrap().compressible);
+            assert!(!net.layers.last().unwrap().compressible);
+        }
+    }
+
+    #[test]
+    fn feature_map_sizes_are_consistent_with_downsampling() {
+        let net = resnet20();
+        for (name, shape) in net.compressible_convs() {
+            if name.starts_with("stage3") && !name.contains("block0.conv1") {
+                assert_eq!(shape.input_h, 8, "{name}");
+            }
+            if name.starts_with("stage1") {
+                assert_eq!(shape.input_h, 32, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrn_channels_are_four_times_wider() {
+        let net = wrn16_4();
+        let convs = net.compressible_convs();
+        let max_oc = convs.iter().map(|(_, c)| c.out_channels).max().unwrap();
+        assert_eq!(max_oc, 256);
+    }
+
+    #[test]
+    fn empty_network_is_rejected() {
+        assert!(NetworkArch::new("x", "y", 2, 50.0, vec![]).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Column-wise (channel) pruning.
+//!
+//! Removing whole output channels removes whole crossbar columns, which needs
+//! no realignment peripherals but is the coarsest (and usually least
+//! accurate) pruning granularity. It serves as an additional baseline and as
+//! the structural model for the column-pruning comparison in Rhe et al.
+//! (VWC-SDK).
+
+use serde::{Deserialize, Serialize};
+
+use imc_array::ArrayConfig;
+use imc_tensor::{ConvShape, Tensor4};
+
+use crate::types::{Peripheral, PrunedLayer};
+use crate::{Error, Result};
+
+/// Configuration of column (output-channel) pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnPruning {
+    /// Fraction of output channels kept, in `(0, 1]`.
+    pub keep_fraction: f64,
+}
+
+impl ColumnPruning {
+    /// Creates a column-pruning configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the keep fraction is outside
+    /// `(0, 1]`.
+    pub fn new(keep_fraction: f64) -> Result<Self> {
+        if !(keep_fraction > 0.0 && keep_fraction <= 1.0) {
+            return Err(Error::InvalidConfig {
+                what: format!("keep fraction {keep_fraction} must be in (0, 1]"),
+            });
+        }
+        Ok(Self { keep_fraction })
+    }
+
+    /// Number of output channels kept for a layer with `out_channels`.
+    pub fn kept_channels(&self, out_channels: usize) -> usize {
+        ((out_channels as f64 * self.keep_fraction).round() as usize).clamp(1, out_channels)
+    }
+
+    /// Indices of the kept output channels (largest kernel energy first),
+    /// sorted ascending.
+    pub fn kept_channel_indices(&self, weight: &Tensor4) -> Vec<usize> {
+        let oc = weight.out_channels();
+        let mut energy: Vec<(usize, f64)> = (0..oc)
+            .map(|o| {
+                let mut e = 0.0;
+                for i in 0..weight.in_channels() {
+                    for r in 0..weight.kernel_h() {
+                        for c in 0..weight.kernel_w() {
+                            let w = weight.get(o, i, r, c);
+                            e += w * w;
+                        }
+                    }
+                }
+                (o, e)
+            })
+            .collect();
+        energy.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
+        let mut kept: Vec<usize> = energy
+            .into_iter()
+            .take(self.kept_channels(oc))
+            .map(|(o, _)| o)
+            .collect();
+        kept.sort_unstable();
+        kept
+    }
+
+    /// Relative Frobenius error of removing the pruned channels.
+    pub fn relative_error(&self, weight: &Tensor4) -> f64 {
+        let kept = self.kept_channel_indices(weight);
+        let total: f64 = weight.as_slice().iter().map(|&x| x * x).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut kept_energy = 0.0;
+        for &o in &kept {
+            for i in 0..weight.in_channels() {
+                for r in 0..weight.kernel_h() {
+                    for c in 0..weight.kernel_w() {
+                        let w = weight.get(o, i, r, c);
+                        kept_energy += w * w;
+                    }
+                }
+            }
+        }
+        ((total - kept_energy) / total).max(0.0).sqrt()
+    }
+
+    /// Shape-level mapping summary of the channel-pruned layer.
+    pub fn map_layer(&self, shape: &ConvShape, array: ArrayConfig) -> PrunedLayer {
+        let kept = self.kept_channels(shape.out_channels);
+        PrunedLayer {
+            rows_used: shape.im2col_rows(),
+            cols_used: kept,
+            loads: shape.output_pixels(),
+            removed_fraction: 1.0 - kept as f64 / shape.out_channels as f64,
+            relative_error: (1.0 - kept as f64 / shape.out_channels as f64).sqrt(),
+            peripheral: Peripheral::None,
+            array,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> (ConvShape, Tensor4) {
+        let shape = ConvShape::square(16, 32, 3, 1, 1, 16).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 4).unwrap();
+        (shape, weight)
+    }
+
+    #[test]
+    fn configuration_bounds() {
+        assert!(ColumnPruning::new(0.0).is_err());
+        assert!(ColumnPruning::new(1.2).is_err());
+        assert!(ColumnPruning::new(-0.5).is_err());
+        assert!(ColumnPruning::new(0.5).is_ok());
+        assert!(ColumnPruning::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn kept_channels_rounding_and_clamping() {
+        let half = ColumnPruning::new(0.5).unwrap();
+        assert_eq!(half.kept_channels(32), 16);
+        let tiny = ColumnPruning::new(0.01).unwrap();
+        assert_eq!(tiny.kept_channels(32), 1);
+        let all = ColumnPruning::new(1.0).unwrap();
+        assert_eq!(all.kept_channels(32), 32);
+    }
+
+    #[test]
+    fn kept_indices_are_highest_energy_channels() {
+        let (_, weight) = layer();
+        let kept = ColumnPruning::new(0.25).unwrap().kept_channel_indices(&weight);
+        assert_eq!(kept.len(), 8);
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn error_shrinks_with_larger_keep_fraction() {
+        let (_, weight) = layer();
+        let e25 = ColumnPruning::new(0.25).unwrap().relative_error(&weight);
+        let e75 = ColumnPruning::new(0.75).unwrap().relative_error(&weight);
+        let e100 = ColumnPruning::new(1.0).unwrap().relative_error(&weight);
+        assert!(e25 > e75);
+        assert!(e75 > e100);
+        assert!(e100 < 1e-12);
+    }
+
+    #[test]
+    fn mapping_reduces_columns_without_peripherals() {
+        let (shape, _) = layer();
+        let array = ArrayConfig::square(64).unwrap();
+        let mapped = ColumnPruning::new(0.5).unwrap().map_layer(&shape, array);
+        assert_eq!(mapped.cols_used, 16);
+        assert_eq!(mapped.rows_used, shape.im2col_rows());
+        assert_eq!(mapped.peripheral, Peripheral::None);
+    }
+}

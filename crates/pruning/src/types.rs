@@ -1,0 +1,75 @@
+//! Common result types shared by every pruning baseline.
+
+use serde::{Deserialize, Serialize};
+
+use imc_array::{matrix_cycles, ArrayConfig, CycleBreakdown};
+
+/// The peripheral circuitry a compression method needs in order to turn its
+/// sparsity into cycle savings on a crossbar (Fig. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Peripheral {
+    /// No extra circuitry (dense mappings and the proposed low-rank method).
+    None,
+    /// Zero-skipping wordline drivers (row-skipping methods such as PAIRS).
+    ZeroSkip,
+    /// Input-realignment multiplexers/demultiplexers (pattern pruning).
+    Mux,
+}
+
+/// Shape-level summary of one pruned layer mapped onto IMC arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrunedLayer {
+    /// Wordlines that must still be activated per access.
+    pub rows_used: usize,
+    /// Bitlines occupied.
+    pub cols_used: usize,
+    /// Input-vector loads per inference.
+    pub loads: usize,
+    /// Fraction of the layer's weights that were removed (`0..1`).
+    pub removed_fraction: f64,
+    /// Relative Frobenius error introduced by pruning (before fine-tuning).
+    pub relative_error: f64,
+    /// Peripheral circuitry required to realize the cycle savings.
+    pub peripheral: Peripheral,
+    /// Array configuration used for cycle accounting.
+    pub array: ArrayConfig,
+}
+
+impl PrunedLayer {
+    /// AR/AC/loads cycle breakdown of the pruned layer.
+    pub fn breakdown(&self) -> CycleBreakdown {
+        matrix_cycles(self.rows_used, self.cols_used, self.loads, &self.array)
+    }
+
+    /// Total computing cycles of the pruned layer.
+    pub fn cycles(&self) -> u64 {
+        self.breakdown().cycles()
+    }
+
+    /// Number of physical arrays occupied.
+    pub fn arrays_used(&self) -> usize {
+        self.breakdown().arrays_used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruned_layer_cycles_follow_ar_ac_model() {
+        let array = ArrayConfig::square(64).unwrap();
+        let p = PrunedLayer {
+            rows_used: 96,
+            cols_used: 16,
+            loads: 1024,
+            removed_fraction: 1.0 / 3.0,
+            relative_error: 0.5,
+            peripheral: Peripheral::Mux,
+            array,
+        };
+        assert_eq!(p.breakdown().array_rows, 2);
+        assert_eq!(p.cycles(), 2 * 1024);
+        assert_eq!(p.arrays_used(), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! DoReFa weight quantization.
+//!
+//! DoReFa-Net quantizes weights by squashing them with `tanh`, normalizing to
+//! `[0, 1]`, rounding to `2ᵇ − 1` levels and mapping back to `[−1, 1]`. The
+//! functions here implement that transform for `k ≥ 2` and binarization with
+//! the mean-magnitude scale for `k = 1`, which is what the paper's QAT
+//! framework uses for its 1–4-bit baselines.
+
+use imc_linalg::Matrix;
+
+use crate::{Error, Result};
+
+/// Quantizes a single normalized value `x ∈ [0, 1]` to `bits` bits
+/// (`2ᵇ − 1` uniform levels).
+pub fn quantize_value(x: f64, bits: usize) -> f64 {
+    let levels = ((1usize << bits) - 1) as f64;
+    (x.clamp(0.0, 1.0) * levels).round() / levels
+}
+
+/// DoReFa-quantizes a weight matrix to `bits` bits.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidBits`] for `bits == 0` or `bits > 16`.
+pub fn quantize_matrix(weights: &Matrix, bits: usize) -> Result<Matrix> {
+    if bits == 0 || bits > 16 {
+        return Err(Error::InvalidBits { bits });
+    }
+    if bits == 1 {
+        // Binary weights: sign times the mean absolute value.
+        let mean_abs = weights.as_slice().iter().map(|x| x.abs()).sum::<f64>()
+            / weights.len() as f64;
+        return Ok(weights.map(|x| if x >= 0.0 { mean_abs } else { -mean_abs }));
+    }
+    let max_tanh = weights
+        .as_slice()
+        .iter()
+        .map(|x| x.tanh().abs())
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    Ok(weights.map(|x| {
+        let normalized = x.tanh() / (2.0 * max_tanh) + 0.5;
+        2.0 * quantize_value(normalized, bits) - 1.0
+    }))
+}
+
+/// Relative Frobenius error of quantizing `weights` to `bits` bits.
+///
+/// Because DoReFa rescales weights into `[−1, 1]`, the error is measured
+/// against the equally rescaled reference (`tanh(w) / (2·max|tanh|) → [−1,1]`
+/// mapped back), which is the error the network actually sees after the QAT
+/// re-parameterization.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidBits`] for unsupported bit widths.
+pub fn quantization_error(weights: &Matrix, bits: usize) -> Result<f64> {
+    if bits == 0 || bits > 16 {
+        return Err(Error::InvalidBits { bits });
+    }
+    let max_tanh = weights
+        .as_slice()
+        .iter()
+        .map(|x| x.tanh().abs())
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let reference = weights.map(|x| x.tanh() / max_tanh);
+    let quantized = quantize_matrix(weights, bits)?;
+    let norm = reference.frobenius_norm();
+    let diff = reference
+        .sub(&quantized)
+        .expect("shapes match by construction")
+        .frobenius_norm();
+    Ok(if norm > 0.0 { diff / norm } else { diff })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_linalg::random::randn_matrix;
+
+    #[test]
+    fn quantize_value_hits_grid_points() {
+        assert_eq!(quantize_value(0.0, 2), 0.0);
+        assert_eq!(quantize_value(1.0, 2), 1.0);
+        assert!((quantize_value(0.34, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(quantize_value(-0.3, 4), 0.0);
+        assert_eq!(quantize_value(1.7, 4), 1.0);
+    }
+
+    #[test]
+    fn invalid_bits_are_rejected() {
+        let w = randn_matrix(4, 4, 1.0, 0);
+        assert!(quantize_matrix(&w, 0).is_err());
+        assert!(quantize_matrix(&w, 17).is_err());
+        assert!(quantization_error(&w, 0).is_err());
+    }
+
+    #[test]
+    fn quantized_values_lie_in_unit_interval() {
+        let w = randn_matrix(10, 10, 2.0, 3);
+        for bits in 2..=4 {
+            let q = quantize_matrix(&w, bits).unwrap();
+            assert!(q.as_slice().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+        }
+        // Binary weights use the mean-magnitude scale, which is symmetric but
+        // not confined to [-1, 1].
+        let q1 = quantize_matrix(&w, 1).unwrap();
+        let max = q1.max_abs();
+        assert!(q1.as_slice().iter().all(|&x| x.abs() == max));
+    }
+
+    #[test]
+    fn binary_quantization_uses_two_levels() {
+        let w = randn_matrix(8, 8, 1.0, 5);
+        let q = quantize_matrix(&w, 1).unwrap();
+        let mut values: Vec<f64> = q.as_slice().to_vec();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        assert_eq!(values.len(), 2);
+    }
+
+    #[test]
+    fn error_decreases_with_more_bits() {
+        let w = randn_matrix(32, 32, 0.5, 9);
+        let errors: Vec<f64> = (1..=6)
+            .map(|bits| quantization_error(&w, bits).unwrap())
+            .collect();
+        for pair in errors.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12, "errors {errors:?}");
+        }
+        assert!(errors[5] < 0.05);
+        assert!(errors[0] > errors[3]);
+    }
+
+    #[test]
+    fn quantization_error_is_scale_aware() {
+        // 4-bit quantization of well-scaled weights keeps the error moderate,
+        // and 6-bit quantization keeps it small.
+        let w = randn_matrix(16, 144, 0.1, 13);
+        assert!(quantization_error(&w, 4).unwrap() < 0.2);
+        assert!(quantization_error(&w, 6).unwrap() < 0.05);
+    }
+}

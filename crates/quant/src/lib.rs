@@ -1,0 +1,63 @@
+//! DoReFa-style quantization baselines (the comparison of the paper's
+//! Fig. 8).
+//!
+//! The paper trains dedicated 1/2/3/4-bit quantized ResNet-20 models with a
+//! DoReFa quantizer and compares their accuracy/cycle trade-off against the
+//! proposed low-rank compression. This crate provides
+//!
+//! * [`dorefa`] — the DoReFa weight quantizer itself (usable on any weight
+//!   matrix) together with its quantization error, and
+//! * [`mapping`] — the cycle accounting of a quantized layer on an IMC array:
+//!   weight bits scale the number of physical columns per logical weight
+//!   column, activation bits scale the number of bit-serial input slices per
+//!   load (expressed relative to the paper's 4-bit default so that cycle
+//!   numbers stay comparable with Table I).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dorefa;
+pub mod mapping;
+
+pub use dorefa::{quantize_matrix, quantize_value, quantization_error};
+pub use mapping::{quantized_conv_cycles, quantized_network_scale, QuantConfig};
+
+/// Errors produced by the quantization layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The requested bit width is zero or unreasonably large.
+    InvalidBits {
+        /// The offending bit width.
+        bits: usize,
+    },
+    /// An error bubbled up from the array-mapping layer.
+    Array(imc_array::Error),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::InvalidBits { bits } => write!(f, "invalid bit width {bits} (must be 1..=16)"),
+            Error::Array(e) => write!(f, "array mapping error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<imc_array::Error> for Error {
+    fn from(e: imc_array::Error) -> Self {
+        Error::Array(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;

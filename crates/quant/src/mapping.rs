@@ -1,0 +1,130 @@
+//! Cycle accounting for quantized layers on IMC arrays.
+
+use serde::{Deserialize, Serialize};
+
+use imc_array::{search_best_window, ArrayConfig};
+use imc_tensor::ConvShape;
+
+use crate::{Error, Result};
+
+/// Activation/weight precision of a quantized model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Weight bit width.
+    pub weight_bits: usize,
+    /// Activation bit width.
+    pub activation_bits: usize,
+}
+
+impl QuantConfig {
+    /// Creates a quantization configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBits`] for zero or >16-bit widths.
+    pub fn new(weight_bits: usize, activation_bits: usize) -> Result<Self> {
+        for bits in [weight_bits, activation_bits] {
+            if bits == 0 || bits > 16 {
+                return Err(Error::InvalidBits { bits });
+            }
+        }
+        Ok(Self {
+            weight_bits,
+            activation_bits,
+        })
+    }
+
+    /// The symmetric 1- to 4-bit sweep used in the paper's Fig. 8.
+    pub fn paper_sweep() -> Vec<Self> {
+        (1..=4)
+            .map(|b| Self {
+                weight_bits: b,
+                activation_bits: b,
+            })
+            .collect()
+    }
+
+    /// Cycle scale factor relative to the paper's 4-bit default: activations
+    /// are applied bit-serially, so fewer activation bits proportionally
+    /// reduce the number of wordline activations per load.
+    pub fn cycle_scale(&self) -> f64 {
+        self.activation_bits as f64 / 4.0
+    }
+}
+
+/// Computing cycles (relative to the 4-bit activation reference) of an
+/// uncompressed but quantized convolution layer, using the best (VW-)SDK
+/// window for the quantized column budget.
+///
+/// The weight precision changes how many physical columns each logical
+/// column occupies (via [`ArrayConfig::with_weight_bits`]); the activation
+/// precision scales the per-load cost bit-serially.
+///
+/// # Errors
+///
+/// Propagates array-configuration and window-search errors.
+pub fn quantized_conv_cycles(
+    shape: &ConvShape,
+    array: &ArrayConfig,
+    config: &QuantConfig,
+) -> Result<f64> {
+    let quant_array = array.with_weight_bits(config.weight_bits)?;
+    let best = search_best_window(shape, quant_array)?;
+    Ok(best.cycles as f64 * config.cycle_scale())
+}
+
+/// The cycle scale factor a quantized network applies to an already-computed
+/// 4-bit cycle total (used when only activation precision changes).
+pub fn quantized_network_scale(config: &QuantConfig) -> f64 {
+    config.cycle_scale()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_and_sweep() {
+        assert!(QuantConfig::new(0, 4).is_err());
+        assert!(QuantConfig::new(4, 0).is_err());
+        assert!(QuantConfig::new(4, 32).is_err());
+        assert_eq!(QuantConfig::paper_sweep().len(), 4);
+    }
+
+    #[test]
+    fn cycle_scale_is_relative_to_four_bits() {
+        assert_eq!(QuantConfig::new(4, 4).unwrap().cycle_scale(), 1.0);
+        assert_eq!(QuantConfig::new(2, 2).unwrap().cycle_scale(), 0.5);
+        assert_eq!(QuantConfig::new(1, 1).unwrap().cycle_scale(), 0.25);
+        assert_eq!(QuantConfig::new(8, 8).unwrap().cycle_scale(), 2.0);
+    }
+
+    #[test]
+    fn fewer_bits_mean_fewer_cycles() {
+        let shape = ConvShape::square(16, 16, 3, 1, 1, 32).unwrap();
+        let array = ArrayConfig::square(64).unwrap();
+        let mut prev = f64::INFINITY;
+        for bits in (1..=4).rev() {
+            let cfg = QuantConfig::new(bits, bits).unwrap();
+            let cycles = quantized_conv_cycles(&shape, &array, &cfg).unwrap();
+            assert!(cycles <= prev + 1e-9, "bits {bits}");
+            prev = cycles;
+        }
+    }
+
+    #[test]
+    fn four_bit_quantization_matches_dense_sdk_baseline() {
+        let shape = ConvShape::square(32, 32, 3, 1, 1, 16).unwrap();
+        let array = ArrayConfig::square(64).unwrap();
+        let cfg = QuantConfig::new(4, 4).unwrap();
+        let q = quantized_conv_cycles(&shape, &array, &cfg).unwrap();
+        let dense = search_best_window(&shape, array).unwrap().cycles as f64;
+        assert!((q - dense).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_scale_matches_cycle_scale() {
+        let cfg = QuantConfig::new(3, 3).unwrap();
+        assert_eq!(quantized_network_scale(&cfg), cfg.cycle_scale());
+    }
+}

@@ -1,0 +1,520 @@
+//! The paper's experiments: one function per table/figure.
+
+use imc_array::ArrayConfig;
+use imc_core::{search_lowrank_window, CompressionConfig, GroupErrorProfile, RankSpec};
+use imc_energy::EnergyParams;
+use imc_nn::{resnet20, wrn16_4, AccuracyModel, NetworkArch};
+use imc_tensor::Tensor4;
+
+use crate::network::{evaluate, CompressionMethod};
+use crate::Result;
+
+/// Seed used for every synthesized weight tensor in the experiment harness.
+pub const DEFAULT_SEED: u64 = 2025;
+
+/// One row of Table I: a (group, rank) configuration evaluated on both array
+/// sizes, with and without SDK mapping.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Network name.
+    pub network: String,
+    /// Group count `g`.
+    pub groups: usize,
+    /// Rank specification (as a divisor of `m`).
+    pub rank: RankSpec,
+    /// Modelled accuracy in percent (identical with and without SDK — the
+    /// mapping does not change the weights).
+    pub accuracy: f64,
+    /// Cycles without SDK on 32×32 arrays.
+    pub cycles_32_plain: u64,
+    /// Cycles without SDK on 64×64 arrays.
+    pub cycles_64_plain: u64,
+    /// Cycles with SDK on 32×32 arrays.
+    pub cycles_32_sdk: u64,
+    /// Cycles with SDK on 64×64 arrays.
+    pub cycles_64_sdk: u64,
+}
+
+/// Regenerates Table I for one network.
+///
+/// The accuracy column uses the rank-sweep error profiles (one SVD per
+/// layer/group pair) and the calibrated accuracy model; the cycle columns use
+/// the AR/AC model with and without the SDK-mapped factor stages.
+///
+/// # Errors
+///
+/// Propagates decomposition and mapping errors.
+pub fn table1(arch: &NetworkArch, seed: u64) -> Result<Vec<Table1Row>> {
+    let accuracy_model = AccuracyModel::for_network(arch);
+    let arrays = [ArrayConfig::square(32)?, ArrayConfig::square(64)?];
+    let groups_sweep = [1usize, 2, 4, 8];
+    let rank_sweep = RankSpec::paper_divisors();
+
+    // Pre-compute error profiles per (layer, group count).
+    let convs = arch.compressible_convs();
+    let mut profiles: Vec<Vec<GroupErrorProfile>> = Vec::with_capacity(convs.len());
+    let mut weights_share: Vec<f64> = Vec::with_capacity(convs.len());
+    for (index, (_, shape)) in convs.iter().enumerate() {
+        let layer_seed = seed.wrapping_add(index as u64).wrapping_mul(0x9E37_79B9);
+        let weight = Tensor4::kaiming_for(shape, layer_seed)?;
+        let matrix = weight.to_im2col_matrix();
+        let mut per_group = Vec::with_capacity(groups_sweep.len());
+        for &g in &groups_sweep {
+            let g = g.min(matrix.cols());
+            per_group.push(GroupErrorProfile::compute(&matrix, g)?);
+        }
+        profiles.push(per_group);
+        weights_share.push(shape.weight_count() as f64);
+    }
+
+    let mut rows = Vec::new();
+    for (gi, &groups) in groups_sweep.iter().enumerate() {
+        for rank in rank_sweep {
+            // Accuracy from the error profiles.
+            let mut errors: Vec<(f64, f64)> = Vec::with_capacity(convs.len());
+            for (li, (_, shape)) in convs.iter().enumerate() {
+                let per_group_cols = shape.im2col_rows() / groups.min(shape.im2col_rows());
+                let max_rank = shape.out_channels.min(per_group_cols).max(1);
+                let k = rank.resolve(shape.out_channels, max_rank);
+                errors.push((
+                    profiles[li][gi].relative_error_for_rank(k),
+                    weights_share[li],
+                ));
+            }
+            let accuracy = accuracy_model.accuracy_for_layers(&errors);
+
+            // Cycles for both arrays, with and without SDK.
+            let mut cycles = [[0u64; 2]; 2]; // [sdk][array]
+            for (ai, array) in arrays.iter().enumerate() {
+                for (si, use_sdk) in [false, true].iter().enumerate() {
+                    let mut total = 0u64;
+                    for layer in &arch.layers {
+                        match layer.kind {
+                            imc_tensor::LayerKind::Linear => {
+                                let shape =
+                                    layer.linear.expect("linear layers carry a linear shape");
+                                total += imc_array::linear_mapping(&shape, *array).cycles();
+                            }
+                            imc_tensor::LayerKind::Conv => {
+                                let shape = layer.conv.expect("conv layers carry a conv shape");
+                                if layer.compressible {
+                                    let g = groups.min(shape.im2col_rows());
+                                    let per_group_cols = shape.im2col_rows() / g;
+                                    let max_rank =
+                                        shape.out_channels.min(per_group_cols).max(1);
+                                    let k = rank.resolve(shape.out_channels, max_rank);
+                                    total += if *use_sdk {
+                                        search_lowrank_window(&shape, k, g, array)?.total()
+                                    } else {
+                                        imc_core::lowrank_im2col_cycles(&shape, k, g, array)?
+                                            .total()
+                                    };
+                                } else {
+                                    total += imc_array::im2col_mapping(&shape, *array).cycles();
+                                }
+                            }
+                        }
+                    }
+                    cycles[si][ai] = total;
+                }
+            }
+
+            rows.push(Table1Row {
+                network: arch.name.clone(),
+                groups,
+                rank,
+                accuracy,
+                cycles_32_plain: cycles[0][0],
+                cycles_64_plain: cycles[0][1],
+                cycles_32_sdk: cycles[1][0],
+                cycles_64_sdk: cycles[1][1],
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// One point of the Fig. 6 accuracy-vs-cycles scatter.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// Method label.
+    pub method: String,
+    /// Computing cycles per inference.
+    pub cycles: f64,
+    /// Modelled accuracy in percent.
+    pub accuracy: f64,
+}
+
+/// The data behind one panel of Fig. 6 (one network, one array size).
+#[derive(Debug, Clone)]
+pub struct Fig6Panel {
+    /// Network name.
+    pub network: String,
+    /// Array size (rows of the square array).
+    pub array_size: usize,
+    /// Baseline (uncompressed, im2col) cycles.
+    pub baseline_cycles: f64,
+    /// Baseline accuracy in percent.
+    pub baseline_accuracy: f64,
+    /// Points of the proposed method (Pareto front of the group/rank grid).
+    pub ours: Vec<ParetoPoint>,
+    /// PatDNN pattern-pruning points (1 to 8 entries).
+    pub patdnn: Vec<ParetoPoint>,
+    /// PAIRS points (1 to 8 entries).
+    pub pairs: Vec<ParetoPoint>,
+}
+
+/// Extracts the Pareto front (maximal accuracy for minimal cycles) from a
+/// point set.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut sorted: Vec<ParetoPoint> = points.to_vec();
+    sorted.sort_by(|a, b| a.cycles.partial_cmp(&b.cycles).unwrap_or(core::cmp::Ordering::Equal));
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    let mut best_acc = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.accuracy > best_acc {
+            best_acc = p.accuracy;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Regenerates one panel of Fig. 6.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn fig6(arch: &NetworkArch, array_size: usize, seed: u64) -> Result<Fig6Panel> {
+    let array = ArrayConfig::square(array_size)?;
+    let baseline = evaluate(arch, &CompressionMethod::Uncompressed { sdk: false }, array, seed)?;
+
+    let mut ours = Vec::new();
+    for cfg in CompressionConfig::table1_grid(true) {
+        let eval = evaluate(arch, &CompressionMethod::LowRank(cfg), array, seed)?;
+        ours.push(ParetoPoint {
+            method: eval.method,
+            cycles: eval.cycles,
+            accuracy: eval.accuracy,
+        });
+    }
+    let ours = pareto_front(&ours);
+
+    let mut patdnn = Vec::new();
+    let mut pairs = Vec::new();
+    for entries in 1..=8 {
+        let p = evaluate(arch, &CompressionMethod::PatternPruning { entries }, array, seed)?;
+        patdnn.push(ParetoPoint {
+            method: p.method,
+            cycles: p.cycles,
+            accuracy: p.accuracy,
+        });
+        let q = evaluate(arch, &CompressionMethod::Pairs { entries }, array, seed)?;
+        pairs.push(ParetoPoint {
+            method: q.method,
+            cycles: q.cycles,
+            accuracy: q.accuracy,
+        });
+    }
+
+    Ok(Fig6Panel {
+        network: arch.name.clone(),
+        array_size,
+        baseline_cycles: baseline.cycles,
+        baseline_accuracy: baseline.accuracy,
+        ours,
+        patdnn,
+        pairs,
+    })
+}
+
+/// One bar group of Fig. 7: normalized energy of the three methods on one
+/// network and array size.
+#[derive(Debug, Clone)]
+pub struct Fig7Bar {
+    /// Network name.
+    pub network: String,
+    /// Array size.
+    pub array_size: usize,
+    /// im2col baseline energy (normalization reference), absolute units.
+    pub im2col_energy: f64,
+    /// Pattern-pruning (6 entries) energy normalized to im2col.
+    pub pattern_normalized: f64,
+    /// Proposed method (g = 4, k = m/8, SDK) energy normalized to im2col.
+    pub ours_normalized: f64,
+}
+
+/// Regenerates Fig. 7 for one network across the paper's three array sizes.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn fig7(arch: &NetworkArch, seed: u64) -> Result<Vec<Fig7Bar>> {
+    let params = EnergyParams::default();
+    let ours_cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true)
+        .expect("paper configuration is valid");
+    let mut bars = Vec::new();
+    for size in [32usize, 64, 128] {
+        let array = ArrayConfig::square(size)?;
+        let baseline =
+            evaluate(arch, &CompressionMethod::Uncompressed { sdk: false }, array, seed)?;
+        let pattern =
+            evaluate(arch, &CompressionMethod::PatternPruning { entries: 6 }, array, seed)?;
+        let ours = evaluate(arch, &CompressionMethod::LowRank(ours_cfg), array, seed)?;
+        let reference = baseline.energy(&params);
+        bars.push(Fig7Bar {
+            network: arch.name.clone(),
+            array_size: size,
+            im2col_energy: reference,
+            pattern_normalized: pattern.energy(&params) / reference,
+            ours_normalized: ours.energy(&params) / reference,
+        });
+    }
+    Ok(bars)
+}
+
+/// One panel of Fig. 8: ours vs quantized models on one array size.
+#[derive(Debug, Clone)]
+pub struct Fig8Panel {
+    /// Array size.
+    pub array_size: usize,
+    /// Quantized model points (1 to 4 bits).
+    pub quantized: Vec<ParetoPoint>,
+    /// Proposed-method Pareto points.
+    pub ours: Vec<ParetoPoint>,
+}
+
+/// Regenerates Fig. 8 (ResNet-20, 64×64 and 128×128 arrays).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn fig8(seed: u64) -> Result<Vec<Fig8Panel>> {
+    let arch = resnet20();
+    let mut panels = Vec::new();
+    for size in [64usize, 128] {
+        let array = ArrayConfig::square(size)?;
+        let mut quantized = Vec::new();
+        for bits in 1..=4 {
+            let eval = evaluate(&arch, &CompressionMethod::Quantized { bits }, array, seed)?;
+            quantized.push(ParetoPoint {
+                method: eval.method,
+                cycles: eval.cycles,
+                accuracy: eval.accuracy,
+            });
+        }
+        let panel6 = fig6(&arch, size, seed)?;
+        panels.push(Fig8Panel {
+            array_size: size,
+            quantized,
+            ours: panel6.ours,
+        });
+    }
+    Ok(panels)
+}
+
+/// One comparison row of Fig. 9: the proposed method vs traditional low-rank
+/// compression (no grouping, no SDK) at the same rank.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Network name.
+    pub network: String,
+    /// Array size.
+    pub array_size: usize,
+    /// Rank divisor used for both methods.
+    pub rank: RankSpec,
+    /// Traditional low-rank evaluation (g = 1, im2col factors).
+    pub traditional: ParetoPoint,
+    /// Proposed method evaluation (g = 4, SDK factors).
+    pub proposed: ParetoPoint,
+}
+
+impl Fig9Row {
+    /// Speed-up of the proposed method over the traditional one.
+    pub fn speedup(&self) -> f64 {
+        self.traditional.cycles / self.proposed.cycles.max(1.0)
+    }
+}
+
+/// Regenerates the Fig. 9 comparison for one network and array size.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn fig9_for(arch: &NetworkArch, array_size: usize, seed: u64) -> Result<Vec<Fig9Row>> {
+    let array = ArrayConfig::square(array_size)?;
+    let mut rows = Vec::new();
+    for rank in RankSpec::paper_divisors() {
+        let traditional_cfg = CompressionConfig::traditional(rank);
+        let proposed_cfg =
+            CompressionConfig::new(rank, 4, true).expect("paper configuration is valid");
+        let traditional =
+            evaluate(arch, &CompressionMethod::LowRank(traditional_cfg), array, seed)?;
+        let proposed = evaluate(arch, &CompressionMethod::LowRank(proposed_cfg), array, seed)?;
+        rows.push(Fig9Row {
+            network: arch.name.clone(),
+            array_size,
+            rank,
+            traditional: ParetoPoint {
+                method: traditional.method,
+                cycles: traditional.cycles,
+                accuracy: traditional.accuracy,
+            },
+            proposed: ParetoPoint {
+                method: proposed.method,
+                cycles: proposed.cycles,
+                accuracy: proposed.accuracy,
+            },
+        });
+    }
+    Ok(rows)
+}
+
+/// Regenerates Fig. 9: ResNet-20 on 64×64 arrays and WRN16-4 on 128×128
+/// arrays, proposed vs traditional low-rank, across the rank sweep.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn fig9(seed: u64) -> Result<Vec<Fig9Row>> {
+    let mut rows = fig9_for(&resnet20(), 64, seed)?;
+    rows.extend(fig9_for(&wrn16_4(), 128, seed)?);
+    Ok(rows)
+}
+
+/// The paper's headline numbers, derived from the other experiments.
+#[derive(Debug, Clone)]
+pub struct Headline {
+    /// Best speed-up of the proposed method over pattern pruning at matched
+    /// (or better) accuracy, over both networks and all array sizes.
+    pub speedup_vs_pruning: f64,
+    /// Best accuracy gain (percentage points) of the proposed method over
+    /// pattern pruning at matched (or lower) cycles.
+    pub accuracy_gain_vs_pruning: f64,
+    /// Best energy saving versus pattern pruning (fraction, e.g. 0.71).
+    pub energy_saving_vs_pruning: f64,
+    /// Best energy saving versus the im2col baseline.
+    pub energy_saving_vs_im2col: f64,
+}
+
+/// Computes the headline comparison numbers from Fig. 6 panels and Fig. 7
+/// bars for one network.
+pub fn headline(panels: &[Fig6Panel], bars: &[Fig7Bar]) -> Headline {
+    let mut speedup: f64 = 1.0;
+    let mut accuracy_gain: f64 = 0.0;
+    for panel in panels {
+        for ours in &panel.ours {
+            for pruned in panel.patdnn.iter().chain(panel.pairs.iter()) {
+                if ours.accuracy >= pruned.accuracy && ours.cycles > 0.0 {
+                    speedup = speedup.max(pruned.cycles / ours.cycles);
+                }
+                if ours.cycles <= pruned.cycles {
+                    accuracy_gain = accuracy_gain.max(ours.accuracy - pruned.accuracy);
+                }
+            }
+        }
+    }
+    let mut saving_pruning: f64 = 0.0;
+    let mut saving_im2col: f64 = 0.0;
+    for bar in bars {
+        if bar.pattern_normalized > 0.0 {
+            saving_pruning =
+                saving_pruning.max(1.0 - bar.ours_normalized / bar.pattern_normalized);
+        }
+        saving_im2col = saving_im2col.max(1.0 - bar.ours_normalized);
+    }
+    Headline {
+        speedup_vs_pruning: speedup,
+        accuracy_gain_vs_pruning: accuracy_gain,
+        energy_saving_vs_pruning: saving_pruning,
+        energy_saving_vs_im2col: saving_im2col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_resnet20_has_sixteen_rows_with_expected_trends() {
+        let rows = table1(&resnet20(), DEFAULT_SEED).unwrap();
+        assert_eq!(rows.len(), 16);
+        // Accuracy improves with more groups at fixed rank divisor.
+        let acc = |g: usize, d: usize| {
+            rows.iter()
+                .find(|r| r.groups == g && r.rank == RankSpec::Divisor(d))
+                .unwrap()
+                .accuracy
+        };
+        assert!(acc(4, 8) >= acc(1, 8));
+        assert!(acc(8, 16) >= acc(1, 16));
+        // Accuracy improves with higher rank at fixed groups.
+        assert!(acc(1, 2) >= acc(1, 16));
+        // SDK mapping never increases cycles.
+        for r in &rows {
+            assert!(r.cycles_64_sdk <= r.cycles_64_plain);
+            assert!(r.cycles_32_sdk <= r.cycles_32_plain);
+            // Larger arrays never increase cycles.
+            assert!(r.cycles_64_sdk <= r.cycles_32_sdk);
+        }
+    }
+
+    #[test]
+    fn fig6_panel_orders_methods_correctly() {
+        let panel = fig6(&resnet20(), 64, DEFAULT_SEED).unwrap();
+        assert!(!panel.ours.is_empty());
+        assert_eq!(panel.patdnn.len(), 8);
+        assert_eq!(panel.pairs.len(), 8);
+        // The Pareto front is sorted by cycles and increasing accuracy.
+        for pair in panel.ours.windows(2) {
+            assert!(pair[0].cycles <= pair[1].cycles);
+            assert!(pair[0].accuracy <= pair[1].accuracy);
+        }
+        // At least one of our points beats the baseline cycle count.
+        assert!(panel.ours.iter().any(|p| p.cycles < panel.baseline_cycles));
+    }
+
+    #[test]
+    fn pareto_front_filters_dominated_points() {
+        let points = vec![
+            ParetoPoint { method: "a".into(), cycles: 10.0, accuracy: 80.0 },
+            ParetoPoint { method: "b".into(), cycles: 20.0, accuracy: 70.0 },
+            ParetoPoint { method: "c".into(), cycles: 30.0, accuracy: 90.0 },
+        ];
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().all(|p| p.method != "b"));
+    }
+
+    #[test]
+    fn fig7_ours_is_most_energy_efficient_for_resnet20() {
+        let bars = fig7(&resnet20(), DEFAULT_SEED).unwrap();
+        assert_eq!(bars.len(), 3);
+        for bar in &bars {
+            assert!(bar.ours_normalized < 1.0);
+            assert!(bar.ours_normalized < bar.pattern_normalized);
+        }
+    }
+
+    #[test]
+    fn fig9_proposed_is_faster_than_traditional() {
+        // The full fig9() also covers WRN16-4 on 128x128 arrays; the ResNet
+        // panel is enough to validate the trend and keeps the test fast.
+        let rows = fig9_for(&resnet20(), 64, DEFAULT_SEED).unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.speedup() > 1.0, "rank {:?}", row.rank);
+            assert!(row.proposed.accuracy >= row.traditional.accuracy - 1e-9);
+        }
+    }
+
+    #[test]
+    fn headline_numbers_are_sensible() {
+        let panel = fig6(&resnet20(), 64, DEFAULT_SEED).unwrap();
+        let bars = fig7(&resnet20(), DEFAULT_SEED).unwrap();
+        let h = headline(&[panel], &bars);
+        assert!(h.speedup_vs_pruning >= 1.0);
+        assert!(h.energy_saving_vs_im2col > 0.0);
+        assert!(h.energy_saving_vs_pruning > 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Table I (accuracy & cycles, group × rank grid, w/ and w/o SDK) | [`experiments::table1`] |
+//! | Fig. 6 (accuracy vs cycles Pareto: ours vs PatDNN vs PAIRS)    | [`experiments::fig6`] |
+//! | Fig. 7 (normalized energy: im2col vs pattern pruning vs ours)  | [`experiments::fig7`] |
+//! | Fig. 8 (ours vs 1–4-bit DoReFa quantization)                   | [`experiments::fig8`] |
+//! | Fig. 9 (ours vs traditional low-rank compression)              | [`experiments::fig9`] |
+//!
+//! The building block underneath is [`network::NetworkEvaluation`]: a whole
+//! network evaluated under one compression method on one array size, with
+//! computing cycles from the AR/AC model, accuracy from the calibrated
+//! error→accuracy model (see `imc-nn`), parameters, and the energy access
+//! schedules consumed by the Fig. 7 experiment.
+//!
+//! Every function takes explicit seeds and is fully deterministic, so the
+//! generated reports are reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod network;
+pub mod report;
+
+pub use experiments::{fig6, fig7, fig8, fig9, fig9_for, headline, table1};
+pub use network::{CompressionMethod, NetworkEvaluation};
+
+/// Errors produced by the experiment harness.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An error bubbled up from a lower layer.
+    Core(imc_core::Error),
+    /// An error bubbled up from the pruning baselines.
+    Pruning(imc_pruning::Error),
+    /// An error bubbled up from the quantization baselines.
+    Quant(imc_quant::Error),
+    /// An error bubbled up from the array-mapping layer.
+    Array(imc_array::Error),
+    /// An error bubbled up from the tensor layer.
+    Tensor(imc_tensor::Error),
+    /// An error bubbled up from the neural-network layer.
+    Nn(imc_nn::Error),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "compression error: {e}"),
+            Error::Pruning(e) => write!(f, "pruning error: {e}"),
+            Error::Quant(e) => write!(f, "quantization error: {e}"),
+            Error::Array(e) => write!(f, "array mapping error: {e}"),
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+            Error::Nn(e) => write!(f, "neural network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<imc_core::Error> for Error {
+    fn from(e: imc_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<imc_pruning::Error> for Error {
+    fn from(e: imc_pruning::Error) -> Self {
+        Error::Pruning(e)
+    }
+}
+
+impl From<imc_quant::Error> for Error {
+    fn from(e: imc_quant::Error) -> Self {
+        Error::Quant(e)
+    }
+}
+
+impl From<imc_array::Error> for Error {
+    fn from(e: imc_array::Error) -> Self {
+        Error::Array(e)
+    }
+}
+
+impl From<imc_tensor::Error> for Error {
+    fn from(e: imc_tensor::Error) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+impl From<imc_nn::Error> for Error {
+    fn from(e: imc_nn::Error) -> Self {
+        Error::Nn(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;

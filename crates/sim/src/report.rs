@@ -1,0 +1,214 @@
+//! Plain-text (Markdown / CSV) reporters for the experiment outputs.
+
+use crate::experiments::{Fig6Panel, Fig7Bar, Fig8Panel, Fig9Row, Table1Row};
+
+fn fmt_cycles(cycles: f64) -> String {
+    if cycles >= 1000.0 {
+        format!("{:.0}k", cycles / 1000.0)
+    } else {
+        format!("{cycles:.0}")
+    }
+}
+
+/// Renders Table I rows as a Markdown table.
+pub fn table1_markdown(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("| Network | Group | Rank | Acc. (%) | Cycles 32 (w/o SDK) | Cycles 64 (w/o SDK) | Cycles 32 (w/ SDK) | Cycles 64 (w/ SDK) |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1} | {} | {} | {} | {} |\n",
+            r.network,
+            r.groups,
+            r.rank,
+            r.accuracy,
+            fmt_cycles(r.cycles_32_plain as f64),
+            fmt_cycles(r.cycles_64_plain as f64),
+            fmt_cycles(r.cycles_32_sdk as f64),
+            fmt_cycles(r.cycles_64_sdk as f64),
+        ));
+    }
+    out
+}
+
+/// Renders Table I rows as CSV.
+pub fn table1_csv(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "network,groups,rank,accuracy,cycles32_plain,cycles64_plain,cycles32_sdk,cycles64_sdk\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.2},{},{},{},{}\n",
+            r.network,
+            r.groups,
+            r.rank,
+            r.accuracy,
+            r.cycles_32_plain,
+            r.cycles_64_plain,
+            r.cycles_32_sdk,
+            r.cycles_64_sdk
+        ));
+    }
+    out
+}
+
+/// Renders one Fig. 6 panel as a Markdown section with one table per method.
+pub fn fig6_markdown(panel: &Fig6Panel) -> String {
+    let mut out = format!(
+        "### {} on {}x{} arrays (baseline: {} cycles, {:.1}% accuracy)\n\n",
+        panel.network,
+        panel.array_size,
+        panel.array_size,
+        fmt_cycles(panel.baseline_cycles),
+        panel.baseline_accuracy
+    );
+    for (name, points) in [
+        ("Ours (Pareto front)", &panel.ours),
+        ("PatDNN", &panel.patdnn),
+        ("PAIRS", &panel.pairs),
+    ] {
+        out.push_str(&format!("**{name}**\n\n| Config | Cycles | Accuracy (%) |\n|---|---|---|\n"));
+        for p in points {
+            out.push_str(&format!(
+                "| {} | {} | {:.1} |\n",
+                p.method,
+                fmt_cycles(p.cycles),
+                p.accuracy
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Fig. 7 bars as a Markdown table.
+pub fn fig7_markdown(bars: &[Fig7Bar]) -> String {
+    let mut out = String::from(
+        "| Network | Array | im2col (norm.) | Pattern pruning (norm.) | Ours (norm.) |\n|---|---|---|---|---|\n",
+    );
+    for b in bars {
+        out.push_str(&format!(
+            "| {} | {}x{} | 1.00 | {:.2} | {:.2} |\n",
+            b.network, b.array_size, b.array_size, b.pattern_normalized, b.ours_normalized
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 8 panels as Markdown.
+pub fn fig8_markdown(panels: &[Fig8Panel]) -> String {
+    let mut out = String::new();
+    for panel in panels {
+        out.push_str(&format!(
+            "### ResNet-20 on {}x{} arrays\n\n| Method | Cycles | Accuracy (%) |\n|---|---|---|\n",
+            panel.array_size, panel.array_size
+        ));
+        for p in panel.quantized.iter().chain(panel.ours.iter()) {
+            out.push_str(&format!(
+                "| {} | {} | {:.1} |\n",
+                p.method,
+                fmt_cycles(p.cycles),
+                p.accuracy
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Fig. 9 rows as a Markdown table.
+pub fn fig9_markdown(rows: &[Fig9Row]) -> String {
+    let mut out = String::from(
+        "| Network | Array | Rank | Traditional cycles | Proposed cycles | Speed-up | Traditional acc. | Proposed acc. |\n|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {}x{} | {} | {} | {} | {:.2}x | {:.1} | {:.1} |\n",
+            r.network,
+            r.array_size,
+            r.array_size,
+            r.rank,
+            fmt_cycles(r.traditional.cycles),
+            fmt_cycles(r.proposed.cycles),
+            r.speedup(),
+            r.traditional.accuracy,
+            r.proposed.accuracy
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ParetoPoint;
+    use imc_core::RankSpec;
+
+    fn sample_rows() -> Vec<Table1Row> {
+        vec![Table1Row {
+            network: "ResNet-20".into(),
+            groups: 4,
+            rank: RankSpec::Divisor(8),
+            accuracy: 90.1,
+            cycles_32_plain: 73_000,
+            cycles_64_plain: 40_000,
+            cycles_32_sdk: 50_000,
+            cycles_64_sdk: 21_000,
+        }]
+    }
+
+    #[test]
+    fn table1_markdown_contains_all_columns() {
+        let md = table1_markdown(&sample_rows());
+        assert!(md.contains("ResNet-20"));
+        assert!(md.contains("m/8"));
+        assert!(md.contains("90.1"));
+        assert!(md.contains("21k"));
+    }
+
+    #[test]
+    fn table1_csv_is_machine_readable() {
+        let csv = table1_csv(&sample_rows());
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 8);
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), 8);
+    }
+
+    #[test]
+    fn fig7_markdown_lists_all_bars() {
+        let bars = vec![Fig7Bar {
+            network: "WRN16-4".into(),
+            array_size: 32,
+            im2col_energy: 100.0,
+            pattern_normalized: 0.6,
+            ours_normalized: 0.2,
+        }];
+        let md = fig7_markdown(&bars);
+        assert!(md.contains("WRN16-4"));
+        assert!(md.contains("0.60"));
+        assert!(md.contains("0.20"));
+    }
+
+    #[test]
+    fn fig9_markdown_reports_speedup() {
+        let rows = vec![Fig9Row {
+            network: "ResNet-20".into(),
+            array_size: 64,
+            rank: RankSpec::Divisor(8),
+            traditional: ParetoPoint {
+                method: "traditional".into(),
+                cycles: 40_000.0,
+                accuracy: 84.7,
+            },
+            proposed: ParetoPoint {
+                method: "ours".into(),
+                cycles: 25_000.0,
+                accuracy: 90.1,
+            },
+        }];
+        let md = fig9_markdown(&rows);
+        assert!(md.contains("1.60x"));
+    }
+}

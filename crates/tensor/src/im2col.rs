@@ -1,0 +1,240 @@
+//! Input-side im2col and reference convolutions.
+//!
+//! Two reference convolution implementations are provided: a direct
+//! seven-loop convolution and an im2col + GEMM convolution. They exist so
+//! that every weight transformation in the workspace (low-rank factorization,
+//! SDK mapping, pruning masks) can be validated end-to-end: a transformed
+//! weight must produce the same (or a quantifiably approximate) output
+//! feature map as the original.
+
+use imc_linalg::Matrix;
+
+use crate::shape::ConvShape;
+use crate::tensor::{FeatureMap, Tensor4};
+use crate::{Error, Result};
+
+/// Unrolls the input feature map into the im2col patch matrix.
+///
+/// The result has `IC·KH·KW` rows and `OH·OW` columns: column `p` is the
+/// flattened receptive field of output pixel `p` (row-major over the output
+/// map), in the same `(ic, kh, kw)` ordering used by
+/// [`Tensor4::to_im2col_matrix`]. The weight matrix `W (m×n)` times this
+/// patch matrix yields the `OC × (OH·OW)` output.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the feature map does not match
+/// `shape` (channels or spatial size).
+pub fn unroll_input(input: &FeatureMap, shape: &ConvShape) -> Result<Matrix> {
+    if input.channels() != shape.in_channels {
+        return Err(Error::DimensionMismatch {
+            expected: shape.in_channels,
+            actual: input.channels(),
+        });
+    }
+    if input.height() != shape.input_h || input.width() != shape.input_w {
+        return Err(Error::DimensionMismatch {
+            expected: shape.input_h * shape.input_w,
+            actual: input.height() * input.width(),
+        });
+    }
+    let oh = shape.output_h();
+    let ow = shape.output_w();
+    let n = shape.im2col_rows();
+    let mut patches = Matrix::zeros(n, oh * ow);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let col = oy * ow + ox;
+            let base_y = (oy * shape.stride) as isize - shape.padding as isize;
+            let base_x = (ox * shape.stride) as isize - shape.padding as isize;
+            for ic in 0..shape.in_channels {
+                for ky in 0..shape.kernel_h {
+                    for kx in 0..shape.kernel_w {
+                        let row = (ic * shape.kernel_h + ky) * shape.kernel_w + kx;
+                        let v = input.get_padded(ic, base_y + ky as isize, base_x + kx as isize);
+                        patches.set(row, col, v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(patches)
+}
+
+/// Direct (nested-loop) 2-D convolution producing an `OC × OH × OW` feature
+/// map.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] when the weight tensor or input does
+/// not match `shape`.
+pub fn conv2d_direct(input: &FeatureMap, weight: &Tensor4, shape: &ConvShape) -> Result<FeatureMap> {
+    if weight.out_channels() != shape.out_channels
+        || weight.in_channels() != shape.in_channels
+        || weight.kernel_h() != shape.kernel_h
+        || weight.kernel_w() != shape.kernel_w
+    {
+        return Err(Error::DimensionMismatch {
+            expected: shape.weight_count(),
+            actual: weight.len(),
+        });
+    }
+    if input.channels() != shape.in_channels {
+        return Err(Error::DimensionMismatch {
+            expected: shape.in_channels,
+            actual: input.channels(),
+        });
+    }
+    let oh = shape.output_h();
+    let ow = shape.output_w();
+    let mut out = FeatureMap::zeros(shape.out_channels, oh, ow)?;
+    for oc in 0..shape.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let base_y = (oy * shape.stride) as isize - shape.padding as isize;
+                let base_x = (ox * shape.stride) as isize - shape.padding as isize;
+                let mut acc = 0.0;
+                for ic in 0..shape.in_channels {
+                    for ky in 0..shape.kernel_h {
+                        for kx in 0..shape.kernel_w {
+                            let x = input.get_padded(ic, base_y + ky as isize, base_x + kx as isize);
+                            acc += x * weight.get(oc, ic, ky, kx);
+                        }
+                    }
+                }
+                out.set(oc, oy, ox, acc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// im2col + GEMM convolution: `W (m×n) · patches (n×OH·OW)`.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from [`unroll_input`] and the GEMM.
+pub fn conv2d_im2col(input: &FeatureMap, weight: &Tensor4, shape: &ConvShape) -> Result<FeatureMap> {
+    let patches = unroll_input(input, shape)?;
+    let w = weight.to_im2col_matrix();
+    let out = w.matmul(&patches)?;
+    let oh = shape.output_h();
+    let ow = shape.output_w();
+    let mut fm = FeatureMap::zeros(shape.out_channels, oh, ow)?;
+    for oc in 0..shape.out_channels {
+        for p in 0..oh * ow {
+            fm.set(oc, p / ow, p % ow, out.get(oc, p));
+        }
+    }
+    Ok(fm)
+}
+
+/// Applies a *matrixized* weight (any `m × n` matrix, e.g. a low-rank
+/// reconstruction) to an input through im2col. This is the hook the
+/// compression layers use to measure end-to-end output error without
+/// round-tripping through [`Tensor4`].
+///
+/// # Errors
+///
+/// Propagates shape mismatches from [`unroll_input`] and the GEMM.
+pub fn conv2d_with_matrix(
+    input: &FeatureMap,
+    weight_matrix: &Matrix,
+    shape: &ConvShape,
+) -> Result<FeatureMap> {
+    let patches = unroll_input(input, shape)?;
+    let out = weight_matrix.matmul(&patches)?;
+    let oh = shape.output_h();
+    let ow = shape.output_w();
+    let mut fm = FeatureMap::zeros(weight_matrix.rows(), oh, ow)?;
+    for oc in 0..weight_matrix.rows() {
+        for p in 0..oh * ow {
+            fm.set(oc, p / ow, p % ow, out.get(oc, p));
+        }
+    }
+    Ok(fm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_feature_map(c: usize, h: usize, w: usize, seed: u64) -> FeatureMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        FeatureMap::from_vec(c, h, w, data).unwrap()
+    }
+
+    fn max_abs_diff(a: &FeatureMap, b: &FeatureMap) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice().iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn unroll_shape_matches_formula() {
+        let shape = ConvShape::square(3, 8, 3, 1, 1, 8).unwrap();
+        let input = random_feature_map(3, 8, 8, 1);
+        let patches = unroll_input(&input, &shape).unwrap();
+        assert_eq!(patches.rows(), 27);
+        assert_eq!(patches.cols(), 64);
+    }
+
+    #[test]
+    fn unroll_rejects_mismatched_input() {
+        let shape = ConvShape::square(3, 8, 3, 1, 1, 8).unwrap();
+        let wrong_channels = random_feature_map(4, 8, 8, 1);
+        assert!(unroll_input(&wrong_channels, &shape).is_err());
+        let wrong_size = random_feature_map(3, 9, 8, 1);
+        assert!(unroll_input(&wrong_size, &shape).is_err());
+    }
+
+    #[test]
+    fn im2col_convolution_matches_direct() {
+        for (stride, padding, input) in [(1, 1, 8), (2, 1, 8), (1, 0, 7), (2, 0, 9)] {
+            let shape = ConvShape::square(3, 5, 3, stride, padding, input).unwrap();
+            let weight = Tensor4::kaiming_for(&shape, 42).unwrap();
+            let x = random_feature_map(3, input, input, 7);
+            let direct = conv2d_direct(&x, &weight, &shape).unwrap();
+            let gemm = conv2d_im2col(&x, &weight, &shape).unwrap();
+            assert!(
+                max_abs_diff(&direct, &gemm) < 1e-10,
+                "mismatch at stride={stride} padding={padding}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_with_matrix_matches_tensor_path() {
+        let shape = ConvShape::square(4, 6, 3, 1, 1, 6).unwrap();
+        let weight = Tensor4::kaiming_for(&shape, 3).unwrap();
+        let x = random_feature_map(4, 6, 6, 5);
+        let via_tensor = conv2d_im2col(&x, &weight, &shape).unwrap();
+        let via_matrix = conv2d_with_matrix(&x, &weight.to_im2col_matrix(), &shape).unwrap();
+        assert!(max_abs_diff(&via_tensor, &via_matrix) < 1e-12);
+    }
+
+    #[test]
+    fn pointwise_convolution_is_a_channel_mix() {
+        let shape = ConvShape::square(3, 2, 1, 1, 0, 4).unwrap();
+        let mut weight = Tensor4::zeros(2, 3, 1, 1).unwrap();
+        weight.set(0, 0, 0, 0, 1.0);
+        weight.set(1, 2, 0, 0, 2.0);
+        let x = random_feature_map(3, 4, 4, 2);
+        let y = conv2d_direct(&x, &weight, &shape).unwrap();
+        assert!((y.get(0, 1, 1) - x.get(0, 1, 1)).abs() < 1e-12);
+        assert!((y.get(1, 3, 0) - 2.0 * x.get(2, 3, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_conv_validates_weight_shape() {
+        let shape = ConvShape::square(3, 5, 3, 1, 1, 8).unwrap();
+        let wrong = Tensor4::kaiming(5, 4, 3, 3, 0).unwrap();
+        let x = random_feature_map(3, 8, 8, 0);
+        assert!(conv2d_direct(&x, &wrong, &shape).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Convolution tensors, layer-shape arithmetic and im2col matrixization.
+//!
+//! The IMC mapping and compression layers of this workspace reason about
+//! convolutional layers through two representations:
+//!
+//! * [`ConvShape`] — the static geometry of a convolution (channels, kernel,
+//!   stride, padding, input size) and everything that can be derived from it
+//!   (output size, im2col matrix dimensions, MAC counts).
+//! * [`Tensor4`] — an owned `OC × IC × KH × KW` weight tensor together with
+//!   the im2col matrixization that turns it into the `m × n` weight matrix
+//!   `W` of the paper (`m` = output channels, `n` = `IC·KH·KW`).
+//!
+//! The crate also provides input-side im2col ([`im2col::unroll_input`]) used
+//! by the reference convolution in `imc-nn`, which lets the test-suite verify
+//! that matrixized weights compute exactly the same outputs as a direct
+//! convolution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod im2col;
+pub mod shape;
+pub mod tensor;
+
+pub use im2col::{conv2d_direct, conv2d_im2col, unroll_input};
+pub use shape::{ConvShape, LayerKind, LayerShape, LinearShape};
+pub use tensor::{FeatureMap, Tensor4};
+
+/// Errors produced by the tensor layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A shape parameter (channel count, kernel size, stride, …) is zero or
+    /// otherwise inconsistent.
+    InvalidShape {
+        /// Description of the offending parameter.
+        what: &'static str,
+    },
+    /// The provided buffer length does not match the tensor shape.
+    DimensionMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Provided number of elements.
+        actual: usize,
+    },
+    /// The kernel (plus padding) does not fit into the input feature map.
+    KernelTooLarge {
+        /// Effective input extent (input + 2·padding).
+        input: usize,
+        /// Kernel extent.
+        kernel: usize,
+    },
+    /// An error bubbled up from the linear-algebra layer.
+    Linalg(imc_linalg::Error),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::InvalidShape { what } => write!(f, "invalid shape parameter: {what}"),
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+            Error::KernelTooLarge { input, kernel } => write!(
+                f,
+                "kernel extent {kernel} exceeds padded input extent {input}"
+            ),
+            Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<imc_linalg::Error> for Error {
+    fn from(e: imc_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;

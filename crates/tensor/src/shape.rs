@@ -1,0 +1,376 @@
+//! Static geometry of convolutional and linear layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// The geometry of a 2-D convolution layer applied to a square feature map.
+///
+/// Shapes are the only thing the cycle/energy models need — the actual weight
+/// values only matter for accuracy modelling. All paper experiments use
+/// square inputs and square kernels, but rectangular kernels are supported
+/// because the SDK parallel-window search explores rectangular windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvShape {
+    /// Number of input channels (`IC`).
+    pub in_channels: usize,
+    /// Number of output channels (`OC`, the paper's `m`).
+    pub out_channels: usize,
+    /// Kernel height (`K_h`).
+    pub kernel_h: usize,
+    /// Kernel width (`K_w`).
+    pub kernel_w: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Zero-padding (same on all four sides).
+    pub padding: usize,
+    /// Input feature-map height.
+    pub input_h: usize,
+    /// Input feature-map width.
+    pub input_w: usize,
+}
+
+impl ConvShape {
+    /// Creates a convolution shape, validating that every parameter is
+    /// non-zero and that the (padded) input can host at least one kernel
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] or [`Error::KernelTooLarge`] when the
+    /// parameters are inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+        input_h: usize,
+        input_w: usize,
+    ) -> Result<Self> {
+        if in_channels == 0 {
+            return Err(Error::InvalidShape {
+                what: "in_channels must be non-zero",
+            });
+        }
+        if out_channels == 0 {
+            return Err(Error::InvalidShape {
+                what: "out_channels must be non-zero",
+            });
+        }
+        if kernel_h == 0 || kernel_w == 0 {
+            return Err(Error::InvalidShape {
+                what: "kernel size must be non-zero",
+            });
+        }
+        if stride == 0 {
+            return Err(Error::InvalidShape {
+                what: "stride must be non-zero",
+            });
+        }
+        if input_h == 0 || input_w == 0 {
+            return Err(Error::InvalidShape {
+                what: "input size must be non-zero",
+            });
+        }
+        let shape = Self {
+            in_channels,
+            out_channels,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            input_h,
+            input_w,
+        };
+        if input_h + 2 * padding < kernel_h {
+            return Err(Error::KernelTooLarge {
+                input: input_h + 2 * padding,
+                kernel: kernel_h,
+            });
+        }
+        if input_w + 2 * padding < kernel_w {
+            return Err(Error::KernelTooLarge {
+                input: input_w + 2 * padding,
+                kernel: kernel_w,
+            });
+        }
+        Ok(shape)
+    }
+
+    /// Convenience constructor for the common square `K×K`, stride-`s`,
+    /// padding-`p` convolution on a square `H×H` input.
+    pub fn square(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        input: usize,
+    ) -> Result<Self> {
+        Self::new(
+            in_channels,
+            out_channels,
+            kernel,
+            kernel,
+            stride,
+            padding,
+            input,
+            input,
+        )
+    }
+
+    /// Output feature-map height.
+    pub fn output_h(&self) -> usize {
+        (self.input_h + 2 * self.padding - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    pub fn output_w(&self) -> usize {
+        (self.input_w + 2 * self.padding - self.kernel_w) / self.stride + 1
+    }
+
+    /// Number of sliding-window positions, i.e. output pixels per channel.
+    pub fn output_pixels(&self) -> usize {
+        self.output_h() * self.output_w()
+    }
+
+    /// `n = IC·K_h·K_w`, the im2col input dimension (weight matrix columns in
+    /// the paper's `m × n` orientation; crossbar wordlines when mapped).
+    pub fn im2col_rows(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// `m = OC`, the number of output channels (weight matrix rows in the
+    /// paper's orientation; crossbar bitlines when mapped).
+    pub fn im2col_cols(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Total number of weight parameters `OC·IC·K_h·K_w`.
+    pub fn weight_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Number of multiply-accumulate operations for one inference pass.
+    pub fn macs(&self) -> usize {
+        self.weight_count() * self.output_pixels()
+    }
+
+    /// Maximum admissible low-rank `k = min(m, n)` for this layer's weight
+    /// matrix.
+    pub fn max_rank(&self) -> usize {
+        self.im2col_rows().min(self.im2col_cols())
+    }
+
+    /// Returns the shape of the same layer applied to a different input size
+    /// (used when propagating feature-map sizes through a network).
+    pub fn with_input(&self, input_h: usize, input_w: usize) -> Result<Self> {
+        Self::new(
+            self.in_channels,
+            self.out_channels,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.padding,
+            input_h,
+            input_w,
+        )
+    }
+}
+
+/// The geometry of a fully connected (linear) layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinearShape {
+    /// Number of input features.
+    pub in_features: usize,
+    /// Number of output features.
+    pub out_features: usize,
+}
+
+impl LinearShape {
+    /// Creates a linear-layer shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] when either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(Error::InvalidShape {
+                what: "linear layer dimensions must be non-zero",
+            });
+        }
+        Ok(Self {
+            in_features,
+            out_features,
+        })
+    }
+
+    /// Number of weight parameters.
+    pub fn weight_count(&self) -> usize {
+        self.in_features * self.out_features
+    }
+
+    /// Number of multiply-accumulate operations for one inference pass.
+    pub fn macs(&self) -> usize {
+        self.weight_count()
+    }
+}
+
+/// Discriminates the two layer kinds that can be mapped onto IMC arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// A convolutional layer.
+    Conv,
+    /// A fully connected layer.
+    Linear,
+}
+
+/// A named layer of a network together with its geometry and whether the
+/// compression pipeline is allowed to touch it.
+///
+/// The paper never compresses the first convolution or the final classifier
+/// (they are "highly sensitive to perturbations and often processed on
+/// digital units"); such layers carry `compressible = false`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerShape {
+    /// Human-readable layer name (e.g. `"block2.conv1"`).
+    pub name: String,
+    /// Which kind of layer this is.
+    pub kind: LayerKind,
+    /// Convolution geometry (present when `kind == Conv`).
+    pub conv: Option<ConvShape>,
+    /// Linear geometry (present when `kind == Linear`).
+    pub linear: Option<LinearShape>,
+    /// Whether the compression pipeline may compress this layer.
+    pub compressible: bool,
+}
+
+impl LayerShape {
+    /// Creates a convolutional layer entry.
+    pub fn conv(name: impl Into<String>, shape: ConvShape, compressible: bool) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Conv,
+            conv: Some(shape),
+            linear: None,
+            compressible,
+        }
+    }
+
+    /// Creates a linear layer entry.
+    pub fn linear(name: impl Into<String>, shape: LinearShape, compressible: bool) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Linear,
+            conv: None,
+            linear: Some(shape),
+            compressible,
+        }
+    }
+
+    /// Number of weight parameters in the layer.
+    pub fn weight_count(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv => self.conv.map(|c| c.weight_count()).unwrap_or(0),
+            LayerKind::Linear => self.linear.map(|l| l.weight_count()).unwrap_or(0),
+        }
+    }
+
+    /// Number of MACs for one inference pass through the layer.
+    pub fn macs(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv => self.conv.map(|c| c.macs()).unwrap_or(0),
+            LayerKind::Linear => self.linear.map(|l| l.macs()).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_validates_parameters() {
+        assert!(ConvShape::square(0, 16, 3, 1, 1, 32).is_err());
+        assert!(ConvShape::square(16, 0, 3, 1, 1, 32).is_err());
+        assert!(ConvShape::square(16, 16, 0, 1, 1, 32).is_err());
+        assert!(ConvShape::square(16, 16, 3, 0, 1, 32).is_err());
+        assert!(ConvShape::square(16, 16, 3, 1, 1, 0).is_err());
+        assert!(matches!(
+            ConvShape::square(3, 16, 7, 1, 0, 4),
+            Err(Error::KernelTooLarge { .. })
+        ));
+        assert!(ConvShape::square(16, 16, 3, 1, 1, 32).is_ok());
+    }
+
+    #[test]
+    fn resnet_first_layer_geometry() {
+        // ResNet-20 stem: 3x3 conv, 3 -> 16 channels, 32x32 input, padding 1.
+        let c = ConvShape::square(3, 16, 3, 1, 1, 32).unwrap();
+        assert_eq!(c.output_h(), 32);
+        assert_eq!(c.output_w(), 32);
+        assert_eq!(c.output_pixels(), 1024);
+        assert_eq!(c.im2col_rows(), 27);
+        assert_eq!(c.im2col_cols(), 16);
+        assert_eq!(c.weight_count(), 432);
+        assert_eq!(c.macs(), 432 * 1024);
+        assert_eq!(c.max_rank(), 16);
+    }
+
+    #[test]
+    fn strided_convolution_halves_feature_map() {
+        // Down-sampling conv in ResNet-20: stride 2, 32x32 -> 16x16.
+        let c = ConvShape::square(16, 32, 3, 2, 1, 32).unwrap();
+        assert_eq!(c.output_h(), 16);
+        assert_eq!(c.output_w(), 16);
+    }
+
+    #[test]
+    fn pointwise_convolution_shape() {
+        let c = ConvShape::square(64, 128, 1, 1, 0, 8).unwrap();
+        assert_eq!(c.im2col_rows(), 64);
+        assert_eq!(c.im2col_cols(), 128);
+        assert_eq!(c.output_pixels(), 64);
+    }
+
+    #[test]
+    fn rectangular_kernel_output() {
+        let c = ConvShape::new(4, 8, 3, 5, 1, 0, 10, 12).unwrap();
+        assert_eq!(c.output_h(), 8);
+        assert_eq!(c.output_w(), 8);
+        assert_eq!(c.im2col_rows(), 4 * 15);
+    }
+
+    #[test]
+    fn with_input_propagates_feature_map_size() {
+        let c = ConvShape::square(16, 16, 3, 1, 1, 32).unwrap();
+        let half = c.with_input(16, 16).unwrap();
+        assert_eq!(half.output_pixels(), 256);
+        assert_eq!(half.in_channels, 16);
+    }
+
+    #[test]
+    fn linear_shape_and_counts() {
+        let l = LinearShape::new(64, 10).unwrap();
+        assert_eq!(l.weight_count(), 640);
+        assert_eq!(l.macs(), 640);
+        assert!(LinearShape::new(0, 10).is_err());
+    }
+
+    #[test]
+    fn layer_shape_delegates_counts() {
+        let conv = ConvShape::square(16, 32, 3, 1, 1, 16).unwrap();
+        let layer = LayerShape::conv("block1.conv0", conv, true);
+        assert_eq!(layer.weight_count(), conv.weight_count());
+        assert_eq!(layer.macs(), conv.macs());
+        assert_eq!(layer.kind, LayerKind::Conv);
+
+        let lin = LinearShape::new(256, 100).unwrap();
+        let layer = LayerShape::linear("fc", lin, false);
+        assert_eq!(layer.weight_count(), 25_600);
+        assert!(!layer.compressible);
+    }
+}

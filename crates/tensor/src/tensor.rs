@@ -1,0 +1,380 @@
+//! Owned weight tensors and feature maps.
+
+use imc_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::shape::ConvShape;
+use crate::{Error, Result};
+
+/// A 4-dimensional convolution weight tensor laid out as
+/// `[out_channel][in_channel][kernel_row][kernel_col]` (row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    oc: usize,
+    ic: usize,
+    kh: usize,
+    kw: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor4 {
+    /// Creates a tensor from a flat buffer in `OC, IC, KH, KW` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] for zero dimensions and
+    /// [`Error::DimensionMismatch`] when the buffer length disagrees.
+    pub fn from_vec(oc: usize, ic: usize, kh: usize, kw: usize, data: Vec<f64>) -> Result<Self> {
+        if oc == 0 || ic == 0 || kh == 0 || kw == 0 {
+            return Err(Error::InvalidShape {
+                what: "tensor dimensions must be non-zero",
+            });
+        }
+        let expected = oc * ic * kh * kw;
+        if data.len() != expected {
+            return Err(Error::DimensionMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Self {
+            oc,
+            ic,
+            kh,
+            kw,
+            data,
+        })
+    }
+
+    /// Creates an all-zero weight tensor.
+    pub fn zeros(oc: usize, ic: usize, kh: usize, kw: usize) -> Result<Self> {
+        Self::from_vec(oc, ic, kh, kw, vec![0.0; oc * ic * kh * kw])
+    }
+
+    /// Creates a Kaiming/He-initialized weight tensor from a seed
+    /// (`N(0, 2/fan_in)` with `fan_in = IC·KH·KW`), the stand-in for trained
+    /// weights used throughout the experiment harness.
+    pub fn kaiming(oc: usize, ic: usize, kh: usize, kw: usize, seed: u64) -> Result<Self> {
+        if oc == 0 || ic == 0 || kh == 0 || kw == 0 {
+            return Err(Error::InvalidShape {
+                what: "tensor dimensions must be non-zero",
+            });
+        }
+        let fan_in = ic * kh * kw;
+        let std = (2.0 / fan_in as f64).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..oc * ic * kh * kw)
+            .map(|_| imc_linalg::random::normal_sample(&mut rng) * std)
+            .collect();
+        Self::from_vec(oc, ic, kh, kw, data)
+    }
+
+    /// Creates a Kaiming-initialized tensor matching a [`ConvShape`].
+    pub fn kaiming_for(shape: &ConvShape, seed: u64) -> Result<Self> {
+        Self::kaiming(
+            shape.out_channels,
+            shape.in_channels,
+            shape.kernel_h,
+            shape.kernel_w,
+            seed,
+        )
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.oc
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.ic
+    }
+
+    /// Kernel height.
+    pub fn kernel_h(&self) -> usize {
+        self.kh
+    }
+
+    /// Kernel width.
+    pub fn kernel_w(&self) -> usize {
+        self.kw
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has no elements (never the case after a
+    /// successful construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the underlying buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, o: usize, i: usize, r: usize, c: usize) -> f64 {
+        debug_assert!(o < self.oc && i < self.ic && r < self.kh && c < self.kw);
+        self.data[((o * self.ic + i) * self.kh + r) * self.kw + c]
+    }
+
+    /// Sets a single element.
+    #[inline]
+    pub fn set(&mut self, o: usize, i: usize, r: usize, c: usize, value: f64) {
+        debug_assert!(o < self.oc && i < self.ic && r < self.kh && c < self.kw);
+        self.data[((o * self.ic + i) * self.kh + r) * self.kw + c] = value;
+    }
+
+    /// im2col matrixization in the paper's orientation: the result is the
+    /// `m × n` matrix `W` with `m = OC` rows and `n = IC·KH·KW` columns.
+    /// Row `o` is the flattening of output-channel `o`'s kernel in
+    /// `(ic, kh, kw)` order.
+    pub fn to_im2col_matrix(&self) -> Matrix {
+        let n = self.ic * self.kh * self.kw;
+        Matrix::from_fn(self.oc, n, |o, j| {
+            let i = j / (self.kh * self.kw);
+            let rem = j % (self.kh * self.kw);
+            let r = rem / self.kw;
+            let c = rem % self.kw;
+            self.get(o, i, r, c)
+        })
+    }
+
+    /// Rebuilds a tensor from an im2col weight matrix produced by
+    /// [`Tensor4::to_im2col_matrix`] (or an approximation of it with the same
+    /// shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the matrix shape is not
+    /// `OC × (IC·KH·KW)`.
+    pub fn from_im2col_matrix(
+        matrix: &Matrix,
+        ic: usize,
+        kh: usize,
+        kw: usize,
+    ) -> Result<Self> {
+        let n = ic * kh * kw;
+        if matrix.cols() != n {
+            return Err(Error::DimensionMismatch {
+                expected: n,
+                actual: matrix.cols(),
+            });
+        }
+        let oc = matrix.rows();
+        let mut t = Self::zeros(oc, ic, kh, kw)?;
+        for o in 0..oc {
+            for j in 0..n {
+                let i = j / (kh * kw);
+                let rem = j % (kh * kw);
+                let r = rem / kw;
+                let c = rem % kw;
+                t.set(o, i, r, c, matrix.get(o, j));
+            }
+        }
+        Ok(t)
+    }
+
+    /// Frobenius norm of the tensor viewed as a flat vector.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+/// A single-image feature map laid out as `[channel][row][col]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMap {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMap {
+    /// Creates a feature map from a flat `C, H, W` buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] for zero dimensions and
+    /// [`Error::DimensionMismatch`] for a wrong buffer length.
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<f64>) -> Result<Self> {
+        if channels == 0 || height == 0 || width == 0 {
+            return Err(Error::InvalidShape {
+                what: "feature map dimensions must be non-zero",
+            });
+        }
+        let expected = channels * height * width;
+        if data.len() != expected {
+            return Err(Error::DimensionMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Self {
+            channels,
+            height,
+            width,
+            data,
+        })
+    }
+
+    /// Creates an all-zero feature map.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Result<Self> {
+        Self::from_vec(channels, height, width, vec![0.0; channels * height * width])
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Feature-map height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Feature-map width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the feature map has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the underlying buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element access with zero padding: out-of-range coordinates return 0.
+    /// `row`/`col` are signed so callers can index into the padded halo
+    /// directly.
+    #[inline]
+    pub fn get_padded(&self, channel: usize, row: isize, col: isize) -> f64 {
+        if row < 0 || col < 0 || row as usize >= self.height || col as usize >= self.width {
+            return 0.0;
+        }
+        self.data[(channel * self.height + row as usize) * self.width + col as usize]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, channel: usize, row: usize, col: usize) -> f64 {
+        debug_assert!(channel < self.channels && row < self.height && col < self.width);
+        self.data[(channel * self.height + row) * self.width + col]
+    }
+
+    /// Sets a single element.
+    #[inline]
+    pub fn set(&mut self, channel: usize, row: usize, col: usize, value: f64) {
+        debug_assert!(channel < self.channels && row < self.height && col < self.width);
+        self.data[(channel * self.height + row) * self.width + col] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_construction_validates_input() {
+        assert!(Tensor4::from_vec(2, 2, 3, 3, vec![0.0; 36]).is_ok());
+        assert!(matches!(
+            Tensor4::from_vec(2, 2, 3, 3, vec![0.0; 35]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Tensor4::from_vec(0, 2, 3, 3, vec![]),
+            Err(Error::InvalidShape { .. })
+        ));
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut t = Tensor4::zeros(2, 3, 3, 3).unwrap();
+        t.set(1, 2, 0, 1, 7.5);
+        assert_eq!(t.get(1, 2, 0, 1), 7.5);
+        assert_eq!(t.get(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn im2col_matrix_has_paper_orientation() {
+        let shape = ConvShape::square(4, 8, 3, 1, 1, 16).unwrap();
+        let t = Tensor4::kaiming_for(&shape, 3).unwrap();
+        let w = t.to_im2col_matrix();
+        assert_eq!(w.rows(), 8); // m = OC
+        assert_eq!(w.cols(), 4 * 9); // n = IC*KH*KW
+        // Row o contains kernel o flattened in (ic, kh, kw) order.
+        assert_eq!(w.get(3, 0), t.get(3, 0, 0, 0));
+        assert_eq!(w.get(3, 9 + 4), t.get(3, 1, 1, 1));
+        assert_eq!(w.get(7, 35), t.get(7, 3, 2, 2));
+    }
+
+    #[test]
+    fn im2col_matrix_roundtrips_through_tensor() {
+        let t = Tensor4::kaiming(6, 5, 3, 3, 11).unwrap();
+        let w = t.to_im2col_matrix();
+        let back = Tensor4::from_im2col_matrix(&w, 5, 3, 3).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_im2col_matrix_validates_width() {
+        let w = Matrix::zeros(4, 10);
+        assert!(Tensor4::from_im2col_matrix(&w, 3, 3, 3).is_err());
+    }
+
+    #[test]
+    fn kaiming_is_deterministic_per_seed() {
+        let a = Tensor4::kaiming(4, 4, 3, 3, 5).unwrap();
+        let b = Tensor4::kaiming(4, 4, 3, 3, 5).unwrap();
+        let c = Tensor4::kaiming(4, 4, 3, 3, 6).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kaiming_norm_scales_with_fan_in() {
+        // Larger fan-in => smaller per-element std, but more elements; the
+        // per-element variance should be ~2/fan_in.
+        let t = Tensor4::kaiming(8, 16, 3, 3, 9).unwrap();
+        let fan_in = 16.0 * 9.0;
+        let var = t.as_slice().iter().map(|&x| x * x).sum::<f64>() / t.len() as f64;
+        assert!((var - 2.0 / fan_in).abs() < 0.5 * (2.0 / fan_in));
+    }
+
+    #[test]
+    fn feature_map_padding_returns_zero_outside() {
+        let mut f = FeatureMap::zeros(1, 2, 2).unwrap();
+        f.set(0, 1, 1, 3.0);
+        assert_eq!(f.get_padded(0, 1, 1), 3.0);
+        assert_eq!(f.get_padded(0, -1, 0), 0.0);
+        assert_eq!(f.get_padded(0, 0, 2), 0.0);
+        assert_eq!(f.get_padded(0, 5, 5), 0.0);
+    }
+
+    #[test]
+    fn feature_map_validates_shape() {
+        assert!(FeatureMap::from_vec(1, 2, 2, vec![0.0; 4]).is_ok());
+        assert!(FeatureMap::from_vec(1, 2, 2, vec![0.0; 5]).is_err());
+        assert!(FeatureMap::from_vec(0, 2, 2, vec![]).is_err());
+    }
+}

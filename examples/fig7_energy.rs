@@ -1,0 +1,37 @@
+//! Regenerates Fig. 7: inference energy of pattern pruning and the proposed
+//! method, normalized to the im2col baseline, for both networks and the three
+//! array sizes.
+//!
+//! Run with `cargo run --release --example fig7_energy`.
+
+use imc_repro::nn::{resnet20, wrn16_4};
+use imc_repro::sim::experiments::{fig7, DEFAULT_SEED};
+use imc_repro::sim::report::fig7_markdown;
+
+fn main() {
+    println!("# Fig. 7 — normalized inference energy (im2col = 1.0)\n");
+    let mut all = Vec::new();
+    for arch in [resnet20(), wrn16_4()] {
+        eprintln!("evaluating {}…", arch.name);
+        let bars = fig7(&arch, DEFAULT_SEED).expect("energy evaluation succeeds");
+        all.extend(bars);
+    }
+    println!("{}", fig7_markdown(&all));
+
+    let best_saving_vs_pruning = all
+        .iter()
+        .map(|b| 1.0 - b.ours_normalized / b.pattern_normalized)
+        .fold(0.0_f64, f64::max);
+    let best_saving_vs_im2col = all
+        .iter()
+        .map(|b| 1.0 - b.ours_normalized)
+        .fold(0.0_f64, f64::max);
+    println!(
+        "\nBest energy saving of ours vs pattern pruning: {:.0}% (paper: up to 71%)",
+        100.0 * best_saving_vs_pruning
+    );
+    println!(
+        "Best energy saving of ours vs im2col: {:.0}% (paper: up to 80%)",
+        100.0 * best_saving_vs_im2col
+    );
+}

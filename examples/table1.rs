@@ -1,0 +1,25 @@
+//! Regenerates Table I of the paper: accuracy and computing cycles of the
+//! low-rank compressed models across the group × rank grid, with and without
+//! SDK mapping, on 32×32 and 64×64 arrays.
+//!
+//! Run with `cargo run --release --example table1` (ResNet-20 only) or
+//! `cargo run --release --example table1 -- all` to include WRN16-4
+//! (the WRN sweep runs many large SVDs and takes a few minutes).
+
+use imc_repro::nn::{resnet20, wrn16_4};
+use imc_repro::sim::experiments::{table1, DEFAULT_SEED};
+use imc_repro::sim::report::{table1_csv, table1_markdown};
+
+fn main() {
+    let include_wrn = std::env::args().any(|a| a == "all" || a == "wrn");
+
+    let mut rows = table1(&resnet20(), DEFAULT_SEED).expect("ResNet-20 sweep succeeds");
+    if include_wrn {
+        eprintln!("(running the WRN16-4 sweep; this performs large SVDs and takes a while)");
+        rows.extend(table1(&wrn16_4(), DEFAULT_SEED).expect("WRN16-4 sweep succeeds"));
+    }
+
+    println!("# Table I — results on low-rank compression\n");
+    println!("{}", table1_markdown(&rows));
+    println!("\n# CSV\n\n{}", table1_csv(&rows));
+}

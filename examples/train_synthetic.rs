@@ -1,0 +1,63 @@
+//! End-to-end empirical demonstration of Theorem 1's consequence on a
+//! genuinely *trained* model: train a small MLP on a synthetic classification
+//! task, compress its hidden weight matrix with traditional low-rank and with
+//! group low-rank at the same rank, and compare the measured test accuracy of
+//! the two compressed models.
+//!
+//! Run with `cargo run --release --example train_synthetic`.
+
+use imc_repro::core::{GroupLowRank, LowRankFactors};
+use imc_repro::nn::{Mlp, SyntheticDataset, TrainConfig};
+
+fn main() {
+    let classes = 8;
+    let features = 64;
+    let hidden = 96;
+    let data = SyntheticDataset::generate(classes, features, 120, 60, 0.45, 7)
+        .expect("valid dataset parameters");
+
+    let mut mlp = Mlp::new(features, hidden, classes, 3).expect("valid MLP dimensions");
+    mlp.train(
+        data.train(),
+        &TrainConfig {
+            epochs: 60,
+            learning_rate: 0.08,
+            batch_size: 32,
+            seed: 5,
+        },
+    )
+    .expect("training succeeds");
+    let trained_acc = mlp.evaluate(data.test()).expect("evaluation succeeds");
+    println!("Trained MLP test accuracy: {:.1}%", 100.0 * trained_acc);
+
+    let w = mlp.hidden_weights().clone();
+    println!("\n rank |  traditional D(W)  |  group D_4(W)");
+    println!(" -----+--------------------+---------------");
+    for k in [4usize, 8, 12, 16, 24] {
+        let plain = LowRankFactors::compute(&w, k).expect("rank is valid");
+        let grouped = GroupLowRank::compute(&w, 4, k).expect("groups and rank are valid");
+
+        let mut plain_model = mlp.clone();
+        plain_model
+            .set_hidden_weights(plain.reconstruct())
+            .expect("shape matches");
+        let mut grouped_model = mlp.clone();
+        grouped_model
+            .set_hidden_weights(grouped.reconstruct())
+            .expect("shape matches");
+
+        let plain_acc = plain_model.evaluate(data.test()).expect("evaluation succeeds");
+        let grouped_acc = grouped_model.evaluate(data.test()).expect("evaluation succeeds");
+        println!(
+            "  {k:>3} |  {:>5.1}% (err {:.3})  |  {:>5.1}% (err {:.3})",
+            100.0 * plain_acc,
+            plain.relative_error(&w).expect("shapes match"),
+            100.0 * grouped_acc,
+            grouped.relative_error(&w).expect("shapes match"),
+        );
+    }
+    println!(
+        "\nGroup low-rank keeps a smaller reconstruction error at every rank (Theorem 1) and\n\
+         correspondingly retains more of the trained model's accuracy at aggressive ranks."
+    );
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the "Low-Rank Compression for IMC Arrays" reproduction.
+//!
+//! This crate re-exports the workspace members so that the examples and
+//! integration tests in the repository root can reach every subsystem with a
+//! single dependency. The actual implementations live in the `crates/`
+//! workspace members:
+//!
+//! * [`imc_linalg`] — dense linear algebra (SVD, QR, Kronecker products).
+//! * [`imc_tensor`] — convolution tensors and im2col matrixization.
+//! * [`imc_array`] — the IMC crossbar model and weight-mapping strategies.
+//! * [`imc_core`] — the paper's contribution: group low-rank decomposition and
+//!   SDK-aware low-rank mapping.
+//! * [`imc_pruning`] — pattern-pruning / PAIRS / column-pruning baselines.
+//! * [`imc_quant`] — DoReFa-style quantization baselines.
+//! * [`imc_nn`] — a minimal neural-network substrate (ResNet-20, WRN16-4).
+//! * [`imc_energy`] — the NeuroSIM/ConvMapSIM-style energy simulator.
+//! * [`imc_sim`] — the experiment harness regenerating every table and figure.
+
+pub use imc_array as array;
+pub use imc_core as core;
+pub use imc_energy as energy;
+pub use imc_linalg as linalg;
+pub use imc_nn as nn;
+pub use imc_pruning as pruning;
+pub use imc_quant as quant;
+pub use imc_sim as sim;
+pub use imc_tensor as tensor;
