@@ -1,7 +1,5 @@
 //! Physical IMC crossbar array configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result};
 
 /// Physical parameters of one IMC crossbar array.
@@ -11,7 +9,7 @@ use crate::{Error, Result};
 /// weight column) and bit-serial inputs. `cell_bits` and `input_bits` are
 /// kept explicit so the quantization comparison (Fig. 8) can scale the
 /// column count and load count of a mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ArrayConfig {
     /// Number of wordlines (rows) per array.
     pub rows: usize,

@@ -18,8 +18,6 @@
 //! scale by the relative number of input bit-slices, which is handled by the
 //! quantization layer rather than here.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::ArrayConfig;
 
 /// Number of array tiles needed to host `extent` logical units when each
@@ -33,7 +31,7 @@ pub fn tiles_for(extent: usize, per_array: usize) -> usize {
 }
 
 /// Cycle accounting for one mapped matrix region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CycleBreakdown {
     /// Array tiles in the row (wordline) direction.
     pub array_rows: usize,

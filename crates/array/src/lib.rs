@@ -39,7 +39,9 @@ pub mod vwsdk;
 pub use config::ArrayConfig;
 pub use cycles::{matrix_cycles, tiles_for, CycleBreakdown};
 pub use mapping::{im2col_mapping, linear_mapping, MappedLayer, MappingKind};
-pub use sdk::{assemble_sdk_output, sdk_matrix, unroll_parallel_window, ParallelWindow, SdkMapping};
+pub use sdk::{
+    assemble_sdk_output, sdk_matrix, unroll_parallel_window, ParallelWindow, SdkMapping,
+};
 pub use vwsdk::{search_best_window, WindowSearchResult};
 
 /// Errors produced by the array-mapping layer.

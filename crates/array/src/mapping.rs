@@ -1,14 +1,12 @@
 //! Weight-to-array mapping descriptors.
 
-use serde::{Deserialize, Serialize};
-
 use imc_tensor::{ConvShape, LinearShape};
 
 use crate::config::ArrayConfig;
 use crate::cycles::{matrix_cycles, CycleBreakdown};
 
 /// The mapping strategy that produced a [`MappedLayer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MappingKind {
     /// Image-to-column mapping (one sliding window per load).
     Im2col,
@@ -26,7 +24,7 @@ pub enum MappingKind {
 /// A conventional layer maps to exactly one `MappedLayer`; a low-rank
 /// compressed layer maps to one per factor stage (the compression crate
 /// combines them).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MappedLayer {
     /// Which mapping strategy produced this region.
     pub kind: MappingKind,
@@ -77,8 +75,7 @@ impl MappedLayer {
         if allocated == 0.0 {
             return 0.0;
         }
-        let used =
-            (self.rows_used * self.cols_used * self.config.columns_per_weight()) as f64;
+        let used = (self.rows_used * self.cols_used * self.config.columns_per_weight()) as f64;
         (used / allocated).min(1.0)
     }
 
@@ -108,7 +105,7 @@ pub fn linear_mapping(shape: &LinearShape, config: ArrayConfig) -> MappedLayer {
         rows_used: shape.in_features,
         cols_used: shape.out_features,
         loads: 1,
-    config,
+        config,
     }
 }
 
@@ -146,7 +143,7 @@ mod tests {
         let shape = LinearShape::new(256, 100).unwrap();
         let m = linear_mapping(&shape, cfg);
         assert_eq!(m.loads, 1);
-        assert_eq!(m.cycles(), 2 * 1);
+        assert_eq!(m.cycles(), 2);
         assert_eq!(m.rows_used, 256);
     }
 

@@ -10,8 +10,6 @@
 //! contents ([`sdk_matrix`]), which is what the core crate uses to verify the
 //! paper's Theorem 2 (`D(SDK(W)) = (I_N ⊗ L)·SDK(R)`) numerically.
 
-use serde::{Deserialize, Serialize};
-
 use imc_linalg::Matrix;
 use imc_tensor::{ConvShape, FeatureMap};
 
@@ -22,7 +20,7 @@ use crate::{Error, Result};
 /// A parallel-window geometry (`P_h × P_w` input pixels per channel).
 ///
 /// The im2col mapping is the degenerate case `P_h = K_h`, `P_w = K_w`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParallelWindow {
     /// Window height in input pixels.
     pub h: usize,
@@ -46,7 +44,7 @@ impl ParallelWindow {
 }
 
 /// A shape-level SDK mapping of one convolutional layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SdkMapping {
     /// The parallel-window geometry.
     pub window: ParallelWindow,
@@ -277,12 +275,11 @@ pub fn assemble_sdk_output(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use imc_linalg::random::SeededRng;
     use imc_tensor::{conv2d_im2col, Tensor4};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn random_feature_map(c: usize, h: usize, w: usize, seed: u64) -> FeatureMap {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::seed_from_u64(seed);
         let data = (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
         FeatureMap::from_vec(c, h, w, data).unwrap()
     }

@@ -7,8 +7,6 @@
 //! count of each and returns the minimum. The kernel-sized window (plain
 //! im2col) is always a candidate, so the result never loses to im2col.
 
-use serde::{Deserialize, Serialize};
-
 use imc_tensor::ConvShape;
 
 use crate::config::ArrayConfig;
@@ -22,7 +20,7 @@ use crate::Result;
 const MAX_WINDOW_GROWTH: usize = 13;
 
 /// The outcome of a VW-SDK window search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowSearchResult {
     /// The selected parallel window.
     pub window: ParallelWindow,

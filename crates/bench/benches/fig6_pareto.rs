@@ -1,7 +1,7 @@
 //! Fig. 6 bench: regenerates the ResNet-20 / 64×64 panel once and benchmarks
 //! the pruning-baseline cycle sweep it is compared against.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use imc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use imc_array::ArrayConfig;
@@ -33,7 +33,10 @@ fn pruning_cycle_sweep(array: &ArrayConfig) -> u64 {
 
 fn bench_fig6(c: &mut Criterion) {
     let panel = fig6(&resnet20(), 64, DEFAULT_SEED).expect("panel evaluation succeeds");
-    println!("\n== Fig. 6 (ResNet-20, 64x64, regenerated) ==\n{}", fig6_markdown(&panel));
+    println!(
+        "\n== Fig. 6 (ResNet-20, 64x64, regenerated) ==\n{}",
+        fig6_markdown(&panel)
+    );
 
     let array = ArrayConfig::square(64).expect("valid array");
     c.bench_function("fig6_pruning_cycle_sweep_resnet20_64", |b| {

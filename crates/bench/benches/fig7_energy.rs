@@ -1,7 +1,7 @@
 //! Fig. 7 bench: regenerates the ResNet-20 normalized-energy bars once and
 //! benchmarks the energy-model evaluation of the three access schedules.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use imc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use imc_array::ArrayConfig;
@@ -14,7 +14,10 @@ use imc_sim::report::fig7_markdown;
 
 fn bench_fig7(c: &mut Criterion) {
     let bars = fig7(&resnet20(), DEFAULT_SEED).expect("energy evaluation succeeds");
-    println!("\n== Fig. 7 (ResNet-20, regenerated) ==\n{}", fig7_markdown(&bars));
+    println!(
+        "\n== Fig. 7 (ResNet-20, regenerated) ==\n{}",
+        fig7_markdown(&bars)
+    );
 
     // Pre-build the three evaluations; the timed loop exercises only the
     // energy model itself (the part specific to Fig. 7).
@@ -22,10 +25,20 @@ fn bench_fig7(c: &mut Criterion) {
     let array = ArrayConfig::square(64).expect("valid array");
     let cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true).expect("valid config");
     let evals: Vec<NetworkEvaluation> = vec![
-        evaluate(&arch, &CompressionMethod::Uncompressed { sdk: false }, array, DEFAULT_SEED)
-            .expect("baseline"),
-        evaluate(&arch, &CompressionMethod::PatternPruning { entries: 6 }, array, DEFAULT_SEED)
-            .expect("pruning"),
+        evaluate(
+            &arch,
+            &CompressionMethod::Uncompressed { sdk: false },
+            array,
+            DEFAULT_SEED,
+        )
+        .expect("baseline"),
+        evaluate(
+            &arch,
+            &CompressionMethod::PatternPruning { entries: 6 },
+            array,
+            DEFAULT_SEED,
+        )
+        .expect("pruning"),
         evaluate(&arch, &CompressionMethod::LowRank(cfg), array, DEFAULT_SEED).expect("ours"),
     ];
     let params = EnergyParams::default();

@@ -1,7 +1,7 @@
 //! Fig. 8 bench: regenerates the quantization comparison once and benchmarks
 //! the quantized-layer cycle model across the 1–4-bit sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use imc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use imc_array::ArrayConfig;

@@ -2,7 +2,7 @@
 //! comparison once and benchmarks the two-stage cycle model that separates
 //! the two methods.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use imc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use imc_array::ArrayConfig;
@@ -33,7 +33,10 @@ fn proposed_vs_traditional_cycles(array: &ArrayConfig) -> (u64, u64) {
 
 fn bench_fig9(c: &mut Criterion) {
     let rows = fig9_for(&resnet20(), 64, DEFAULT_SEED).expect("comparison succeeds");
-    println!("\n== Fig. 9 (ResNet-20, regenerated) ==\n{}", fig9_markdown(&rows));
+    println!(
+        "\n== Fig. 9 (ResNet-20, regenerated) ==\n{}",
+        fig9_markdown(&rows)
+    );
 
     let array = ArrayConfig::square(64).expect("valid array");
     c.bench_function("fig9_proposed_vs_traditional_cycles", |b| {

@@ -2,10 +2,10 @@
 //! experiment: SVD, group decomposition, SDK matrix construction and the
 //! parallel-window searches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use imc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use imc_array::{search_best_window, sdk_matrix, ArrayConfig, ParallelWindow};
+use imc_array::{sdk_matrix, search_best_window, ArrayConfig, ParallelWindow};
 use imc_bench::{stage1_layer, stage3_layer};
 use imc_core::{search_lowrank_window, GroupLowRank, LowRankFactors};
 use imc_linalg::Svd;

@@ -2,7 +2,7 @@
 //! stdout) and benchmarks the cycle-model sweep that produces its cycle
 //! columns.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use imc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use imc_array::ArrayConfig;
@@ -35,7 +35,10 @@ fn table1_cycle_sweep(array: &ArrayConfig) -> u64 {
 fn bench_table1(c: &mut Criterion) {
     // Regenerate the artifact once so `cargo bench` reproduces the table.
     let rows = table1(&resnet20(), DEFAULT_SEED).expect("Table I sweep succeeds");
-    println!("\n== Table I (ResNet-20, regenerated) ==\n{}", table1_markdown(&rows));
+    println!(
+        "\n== Table I (ResNet-20, regenerated) ==\n{}",
+        table1_markdown(&rows)
+    );
 
     let array = ArrayConfig::square(64).expect("valid array");
     c.bench_function("table1_cycle_sweep_resnet20_64", |b| {

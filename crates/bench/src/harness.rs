@@ -1,0 +1,152 @@
+//! A minimal, dependency-free benchmark harness with a Criterion-shaped API.
+//!
+//! The real `criterion` crate is not part of the offline dependency set, so
+//! this module provides the narrow subset the bench targets use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros — with wall-clock
+//! timing, a short warm-up, and a fixed measurement budget per benchmark.
+//! Swapping back to Criterion later is a one-line import change in each
+//! bench target.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(600);
+
+/// Warm-up time per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(150);
+
+/// Hard cap on measured iterations (protects very fast routines from
+/// spending the whole budget on loop bookkeeping).
+const MAX_ITERS: u64 = 10_000;
+
+/// The benchmark driver handed to every registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` under the harness and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Times one routine: warm-up, then as many iterations as fit the budget.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its output alive via a black box so the
+    /// optimizer cannot elide the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up (not recorded).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine());
+        }
+
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASUREMENT_BUDGET && iters < MAX_ITERS {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<44} (no measurement: Bencher::iter was not called)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        println!(
+            "{name:<44} {:>12}/iter   ({} iters in {:.2?})",
+            format_duration(per_iter),
+            self.iters,
+            self.elapsed
+        );
+    }
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Registers bench functions as a named group, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main()` running the given groups, mirroring Criterion's macro.
+/// Command-line arguments (e.g. the `--bench` flag `cargo bench` passes) are
+/// accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_at_least_one_iteration() {
+        let mut bencher = Bencher::default();
+        bencher.iter(|| std::hint::black_box(2u64 + 2));
+        assert!(bencher.iters >= 1);
+        assert!(bencher.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut ran = false;
+        Criterion::default().bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(format_duration(2.5), "2.500 s");
+        assert_eq!(format_duration(2.5e-3), "2.500 ms");
+        assert_eq!(format_duration(2.5e-6), "2.500 µs");
+        assert_eq!(format_duration(2.5e-9), "2.5 ns");
+    }
+}

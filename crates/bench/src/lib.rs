@@ -8,6 +8,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
+pub use harness::{Bencher, Criterion};
+
 use imc_tensor::{ConvShape, Tensor4};
 
 /// The ResNet-20 stage-1 layer used by several micro-benches.

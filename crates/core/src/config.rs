@@ -1,7 +1,5 @@
 //! Compression configuration: rank selection and group count.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result};
 
 /// How the per-layer rank `k` is chosen.
@@ -10,7 +8,7 @@ use crate::{Error, Result};
 /// output channels `m` divided by a constant factor, in this case 2, 4, 8 and
 /// 16" — that is [`RankSpec::Divisor`]. An absolute rank is also supported
 /// for ablations and tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RankSpec {
     /// `k = max(1, m / divisor)` where `m` is the layer's output-channel
     /// count.
@@ -52,7 +50,7 @@ impl core::fmt::Display for RankSpec {
 
 /// A full compression configuration: rank, group count and whether the
 /// SDK-aware mapping is used for the factor stages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CompressionConfig {
     /// How the rank is chosen per layer.
     pub rank: RankSpec,

@@ -15,15 +15,13 @@
 //! blocks fit into one physical array, so the model takes the minimum of the
 //! two (see `DESIGN.md` §3).
 
-use serde::{Deserialize, Serialize};
-
 use imc_array::{matrix_cycles, ArrayConfig, CycleBreakdown, ParallelWindow};
 use imc_tensor::ConvShape;
 
 use crate::{Error, Result};
 
 /// Cycle accounting for one compressed layer (two stages).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompressedCycles {
     /// Breakdown of the first (`R`) stage.
     pub stage1: CycleBreakdown,
@@ -117,8 +115,7 @@ pub fn lowrank_sdk_cycles(
             what: "parallel window must be at least as large as the kernel",
         }));
     }
-    if window.h > shape.input_h + 2 * shape.padding
-        || window.w > shape.input_w + 2 * shape.padding
+    if window.h > shape.input_h + 2 * shape.padding || window.w > shape.input_w + 2 * shape.padding
     {
         return Err(Error::Array(imc_array::Error::InvalidWindow {
             what: "parallel window exceeds the padded input",
@@ -127,8 +124,7 @@ pub fn lowrank_sdk_cycles(
     let windows_h = (window.h - shape.kernel_h) / shape.stride + 1;
     let windows_w = (window.w - shape.kernel_w) / shape.stride + 1;
     let n_par = windows_h * windows_w;
-    let positions =
-        shape.output_h().div_ceil(windows_h) * shape.output_w().div_ceil(windows_w);
+    let positions = shape.output_h().div_ceil(windows_h) * shape.output_w().div_ceil(windows_w);
     let gk = groups * k;
     let m = shape.out_channels;
 
@@ -169,7 +165,13 @@ pub fn search_lowrank_window(
     config: &ArrayConfig,
 ) -> Result<CompressedCycles> {
     validate(shape, k, groups)?;
-    let mut best = lowrank_sdk_cycles(shape, k, groups, config, ParallelWindow::kernel_sized(shape))?;
+    let mut best = lowrank_sdk_cycles(
+        shape,
+        k,
+        groups,
+        config,
+        ParallelWindow::kernel_sized(shape),
+    )?;
     for window in imc_array::vwsdk::candidate_windows(shape) {
         let candidate = lowrank_sdk_cycles(shape, k, groups, config, window)?;
         let better = candidate.total() < best.total()

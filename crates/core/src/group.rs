@@ -97,7 +97,11 @@ impl GroupLowRank {
 
     /// Reconstructs the approximation `[L_1·R_1, …, L_g·R_g]`.
     pub fn reconstruct(&self) -> Matrix {
-        let blocks: Vec<Matrix> = self.groups.iter().map(LowRankFactors::reconstruct).collect();
+        let blocks: Vec<Matrix> = self
+            .groups
+            .iter()
+            .map(LowRankFactors::reconstruct)
+            .collect();
         Matrix::hstack(&blocks).expect("group blocks share the row count by construction")
     }
 
@@ -123,7 +127,10 @@ impl GroupLowRank {
 
     /// Total number of stored parameters, `Σ_i k·(m + n_i) = g·k·m + k·n`.
     pub fn parameter_count(&self) -> usize {
-        self.groups.iter().map(LowRankFactors::parameter_count).sum()
+        self.groups
+            .iter()
+            .map(LowRankFactors::parameter_count)
+            .sum()
     }
 
     /// Compression ratio versus the dense matrix.
@@ -198,9 +205,7 @@ mod tests {
         let plain = LowRankFactors::compute(&w, 4).unwrap();
         let grouped = GroupLowRank::compute(&w, 1, 4).unwrap();
         assert_eq!(grouped.group_count(), 1);
-        assert!(grouped
-            .reconstruct()
-            .approx_eq(&plain.reconstruct(), 1e-9));
+        assert!(grouped.reconstruct().approx_eq(&plain.reconstruct(), 1e-9));
         assert_eq!(grouped.parameter_count(), plain.parameter_count());
     }
 

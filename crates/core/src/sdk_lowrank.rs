@@ -103,7 +103,7 @@ impl SdkLowRank {
         window: ParallelWindow,
     ) -> Result<Self> {
         let g = group.group_count();
-        if shape.in_channels % g != 0 {
+        if !shape.in_channels.is_multiple_of(g) {
             return Err(Error::GroupChannelMismatch {
                 groups: g,
                 in_channels: shape.in_channels,
@@ -133,10 +133,7 @@ impl SdkLowRank {
             shape.input_w,
         )?;
         let per_group_rows = ic_per_group * window.h * window.w;
-        let mut stage1 = Matrix::zeros(
-            shape.in_channels * window.h * window.w,
-            n_par * g * k,
-        );
+        let mut stage1 = Matrix::zeros(shape.in_channels * window.h * window.w, n_par * g * k);
         // Stage 2: row (i·N·k + s·k + j) -> column (s·m + o) holds L_i[o][j].
         let mut stage2 = Matrix::zeros(n_par * g * k, n_par * m);
         for (i, factors) in group.factors().iter().enumerate() {
@@ -212,13 +209,12 @@ fn parallel_outputs(shape: &ConvShape, window: &ParallelWindow) -> usize {
 mod tests {
     use super::*;
     use imc_array::{assemble_sdk_output, unroll_parallel_window};
+    use imc_linalg::random::SeededRng;
     use imc_tensor::im2col::conv2d_with_matrix;
     use imc_tensor::{FeatureMap, Tensor4};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn random_feature_map(c: usize, h: usize, w: usize, seed: u64) -> FeatureMap {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::seed_from_u64(seed);
         let data = (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
         FeatureMap::from_vec(c, h, w, data).unwrap()
     }

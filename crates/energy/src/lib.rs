@@ -15,14 +15,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-
 pub mod params;
 
 pub use params::EnergyParams;
 
 /// Which peripheral assistance an access schedule relies on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PeripheralKind {
     /// No peripheral assistance (dense mappings, low-rank factors).
     None,
@@ -34,7 +32,7 @@ pub enum PeripheralKind {
 
 /// The access schedule of one mapped weight region: everything the energy
 /// model needs to know about a layer (or one stage of a compressed layer).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessSchedule {
     /// Wordlines activated per load.
     pub active_rows: usize,
@@ -89,7 +87,11 @@ pub fn total_energy(schedules: &[AccessSchedule], params: &EnergyParams) -> f64 
 
 /// Energy of `schedules` normalized to a `reference` energy (Fig. 7 style).
 /// Returns 0 when the reference is non-positive.
-pub fn normalized_energy(schedules: &[AccessSchedule], reference: f64, params: &EnergyParams) -> f64 {
+pub fn normalized_energy(
+    schedules: &[AccessSchedule],
+    reference: f64,
+    params: &EnergyParams,
+) -> f64 {
     if reference <= 0.0 {
         return 0.0;
     }

@@ -1,7 +1,5 @@
 //! Energy model parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-operation energy constants of the crossbar and its periphery, in
 /// picojoules.
 ///
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// picojoules per ADC conversion, tens of femtojoules per cell read). The
 /// absolute values only set the scale; the Fig. 7 experiment normalizes them
 /// away and reports ratios.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// Energy to drive one wordline (DAC + driver) for one load.
     pub dac_per_row: f64,

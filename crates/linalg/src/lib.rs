@@ -47,11 +47,11 @@ pub mod random;
 pub mod solve;
 pub mod svd;
 
-pub use kron::{block_diag, kron, identity_kron};
+pub use kron::{block_diag, identity_kron, kron};
 pub use matrix::Matrix;
 pub use norms::{frobenius_distance, spectral_norm};
 pub use qr::Qr;
-pub use random::{randn_matrix, uniform_matrix};
+pub use random::{randn_matrix, uniform_matrix, SeededRng};
 pub use svd::{Svd, TruncatedSvd};
 
 /// Errors produced by the linear-algebra layer.
@@ -125,7 +125,10 @@ impl core::fmt::Display for Error {
             Error::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             Error::InvalidRank { requested, max } => {
                 write!(f, "invalid rank {requested}: must be in 1..={max}")
             }

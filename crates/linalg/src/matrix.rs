@@ -291,9 +291,11 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+        if self.cols == 0 {
+            return Ok(out);
+        }
+        for (out_i, row) in out.iter_mut().zip(self.data.chunks(self.cols)) {
+            *out_i = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }
@@ -648,11 +650,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 5.0, 6.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
     }
 
     #[test]
@@ -708,12 +706,7 @@ mod tests {
     #[test]
     fn matmul_matches_hand_computation() {
         let a = sample();
-        let b = Matrix::from_rows(&[
-            vec![7.0, 8.0],
-            vec![9.0, 10.0],
-            vec![11.0, 12.0],
-        ])
-        .unwrap();
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.shape(), (2, 2));
         assert_eq!(c.get(0, 0), 58.0);
@@ -765,7 +758,10 @@ mod tests {
     fn submatrix_and_set_block() {
         let m = sample();
         let s = m.submatrix(0, 1, 2, 2).unwrap();
-        assert_eq!(s, Matrix::from_rows(&[vec![2.0, 3.0], vec![5.0, 6.0]]).unwrap());
+        assert_eq!(
+            s,
+            Matrix::from_rows(&[vec![2.0, 3.0], vec![5.0, 6.0]]).unwrap()
+        );
         let mut z = Matrix::zeros(3, 3);
         z.set_block(1, 1, &s).unwrap();
         assert_eq!(z.get(2, 2), 6.0);

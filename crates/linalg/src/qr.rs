@@ -21,6 +21,7 @@ impl Qr {
     ///
     /// Returns [`Error::ShapeMismatch`] if the matrix has more columns than
     /// rows (use the transpose, or an LQ formulation, for wide systems).
+    #[allow(clippy::needless_range_loop)] // Householder kernels read clearer with explicit indices
     pub fn compute(a: &Matrix) -> Result<Self> {
         let (m, n) = a.shape();
         if m < n {
@@ -136,6 +137,7 @@ impl Qr {
 ///
 /// Returns [`Error::SingularSystem`] when a diagonal entry is numerically
 /// zero and [`Error::ShapeMismatch`] on incompatible dimensions.
+#[allow(clippy::needless_range_loop)] // triangular solve reads clearer with explicit indices
 pub fn back_substitute(r: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
     let n = r.cols();
     if r.rows() != n || y.len() != n {
@@ -194,19 +196,12 @@ mod tests {
     #[test]
     fn qr_rejects_wide_matrices() {
         let a = randn_matrix(3, 5, 1.0, 1);
-        assert!(matches!(
-            Qr::compute(&a),
-            Err(Error::ShapeMismatch { .. })
-        ));
+        assert!(matches!(Qr::compute(&a), Err(Error::ShapeMismatch { .. })));
     }
 
     #[test]
     fn least_squares_recovers_exact_solution_of_square_system() {
-        let a = Matrix::from_rows(&[
-            vec![2.0, 1.0],
-            vec![1.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
         let x_true = vec![1.0, -2.0];
         let b = a.matvec(&x_true).unwrap();
         let qr = Qr::compute(&a).unwrap();

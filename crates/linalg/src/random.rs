@@ -1,25 +1,89 @@
-//! Deterministic, seeded random matrix generators.
+//! Deterministic, seeded random generators.
 //!
 //! Trained checkpoints of ResNet-20 / WRN16-4 are not available offline, so
 //! the experiment harness synthesizes weight tensors from seeded random
 //! distributions (see `DESIGN.md`, "Substitutions"). All generators take an
 //! explicit `u64` seed so every table and figure regenerates identically.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained SplitMix64 stream ([`SeededRng`]) rather
+//! than an external crate: the workspace builds offline, and the stream is
+//! stable across platforms and releases, which is what pins the byte-identical
+//! reproduction of every table and figure.
 
 use crate::Matrix;
 
+/// A small, fast, deterministic pseudo-random generator (SplitMix64).
+///
+/// SplitMix64 passes BigCrush and is more than adequate for synthesizing
+/// weight tensors and shuffling mini-batches. The sequence produced by a
+/// given seed is part of the reproduction contract: changing it changes every
+/// synthesized weight, and with them the regenerated tables and figures.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision. (Named
+    /// `next_f64` rather than rand's `gen`, which is a reserved keyword in
+    /// edition 2024.)
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `range`: `low..high` for `f64`, `low..=high` for
+    /// `usize`.
+    pub fn gen_range<T, R: UniformRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// A range [`SeededRng::gen_range`] can draw from uniformly.
+pub trait UniformRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut SeededRng) -> T;
+}
+
+impl UniformRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut SeededRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl UniformRange<usize> for core::ops::RangeInclusive<usize> {
+    fn sample(self, rng: &mut SeededRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        debug_assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u64 + 1;
+        // Modulo bias is ~2^-64 · span here — irrelevant for shuffles.
+        lo + (rng.next_u64() % span) as usize
+    }
+}
+
 /// A matrix with i.i.d. normal entries `N(0, std²)`, generated from `seed`.
 pub fn randn_matrix(rows: usize, cols: usize, std: f64, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     Matrix::from_fn(rows, cols, |_, _| normal_sample(&mut rng) * std)
 }
 
 /// A matrix with i.i.d. uniform entries in `[low, high)`, generated from
 /// `seed`.
 pub fn uniform_matrix(rows: usize, cols: usize, low: f64, high: f64, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     Matrix::from_fn(rows, cols, |_, _| rng.gen_range(low..high))
 }
 
@@ -41,17 +105,13 @@ pub fn kaiming_matrix(rows: usize, cols: usize, fan_in: usize, seed: u64) -> Mat
 }
 
 /// Draws one standard-normal sample using the Box–Muller transform.
-///
-/// `rand`'s distribution machinery is avoided on purpose: the `rand_distr`
-/// crate is not part of the allowed dependency set, and Box–Muller is
-/// perfectly adequate here.
-pub fn normal_sample<R: Rng>(rng: &mut R) -> f64 {
+pub fn normal_sample(rng: &mut SeededRng) -> f64 {
     // Reject u1 == 0 to keep ln() finite.
-    let mut u1: f64 = rng.gen();
+    let mut u1: f64 = rng.next_f64();
     while u1 <= f64::MIN_POSITIVE {
-        u1 = rng.gen();
+        u1 = rng.next_f64();
     }
-    let u2: f64 = rng.gen();
+    let u2: f64 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
 }
 
@@ -79,7 +139,12 @@ mod tests {
         let a = randn_matrix(200, 200, 2.0, 7);
         let n = a.len() as f64;
         let mean = a.sum() / n;
-        let var = a.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let var = a
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }
@@ -88,6 +153,16 @@ mod tests {
     fn uniform_entries_respect_bounds() {
         let a = uniform_matrix(50, 50, -0.25, 0.75, 11);
         assert!(a.as_slice().iter().all(|&x| (-0.25..0.75).contains(&x)));
+    }
+
+    #[test]
+    fn gen_range_inclusive_covers_every_value() {
+        let mut rng = SeededRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.gen_range(0..=3usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]
@@ -112,7 +187,12 @@ mod tests {
         let std = |m: &Matrix| {
             let n = m.len() as f64;
             let mean = m.sum() / n;
-            (m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt()
+            (m.as_slice()
+                .iter()
+                .map(|&x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / n)
+                .sqrt()
         };
         // std ∝ 1/sqrt(fan_in), so the ratio should be about 10.
         let ratio = std(&small_fan) / std(&large_fan);

@@ -1,93 +1,129 @@
 //! Property-based tests for the linear-algebra substrate.
+//!
+//! The properties are exercised over a deterministic family of seeded random
+//! matrices (`proptest` is not part of the offline dependency set); each case
+//! count matches what the original property-test configuration explored.
 
-use imc_linalg::{block_diag, identity_kron, kron, Matrix, Svd, TruncatedSvd};
-use proptest::prelude::*;
+use imc_linalg::{
+    block_diag, identity_kron, kron, random::SeededRng, uniform_matrix, Matrix, Svd, TruncatedSvd,
+};
 
-/// Strategy producing a matrix with dimensions in `rows × cols` and entries
-/// in a moderate range so that the Jacobi SVD stays well conditioned.
-fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f64..10.0, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("length matches"))
-    })
+const CASES: u64 = 48;
+
+/// A matrix with dimensions in `1..=max_rows × 1..=max_cols` and entries in
+/// a moderate range so that the Jacobi SVD stays well conditioned.
+fn random_matrix(max_rows: usize, max_cols: usize, seed: u64) -> Matrix {
+    let mut rng = SeededRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+    let r = rng.gen_range(1..=max_rows);
+    let c = rng.gen_range(1..=max_cols);
+    uniform_matrix(r, c, -10.0, 10.0, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn transpose_is_involutive(m in matrix_strategy(12, 12)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
+#[test]
+fn transpose_is_involutive() {
+    for seed in 0..CASES {
+        let m = random_matrix(12, 12, seed);
+        assert_eq!(m.transpose().transpose(), m);
     }
+}
 
-    #[test]
-    fn matmul_is_associative(
-        a_data in proptest::collection::vec(-5.0f64..5.0, 6 * 5),
-        b_data in proptest::collection::vec(-5.0f64..5.0, 5 * 4),
-        c_data in proptest::collection::vec(-5.0f64..5.0, 4 * 3),
-    ) {
-        let a = Matrix::from_vec(6, 5, a_data).unwrap();
-        let b = Matrix::from_vec(5, 4, b_data).unwrap();
-        let c = Matrix::from_vec(4, 3, c_data).unwrap();
+#[test]
+fn matmul_is_associative() {
+    for seed in 0..CASES {
+        let a = uniform_matrix(6, 5, -5.0, 5.0, seed);
+        let b = uniform_matrix(5, 4, -5.0, 5.0, seed + 1000);
+        let c = uniform_matrix(4, 3, -5.0, 5.0, seed + 2000);
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
-        prop_assert!(left.approx_eq(&right, 1e-6));
+        assert!(left.approx_eq(&right, 1e-6), "seed {seed}");
     }
+}
 
-    #[test]
-    fn frobenius_norm_is_subadditive(a in matrix_strategy(8, 8)) {
+#[test]
+fn frobenius_norm_is_subadditive() {
+    for seed in 0..CASES {
+        let a = random_matrix(8, 8, seed);
         let b = a.map(|x| x * 0.5 - 1.0);
         let sum = a.add(&b).unwrap();
-        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+        assert!(
+            sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn svd_reconstructs_input(m in matrix_strategy(10, 10)) {
+#[test]
+fn svd_reconstructs_input() {
+    for seed in 0..CASES {
+        let m = random_matrix(10, 10, seed);
         let svd = Svd::compute(&m).unwrap();
         let norm = m.frobenius_norm().max(1.0);
-        prop_assert!(svd.reconstruct().sub(&m).unwrap().frobenius_norm() <= 1e-7 * norm);
+        assert!(
+            svd.reconstruct().sub(&m).unwrap().frobenius_norm() <= 1e-7 * norm,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn svd_truncation_error_is_monotone(m in matrix_strategy(9, 9)) {
+#[test]
+fn svd_truncation_error_is_monotone() {
+    for seed in 0..CASES {
+        let m = random_matrix(9, 9, seed);
         let svd = Svd::compute(&m).unwrap();
         let r = m.rows().min(m.cols());
         let mut prev = f64::INFINITY;
         for k in 1..=r {
             let err = svd.truncation_error(k);
-            prop_assert!(err <= prev + 1e-9);
+            assert!(err <= prev + 1e-9, "seed {seed} rank {k}");
             prev = err;
         }
     }
+}
 
-    #[test]
-    fn truncated_svd_error_matches_sigma_tail(m in matrix_strategy(8, 8)) {
+#[test]
+fn truncated_svd_error_matches_sigma_tail() {
+    for seed in 0..CASES {
+        let m = random_matrix(8, 8, seed);
         let r = m.rows().min(m.cols());
         let k = (r / 2).max(1);
         let svd = Svd::compute(&m).unwrap();
         let trunc = TruncatedSvd::compute(&m, k).unwrap();
         let measured = trunc.reconstruction_error(&m).unwrap();
         let tail = svd.truncation_error(k);
-        prop_assert!((measured - tail).abs() <= 1e-6 * (1.0 + tail));
+        assert!(
+            (measured - tail).abs() <= 1e-6 * (1.0 + tail),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn split_cols_then_hstack_roundtrips(m in matrix_strategy(6, 12), g in 1usize..5) {
-        let g = g.min(m.cols());
+#[test]
+fn split_cols_then_hstack_roundtrips() {
+    for seed in 0..CASES {
+        let m = random_matrix(6, 12, seed);
+        let g = (seed as usize % 4 + 1).min(m.cols());
         let parts = m.split_cols(g).unwrap();
-        prop_assert_eq!(Matrix::hstack(&parts).unwrap(), m);
+        assert_eq!(Matrix::hstack(&parts).unwrap(), m, "seed {seed}");
     }
+}
 
-    #[test]
-    fn kron_dimensions_multiply(a in matrix_strategy(4, 4), b in matrix_strategy(3, 3)) {
+#[test]
+fn kron_dimensions_multiply() {
+    for seed in 0..CASES {
+        let a = random_matrix(4, 4, seed);
+        let b = random_matrix(3, 3, seed + 5000);
         let k = kron(&a, &b);
-        prop_assert_eq!(k.rows(), a.rows() * b.rows());
-        prop_assert_eq!(k.cols(), a.cols() * b.cols());
+        assert_eq!(k.rows(), a.rows() * b.rows());
+        assert_eq!(k.cols(), a.cols() * b.cols());
     }
+}
 
-    #[test]
-    fn identity_kron_matvec_applies_blockwise(b in matrix_strategy(4, 3), n in 1usize..4) {
+#[test]
+fn identity_kron_matvec_applies_blockwise() {
+    for seed in 0..CASES {
         // (I_n ⊗ B) x  ==  concatenation of B x_i over the n slices of x.
+        let b = random_matrix(4, 3, seed);
+        let n = seed as usize % 3 + 1;
         let big = identity_kron(n, &b);
         let x: Vec<f64> = (0..n * b.cols()).map(|i| (i as f64) * 0.25 - 1.0).collect();
         let full = big.matvec(&x).unwrap();
@@ -95,18 +131,22 @@ proptest! {
             let xi = &x[blk * b.cols()..(blk + 1) * b.cols()];
             let yi = b.matvec(xi).unwrap();
             for (r, &want) in yi.iter().enumerate() {
-                prop_assert!((full[blk * b.rows() + r] - want).abs() < 1e-9);
+                assert!(
+                    (full[blk * b.rows() + r] - want).abs() < 1e-9,
+                    "seed {seed}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn block_diag_preserves_frobenius_norm_squared(
-        a in matrix_strategy(4, 4),
-        b in matrix_strategy(3, 5),
-    ) {
+#[test]
+fn block_diag_preserves_frobenius_norm_squared() {
+    for seed in 0..CASES {
+        let a = random_matrix(4, 4, seed);
+        let b = random_matrix(3, 5, seed + 7000);
         let d = block_diag(&[a.clone(), b.clone()]).unwrap();
         let want = (a.frobenius_norm().powi(2) + b.frobenius_norm().powi(2)).sqrt();
-        prop_assert!((d.frobenius_norm() - want).abs() < 1e-9);
+        assert!((d.frobenius_norm() - want).abs() < 1e-9, "seed {seed}");
     }
 }

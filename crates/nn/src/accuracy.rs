@@ -17,8 +17,6 @@
 //! methods remain structurally meaningful even though absolute accuracies are
 //! synthetic.
 
-use serde::{Deserialize, Serialize};
-
 use crate::models::NetworkArch;
 
 /// Power-law exponent calibrated against Table I.
@@ -28,7 +26,7 @@ const DEFAULT_EXPONENT: f64 = 4.8;
 const SENSITIVITY_PER_LOG_CLASS: f64 = 7.7;
 
 /// The calibrated error → accuracy model for one network/dataset pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccuracyModel {
     /// Uncompressed baseline accuracy in percent.
     pub baseline: f64,
@@ -120,11 +118,7 @@ pub fn aggregate_error(errors_and_weights: &[(f64, f64)]) -> f64 {
         return errors_and_weights.iter().map(|(e, _)| e).sum::<f64>()
             / errors_and_weights.len() as f64;
     }
-    errors_and_weights
-        .iter()
-        .map(|(e, w)| e * w)
-        .sum::<f64>()
-        / total_weight
+    errors_and_weights.iter().map(|(e, w)| e * w).sum::<f64>() / total_weight
 }
 
 #[cfg(test)]

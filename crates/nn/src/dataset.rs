@@ -5,8 +5,7 @@
 //! ring so that neighbouring classes overlap and the task is not trivially
 //! separable). The dataset is fully determined by its seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use imc_linalg::random::SeededRng;
 
 use imc_linalg::random::normal_sample;
 
@@ -67,7 +66,7 @@ impl SyntheticDataset {
                 what: "noise must be positive".to_owned(),
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::seed_from_u64(seed);
         // Class means: random unit-ish directions scaled to unit spacing.
         let means: Vec<Vec<f64>> = (0..classes)
             .map(|_| {
@@ -77,7 +76,7 @@ impl SyntheticDataset {
             })
             .collect();
 
-        let draw = |count: usize, rng: &mut StdRng| -> Vec<Sample> {
+        let draw = |count: usize, rng: &mut SeededRng| -> Vec<Sample> {
             let mut out = Vec::with_capacity(count * classes);
             for (label, mean) in means.iter().enumerate() {
                 for _ in 0..count {
@@ -145,7 +144,10 @@ mod tests {
         assert_eq!(d.test().len(), 50);
         assert_eq!(d.classes(), 5);
         assert_eq!(d.features(), 8);
-        assert!(d.train().iter().all(|s| s.features.len() == 8 && s.label < 5));
+        assert!(d
+            .train()
+            .iter()
+            .all(|s| s.features.len() == 8 && s.label < 5));
     }
 
     #[test]
@@ -163,7 +165,7 @@ mod tests {
         // Nearest-class-mean classification on the test set should be nearly
         // perfect at this noise level.
         let mut means = vec![vec![0.0; 32]; 3];
-        let mut counts = vec![0usize; 3];
+        let mut counts = [0usize; 3];
         for s in d.train() {
             for (m, &x) in means[s.label].iter_mut().zip(s.features.iter()) {
                 *m += x;

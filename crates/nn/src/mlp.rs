@@ -9,9 +9,7 @@
 //! can therefore be demonstrated on a genuinely trained model, not just on
 //! reconstruction errors.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use imc_linalg::random::SeededRng;
 
 use imc_linalg::{random::normal_sample, Matrix};
 
@@ -19,7 +17,7 @@ use crate::dataset::Sample;
 use crate::{Error, Result};
 
 /// Training hyper-parameters for [`Mlp::train`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// Number of passes over the training set.
     pub epochs: usize,
@@ -64,7 +62,7 @@ impl Mlp {
                 what: "MLP dimensions must be non-zero (and classes >= 2)".to_owned(),
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::seed_from_u64(seed);
         let std1 = (2.0 / inputs as f64).sqrt();
         let std2 = (2.0 / hidden as f64).sqrt();
         let w1 = Matrix::from_fn(hidden, inputs, |_, _| normal_sample(&mut rng) * std1);
@@ -92,11 +90,7 @@ impl Mlp {
     pub fn set_hidden_weights(&mut self, weights: Matrix) -> Result<()> {
         if weights.shape() != self.w1.shape() {
             return Err(Error::ShapeMismatch {
-                what: format!(
-                    "expected {:?}, got {:?}",
-                    self.w1.shape(),
-                    weights.shape()
-                ),
+                what: format!("expected {:?}, got {:?}", self.w1.shape(), weights.shape()),
             });
         }
         self.w1 = weights;
@@ -183,7 +177,7 @@ impl Mlp {
                 what: "training set must not be empty".to_owned(),
             });
         }
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xC0FF_EE));
+        let mut rng = SeededRng::seed_from_u64(config.seed.wrapping_add(0x00C0_FFEE));
         let mut order: Vec<usize> = (0..samples.len()).collect();
         for _epoch in 0..config.epochs {
             // Fisher-Yates shuffle of the visiting order.
@@ -198,6 +192,7 @@ impl Mlp {
         self.loss(samples)
     }
 
+    #[allow(clippy::needless_range_loop)] // backprop kernel reads clearer with explicit indices
     fn sgd_step(&mut self, samples: &[Sample], batch: &[usize], lr: f64) -> Result<()> {
         let hidden_dim = self.w1.rows();
         let input_dim = self.w1.cols();

@@ -5,15 +5,13 @@
 //! Following the paper, the first convolution and the final classifier are
 //! flagged non-compressible.
 
-use serde::{Deserialize, Serialize};
-
 use imc_tensor::{ConvShape, LayerShape, LinearShape};
 
 use crate::{Error, Result};
 
 /// A full network architecture: an ordered list of layers plus metadata used
 /// by the accuracy model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkArch {
     /// Human-readable network name (`"ResNet-20"`, `"WRN16-4"`).
     pub name: String,
@@ -84,6 +82,7 @@ impl NetworkArch {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the ConvShape parameter list
 fn conv(
     name: &str,
     ic: usize,

@@ -6,8 +6,6 @@
 //! the structural model for the column-pruning comparison in Rhe et al.
 //! (VWC-SDK).
 
-use serde::{Deserialize, Serialize};
-
 use imc_array::ArrayConfig;
 use imc_tensor::{ConvShape, Tensor4};
 
@@ -15,7 +13,7 @@ use crate::types::{Peripheral, PrunedLayer};
 use crate::{Error, Result};
 
 /// Configuration of column (output-channel) pruning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ColumnPruning {
     /// Fraction of output channels kept, in `(0, 1]`.
     pub keep_fraction: f64,
@@ -138,7 +136,9 @@ mod tests {
     #[test]
     fn kept_indices_are_highest_energy_channels() {
         let (_, weight) = layer();
-        let kept = ColumnPruning::new(0.25).unwrap().kept_channel_indices(&weight);
+        let kept = ColumnPruning::new(0.25)
+            .unwrap()
+            .kept_channel_indices(&weight);
         assert_eq!(kept.len(), 8);
         assert!(kept.windows(2).all(|w| w[0] < w[1]));
     }

@@ -7,8 +7,6 @@
 //! benefit is realized with zero-skipping wordline drivers only — no
 //! realignment multiplexers.
 
-use serde::{Deserialize, Serialize};
-
 use imc_array::{ArrayConfig, ParallelWindow, SdkMapping};
 use imc_tensor::{ConvShape, Tensor4};
 
@@ -17,7 +15,7 @@ use crate::{Error, Result};
 
 /// Configuration of PAIRS pruning: a single pattern with `entries` kept
 /// positions, shared by every kernel of the layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PairsPruning {
     /// Number of kernel positions kept in the shared pattern.
     pub entries: usize,
@@ -58,7 +56,11 @@ impl PairsPruning {
             }
         }
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(core::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(core::cmp::Ordering::Equal)
+        });
         order
             .into_iter()
             .take(self.entries.min(scores.len()))
@@ -145,7 +147,8 @@ impl PairsPruning {
         let mut best: Option<PrunedLayer> = None;
         for window in imc_array::vwsdk::candidate_windows(shape) {
             let sdk = SdkMapping::new(shape, window, array)?;
-            let rows_used = self.active_rows_per_channel(shape, window, &pattern) * shape.in_channels;
+            let rows_used =
+                self.active_rows_per_channel(shape, window, &pattern) * shape.in_channels;
             let candidate = PrunedLayer {
                 rows_used,
                 cols_used: sdk.mapped.cols_used,
@@ -207,8 +210,7 @@ mod tests {
         let window = ParallelWindow::new(4, 4);
         let full = PairsPruning::new(9).unwrap();
         let sparse = PairsPruning::new(2).unwrap();
-        let full_rows =
-            full.active_rows_per_channel(&shape, window, &full.shared_pattern(&weight));
+        let full_rows = full.active_rows_per_channel(&shape, window, &full.shared_pattern(&weight));
         let sparse_rows =
             sparse.active_rows_per_channel(&shape, window, &sparse.shared_pattern(&weight));
         assert_eq!(full_rows, 16);
@@ -220,7 +222,10 @@ mod tests {
     fn pairs_mapping_uses_zero_skip_and_beats_dense_sdk() {
         let (shape, weight) = layer();
         let array = ArrayConfig::square(64).unwrap();
-        let mapped = PairsPruning::new(4).unwrap().map_layer(&shape, &weight, array).unwrap();
+        let mapped = PairsPruning::new(4)
+            .unwrap()
+            .map_layer(&shape, &weight, array)
+            .unwrap();
         assert_eq!(mapped.peripheral, Peripheral::ZeroSkip);
         let dense_sdk = imc_array::search_best_window(&shape, array).unwrap().cycles;
         assert!(mapped.cycles() <= dense_sdk);
@@ -230,8 +235,14 @@ mod tests {
     fn more_aggressive_pruning_is_at_least_as_fast() {
         let (shape, weight) = layer();
         let array = ArrayConfig::square(64).unwrap();
-        let light = PairsPruning::new(8).unwrap().map_layer(&shape, &weight, array).unwrap();
-        let heavy = PairsPruning::new(2).unwrap().map_layer(&shape, &weight, array).unwrap();
+        let light = PairsPruning::new(8)
+            .unwrap()
+            .map_layer(&shape, &weight, array)
+            .unwrap();
+        let heavy = PairsPruning::new(2)
+            .unwrap()
+            .map_layer(&shape, &weight, array)
+            .unwrap();
         assert!(heavy.cycles() <= light.cycles());
         assert!(heavy.relative_error >= light.relative_error);
     }

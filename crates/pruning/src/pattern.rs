@@ -16,7 +16,7 @@ use crate::types::{Peripheral, PrunedLayer};
 use crate::{Error, Result};
 
 /// Configuration of PatDNN-style pattern pruning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PatternPruning {
     /// Number of kernel positions kept per `K_h × K_w` kernel slice
     /// (the paper sweeps 1 through 8 for 3×3 kernels).
@@ -60,7 +60,8 @@ impl PatternPruning {
                         positions.push((r, c, weight.get(o, i, r, c).abs()));
                     }
                 }
-                positions.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(core::cmp::Ordering::Equal));
+                positions
+                    .sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(core::cmp::Ordering::Equal));
                 for &(r, c, _) in positions.iter().skip(keep) {
                     pruned.set(o, i, r, c, 0.0);
                 }
@@ -165,7 +166,9 @@ mod tests {
         let (_, weight) = layer();
         let mut prev = f64::INFINITY;
         for entries in 1..=9 {
-            let err = PatternPruning::new(entries).unwrap().relative_error(&weight);
+            let err = PatternPruning::new(entries)
+                .unwrap()
+                .relative_error(&weight);
             assert!(err <= prev + 1e-12, "entries {entries}");
             prev = err;
         }
@@ -177,7 +180,9 @@ mod tests {
         // average energy fraction (1 - e/9).
         let (_, weight) = layer();
         for entries in [2, 4, 6] {
-            let measured = PatternPruning::new(entries).unwrap().relative_error(&weight);
+            let measured = PatternPruning::new(entries)
+                .unwrap()
+                .relative_error(&weight);
             let bound = (1.0 - entries as f64 / 9.0).sqrt();
             assert!(measured <= bound + 1e-9);
         }
@@ -200,7 +205,10 @@ mod tests {
         let (shape, _) = layer();
         let array = ArrayConfig::square(64).unwrap();
         let dense = imc_array::im2col_mapping(&shape, array).cycles();
-        let pruned = PatternPruning::new(4).unwrap().map_layer(&shape, array).cycles();
+        let pruned = PatternPruning::new(4)
+            .unwrap()
+            .map_layer(&shape, array)
+            .cycles();
         assert!(pruned < dense);
     }
 

@@ -1,12 +1,10 @@
 //! Common result types shared by every pruning baseline.
 
-use serde::{Deserialize, Serialize};
-
 use imc_array::{matrix_cycles, ArrayConfig, CycleBreakdown};
 
 /// The peripheral circuitry a compression method needs in order to turn its
 /// sparsity into cycle savings on a crossbar (Fig. 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Peripheral {
     /// No extra circuitry (dense mappings and the proposed low-rank method).
     None,
@@ -17,7 +15,7 @@ pub enum Peripheral {
 }
 
 /// Shape-level summary of one pruned layer mapped onto IMC arrays.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrunedLayer {
     /// Wordlines that must still be activated per access.
     pub rows_used: usize,

@@ -28,8 +28,8 @@ pub fn quantize_matrix(weights: &Matrix, bits: usize) -> Result<Matrix> {
     }
     if bits == 1 {
         // Binary weights: sign times the mean absolute value.
-        let mean_abs = weights.as_slice().iter().map(|x| x.abs()).sum::<f64>()
-            / weights.len() as f64;
+        let mean_abs =
+            weights.as_slice().iter().map(|x| x.abs()).sum::<f64>() / weights.len() as f64;
         return Ok(weights.map(|x| if x >= 0.0 { mean_abs } else { -mean_abs }));
     }
     let max_tanh = weights

@@ -19,7 +19,7 @@
 pub mod dorefa;
 pub mod mapping;
 
-pub use dorefa::{quantize_matrix, quantize_value, quantization_error};
+pub use dorefa::{quantization_error, quantize_matrix, quantize_value};
 pub use mapping::{quantized_conv_cycles, quantized_network_scale, QuantConfig};
 
 /// Errors produced by the quantization layer.

@@ -1,14 +1,12 @@
 //! Cycle accounting for quantized layers on IMC arrays.
 
-use serde::{Deserialize, Serialize};
-
 use imc_array::{search_best_window, ArrayConfig};
 use imc_tensor::ConvShape;
 
 use crate::{Error, Result};
 
 /// Activation/weight precision of a quantized model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QuantConfig {
     /// Weight bit width.
     pub weight_bits: usize,

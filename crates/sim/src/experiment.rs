@@ -1,0 +1,331 @@
+//! The builder-style experiment facade.
+//!
+//! [`Experiment`] sweeps a grid of networks × array sizes × compression
+//! strategies through the evaluation engine with one declarative call chain:
+//!
+//! ```
+//! use imc_sim::experiment::Experiment;
+//! use imc_sim::network::CompressionMethod;
+//! use imc_nn::resnet20;
+//!
+//! let run = Experiment::new()
+//!     .network(resnet20())
+//!     .arrays([32, 64])
+//!     .method(CompressionMethod::Uncompressed { sdk: false })
+//!     .method(CompressionMethod::Uncompressed { sdk: true })
+//!     .seed(2025)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(run.records().len(), 4); // 1 network × 2 arrays × 2 methods
+//! ```
+//!
+//! Strategies are either the paper's built-ins (via
+//! [`CompressionMethod`]) or any external [`CompressionStrategy`]
+//! implementation — the figure and table generators in
+//! [`crate::experiments`] are thin sweeps over this builder.
+//!
+//! The run order is deterministic (networks, then arrays, then strategies,
+//! each in insertion order) and every evaluation derives its weights from
+//! the single experiment seed, so a run is reproducible bit-for-bit.
+
+use imc_array::ArrayConfig;
+use imc_energy::EnergyParams;
+use imc_nn::NetworkArch;
+
+use crate::experiments::DEFAULT_SEED;
+use crate::network::{evaluate_strategy, CompressionMethod, NetworkEvaluation};
+use crate::strategy::CompressionStrategy;
+use crate::{Error, Result};
+
+/// A declarative sweep over networks × array sizes × compression strategies.
+pub struct Experiment {
+    networks: Vec<NetworkArch>,
+    arrays: Vec<usize>,
+    strategies: Vec<Box<dyn CompressionStrategy>>,
+    seed: u64,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Experiment {
+    /// An empty experiment with the harness default seed
+    /// ([`DEFAULT_SEED`]).
+    pub fn new() -> Self {
+        Self {
+            networks: Vec::new(),
+            arrays: Vec::new(),
+            strategies: Vec::new(),
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Adds one network to the sweep.
+    #[must_use]
+    pub fn network(mut self, arch: NetworkArch) -> Self {
+        self.networks.push(arch);
+        self
+    }
+
+    /// Adds several networks to the sweep.
+    #[must_use]
+    pub fn networks(mut self, archs: impl IntoIterator<Item = NetworkArch>) -> Self {
+        self.networks.extend(archs);
+        self
+    }
+
+    /// Adds one square array size to the sweep.
+    #[must_use]
+    pub fn array(mut self, size: usize) -> Self {
+        self.arrays.push(size);
+        self
+    }
+
+    /// Adds several square array sizes to the sweep.
+    #[must_use]
+    pub fn arrays(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.arrays.extend(sizes);
+        self
+    }
+
+    /// Adds a compression strategy to the sweep. Anything implementing
+    /// [`CompressionStrategy`] plugs in here — including types defined
+    /// outside this crate.
+    #[must_use]
+    pub fn strategy(self, strategy: impl CompressionStrategy + 'static) -> Self {
+        self.boxed_strategy(Box::new(strategy))
+    }
+
+    /// Adds an already-boxed strategy to the sweep.
+    #[must_use]
+    pub fn boxed_strategy(mut self, strategy: Box<dyn CompressionStrategy>) -> Self {
+        self.strategies.push(strategy);
+        self
+    }
+
+    /// Adds one of the paper's built-in methods to the sweep.
+    #[must_use]
+    pub fn method(self, method: CompressionMethod) -> Self {
+        self.boxed_strategy(method.strategy())
+    }
+
+    /// Adds several built-in methods to the sweep.
+    #[must_use]
+    pub fn methods(mut self, methods: impl IntoIterator<Item = CompressionMethod>) -> Self {
+        for method in methods {
+            self.strategies.push(method.strategy());
+        }
+        self
+    }
+
+    /// Sets the experiment seed (defaults to [`DEFAULT_SEED`]).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the full sweep: every network on every array size under every
+    /// strategy, in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Builder`] when networks, arrays or strategies are
+    /// empty, and propagates evaluation errors otherwise.
+    pub fn run(self) -> Result<ExperimentRun> {
+        if self.networks.is_empty() {
+            return Err(Error::Builder {
+                what: "no network added (call .network(..) or .networks(..))".to_owned(),
+            });
+        }
+        if self.arrays.is_empty() {
+            return Err(Error::Builder {
+                what: "no array size added (call .array(..) or .arrays(..))".to_owned(),
+            });
+        }
+        if self.strategies.is_empty() {
+            return Err(Error::Builder {
+                what: "no strategy added (call .strategy(..) or .method(..))".to_owned(),
+            });
+        }
+        let mut records =
+            Vec::with_capacity(self.networks.len() * self.arrays.len() * self.strategies.len());
+        for (network_index, arch) in self.networks.iter().enumerate() {
+            for &size in &self.arrays {
+                let array = ArrayConfig::square(size)?;
+                for (strategy_index, strategy) in self.strategies.iter().enumerate() {
+                    let eval = evaluate_strategy(arch, strategy.as_ref(), array, self.seed)?;
+                    records.push(RunRecord {
+                        network_index,
+                        array_size: size,
+                        strategy_index,
+                        eval,
+                    });
+                }
+            }
+        }
+        Ok(ExperimentRun { records })
+    }
+}
+
+/// One cell of the sweep grid: a network evaluated under one strategy on one
+/// array size.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Index of the network in insertion order.
+    pub network_index: usize,
+    /// Square array size of this evaluation.
+    pub array_size: usize,
+    /// Index of the strategy in insertion order.
+    pub strategy_index: usize,
+    /// The full evaluation (cycles, accuracy, parameters, schedules).
+    pub eval: NetworkEvaluation,
+}
+
+impl RunRecord {
+    /// Total inference energy of this evaluation under the given parameters.
+    pub fn energy(&self, params: &EnergyParams) -> f64 {
+        self.eval.energy(params)
+    }
+}
+
+/// The completed sweep: records in deterministic grid order (network-major,
+/// then array, then strategy).
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    records: Vec<RunRecord>,
+}
+
+impl ExperimentRun {
+    /// All records in grid order.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// The evaluations in grid order.
+    pub fn evaluations(&self) -> impl Iterator<Item = &NetworkEvaluation> {
+        self.records.iter().map(|r| &r.eval)
+    }
+
+    /// Consumes the run, returning the evaluations in grid order.
+    pub fn into_evaluations(self) -> Vec<NetworkEvaluation> {
+        self.records.into_iter().map(|r| r.eval).collect()
+    }
+
+    /// Records of one strategy (by insertion index) across the whole grid.
+    pub fn for_strategy(&self, strategy_index: usize) -> impl Iterator<Item = &RunRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.strategy_index == strategy_index)
+    }
+
+    /// Records of one array size across the whole grid.
+    pub fn for_array(&self, size: usize) -> impl Iterator<Item = &RunRecord> {
+        self.records.iter().filter(move |r| r.array_size == size)
+    }
+
+    /// The single evaluation of `(network_index, array_size,
+    /// strategy_index)`, if that cell was part of the grid.
+    pub fn get(
+        &self,
+        network_index: usize,
+        array_size: usize,
+        strategy_index: usize,
+    ) -> Option<&NetworkEvaluation> {
+        self.records
+            .iter()
+            .find(|r| {
+                r.network_index == network_index
+                    && r.array_size == array_size
+                    && r.strategy_index == strategy_index
+            })
+            .map(|r| &r.eval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::evaluate;
+    use imc_core::{CompressionConfig, RankSpec};
+    use imc_nn::resnet20;
+
+    #[test]
+    fn empty_builders_are_rejected() {
+        assert!(matches!(
+            Experiment::new().run(),
+            Err(Error::Builder { .. })
+        ));
+        assert!(matches!(
+            Experiment::new().network(resnet20()).run(),
+            Err(Error::Builder { .. })
+        ));
+        assert!(matches!(
+            Experiment::new().network(resnet20()).array(64).run(),
+            Err(Error::Builder { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_order_is_network_array_strategy() {
+        let run = Experiment::new()
+            .network(resnet20())
+            .arrays([32, 64])
+            .method(CompressionMethod::Uncompressed { sdk: false })
+            .method(CompressionMethod::Uncompressed { sdk: true })
+            .run()
+            .unwrap();
+        let key: Vec<(usize, usize, usize)> = run
+            .records()
+            .iter()
+            .map(|r| (r.network_index, r.array_size, r.strategy_index))
+            .collect();
+        assert_eq!(key, vec![(0, 32, 0), (0, 32, 1), (0, 64, 0), (0, 64, 1)]);
+    }
+
+    #[test]
+    fn builder_reproduces_direct_evaluation_bit_for_bit() {
+        let arch = resnet20();
+        let cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true).unwrap();
+        let method = CompressionMethod::LowRank(cfg);
+        let run = Experiment::new()
+            .network(arch.clone())
+            .array(64)
+            .method(method)
+            .seed(DEFAULT_SEED)
+            .run()
+            .unwrap();
+        let direct = evaluate(
+            &arch,
+            &method,
+            ArrayConfig::square(64).unwrap(),
+            DEFAULT_SEED,
+        )
+        .unwrap();
+        let built = &run.records()[0].eval;
+        assert_eq!(built.cycles, direct.cycles);
+        assert_eq!(built.accuracy, direct.accuracy);
+        assert_eq!(built.parameters, direct.parameters);
+        assert_eq!(built.method, direct.method);
+        assert_eq!(built.schedules, direct.schedules);
+    }
+
+    #[test]
+    fn selection_helpers_slice_the_grid() {
+        let run = Experiment::new()
+            .network(resnet20())
+            .arrays([32, 64])
+            .method(CompressionMethod::Uncompressed { sdk: false })
+            .method(CompressionMethod::PatternPruning { entries: 4 })
+            .run()
+            .unwrap();
+        assert_eq!(run.for_strategy(1).count(), 2);
+        assert_eq!(run.for_array(32).count(), 2);
+        assert!(run.get(0, 64, 1).is_some());
+        assert!(run.get(0, 128, 0).is_none());
+        assert!(run.get(1, 64, 0).is_none());
+    }
+}

@@ -1,4 +1,10 @@
 //! The paper's experiments: one function per table/figure.
+//!
+//! Each figure is a thin declarative sweep over the
+//! [`Experiment`](crate::experiment::Experiment) builder; only Table I keeps
+//! a specialized implementation, because its accuracy column shares one SVD
+//! error profile per (layer, group) pair across the whole rank sweep instead
+//! of re-decomposing every grid cell.
 
 use imc_array::ArrayConfig;
 use imc_core::{search_lowrank_window, CompressionConfig, GroupErrorProfile, RankSpec};
@@ -6,7 +12,8 @@ use imc_energy::EnergyParams;
 use imc_nn::{resnet20, wrn16_4, AccuracyModel, NetworkArch};
 use imc_tensor::Tensor4;
 
-use crate::network::{evaluate, CompressionMethod};
+use crate::experiment::Experiment;
+use crate::network::{CompressionMethod, NetworkEvaluation};
 use crate::Result;
 
 /// Seed used for every synthesized weight tensor in the experiment harness.
@@ -100,8 +107,7 @@ pub fn table1(arch: &NetworkArch, seed: u64) -> Result<Vec<Table1Row>> {
                                 if layer.compressible {
                                     let g = groups.min(shape.im2col_rows());
                                     let per_group_cols = shape.im2col_rows() / g;
-                                    let max_rank =
-                                        shape.out_channels.min(per_group_cols).max(1);
+                                    let max_rank = shape.out_channels.min(per_group_cols).max(1);
                                     let k = rank.resolve(shape.out_channels, max_rank);
                                     total += if *use_sdk {
                                         search_lowrank_window(&shape, k, g, array)?.total()
@@ -168,7 +174,11 @@ pub struct Fig6Panel {
 /// point set.
 pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
     let mut sorted: Vec<ParetoPoint> = points.to_vec();
-    sorted.sort_by(|a, b| a.cycles.partial_cmp(&b.cycles).unwrap_or(core::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| {
+        a.cycles
+            .partial_cmp(&b.cycles)
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
     let mut front: Vec<ParetoPoint> = Vec::new();
     let mut best_acc = f64::NEG_INFINITY;
     for p in sorted {
@@ -180,51 +190,58 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
     front
 }
 
+fn pareto_point(eval: &NetworkEvaluation) -> ParetoPoint {
+    ParetoPoint {
+        method: eval.method.clone(),
+        cycles: eval.cycles,
+        accuracy: eval.accuracy,
+    }
+}
+
 /// Regenerates one panel of Fig. 6.
 ///
 /// # Errors
 ///
 /// Propagates evaluation errors.
 pub fn fig6(arch: &NetworkArch, array_size: usize, seed: u64) -> Result<Fig6Panel> {
-    let array = ArrayConfig::square(array_size)?;
-    let baseline = evaluate(arch, &CompressionMethod::Uncompressed { sdk: false }, array, seed)?;
+    let lowrank: Vec<CompressionMethod> = CompressionConfig::table1_grid(true)
+        .into_iter()
+        .map(CompressionMethod::LowRank)
+        .collect();
+    let patdnn: Vec<CompressionMethod> = (1..=8)
+        .map(|entries| CompressionMethod::PatternPruning { entries })
+        .collect();
+    let pairs: Vec<CompressionMethod> = (1..=8)
+        .map(|entries| CompressionMethod::Pairs { entries })
+        .collect();
+    let run = Experiment::new()
+        .network(arch.clone())
+        .array(array_size)
+        .seed(seed)
+        .method(CompressionMethod::Uncompressed { sdk: false })
+        .methods(lowrank.iter().copied())
+        .methods(patdnn.iter().copied())
+        .methods(pairs.iter().copied())
+        .run()?;
 
-    let mut ours = Vec::new();
-    for cfg in CompressionConfig::table1_grid(true) {
-        let eval = evaluate(arch, &CompressionMethod::LowRank(cfg), array, seed)?;
-        ours.push(ParetoPoint {
-            method: eval.method,
-            cycles: eval.cycles,
-            accuracy: eval.accuracy,
-        });
-    }
-    let ours = pareto_front(&ours);
-
-    let mut patdnn = Vec::new();
-    let mut pairs = Vec::new();
-    for entries in 1..=8 {
-        let p = evaluate(arch, &CompressionMethod::PatternPruning { entries }, array, seed)?;
-        patdnn.push(ParetoPoint {
-            method: p.method,
-            cycles: p.cycles,
-            accuracy: p.accuracy,
-        });
-        let q = evaluate(arch, &CompressionMethod::Pairs { entries }, array, seed)?;
-        pairs.push(ParetoPoint {
-            method: q.method,
-            cycles: q.cycles,
-            accuracy: q.accuracy,
-        });
-    }
+    // Slice the flat grid back into the method series by the lengths of the
+    // method lists themselves, so reordering or resizing a sweep above cannot
+    // silently mislabel a series.
+    let evals: Vec<&NetworkEvaluation> = run.evaluations().collect();
+    let (baseline, rest) = evals.split_first().expect("run is non-empty");
+    let (ours_evals, rest) = rest.split_at(lowrank.len());
+    let (patdnn_evals, pairs_evals) = rest.split_at(patdnn.len());
+    debug_assert_eq!(pairs_evals.len(), pairs.len());
+    let ours_grid: Vec<ParetoPoint> = ours_evals.iter().copied().map(pareto_point).collect();
 
     Ok(Fig6Panel {
         network: arch.name.clone(),
         array_size,
         baseline_cycles: baseline.cycles,
         baseline_accuracy: baseline.accuracy,
-        ours,
-        patdnn,
-        pairs,
+        ours: pareto_front(&ours_grid),
+        patdnn: patdnn_evals.iter().copied().map(pareto_point).collect(),
+        pairs: pairs_evals.iter().copied().map(pareto_point).collect(),
     })
 }
 
@@ -253,23 +270,29 @@ pub fn fig7(arch: &NetworkArch, seed: u64) -> Result<Vec<Fig7Bar>> {
     let params = EnergyParams::default();
     let ours_cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true)
         .expect("paper configuration is valid");
-    let mut bars = Vec::new();
-    for size in [32usize, 64, 128] {
-        let array = ArrayConfig::square(size)?;
-        let baseline =
-            evaluate(arch, &CompressionMethod::Uncompressed { sdk: false }, array, seed)?;
-        let pattern =
-            evaluate(arch, &CompressionMethod::PatternPruning { entries: 6 }, array, seed)?;
-        let ours = evaluate(arch, &CompressionMethod::LowRank(ours_cfg), array, seed)?;
-        let reference = baseline.energy(&params);
-        bars.push(Fig7Bar {
-            network: arch.name.clone(),
-            array_size: size,
-            im2col_energy: reference,
-            pattern_normalized: pattern.energy(&params) / reference,
-            ours_normalized: ours.energy(&params) / reference,
-        });
-    }
+    let run = Experiment::new()
+        .network(arch.clone())
+        .arrays([32, 64, 128])
+        .seed(seed)
+        .method(CompressionMethod::Uncompressed { sdk: false })
+        .method(CompressionMethod::PatternPruning { entries: 6 })
+        .method(CompressionMethod::LowRank(ours_cfg))
+        .run()?;
+    let bars = run
+        .records()
+        .chunks(3)
+        .map(|cell| {
+            let (baseline, pattern, ours) = (&cell[0], &cell[1], &cell[2]);
+            let reference = baseline.energy(&params);
+            Fig7Bar {
+                network: arch.name.clone(),
+                array_size: baseline.array_size,
+                im2col_energy: reference,
+                pattern_normalized: pattern.energy(&params) / reference,
+                ours_normalized: ours.energy(&params) / reference,
+            }
+        })
+        .collect();
     Ok(bars)
 }
 
@@ -291,18 +314,15 @@ pub struct Fig8Panel {
 /// Propagates evaluation errors.
 pub fn fig8(seed: u64) -> Result<Vec<Fig8Panel>> {
     let arch = resnet20();
+    let run = Experiment::new()
+        .network(arch.clone())
+        .arrays([64, 128])
+        .seed(seed)
+        .methods((1..=4).map(|bits| CompressionMethod::Quantized { bits }))
+        .run()?;
     let mut panels = Vec::new();
     for size in [64usize, 128] {
-        let array = ArrayConfig::square(size)?;
-        let mut quantized = Vec::new();
-        for bits in 1..=4 {
-            let eval = evaluate(&arch, &CompressionMethod::Quantized { bits }, array, seed)?;
-            quantized.push(ParetoPoint {
-                method: eval.method,
-                cycles: eval.cycles,
-                accuracy: eval.accuracy,
-            });
-        }
+        let quantized = run.for_array(size).map(|r| pareto_point(&r.eval)).collect();
         let panel6 = fig6(&arch, size, seed)?;
         panels.push(Fig8Panel {
             array_size: size,
@@ -342,31 +362,31 @@ impl Fig9Row {
 ///
 /// Propagates evaluation errors.
 pub fn fig9_for(arch: &NetworkArch, array_size: usize, seed: u64) -> Result<Vec<Fig9Row>> {
-    let array = ArrayConfig::square(array_size)?;
-    let mut rows = Vec::new();
-    for rank in RankSpec::paper_divisors() {
-        let traditional_cfg = CompressionConfig::traditional(rank);
-        let proposed_cfg =
-            CompressionConfig::new(rank, 4, true).expect("paper configuration is valid");
-        let traditional =
-            evaluate(arch, &CompressionMethod::LowRank(traditional_cfg), array, seed)?;
-        let proposed = evaluate(arch, &CompressionMethod::LowRank(proposed_cfg), array, seed)?;
-        rows.push(Fig9Row {
+    let run = Experiment::new()
+        .network(arch.clone())
+        .array(array_size)
+        .seed(seed)
+        .methods(RankSpec::paper_divisors().into_iter().flat_map(|rank| {
+            let proposed =
+                CompressionConfig::new(rank, 4, true).expect("paper configuration is valid");
+            [
+                CompressionMethod::LowRank(CompressionConfig::traditional(rank)),
+                CompressionMethod::LowRank(proposed),
+            ]
+        }))
+        .run()?;
+    let rows = run
+        .records()
+        .chunks(2)
+        .zip(RankSpec::paper_divisors())
+        .map(|(pair, rank)| Fig9Row {
             network: arch.name.clone(),
             array_size,
             rank,
-            traditional: ParetoPoint {
-                method: traditional.method,
-                cycles: traditional.cycles,
-                accuracy: traditional.accuracy,
-            },
-            proposed: ParetoPoint {
-                method: proposed.method,
-                cycles: proposed.cycles,
-                accuracy: proposed.accuracy,
-            },
-        });
-    }
+            traditional: pareto_point(&pair[0].eval),
+            proposed: pareto_point(&pair[1].eval),
+        })
+        .collect();
     Ok(rows)
 }
 
@@ -418,8 +438,7 @@ pub fn headline(panels: &[Fig6Panel], bars: &[Fig7Bar]) -> Headline {
     let mut saving_im2col: f64 = 0.0;
     for bar in bars {
         if bar.pattern_normalized > 0.0 {
-            saving_pruning =
-                saving_pruning.max(1.0 - bar.ours_normalized / bar.pattern_normalized);
+            saving_pruning = saving_pruning.max(1.0 - bar.ours_normalized / bar.pattern_normalized);
         }
         saving_im2col = saving_im2col.max(1.0 - bar.ours_normalized);
     }
@@ -477,9 +496,21 @@ mod tests {
     #[test]
     fn pareto_front_filters_dominated_points() {
         let points = vec![
-            ParetoPoint { method: "a".into(), cycles: 10.0, accuracy: 80.0 },
-            ParetoPoint { method: "b".into(), cycles: 20.0, accuracy: 70.0 },
-            ParetoPoint { method: "c".into(), cycles: 30.0, accuracy: 90.0 },
+            ParetoPoint {
+                method: "a".into(),
+                cycles: 10.0,
+                accuracy: 80.0,
+            },
+            ParetoPoint {
+                method: "b".into(),
+                cycles: 20.0,
+                accuracy: 70.0,
+            },
+            ParetoPoint {
+                method: "c".into(),
+                cycles: 30.0,
+                accuracy: 90.0,
+            },
         ];
         let front = pareto_front(&points);
         assert_eq!(front.len(), 2);

@@ -9,11 +9,19 @@
 //! | Fig. 8 (ours vs 1–4-bit DoReFa quantization)                   | [`experiments::fig8`] |
 //! | Fig. 9 (ours vs traditional low-rank compression)              | [`experiments::fig9`] |
 //!
-//! The building block underneath is [`network::NetworkEvaluation`]: a whole
-//! network evaluated under one compression method on one array size, with
-//! computing cycles from the AR/AC model, accuracy from the calibrated
-//! error→accuracy model (see `imc-nn`), parameters, and the energy access
-//! schedules consumed by the Fig. 7 experiment.
+//! The crate is organized in three layers:
+//!
+//! * [`strategy`] — the pluggable [`CompressionStrategy`] contract: one
+//!   compressible convolution in, cycles / parameters / reconstruction error /
+//!   energy access schedules out. The paper's five methods are the built-in
+//!   implementations; external methods implement the trait and plug in
+//!   without touching this crate.
+//! * [`network`] — the evaluation engine walking a whole network under one
+//!   strategy ([`network::evaluate_strategy`]), producing a
+//!   [`network::NetworkEvaluation`].
+//! * [`experiment`] — the builder-style [`Experiment`] facade sweeping
+//!   networks × array sizes × strategies; the figure generators in
+//!   [`experiments`] are thin sweeps over it.
 //!
 //! Every function takes explicit seeds and is fully deterministic, so the
 //! generated reports are reproducible bit-for-bit.
@@ -21,12 +29,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiment;
 pub mod experiments;
 pub mod network;
 pub mod report;
+pub mod strategy;
 
-pub use experiments::{fig6, fig7, fig8, fig9, fig9_for, headline, table1};
-pub use network::{CompressionMethod, NetworkEvaluation};
+pub use experiment::{Experiment, ExperimentRun, RunRecord};
+pub use experiments::{fig6, fig7, fig8, fig9, fig9_for, headline, table1, DEFAULT_SEED};
+pub use network::{evaluate_strategy, CompressionMethod, NetworkEvaluation};
+pub use strategy::{CompressionStrategy, ConvContext, LayerOutcome};
 
 /// Errors produced by the experiment harness.
 #[derive(Debug)]
@@ -44,6 +56,27 @@ pub enum Error {
     Tensor(imc_tensor::Error),
     /// An error bubbled up from the neural-network layer.
     Nn(imc_nn::Error),
+    /// An [`Experiment`] was misconfigured (empty networks, arrays or
+    /// strategies).
+    Builder {
+        /// Description of the missing or inconsistent piece.
+        what: String,
+    },
+    /// An error raised by an external [`CompressionStrategy`]
+    /// implementation.
+    Strategy {
+        /// Description of the strategy failure.
+        what: String,
+    },
+}
+
+impl Error {
+    /// Wraps an external strategy's failure description; the conversion
+    /// surface for [`CompressionStrategy`] implementations defined outside
+    /// this workspace.
+    pub fn strategy(what: impl Into<String>) -> Self {
+        Error::Strategy { what: what.into() }
+    }
 }
 
 impl core::fmt::Display for Error {
@@ -55,11 +88,25 @@ impl core::fmt::Display for Error {
             Error::Array(e) => write!(f, "array mapping error: {e}"),
             Error::Tensor(e) => write!(f, "tensor error: {e}"),
             Error::Nn(e) => write!(f, "neural network error: {e}"),
+            Error::Builder { what } => write!(f, "experiment builder error: {what}"),
+            Error::Strategy { what } => write!(f, "compression strategy error: {what}"),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Pruning(e) => Some(e),
+            Error::Quant(e) => Some(e),
+            Error::Array(e) => Some(e),
+            Error::Tensor(e) => Some(e),
+            Error::Nn(e) => Some(e),
+            Error::Builder { .. } | Error::Strategy { .. } => None,
+        }
+    }
+}
 
 impl From<imc_core::Error> for Error {
     fn from(e: imc_core::Error) -> Self {

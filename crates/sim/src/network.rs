@@ -1,18 +1,30 @@
-//! Whole-network evaluation under one compression method.
+//! Whole-network evaluation under one compression strategy.
+//!
+//! [`evaluate_strategy`] is the engine: it walks the network once, charges
+//! linear and non-compressible layers with the dense im2col cost shared by
+//! every method, and delegates each compressible convolution to the
+//! [`CompressionStrategy`] under evaluation. [`CompressionMethod`] is the
+//! closed enum of the paper's five methods, kept as a convenient,
+//! copyable description that lowers onto the built-in strategies.
 
-use imc_array::{
-    im2col_mapping, linear_mapping, search_best_window, tiles_for, ArrayConfig,
-};
-use imc_core::{CompressionConfig, LayerCompression};
+use imc_array::{linear_mapping, ArrayConfig};
+use imc_core::CompressionConfig;
 use imc_energy::{AccessSchedule, EnergyParams, PeripheralKind};
 use imc_nn::{AccuracyModel, NetworkArch};
-use imc_pruning::{PairsPruning, PatternPruning, Peripheral};
-use imc_quant::QuantConfig;
-use imc_tensor::{LayerKind, Tensor4};
+use imc_tensor::LayerKind;
 
+use crate::strategy::{
+    dense_im2col_outcome, tile_schedule, CompressionStrategy, ConvContext, DoReFa, Im2col, LowRank,
+    Pairs, PatDnn, Sdk,
+};
 use crate::Result;
 
 /// The compression method applied to a network.
+///
+/// This is the declarative description of the paper's five methods; it
+/// lowers onto the built-in [`CompressionStrategy`] implementations via
+/// [`CompressionMethod::strategy`]. New methods do not extend this enum —
+/// they implement [`CompressionStrategy`] directly.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CompressionMethod {
     /// No compression; convolutions are mapped with im2col (`sdk = false`) or
@@ -41,18 +53,21 @@ pub enum CompressionMethod {
 }
 
 impl CompressionMethod {
+    /// Lowers the method onto its built-in strategy implementation.
+    pub fn strategy(&self) -> Box<dyn CompressionStrategy> {
+        match *self {
+            CompressionMethod::Uncompressed { sdk: false } => Box::new(Im2col),
+            CompressionMethod::Uncompressed { sdk: true } => Box::new(Sdk),
+            CompressionMethod::LowRank(cfg) => Box::new(LowRank::new(cfg)),
+            CompressionMethod::PatternPruning { entries } => Box::new(PatDnn { entries }),
+            CompressionMethod::Pairs { entries } => Box::new(Pairs { entries }),
+            CompressionMethod::Quantized { bits } => Box::new(DoReFa { bits }),
+        }
+    }
+
     /// Short human-readable label used in reports.
     pub fn label(&self) -> String {
-        match self {
-            CompressionMethod::Uncompressed { sdk: false } => "im2col baseline".to_owned(),
-            CompressionMethod::Uncompressed { sdk: true } => "SDK baseline".to_owned(),
-            CompressionMethod::LowRank(cfg) => format!("ours ({})", cfg.label()),
-            CompressionMethod::PatternPruning { entries } => {
-                format!("PatDNN pattern pruning ({entries} entries)")
-            }
-            CompressionMethod::Pairs { entries } => format!("PAIRS ({entries} entries)"),
-            CompressionMethod::Quantized { bits } => format!("{bits}-bit quantized"),
-        }
+        self.strategy().label()
     }
 }
 
@@ -83,46 +98,22 @@ impl NetworkEvaluation {
     }
 }
 
-/// Builds an access schedule from a logical occupancy. Columns are charged at
-/// allocated-tile granularity (every column of an occupied array tile is
-/// converted by the ADCs, used or not), which is what makes the energy model
-/// sensitive to array size and utilization.
-fn schedule(
-    rows_used: usize,
-    cols_used: usize,
-    loads: u64,
-    array: &ArrayConfig,
-    peripheral: PeripheralKind,
-) -> AccessSchedule {
-    let col_tiles = tiles_for(cols_used, array.logical_cols());
-    AccessSchedule {
-        active_rows: rows_used,
-        active_cols: col_tiles * array.cols,
-        cols_per_weight: 1,
-        loads,
-        peripheral,
-    }
-}
-
-fn peripheral_kind(p: Peripheral) -> PeripheralKind {
-    match p {
-        Peripheral::None => PeripheralKind::None,
-        Peripheral::ZeroSkip => PeripheralKind::ZeroSkip,
-        Peripheral::Mux => PeripheralKind::Mux,
-    }
-}
-
-/// Evaluates `arch` under `method` on square arrays of configuration `array`.
+/// Evaluates `arch` under `strategy` on square arrays of configuration
+/// `array`.
 ///
 /// Weight tensors are synthesized deterministically from `seed` (one derived
-/// seed per layer), so repeated calls give identical results.
+/// seed per layer, handed to the strategy via [`ConvContext::seed`]), so
+/// repeated calls give identical results. Linear layers and non-compressible
+/// convolutions are charged the dense im2col cost common to every method;
+/// compressible convolutions are delegated to the strategy.
 ///
 /// # Errors
 ///
-/// Propagates configuration and mapping errors from the underlying crates.
-pub fn evaluate(
+/// Propagates configuration and mapping errors from the underlying crates
+/// and any error the strategy raises.
+pub fn evaluate_strategy(
     arch: &NetworkArch,
-    method: &CompressionMethod,
+    strategy: &dyn CompressionStrategy,
     array: ArrayConfig,
     seed: u64,
 ) -> Result<NetworkEvaluation> {
@@ -140,7 +131,7 @@ pub fn evaluate(
                 let mapped = linear_mapping(&shape, array);
                 cycles += mapped.cycles() as f64;
                 parameters += shape.weight_count();
-                schedules.push(schedule(
+                schedules.push(tile_schedule(
                     mapped.rows_used,
                     mapped.cols_used,
                     mapped.loads as u64,
@@ -152,150 +143,54 @@ pub fn evaluate(
             LayerKind::Conv => {
                 let shape = layer.conv.expect("conv layers carry a conv shape");
                 let dense_params = shape.weight_count();
-                let compress_here = layer.compressible;
-                match method {
-                    CompressionMethod::LowRank(cfg) if compress_here => {
-                        let weight = Tensor4::kaiming_for(&shape, layer_seed)?;
-                        let compressed =
-                            LayerCompression::compress(&shape, &weight, cfg, array)?;
-                        cycles += compressed.cycles() as f64;
-                        parameters += compressed.parameter_count();
-                        layer_errors
-                            .push((compressed.relative_error(), dense_params as f64));
-                        let breakdown = compressed.cycle_breakdown();
-                        let gk = compressed.groups() * compressed.rank();
-                        if cfg.use_sdk {
-                            let window = breakdown.window;
-                            let n_par = breakdown.parallel_outputs;
-                            let b = shape.in_channels * window.h * window.w;
-                            schedules.push(schedule(
-                                b,
-                                n_par * gk,
-                                breakdown.stage1.loads as u64,
-                                &array,
-                                PeripheralKind::None,
-                            ));
-                        } else {
-                            schedules.push(schedule(
-                                shape.im2col_rows(),
-                                gk,
-                                breakdown.stage1.loads as u64,
-                                &array,
-                                PeripheralKind::None,
-                            ));
-                        }
-                        schedules.push(schedule(
-                            gk,
-                            shape.out_channels,
-                            shape.output_pixels() as u64,
-                            &array,
-                            PeripheralKind::None,
-                        ));
-                    }
-                    CompressionMethod::PatternPruning { entries } if compress_here => {
-                        // The structural energy-fraction error (not the
-                        // magnitude-pruned error of the synthetic weights) is
-                        // used for the accuracy model: fine-tuned pattern
-                        // pruning recovers magnitude-ordering effects, and the
-                        // structural bound reproduces the accuracy spread the
-                        // paper reports for 1-8 kept entries.
-                        let pruning = PatternPruning::new(*entries)?;
-                        let mapped = pruning.map_layer(&shape, array);
-                        cycles += mapped.cycles() as f64;
-                        let kept = ((1.0 - mapped.removed_fraction) * dense_params as f64).round()
-                            as usize;
-                        parameters += kept;
-                        layer_errors.push((mapped.relative_error, dense_params as f64));
-                        schedules.push(schedule(
-                            mapped.rows_used,
-                            mapped.cols_used,
-                            mapped.loads as u64,
-                            &array,
-                            peripheral_kind(mapped.peripheral),
-                        ));
-                    }
-                    CompressionMethod::Pairs { entries } if compress_here => {
-                        let weight = Tensor4::kaiming_for(&shape, layer_seed)?;
-                        let pruning = PairsPruning::new(*entries)?;
-                        let mapped = pruning.map_layer(&shape, &weight, array)?;
-                        cycles += mapped.cycles() as f64;
-                        let kept = ((1.0 - mapped.removed_fraction) * dense_params as f64).round()
-                            as usize;
-                        parameters += kept;
-                        layer_errors.push((mapped.relative_error, dense_params as f64));
-                        schedules.push(schedule(
-                            mapped.rows_used,
-                            mapped.cols_used,
-                            mapped.loads as u64,
-                            &array,
-                            peripheral_kind(mapped.peripheral),
-                        ));
-                    }
-                    CompressionMethod::Quantized { bits } if compress_here => {
-                        let quant = QuantConfig::new(*bits, *bits)?;
-                        cycles += imc_quant::quantized_conv_cycles(&shape, &array, &quant)?;
-                        parameters += dense_params;
-                        layer_errors.push((0.0, dense_params as f64));
-                        let quant_array = array.with_weight_bits(*bits)?;
-                        let best = search_best_window(&shape, quant_array)?;
-                        let mut sched = schedule(
-                            best.mapping.mapped.rows_used,
-                            best.mapping.mapped.cols_used,
-                            best.mapping.mapped.loads as u64,
-                            &quant_array,
-                            PeripheralKind::None,
-                        );
-                        sched.cols_per_weight = quant_array.columns_per_weight();
-                        schedules.push(sched);
-                    }
-                    CompressionMethod::Uncompressed { sdk: true } if compress_here => {
-                        let best = search_best_window(&shape, array)?;
-                        cycles += best.cycles as f64;
-                        parameters += dense_params;
-                        layer_errors.push((0.0, dense_params as f64));
-                        schedules.push(schedule(
-                            best.mapping.mapped.rows_used,
-                            best.mapping.mapped.cols_used,
-                            best.mapping.mapped.loads as u64,
-                            &array,
-                            PeripheralKind::None,
-                        ));
-                    }
-                    _ => {
-                        // Uncompressed im2col mapping: baselines, and the
-                        // non-compressible layers of every method.
-                        let mapped = im2col_mapping(&shape, array);
-                        cycles += mapped.cycles() as f64;
-                        parameters += dense_params;
-                        layer_errors.push((0.0, dense_params as f64));
-                        schedules.push(schedule(
-                            mapped.rows_used,
-                            mapped.cols_used,
-                            mapped.loads as u64,
-                            &array,
-                            PeripheralKind::None,
-                        ));
-                    }
-                }
+                let outcome = if layer.compressible {
+                    let ctx = ConvContext {
+                        shape: &shape,
+                        array,
+                        seed: layer_seed,
+                    };
+                    strategy.compress_conv(&ctx)?
+                } else {
+                    // Non-compressible layers of every method share the dense
+                    // im2col mapping.
+                    dense_im2col_outcome(&shape, array)
+                };
+                cycles += outcome.cycles;
+                parameters += outcome.parameters;
+                layer_errors.push((outcome.relative_error, dense_params as f64));
+                schedules.extend(outcome.schedules);
             }
         }
     }
 
-    let accuracy = match method {
-        CompressionMethod::Quantized { bits } => accuracy_model.quantized_accuracy(*bits),
-        CompressionMethod::Uncompressed { .. } => accuracy_model.baseline,
-        _ => accuracy_model.accuracy_for_layers(&layer_errors),
-    };
+    let accuracy = strategy.network_accuracy(&accuracy_model, &layer_errors);
 
     Ok(NetworkEvaluation {
         network: arch.name.clone(),
-        method: method.label(),
+        method: strategy.label(),
         array_size: array.rows,
         cycles,
         accuracy,
         parameters,
         schedules,
     })
+}
+
+/// Evaluates `arch` under `method` on square arrays of configuration `array`.
+///
+/// Convenience wrapper lowering the [`CompressionMethod`] description onto
+/// its built-in strategy; see [`evaluate_strategy`].
+///
+/// # Errors
+///
+/// Propagates configuration and mapping errors from the underlying crates.
+pub fn evaluate(
+    arch: &NetworkArch,
+    method: &CompressionMethod,
+    array: ArrayConfig,
+    seed: u64,
+) -> Result<NetworkEvaluation> {
+    evaluate_strategy(arch, method.strategy().as_ref(), array, seed)
 }
 
 #[cfg(test)]
@@ -393,8 +288,20 @@ mod tests {
     #[test]
     fn quantized_models_scale_cycles_with_bits() {
         let arch = resnet20();
-        let q1 = evaluate(&arch, &CompressionMethod::Quantized { bits: 1 }, array64(), 0).unwrap();
-        let q4 = evaluate(&arch, &CompressionMethod::Quantized { bits: 4 }, array64(), 0).unwrap();
+        let q1 = evaluate(
+            &arch,
+            &CompressionMethod::Quantized { bits: 1 },
+            array64(),
+            0,
+        )
+        .unwrap();
+        let q4 = evaluate(
+            &arch,
+            &CompressionMethod::Quantized { bits: 4 },
+            array64(),
+            0,
+        )
+        .unwrap();
         assert!(q1.cycles < q4.cycles);
         assert!(q1.accuracy < q4.accuracy);
     }
@@ -407,6 +314,21 @@ mod tests {
         let b = evaluate(&arch, &CompressionMethod::LowRank(cfg), array64(), 7).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn method_labels_match_their_strategies() {
+        let cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true).unwrap();
+        for method in [
+            CompressionMethod::Uncompressed { sdk: false },
+            CompressionMethod::Uncompressed { sdk: true },
+            CompressionMethod::LowRank(cfg),
+            CompressionMethod::PatternPruning { entries: 3 },
+            CompressionMethod::Pairs { entries: 5 },
+            CompressionMethod::Quantized { bits: 2 },
+        ] {
+            assert_eq!(method.label(), method.strategy().label());
+        }
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub fn fig6_markdown(panel: &Fig6Panel) -> String {
         ("PatDNN", &panel.patdnn),
         ("PAIRS", &panel.pairs),
     ] {
-        out.push_str(&format!("**{name}**\n\n| Config | Cycles | Accuracy (%) |\n|---|---|---|\n"));
+        out.push_str(&format!(
+            "**{name}**\n\n| Config | Cycles | Accuracy (%) |\n|---|---|---|\n"
+        ));
         for p in points {
             out.push_str(&format!(
                 "| {} | {} | {:.1} |\n",
@@ -145,35 +147,105 @@ mod tests {
     use imc_core::RankSpec;
 
     fn sample_rows() -> Vec<Table1Row> {
-        vec![Table1Row {
-            network: "ResNet-20".into(),
-            groups: 4,
-            rank: RankSpec::Divisor(8),
-            accuracy: 90.1,
-            cycles_32_plain: 73_000,
-            cycles_64_plain: 40_000,
-            cycles_32_sdk: 50_000,
-            cycles_64_sdk: 21_000,
-        }]
+        vec![
+            Table1Row {
+                network: "ResNet-20".into(),
+                groups: 4,
+                rank: RankSpec::Divisor(8),
+                accuracy: 90.1,
+                cycles_32_plain: 73_000,
+                cycles_64_plain: 40_000,
+                cycles_32_sdk: 50_000,
+                cycles_64_sdk: 21_000,
+            },
+            Table1Row {
+                network: "WRN16-4".into(),
+                groups: 1,
+                rank: RankSpec::Absolute(3),
+                accuracy: 77.25,
+                cycles_32_plain: 999,
+                cycles_64_plain: 500,
+                cycles_32_sdk: 400,
+                cycles_64_sdk: 123,
+            },
+        ]
     }
 
     #[test]
-    fn table1_markdown_contains_all_columns() {
-        let md = table1_markdown(&sample_rows());
-        assert!(md.contains("ResNet-20"));
-        assert!(md.contains("m/8"));
-        assert!(md.contains("90.1"));
-        assert!(md.contains("21k"));
+    fn table1_markdown_matches_golden_string() {
+        let golden = "\
+| Network | Group | Rank | Acc. (%) | Cycles 32 (w/o SDK) | Cycles 64 (w/o SDK) | Cycles 32 (w/ SDK) | Cycles 64 (w/ SDK) |
+|---|---|---|---|---|---|---|---|
+| ResNet-20 | 4 | m/8 | 90.1 | 73k | 40k | 50k | 21k |
+| WRN16-4 | 1 | k=3 | 77.2 | 999 | 500 | 400 | 123 |
+";
+        assert_eq!(table1_markdown(&sample_rows()), golden);
     }
 
     #[test]
-    fn table1_csv_is_machine_readable() {
+    fn table1_csv_matches_golden_string() {
+        let golden = "\
+network,groups,rank,accuracy,cycles32_plain,cycles64_plain,cycles32_sdk,cycles64_sdk
+ResNet-20,4,m/8,90.10,73000,40000,50000,21000
+WRN16-4,1,k=3,77.25,999,500,400,123
+";
+        assert_eq!(table1_csv(&sample_rows()), golden);
+    }
+
+    #[test]
+    fn table1_csv_rows_match_header_column_count() {
         let csv = table1_csv(&sample_rows());
         let mut lines = csv.lines();
-        let header = lines.next().unwrap();
-        assert_eq!(header.split(',').count(), 8);
-        let row = lines.next().unwrap();
-        assert_eq!(row.split(',').count(), 8);
+        let header_cols = lines.next().unwrap().split(',').count();
+        assert_eq!(header_cols, 8);
+        let mut rows = 0;
+        for row in lines {
+            assert_eq!(row.split(',').count(), header_cols, "row {row:?}");
+            rows += 1;
+        }
+        assert_eq!(rows, sample_rows().len());
+    }
+
+    #[test]
+    fn real_table1_csv_round_trips_through_the_header() {
+        // The renderer contract on real sweep output, not just fixtures:
+        // every generated row parses back into exactly the header's columns.
+        // A two-conv toy network keeps the sweep's SVDs small and fast.
+        let tiny = imc_nn::NetworkArch::new(
+            "Tiny-2",
+            "CIFAR-10",
+            10,
+            90.0,
+            vec![
+                imc_tensor::LayerShape::conv(
+                    "stem",
+                    imc_tensor::ConvShape::square(3, 8, 3, 1, 1, 8).unwrap(),
+                    false,
+                ),
+                imc_tensor::LayerShape::conv(
+                    "body",
+                    imc_tensor::ConvShape::square(8, 8, 3, 1, 1, 8).unwrap(),
+                    true,
+                ),
+                imc_tensor::LayerShape::linear(
+                    "fc",
+                    imc_tensor::LinearShape::new(8, 10).unwrap(),
+                    false,
+                ),
+            ],
+        )
+        .expect("valid toy network");
+        let rows = crate::experiments::table1(&tiny, crate::experiments::DEFAULT_SEED)
+            .expect("Table I sweep succeeds");
+        let csv = table1_csv(&rows);
+        let mut lines = csv.lines();
+        let header_cols = lines.next().unwrap().split(',').count();
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), rows.len());
+        assert_eq!(rows.len(), 16, "4 group counts x 4 rank divisors");
+        for row in body {
+            assert_eq!(row.split(',').count(), header_cols, "row {row:?}");
+        }
     }
 
     #[test]

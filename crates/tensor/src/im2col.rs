@@ -68,7 +68,11 @@ pub fn unroll_input(input: &FeatureMap, shape: &ConvShape) -> Result<Matrix> {
 ///
 /// Returns [`Error::DimensionMismatch`] when the weight tensor or input does
 /// not match `shape`.
-pub fn conv2d_direct(input: &FeatureMap, weight: &Tensor4, shape: &ConvShape) -> Result<FeatureMap> {
+pub fn conv2d_direct(
+    input: &FeatureMap,
+    weight: &Tensor4,
+    shape: &ConvShape,
+) -> Result<FeatureMap> {
     if weight.out_channels() != shape.out_channels
         || weight.in_channels() != shape.in_channels
         || weight.kernel_h() != shape.kernel_h
@@ -97,7 +101,8 @@ pub fn conv2d_direct(input: &FeatureMap, weight: &Tensor4, shape: &ConvShape) ->
                 for ic in 0..shape.in_channels {
                     for ky in 0..shape.kernel_h {
                         for kx in 0..shape.kernel_w {
-                            let x = input.get_padded(ic, base_y + ky as isize, base_x + kx as isize);
+                            let x =
+                                input.get_padded(ic, base_y + ky as isize, base_x + kx as isize);
                             acc += x * weight.get(oc, ic, ky, kx);
                         }
                     }
@@ -114,7 +119,11 @@ pub fn conv2d_direct(input: &FeatureMap, weight: &Tensor4, shape: &ConvShape) ->
 /// # Errors
 ///
 /// Propagates shape mismatches from [`unroll_input`] and the GEMM.
-pub fn conv2d_im2col(input: &FeatureMap, weight: &Tensor4, shape: &ConvShape) -> Result<FeatureMap> {
+pub fn conv2d_im2col(
+    input: &FeatureMap,
+    weight: &Tensor4,
+    shape: &ConvShape,
+) -> Result<FeatureMap> {
     let patches = unroll_input(input, shape)?;
     let w = weight.to_im2col_matrix();
     let out = w.matmul(&patches)?;
@@ -158,11 +167,10 @@ pub fn conv2d_with_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use imc_linalg::random::SeededRng;
 
     fn random_feature_map(c: usize, h: usize, w: usize, seed: u64) -> FeatureMap {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::seed_from_u64(seed);
         let data = (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
         FeatureMap::from_vec(c, h, w, data).unwrap()
     }

@@ -1,7 +1,5 @@
 //! Static geometry of convolutional and linear layers.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result};
 
 /// The geometry of a 2-D convolution layer applied to a square feature map.
@@ -10,7 +8,7 @@ use crate::{Error, Result};
 /// values only matter for accuracy modelling. All paper experiments use
 /// square inputs and square kernels, but rectangular kernels are supported
 /// because the SDK parallel-window search explores rectangular windows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvShape {
     /// Number of input channels (`IC`).
     pub in_channels: usize,
@@ -182,7 +180,7 @@ impl ConvShape {
 }
 
 /// The geometry of a fully connected (linear) layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinearShape {
     /// Number of input features.
     pub in_features: usize,
@@ -220,7 +218,7 @@ impl LinearShape {
 }
 
 /// Discriminates the two layer kinds that can be mapped onto IMC arrays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// A convolutional layer.
     Conv,
@@ -234,7 +232,7 @@ pub enum LayerKind {
 /// The paper never compresses the first convolution or the final classifier
 /// (they are "highly sensitive to perturbations and often processed on
 /// digital units"); such layers carry `compressible = false`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerShape {
     /// Human-readable layer name (e.g. `"block2.conv1"`).
     pub name: String,

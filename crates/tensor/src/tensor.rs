@@ -1,8 +1,7 @@
 //! Owned weight tensors and feature maps.
 
+use imc_linalg::random::SeededRng;
 use imc_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::shape::ConvShape;
 use crate::{Error, Result};
@@ -63,7 +62,7 @@ impl Tensor4 {
         }
         let fan_in = ic * kh * kw;
         let std = (2.0 / fan_in as f64).sqrt();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::seed_from_u64(seed);
         let data = (0..oc * ic * kh * kw)
             .map(|_| imc_linalg::random::normal_sample(&mut rng) * std)
             .collect();
@@ -154,12 +153,7 @@ impl Tensor4 {
     ///
     /// Returns [`Error::DimensionMismatch`] when the matrix shape is not
     /// `OC × (IC·KH·KW)`.
-    pub fn from_im2col_matrix(
-        matrix: &Matrix,
-        ic: usize,
-        kh: usize,
-        kw: usize,
-    ) -> Result<Self> {
+    pub fn from_im2col_matrix(matrix: &Matrix, ic: usize, kh: usize, kw: usize) -> Result<Self> {
         let n = ic * kh * kw;
         if matrix.cols() != n {
             return Err(Error::DimensionMismatch {
@@ -226,7 +220,12 @@ impl FeatureMap {
 
     /// Creates an all-zero feature map.
     pub fn zeros(channels: usize, height: usize, width: usize) -> Result<Self> {
-        Self::from_vec(channels, height, width, vec![0.0; channels * height * width])
+        Self::from_vec(
+            channels,
+            height,
+            width,
+            vec![0.0; channels * height * width],
+        )
     }
 
     /// Number of channels.
@@ -322,7 +321,7 @@ mod tests {
         let w = t.to_im2col_matrix();
         assert_eq!(w.rows(), 8); // m = OC
         assert_eq!(w.cols(), 4 * 9); // n = IC*KH*KW
-        // Row o contains kernel o flattened in (ic, kh, kw) order.
+                                     // Row o contains kernel o flattened in (ic, kh, kw) order.
         assert_eq!(w.get(3, 0), t.get(3, 0, 0, 0));
         assert_eq!(w.get(3, 9 + 4), t.get(3, 1, 1, 1));
         assert_eq!(w.get(7, 35), t.get(7, 3, 2, 2));

@@ -5,9 +5,9 @@
 //! `cargo run --release --example fig6_pareto -- all` to add the WRN16-4
 //! panels (slower: large SVD sweeps).
 
-use imc_repro::nn::{resnet20, wrn16_4};
-use imc_repro::sim::experiments::{fig6, headline, DEFAULT_SEED};
-use imc_repro::sim::report::fig6_markdown;
+use imc::nn::{resnet20, wrn16_4};
+use imc::sim::experiments::{fig6, headline, DEFAULT_SEED};
+use imc::sim::report::fig6_markdown;
 
 fn main() {
     let include_wrn = std::env::args().any(|a| a == "all" || a == "wrn");

@@ -4,9 +4,9 @@
 //!
 //! Run with `cargo run --release --example fig7_energy`.
 
-use imc_repro::nn::{resnet20, wrn16_4};
-use imc_repro::sim::experiments::{fig7, DEFAULT_SEED};
-use imc_repro::sim::report::fig7_markdown;
+use imc::nn::{resnet20, wrn16_4};
+use imc::sim::experiments::{fig7, DEFAULT_SEED};
+use imc::sim::report::fig7_markdown;
 
 fn main() {
     println!("# Fig. 7 — normalized inference energy (im2col = 1.0)\n");

@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example fig8_quant`.
 
-use imc_repro::sim::experiments::{fig8, DEFAULT_SEED};
-use imc_repro::sim::report::fig8_markdown;
+use imc::sim::experiments::{fig8, DEFAULT_SEED};
+use imc::sim::report::fig8_markdown;
 
 fn main() {
     println!("# Fig. 8 — ours vs quantized models (ResNet-20)\n");
@@ -23,5 +23,7 @@ fn main() {
             }
         }
     }
-    println!("Best speed-up vs quantized baselines at matched accuracy: {best:.2}x (paper: up to 1.8x)");
+    println!(
+        "Best speed-up vs quantized baselines at matched accuracy: {best:.2}x (paper: up to 1.8x)"
+    );
 }

@@ -5,9 +5,9 @@
 //! Run with `cargo run --release --example fig9_traditional`. Pass `resnet`
 //! to skip the (slower) WRN16-4 half.
 
-use imc_repro::nn::{resnet20, wrn16_4};
-use imc_repro::sim::experiments::{fig9_for, DEFAULT_SEED};
-use imc_repro::sim::report::fig9_markdown;
+use imc::nn::{resnet20, wrn16_4};
+use imc::sim::experiments::{fig9_for, DEFAULT_SEED};
+use imc::sim::report::fig9_markdown;
 
 fn main() {
     let resnet_only = std::env::args().any(|a| a == "resnet");

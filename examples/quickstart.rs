@@ -5,13 +5,10 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use imc_repro::array::{sdk_matrix, ArrayConfig, ParallelWindow};
-use imc_repro::core::{
-    CompressionConfig, GroupLowRank, LayerCompression, LowRankFactors, RankSpec, SdkLowRank,
-};
-use imc_repro::nn::resnet20;
-use imc_repro::sim::network::{evaluate, CompressionMethod};
-use imc_repro::tensor::{ConvShape, Tensor4};
+use imc::array::{sdk_matrix, ParallelWindow};
+use imc::core::{GroupLowRank, LayerCompression, LowRankFactors, SdkLowRank};
+use imc::tensor::{ConvShape, Tensor4};
+use imc::{resnet20, ArrayConfig, CompressionConfig, CompressionMethod, Experiment, RankSpec};
 
 fn main() {
     // A stage-3 ResNet-20 layer: 64 -> 64 channels on an 8x8 feature map.
@@ -58,26 +55,26 @@ fn main() {
         compressed.speedup_vs_im2col(),
     );
 
-    // Whole-network headline comparison on ResNet-20.
-    let arch = resnet20();
-    let baseline = evaluate(&arch, &CompressionMethod::Uncompressed { sdk: false }, array, 2025)
-        .expect("baseline evaluation succeeds");
-    let ours = evaluate(&arch, &CompressionMethod::LowRank(config), array, 2025)
-        .expect("compressed evaluation succeeds");
-    let pruned = evaluate(
-        &arch,
-        &CompressionMethod::PatternPruning { entries: 6 },
-        array,
-        2025,
-    )
-    .expect("pruning evaluation succeeds");
+    // Whole-network headline comparison on ResNet-20, via the builder facade:
+    // one declarative sweep instead of three hand-rolled evaluate() calls.
+    let run = Experiment::new()
+        .network(resnet20())
+        .array(64)
+        .seed(2025)
+        .method(CompressionMethod::Uncompressed { sdk: false })
+        .method(CompressionMethod::PatternPruning { entries: 6 })
+        .method(CompressionMethod::LowRank(config))
+        .run()
+        .expect("network sweep succeeds");
     println!("== ResNet-20 on 64x64 arrays (whole network) ==");
-    for eval in [&baseline, &pruned, &ours] {
+    for eval in run.evaluations() {
         println!(
             "  {:<38} {:>9.0} cycles   {:>5.1}% accuracy   {:>8} params",
             eval.method, eval.cycles, eval.accuracy, eval.parameters
         );
     }
+    let evals: Vec<_> = run.evaluations().collect();
+    let (baseline, pruned, ours) = (evals[0], evals[1], evals[2]);
     println!(
         "\nSpeed-up of ours vs im2col baseline: {:.2}x, vs 6-entry pattern pruning: {:.2}x",
         baseline.cycles / ours.cycles,

@@ -6,9 +6,9 @@
 //! `cargo run --release --example table1 -- all` to include WRN16-4
 //! (the WRN sweep runs many large SVDs and takes a few minutes).
 
-use imc_repro::nn::{resnet20, wrn16_4};
-use imc_repro::sim::experiments::{table1, DEFAULT_SEED};
-use imc_repro::sim::report::{table1_csv, table1_markdown};
+use imc::nn::{resnet20, wrn16_4};
+use imc::sim::experiments::{table1, DEFAULT_SEED};
+use imc::sim::report::{table1_csv, table1_markdown};
 
 fn main() {
     let include_wrn = std::env::args().any(|a| a == "all" || a == "wrn");

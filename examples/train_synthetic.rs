@@ -6,8 +6,8 @@
 //!
 //! Run with `cargo run --release --example train_synthetic`.
 
-use imc_repro::core::{GroupLowRank, LowRankFactors};
-use imc_repro::nn::{Mlp, SyntheticDataset, TrainConfig};
+use imc::core::{GroupLowRank, LowRankFactors};
+use imc::nn::{Mlp, SyntheticDataset, TrainConfig};
 
 fn main() {
     let classes = 8;
@@ -46,8 +46,12 @@ fn main() {
             .set_hidden_weights(grouped.reconstruct())
             .expect("shape matches");
 
-        let plain_acc = plain_model.evaluate(data.test()).expect("evaluation succeeds");
-        let grouped_acc = grouped_model.evaluate(data.test()).expect("evaluation succeeds");
+        let plain_acc = plain_model
+            .evaluate(data.test())
+            .expect("evaluation succeeds");
+        let grouped_acc = grouped_model
+            .evaluate(data.test())
+            .expect("evaluation succeeds");
         println!(
             "  {k:>3} |  {:>5.1}% (err {:.3})  |  {:>5.1}% (err {:.3})",
             100.0 * plain_acc,

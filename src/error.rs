@@ -1,0 +1,111 @@
+//! The workspace-level error type: one conversion surface over every
+//! member crate's error ladder.
+//!
+//! Each crate in the workspace keeps its own focused error enum (so the
+//! crates stay independently usable), but application code working through
+//! the `imc` umbrella should not have to name eight different error types.
+//! [`enum@Error`] converts from all of them, so a `?` anywhere in an
+//! experiment pipeline lands here.
+
+/// Any error produced by the workspace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// From the linear-algebra layer (`imc-linalg`).
+    Linalg(imc_linalg::Error),
+    /// From the tensor layer (`imc-tensor`).
+    Tensor(imc_tensor::Error),
+    /// From the array-mapping layer (`imc-array`).
+    Array(imc_array::Error),
+    /// From the low-rank compression layer (`imc-core`).
+    Core(imc_core::Error),
+    /// From the pruning baselines (`imc-pruning`).
+    Pruning(imc_pruning::Error),
+    /// From the quantization baselines (`imc-quant`).
+    Quant(imc_quant::Error),
+    /// From the neural-network layer (`imc-nn`).
+    Nn(imc_nn::Error),
+    /// From the experiment harness (`imc-sim`), including builder and
+    /// external-strategy errors.
+    Sim(imc_sim::Error),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+            Error::Array(e) => write!(f, "array mapping error: {e}"),
+            Error::Core(e) => write!(f, "compression error: {e}"),
+            Error::Pruning(e) => write!(f, "pruning error: {e}"),
+            Error::Quant(e) => write!(f, "quantization error: {e}"),
+            Error::Nn(e) => write!(f, "neural network error: {e}"),
+            Error::Sim(e) => write!(f, "experiment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            Error::Tensor(e) => Some(e),
+            Error::Array(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Pruning(e) => Some(e),
+            Error::Quant(e) => Some(e),
+            Error::Nn(e) => Some(e),
+            Error::Sim(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($crate_error:ty => $variant:ident),+ $(,)?) => {
+        $(impl From<$crate_error> for Error {
+            fn from(e: $crate_error) -> Self {
+                Error::$variant(e)
+            }
+        })+
+    };
+}
+
+impl_from!(
+    imc_linalg::Error => Linalg,
+    imc_tensor::Error => Tensor,
+    imc_array::Error => Array,
+    imc_core::Error => Core,
+    imc_pruning::Error => Pruning,
+    imc_quant::Error => Quant,
+    imc_nn::Error => Nn,
+    imc_sim::Error => Sim,
+);
+
+/// Convenient result alias for application code using the umbrella crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fails_with_question_mark() -> Result<imc_array::ArrayConfig> {
+        // Invalid array: the `?` converts imc_array::Error into imc::Error.
+        let array = imc_array::ArrayConfig::square(0)?;
+        Ok(array)
+    }
+
+    #[test]
+    fn question_mark_converts_crate_errors() {
+        let err = fails_with_question_mark().unwrap_err();
+        assert!(matches!(err, Error::Array(_)));
+        assert!(err.to_string().contains("array"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn sim_errors_convert_too() {
+        let sim = imc_sim::Error::strategy("external failure");
+        let err: Error = sim.into();
+        assert!(err.to_string().contains("external failure"));
+    }
+}

@@ -1,9 +1,33 @@
 //! Umbrella crate for the "Low-Rank Compression for IMC Arrays" reproduction.
 //!
-//! This crate re-exports the workspace members so that the examples and
-//! integration tests in the repository root can reach every subsystem with a
-//! single dependency. The actual implementations live in the `crates/`
-//! workspace members:
+//! This crate is the intended entry point: it re-exports the workspace
+//! members, carries the unified [`enum@Error`] type, and surfaces the
+//! builder-style [`Experiment`] facade through which every comparison of the
+//! paper (and any new compression method) is run:
+//!
+//! ```
+//! use imc::{resnet20, CompressionMethod, Experiment};
+//!
+//! let run = Experiment::new()
+//!     .network(resnet20())
+//!     .arrays([32, 64])
+//!     .method(CompressionMethod::Uncompressed { sdk: false })
+//!     .method(CompressionMethod::Uncompressed { sdk: true })
+//!     .seed(2025)
+//!     .run()
+//!     .unwrap();
+//! for record in run.records() {
+//!     println!(
+//!         "{} on {}x{}: {:.0} cycles",
+//!         record.eval.method, record.array_size, record.array_size, record.eval.cycles
+//!     );
+//! }
+//! ```
+//!
+//! New compression methods implement [`CompressionStrategy`] and plug into
+//! the same sweep without touching any workspace crate.
+//!
+//! The actual implementations live in the `crates/` workspace members:
 //!
 //! * [`imc_linalg`] — dense linear algebra (SVD, QR, Kronecker products).
 //! * [`imc_tensor`] — convolution tensors and im2col matrixization.
@@ -16,6 +40,9 @@
 //! * [`imc_energy`] — the NeuroSIM/ConvMapSIM-style energy simulator.
 //! * [`imc_sim`] — the experiment harness regenerating every table and figure.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use imc_array as array;
 pub use imc_core as core;
 pub use imc_energy as energy;
@@ -25,3 +52,19 @@ pub use imc_pruning as pruning;
 pub use imc_quant as quant;
 pub use imc_sim as sim;
 pub use imc_tensor as tensor;
+
+mod error;
+
+pub use error::{Error, Result};
+
+// The experiment facade: the builder, the strategy contract it sweeps, and
+// the handful of types almost every experiment touches.
+pub use imc_array::ArrayConfig;
+pub use imc_core::{CompressionConfig, RankSpec};
+pub use imc_energy::EnergyParams;
+pub use imc_nn::{resnet20, wrn16_4, NetworkArch};
+pub use imc_sim::strategy;
+pub use imc_sim::{
+    CompressionMethod, CompressionStrategy, ConvContext, Experiment, ExperimentRun, LayerOutcome,
+    NetworkEvaluation, RunRecord, DEFAULT_SEED,
+};
