@@ -1,14 +1,20 @@
-//! Fig. 6 bench: regenerates the ResNet-20 / 64×64 panel once and benchmarks
-//! the pruning-baseline cycle sweep it is compared against.
+//! Fig. 6 bench: regenerates the ResNet-20 / 64×64 panel once, benchmarks
+//! the pruning-baseline cycle sweep it is compared against, and measures the
+//! end-to-end panel sweep in its pre-optimization configuration (serial, no
+//! decomposition cache) against the optimized default (parallel, cached) —
+//! the before/after pair tracked in `BENCH_results.json`.
 
 use imc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use imc_array::ArrayConfig;
+use imc_core::CompressionConfig;
 use imc_nn::resnet20;
 use imc_pruning::{PairsPruning, PatternPruning};
 use imc_sim::experiments::{fig6, DEFAULT_SEED};
 use imc_sim::report::fig6_markdown;
+use imc_sim::runtime::default_parallelism;
+use imc_sim::{CompressionMethod, Experiment, ExperimentRun};
 use imc_tensor::Tensor4;
 
 fn pruning_cycle_sweep(array: &ArrayConfig) -> u64 {
@@ -31,6 +37,35 @@ fn pruning_cycle_sweep(array: &ArrayConfig) -> u64 {
     total
 }
 
+/// The Fig. 6 method grid (baseline + low-rank configs + PatDNN + PAIRS).
+/// Kept in one place so the sweep benches and their cell count cannot drift
+/// apart if the grid is ever resized.
+fn fig6_methods() -> Vec<CompressionMethod> {
+    let mut methods = vec![CompressionMethod::Uncompressed { sdk: false }];
+    methods.extend(
+        CompressionConfig::table1_grid(true)
+            .into_iter()
+            .map(CompressionMethod::LowRank),
+    );
+    methods.extend((1..=8).map(|entries| CompressionMethod::PatternPruning { entries }));
+    methods.extend((1..=8).map(|entries| CompressionMethod::Pairs { entries }));
+    methods
+}
+
+/// The full Fig. 6 method grid on one array size, under an explicit
+/// execution configuration.
+fn fig6_sweep(workers: usize, cached: bool) -> ExperimentRun {
+    Experiment::new()
+        .network(resnet20())
+        .array(64)
+        .seed(DEFAULT_SEED)
+        .methods(fig6_methods())
+        .parallelism(workers)
+        .decomposition_cache(cached)
+        .run()
+        .expect("sweep succeeds")
+}
+
 fn bench_fig6(c: &mut Criterion) {
     let panel = fig6(&resnet20(), 64, DEFAULT_SEED).expect("panel evaluation succeeds");
     println!(
@@ -41,6 +76,20 @@ fn bench_fig6(c: &mut Criterion) {
     let array = ArrayConfig::square(64).expect("valid array");
     c.bench_function("fig6_pruning_cycle_sweep_resnet20_64", |b| {
         b.iter(|| pruning_cycle_sweep(black_box(&array)))
+    });
+
+    // Before/after pair for the evaluation-pipeline overhaul: the serial,
+    // uncached sweep reproduces the pre-optimization execution path; the
+    // default path runs the same grid with the shared decomposition cache on
+    // one worker per hardware thread. Both produce byte-identical records.
+    let cells = fig6_methods().len() as u64;
+    c.bench_function("fig6_sweep_resnet20_64_serial_uncached", |b| {
+        b.throughput(cells);
+        b.iter(|| fig6_sweep(1, false))
+    });
+    c.bench_function("fig6_sweep_resnet20_64_parallel_cached", |b| {
+        b.throughput(cells);
+        b.iter(|| fig6_sweep(default_parallelism(), true))
     });
 }
 

@@ -7,8 +7,8 @@ use std::hint::black_box;
 
 use imc_array::{sdk_matrix, search_best_window, ArrayConfig, ParallelWindow};
 use imc_bench::{stage1_layer, stage3_layer};
-use imc_core::{search_lowrank_window, GroupLowRank, LowRankFactors};
-use imc_linalg::Svd;
+use imc_core::{search_lowrank_window, DecompCache, GroupLowRank, LowRankFactors};
+use imc_linalg::{uniform_matrix, Svd};
 
 fn bench_kernels(c: &mut Criterion) {
     let (shape1, weight1) = stage1_layer();
@@ -40,5 +40,64 @@ fn bench_kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group!(kernels, bench_kernels);
+/// The cache-aware dense kernels underneath the decomposition path.
+fn bench_dense_kernels(c: &mut Criterion) {
+    let a = uniform_matrix(256, 512, -1.0, 1.0, 1);
+    let b_mat = uniform_matrix(512, 256, -1.0, 1.0, 2);
+    let macs = (a.rows() * a.cols() * b_mat.cols()) as u64;
+    c.bench_function("matmul_256x512_512x256", |bench| {
+        bench.throughput(macs);
+        bench.iter(|| {
+            black_box(&a)
+                .matmul(black_box(&b_mat))
+                .expect("shapes match")
+        })
+    });
+
+    let tall = uniform_matrix(2304, 256, -1.0, 1.0, 3);
+    c.bench_function("transpose_2304x256", |bench| {
+        bench.throughput((tall.rows() * tall.cols()) as u64);
+        bench.iter(|| black_box(&tall).transpose())
+    });
+
+    let (_, weight3) = stage3_layer();
+    let w3 = weight3.to_im2col_matrix();
+    c.bench_function("hstack_4_blocks_64x144", |bench| {
+        let blocks = w3.split_cols(4).expect("valid split");
+        bench.iter(|| imc_linalg::Matrix::hstack(black_box(&blocks)).expect("valid stack"))
+    });
+}
+
+/// The shared decomposition cache against the recompute-per-cell pattern it
+/// replaces: a rank sweep over one layer, one SVD per (layer, group) pair.
+fn bench_decomposition_cache(c: &mut Criterion) {
+    let (shape3, weight3) = stage3_layer();
+    let w3 = weight3.to_im2col_matrix();
+    c.bench_function("rank_sweep_64x576_g4_uncached", |b| {
+        b.iter(|| {
+            for k in [2usize, 4, 8, 16] {
+                black_box(GroupLowRank::compute(black_box(&w3), 4, k).expect("valid config"));
+            }
+        })
+    });
+    c.bench_function("rank_sweep_64x576_g4_cached", |b| {
+        b.iter(|| {
+            let cache = DecompCache::new();
+            for k in [2usize, 4, 8, 16] {
+                black_box(
+                    cache
+                        .decomposition(&shape3, 11, 4, k)
+                        .expect("valid config"),
+                );
+            }
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_kernels,
+    bench_dense_kernels,
+    bench_decomposition_cache
+);
 criterion_main!(kernels);

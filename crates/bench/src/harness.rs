@@ -8,26 +8,168 @@
 //! timing, a short warm-up, and a fixed measurement budget per benchmark.
 //! Swapping back to Criterion later is a one-line import change in each
 //! bench target.
+//!
+//! # Machine-readable results
+//!
+//! Groups created through [`criterion_group!`] append one JSON line per run
+//! to `BENCH_results.json` at the workspace root (override the path with the
+//! `IMC_BENCH_RESULTS` environment variable, or set it to `-` to disable).
+//! Each line is a self-contained object:
+//!
+//! ```json
+//! {"schema":1,"group":"kernels","unix_time_s":1753,"results":[
+//!   {"name":"svd_64x576","ns_per_iter":123.4,"iters":100,"elapsed_ns":12340,
+//!    "iters_per_s":8103727.7,"elems_per_s":null}]}
+//! ```
+//!
+//! so the perf trajectory of every kernel and sweep is tracked across PRs by
+//! appending — never rewriting — one line per `cargo bench` invocation.
+//!
+//! # Environment knobs
+//!
+//! * `IMC_BENCH_BUDGET_MS` — measurement budget per benchmark
+//!   (default 600 ms). Set to a small value (e.g. `1`) for a smoke run that
+//!   executes each benchmark exactly once.
+//! * `IMC_BENCH_WARMUP_MS` — warm-up before measuring (default 150 ms,
+//!   `0` skips the warm-up entirely).
+//! * `IMC_BENCH_RESULTS` — path of the JSON-lines sink (default
+//!   `BENCH_results.json` at the workspace root, `-` disables writing).
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// Target measurement time per benchmark.
-const MEASUREMENT_BUDGET: Duration = Duration::from_millis(600);
+/// Default target measurement time per benchmark.
+const DEFAULT_MEASUREMENT_BUDGET_MS: u64 = 600;
 
-/// Warm-up time per benchmark.
-const WARMUP_BUDGET: Duration = Duration::from_millis(150);
+/// Default warm-up time per benchmark.
+const DEFAULT_WARMUP_BUDGET_MS: u64 = 150;
 
 /// Hard cap on measured iterations (protects very fast routines from
 /// spending the whole budget on loop bookkeeping).
 const MAX_ITERS: u64 = 10_000;
 
+fn env_millis(name: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(default_ms);
+    Duration::from_millis(ms)
+}
+
+fn measurement_budget() -> Duration {
+    env_millis("IMC_BENCH_BUDGET_MS", DEFAULT_MEASUREMENT_BUDGET_MS)
+}
+
+fn warmup_budget() -> Duration {
+    env_millis("IMC_BENCH_WARMUP_MS", DEFAULT_WARMUP_BUDGET_MS)
+}
+
+/// Resolves the results-sink path: `IMC_BENCH_RESULTS` when set (`-`
+/// disables), otherwise `BENCH_results.json` at the workspace root.
+fn results_path() -> Option<PathBuf> {
+    match std::env::var("IMC_BENCH_RESULTS") {
+        Ok(v) if v.trim() == "-" => None,
+        Ok(v) if !v.trim().is_empty() => Some(PathBuf::from(v)),
+        _ => {
+            // crates/bench/../.. == the workspace root.
+            let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            path.pop();
+            path.pop();
+            path.push("BENCH_results.json");
+            Some(path)
+        }
+    }
+}
+
+/// One measured benchmark, as recorded in the JSON sink.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark name (unique within its group).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Number of measured iterations.
+    pub iters: u64,
+    /// Total measured wall-clock nanoseconds.
+    pub elapsed_ns: u128,
+    /// Declared elements processed per iteration (via
+    /// [`Bencher::throughput`]), if any.
+    pub elems_per_iter: Option<u64>,
+}
+
+impl BenchRecord {
+    /// Iterations per second.
+    pub fn iters_per_s(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            1e9 / self.ns_per_iter
+        } else {
+            0.0
+        }
+    }
+
+    /// Elements per second, when a throughput was declared.
+    pub fn elems_per_s(&self) -> Option<f64> {
+        self.elems_per_iter
+            .map(|elems| elems as f64 * self.iters_per_s())
+    }
+
+    fn to_json(&self) -> String {
+        let elems = match self.elems_per_s() {
+            Some(v) => format!("{v:.1}"),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"name\":{},\"ns_per_iter\":{:.1},\"iters\":{},\"elapsed_ns\":{},\"iters_per_s\":{:.1},\"elems_per_s\":{}}}",
+            json_string(&self.name),
+            self.ns_per_iter,
+            self.iters,
+            self.elapsed_ns,
+            self.iters_per_s(),
+            elems
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes, backslashes, control
+/// characters — benchmark names are plain ASCII in practice).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// The benchmark driver handed to every registered bench function.
+///
+/// Groups created through [`criterion_group!`](crate::criterion_group) carry
+/// a group label and flush their records to the JSON sink when dropped;
+/// drivers created with `Criterion::default()` (e.g. in unit tests) only
+/// print.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    group: Option<String>,
+    records: Vec<BenchRecord>,
 }
 
 impl Criterion {
+    /// A driver that appends its records to the JSON sink under `group`.
+    /// Used by [`criterion_group!`](crate::criterion_group); prefer the macro
+    /// in bench targets.
+    pub fn for_group(group: &str) -> Self {
+        Self {
+            group: Some(group.to_owned()),
+            records: Vec::new(),
+        }
+    }
+
     /// Runs `f` under the harness and prints a one-line summary.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
@@ -36,7 +178,60 @@ impl Criterion {
         let mut bencher = Bencher::default();
         f(&mut bencher);
         bencher.report(name);
+        if bencher.iters > 0 {
+            self.records.push(BenchRecord {
+                name: name.to_owned(),
+                ns_per_iter: bencher.ns_per_iter(),
+                iters: bencher.iters,
+                elapsed_ns: bencher.elapsed.as_nanos(),
+                elems_per_iter: bencher.elems_per_iter,
+            });
+        }
         self
+    }
+
+    /// The records measured so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    fn flush_json(&mut self) {
+        let Some(group) = self.group.as_deref() else {
+            return;
+        };
+        if self.records.is_empty() {
+            return;
+        }
+        let Some(path) = results_path() else {
+            return;
+        };
+        let unix_time_s = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let results: Vec<String> = self.records.iter().map(BenchRecord::to_json).collect();
+        let line = format!(
+            "{{\"schema\":1,\"group\":{},\"unix_time_s\":{},\"results\":[{}]}}\n",
+            json_string(group),
+            unix_time_s,
+            results.join(",")
+        );
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+        match appended {
+            Ok(()) => println!("results appended to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        self.records.clear();
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.flush_json();
     }
 }
 
@@ -45,9 +240,18 @@ impl Criterion {
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
+    elems_per_iter: Option<u64>,
 }
 
 impl Bencher {
+    /// Declares how many logical elements (MACs, grid cells, bytes — the
+    /// caller picks the unit) one iteration processes, so the harness can
+    /// report throughput next to the per-iteration time.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.elems_per_iter = Some(elements);
+        self
+    }
+
     /// Measures `routine`, keeping its output alive via a black box so the
     /// optimizer cannot elide the work.
     pub fn iter<O, R>(&mut self, mut routine: R)
@@ -55,19 +259,31 @@ impl Bencher {
         R: FnMut() -> O,
     {
         // Warm-up (not recorded).
-        let warm_start = Instant::now();
-        while warm_start.elapsed() < WARMUP_BUDGET {
-            std::hint::black_box(routine());
+        let warmup = warmup_budget();
+        if !warmup.is_zero() {
+            let warm_start = Instant::now();
+            while warm_start.elapsed() < warmup {
+                std::hint::black_box(routine());
+            }
         }
 
+        let budget = measurement_budget();
         let mut iters = 0u64;
         let start = Instant::now();
-        while start.elapsed() < MEASUREMENT_BUDGET && iters < MAX_ITERS {
+        while start.elapsed() < budget && iters < MAX_ITERS {
             std::hint::black_box(routine());
             iters += 1;
         }
         self.iters = iters.max(1);
         self.elapsed = start.elapsed();
+    }
+
+    /// Mean nanoseconds per measured iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
     }
 
     fn report(&self, name: &str) {
@@ -76,8 +292,12 @@ impl Bencher {
             return;
         }
         let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        let throughput = match (self.elems_per_iter, per_iter > 0.0) {
+            (Some(elems), true) => format!("   {:>14}/s", format_count(elems as f64 / per_iter)),
+            _ => String::new(),
+        };
         println!(
-            "{name:<44} {:>12}/iter   ({} iters in {:.2?})",
+            "{name:<44} {:>12}/iter   ({} iters in {:.2?}){throughput}",
             format_duration(per_iter),
             self.iters,
             self.elapsed
@@ -97,12 +317,25 @@ fn format_duration(seconds: f64) -> String {
     }
 }
 
+fn format_count(per_second: f64) -> String {
+    if per_second >= 1e9 {
+        format!("{:.2} Gelem", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.2} Melem", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.2} kelem", per_second / 1e3)
+    } else {
+        format!("{per_second:.1} elem")
+    }
+}
+
 /// Registers bench functions as a named group, mirroring Criterion's macro.
+/// The group name becomes the `group` field of the JSON results line.
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($function:path),+ $(,)?) => {
         pub fn $group() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::for_group(stringify!($group));
             $($function(&mut criterion);)+
         }
     };
@@ -130,16 +363,48 @@ mod tests {
         bencher.iter(|| std::hint::black_box(2u64 + 2));
         assert!(bencher.iters >= 1);
         assert!(bencher.elapsed > Duration::ZERO);
+        assert!(bencher.ns_per_iter() > 0.0);
     }
 
     #[test]
-    fn bench_function_runs_the_closure() {
+    fn bench_function_runs_the_closure_and_records() {
         let mut ran = false;
-        Criterion::default().bench_function("smoke", |b| {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("smoke", |b| {
             ran = true;
+            b.throughput(1000);
             b.iter(|| 1 + 1);
         });
         assert!(ran);
+        let records = criterion.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "smoke");
+        assert!(records[0].iters >= 1);
+        assert_eq!(records[0].elems_per_iter, Some(1000));
+        assert!(records[0].elems_per_s().unwrap() > 0.0);
+        // `Criterion::default()` has no group: dropping it must not write.
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let record = BenchRecord {
+            name: "svd \"tall\"".to_owned(),
+            ns_per_iter: 1234.5,
+            iters: 100,
+            elapsed_ns: 123_450,
+            elems_per_iter: Some(64),
+        };
+        let json = record.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\\\"tall\\\""));
+        assert!(json.contains("\"iters\":100"));
+        assert!(json.contains("\"elems_per_s\":"));
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
     }
 
     #[test]
@@ -148,5 +413,13 @@ mod tests {
         assert_eq!(format_duration(2.5e-3), "2.500 ms");
         assert_eq!(format_duration(2.5e-6), "2.500 µs");
         assert_eq!(format_duration(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn counts_format_with_sensible_units() {
+        assert_eq!(format_count(2.5e9), "2.50 Gelem");
+        assert_eq!(format_count(2.5e6), "2.50 Melem");
+        assert_eq!(format_count(2.5e3), "2.50 kelem");
+        assert_eq!(format_count(12.0), "12.0 elem");
     }
 }

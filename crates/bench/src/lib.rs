@@ -10,7 +10,7 @@
 
 pub mod harness;
 
-pub use harness::{Bencher, Criterion};
+pub use harness::{BenchRecord, Bencher, Criterion};
 
 use imc_tensor::{ConvShape, Tensor4};
 

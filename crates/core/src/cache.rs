@@ -1,0 +1,324 @@
+//! Shared decomposition cache for sweep-style workloads.
+//!
+//! The experiment grids of the paper (networks × array sizes × compression
+//! strategies) evaluate the *same* seeded layer weights over and over: every
+//! grid cell re-derives the Kaiming tensor, re-matrixizes it, and re-runs the
+//! one-sided Jacobi SVD of every group block from scratch. All of those
+//! values are pure functions of `(layer geometry, seed)` — plus the group
+//! count and rank for the decompositions, and the array configuration for
+//! the mapping searches — so a per-run [`DecompCache`] computes each of them
+//! once and shares the result across all cells (and across worker threads:
+//! every method takes `&self` and the cache is `Sync`).
+//!
+//! Because every cached value is deterministic in its key, a sweep produces
+//! bit-identical results with and without the cache, and regardless of which
+//! worker thread computed an entry first.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use imc_array::{search_best_window, ArrayConfig, WindowSearchResult};
+use imc_linalg::{Matrix, Svd};
+use imc_tensor::{ConvShape, Tensor4};
+
+use crate::cycles::{lowrank_im2col_cycles, search_lowrank_window, CompressedCycles};
+use crate::group::GroupLowRank;
+use crate::Result;
+
+/// Identifies one seeded layer weight: the geometry and the per-layer seed
+/// fully determine the Kaiming-initialized tensor, so two layers that happen
+/// to share both (even across networks) legitimately share the cache entry.
+type WeightKey = (ConvShape, u64);
+
+/// `(weight, groups)` — identifies one set of per-block SVD spectra.
+type SvdKey = (WeightKey, usize);
+
+/// `(shape, rank, groups, array, use_sdk)` — identifies one two-stage cycle
+/// accounting.
+type CyclesKey = (ConvShape, usize, usize, ArrayConfig, bool);
+
+/// A concurrent get-or-compute map.
+type CacheMap<K, V> = Mutex<HashMap<K, V>>;
+
+/// A grouped decomposition together with the relative reconstruction error it
+/// induces — everything the evaluation path needs per `(layer, g, k)`.
+#[derive(Debug, Clone)]
+pub struct CachedDecomposition {
+    /// The grouped factorization (actual matrices).
+    pub decomposition: GroupLowRank,
+    /// Relative Frobenius reconstruction error against the dense weights.
+    pub relative_error: f64,
+}
+
+/// A per-run cache of seeded weights, their SVD spectra and derived
+/// decompositions, plus the (array-dependent) mapping searches.
+///
+/// All methods are get-or-compute: a hit clones an [`Arc`] (or a `Copy`
+/// value), a miss computes outside the lock and inserts. Concurrent misses on
+/// the same key may compute the value twice; both computations yield
+/// identical values (every entry is a pure function of its key), so the
+/// first insertion winning is harmless.
+#[derive(Debug, Default)]
+pub struct DecompCache {
+    weights: CacheMap<WeightKey, Arc<Tensor4>>,
+    matrices: CacheMap<WeightKey, Arc<Matrix>>,
+    block_svds: CacheMap<SvdKey, Arc<Vec<Svd>>>,
+    decompositions: CacheMap<(WeightKey, usize, usize), Arc<CachedDecomposition>>,
+    window_searches: CacheMap<(ConvShape, ArrayConfig), WindowSearchResult>,
+    lowrank_cycles: CacheMap<CyclesKey, CompressedCycles>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DecompCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Probes one map without computing, counting a hit when present. The
+    /// derived-value methods probe their own map first so a warm lookup takes
+    /// exactly one lock instead of walking the whole prerequisite chain.
+    fn probe<K, V>(&self, map: &Mutex<HashMap<K, V>>, key: &K) -> Option<V>
+    where
+        K: Eq + Hash,
+        V: Clone,
+    {
+        let hit = map.lock().expect("cache lock poisoned").get(key).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn get_or_try<K, V, F>(&self, map: &Mutex<HashMap<K, V>>, key: K, compute: F) -> Result<V>
+    where
+        K: Eq + Hash,
+        V: Clone,
+        F: FnOnce() -> Result<V>,
+    {
+        if let Some(v) = map.lock().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute()?;
+        Ok(map
+            .lock()
+            .expect("cache lock poisoned")
+            .entry(key)
+            .or_insert(v)
+            .clone())
+    }
+
+    /// The deterministic Kaiming weight tensor of `(shape, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-construction errors.
+    pub fn weight(&self, shape: &ConvShape, seed: u64) -> Result<Arc<Tensor4>> {
+        self.get_or_try(&self.weights, (*shape, seed), || {
+            Ok(Arc::new(Tensor4::kaiming_for(shape, seed)?))
+        })
+    }
+
+    /// The im2col matrixization of the seeded weight tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor-construction errors.
+    pub fn im2col_matrix(&self, shape: &ConvShape, seed: u64) -> Result<Arc<Matrix>> {
+        let key = (*shape, seed);
+        if let Some(matrix) = self.probe(&self.matrices, &key) {
+            return Ok(matrix);
+        }
+        let weight = self.weight(shape, seed)?;
+        self.get_or_try(&self.matrices, key, || {
+            Ok(Arc::new(weight.to_im2col_matrix()))
+        })
+    }
+
+    /// The per-block singular value decompositions of the weight matrix
+    /// partitioned into `groups` column blocks — the expensive kernel every
+    /// rank of the sweep shares.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning and SVD convergence errors.
+    pub fn block_svds(&self, shape: &ConvShape, seed: u64, groups: usize) -> Result<Arc<Vec<Svd>>> {
+        let key = ((*shape, seed), groups);
+        if let Some(svds) = self.probe(&self.block_svds, &key) {
+            return Ok(svds);
+        }
+        let matrix = self.im2col_matrix(shape, seed)?;
+        self.get_or_try(&self.block_svds, key, || {
+            let blocks = matrix.split_cols(groups)?;
+            let mut svds = Vec::with_capacity(blocks.len());
+            for block in &blocks {
+                svds.push(Svd::compute(block)?);
+            }
+            Ok(Arc::new(svds))
+        })
+    }
+
+    /// The grouped rank-`k` decomposition (with its relative reconstruction
+    /// error) of the seeded weights, derived from the shared block SVDs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same configuration errors as [`GroupLowRank::compute`].
+    pub fn decomposition(
+        &self,
+        shape: &ConvShape,
+        seed: u64,
+        groups: usize,
+        k: usize,
+    ) -> Result<Arc<CachedDecomposition>> {
+        let key = ((*shape, seed), groups, k);
+        if let Some(cached) = self.probe(&self.decompositions, &key) {
+            return Ok(cached);
+        }
+        let svds = self.block_svds(shape, seed, groups)?;
+        let matrix = self.im2col_matrix(shape, seed)?;
+        self.get_or_try(&self.decompositions, key, || {
+            let decomposition = GroupLowRank::from_block_svds(&svds, k)?;
+            let relative_error = decomposition.relative_error(&matrix)?;
+            Ok(Arc::new(CachedDecomposition {
+                decomposition,
+                relative_error,
+            }))
+        })
+    }
+
+    /// The VW-SDK window search for `(shape, array)` — shared by the SDK
+    /// baseline, the quantized baseline and the low-rank baseline columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window-construction errors.
+    pub fn best_window(&self, shape: &ConvShape, array: ArrayConfig) -> Result<WindowSearchResult> {
+        self.get_or_try(&self.window_searches, (*shape, array), || {
+            Ok(search_best_window(shape, array)?)
+        })
+    }
+
+    /// The two-stage cycle accounting of a `(shape, k, g)` compressed layer on
+    /// `array`, with (`use_sdk`) or without the SDK window search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and mapping errors.
+    pub fn lowrank_cycles(
+        &self,
+        shape: &ConvShape,
+        k: usize,
+        groups: usize,
+        array: ArrayConfig,
+        use_sdk: bool,
+    ) -> Result<CompressedCycles> {
+        self.get_or_try(
+            &self.lowrank_cycles,
+            (*shape, k, groups, array, use_sdk),
+            || {
+                if use_sdk {
+                    search_lowrank_window(shape, k, groups, &array)
+                } else {
+                    lowrank_im2col_cycles(shape, k, groups, &array)
+                }
+            },
+        )
+    }
+
+    /// `(hits, misses)` across every cached kind, for observability in
+    /// benches and tests.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompressionConfig, RankSpec};
+    use crate::layer::LayerCompression;
+
+    fn shape() -> ConvShape {
+        ConvShape::square(16, 16, 3, 1, 1, 16).unwrap()
+    }
+
+    #[test]
+    fn cached_values_match_direct_computation_bit_for_bit() {
+        let cache = DecompCache::new();
+        let shape = shape();
+        let seed = 7;
+        let direct_weight = Tensor4::kaiming_for(&shape, seed).unwrap();
+        assert_eq!(*cache.weight(&shape, seed).unwrap(), direct_weight);
+
+        let w = direct_weight.to_im2col_matrix();
+        assert_eq!(*cache.im2col_matrix(&shape, seed).unwrap(), w);
+
+        let direct = GroupLowRank::compute(&w, 4, 4).unwrap();
+        let cached = cache.decomposition(&shape, seed, 4, 4).unwrap();
+        assert_eq!(
+            cached.decomposition.reconstruct(),
+            direct.reconstruct(),
+            "decomposition from shared SVDs must be bit-identical"
+        );
+        assert_eq!(
+            cached.relative_error,
+            direct.relative_error(&w).unwrap(),
+            "relative error must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let cache = DecompCache::new();
+        let shape = shape();
+        for _ in 0..3 {
+            cache.decomposition(&shape, 1, 2, 4).unwrap();
+        }
+        let (hits, misses) = cache.stats();
+        assert!(hits > 0, "second and third queries must hit");
+        assert!(misses > 0);
+        // Only the first pass misses: weight, matrix, svds, decomposition.
+        assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn cached_layer_compression_matches_uncached() {
+        let shape = shape();
+        let cfg = CompressionConfig::new(RankSpec::Divisor(4), 2, true).unwrap();
+        let array = ArrayConfig::square(64).unwrap();
+        let cache = DecompCache::new();
+        let weight = Tensor4::kaiming_for(&shape, 11).unwrap();
+        let direct = LayerCompression::compress(&shape, &weight, &cfg, array).unwrap();
+        let cached = LayerCompression::compress_cached(&shape, &cfg, array, 11, &cache).unwrap();
+        assert_eq!(cached.cycles(), direct.cycles());
+        assert_eq!(cached.relative_error(), direct.relative_error());
+        assert_eq!(cached.parameter_count(), direct.parameter_count());
+        assert_eq!(
+            cached.baseline_sdk_cycles(),
+            direct.baseline_sdk_cycles(),
+            "cached SDK baseline search must match"
+        );
+        assert_eq!(cached.cycle_breakdown(), direct.cycle_breakdown());
+    }
+
+    #[test]
+    fn invalid_configurations_propagate_errors() {
+        let cache = DecompCache::new();
+        let shape = shape();
+        // 144 input columns, 4 groups -> 36-wide blocks; rank 20 exceeds
+        // min(16, 36) = 16.
+        assert!(cache.decomposition(&shape, 0, 4, 20).is_err());
+        assert!(cache
+            .lowrank_cycles(&shape, 0, 4, ArrayConfig::square(32).unwrap(), true)
+            .is_err());
+    }
+}

@@ -10,7 +10,7 @@
 //! price is the additional `L_i` factors, which the mapping layer places into
 //! crossbar rows that the un-grouped mapping would have left idle.
 
-use imc_linalg::Matrix;
+use imc_linalg::{Matrix, Svd};
 
 use crate::factors::LowRankFactors;
 use crate::{Error, Result};
@@ -62,6 +62,54 @@ impl GroupLowRank {
             groups: factors,
             widths,
             rows: weight.rows(),
+        })
+    }
+
+    /// Builds `D_g(W)` at rank `k` from the already-computed per-block
+    /// singular value decompositions of the column blocks of `W` (in block
+    /// order).
+    ///
+    /// Because [`GroupLowRank::compute`] itself factorizes each block through
+    /// its full SVD before truncating, constructing from shared SVDs yields a
+    /// decomposition that is bit-identical to the direct computation — this
+    /// is what lets a rank sweep (or a whole experiment grid) reuse one SVD
+    /// per `(layer, group count)` pair instead of one per grid cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `svds` is empty or `k` is zero
+    /// or exceeds any block's maximum rank.
+    pub fn from_block_svds(svds: &[Svd], k: usize) -> Result<Self> {
+        let Some(first) = svds.first() else {
+            return Err(Error::InvalidConfig {
+                what: "at least one block SVD is required".to_owned(),
+            });
+        };
+        let rows = first.u().rows();
+        let mut factors = Vec::with_capacity(svds.len());
+        let mut widths = Vec::with_capacity(svds.len());
+        for svd in svds {
+            let block_rows = svd.u().rows();
+            let block_cols = svd.v().rows();
+            let max_rank = block_rows.min(block_cols);
+            if k == 0 || k > max_rank {
+                return Err(Error::InvalidConfig {
+                    what: format!(
+                        "rank {k} exceeds the maximum rank {max_rank} of a {block_rows}x{block_cols} group block"
+                    ),
+                });
+            }
+            let truncated = svd.truncate(k);
+            factors.push(LowRankFactors::from_parts(
+                truncated.left_factor(),
+                truncated.right_factor(),
+            )?);
+            widths.push(block_cols);
+        }
+        Ok(Self {
+            groups: factors,
+            widths,
+            rows,
         })
     }
 

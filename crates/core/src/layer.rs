@@ -3,6 +3,7 @@
 use imc_array::{im2col_mapping, search_best_window, ArrayConfig};
 use imc_tensor::{ConvShape, Tensor4};
 
+use crate::cache::DecompCache;
 use crate::config::CompressionConfig;
 use crate::cycles::{lowrank_im2col_cycles, search_lowrank_window, CompressedCycles};
 use crate::group::GroupLowRank;
@@ -70,6 +71,48 @@ impl LayerCompression {
             array,
             decomposition,
             relative_error,
+            cycles,
+            baseline_im2col_cycles,
+            baseline_sdk_cycles,
+        })
+    }
+
+    /// Like [`LayerCompression::compress`], but sources the seeded weights,
+    /// the decomposition and the mapping searches from a shared
+    /// [`DecompCache`], so a sweep computes each of them once per distinct
+    /// key instead of once per grid cell.
+    ///
+    /// Every cached value is a pure function of its key, so the result is
+    /// bit-identical to the uncached path for the same `(shape, config,
+    /// array, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decomposition and mapping errors, exactly as
+    /// [`LayerCompression::compress`] does.
+    pub fn compress_cached(
+        shape: &ConvShape,
+        config: &CompressionConfig,
+        array: ArrayConfig,
+        seed: u64,
+        cache: &DecompCache,
+    ) -> Result<Self> {
+        let groups = config.groups.min(shape.im2col_rows());
+        let per_group_cols = shape.im2col_rows() / groups;
+        let max_rank = shape.out_channels.min(per_group_cols).max(1);
+        let k = config.rank.resolve(shape.out_channels, max_rank);
+
+        let cached = cache.decomposition(shape, seed, groups, k)?;
+        let cycles = cache.lowrank_cycles(shape, k, groups, array, config.use_sdk)?;
+        let baseline_im2col_cycles = im2col_mapping(shape, array).cycles();
+        let baseline_sdk_cycles = cache.best_window(shape, array)?.cycles;
+
+        Ok(Self {
+            shape: *shape,
+            config: *config,
+            array,
+            decomposition: cached.decomposition.clone(),
+            relative_error: cached.relative_error,
             cycles,
             baseline_im2col_cycles,
             baseline_sdk_cycles,

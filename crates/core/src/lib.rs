@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod cycles;
 pub mod factors;
@@ -50,6 +51,7 @@ pub mod layer;
 pub mod profile;
 pub mod sdk_lowrank;
 
+pub use cache::{CachedDecomposition, DecompCache};
 pub use config::{CompressionConfig, RankSpec};
 pub use cycles::{
     lowrank_im2col_cycles, lowrank_sdk_cycles, search_lowrank_window, CompressedCycles,

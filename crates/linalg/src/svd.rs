@@ -16,6 +16,15 @@ const MAX_SWEEPS: usize = 60;
 /// Relative off-diagonal tolerance used as the Jacobi convergence criterion.
 const JACOBI_TOL: f64 = 1e-12;
 
+/// Mutably borrows columns `p` and `q` (with `p < q`) of a column-major
+/// buffer whose columns have length `len`.
+#[inline]
+fn column_pair(data: &mut [f64], len: usize, p: usize, q: usize) -> (&mut [f64], &mut [f64]) {
+    debug_assert!(p < q);
+    let (head, tail) = data.split_at_mut(q * len);
+    (&mut head[p * len..p * len + len], &mut tail[..len])
+}
+
 /// A full singular value decomposition `A = U Σ Vᵀ`.
 ///
 /// `U` is `m × r`, `Σ` is represented by the vector of singular values of
@@ -50,8 +59,21 @@ impl Svd {
             });
         }
 
-        let mut u = a.clone(); // working copy whose columns converge to U·Σ
-        let mut v = Matrix::identity(n);
+        // Column-major working buffers: every Jacobi inner loop walks two
+        // columns of the working matrix, so keeping each column contiguous
+        // (column j at `u[j*m..][..m]`) turns the stride-`cols` accesses of a
+        // row-major layout into unit-stride streams. The arithmetic (and thus
+        // the result, bit for bit) is identical to the row-major formulation.
+        let mut u = vec![0.0_f64; m * n]; // working columns converging to U·Σ
+        for (i, row) in a.as_slice().chunks(n).enumerate() {
+            for (j, &x) in row.iter().enumerate() {
+                u[j * m + i] = x;
+            }
+        }
+        let mut v = vec![0.0_f64; n * n]; // column-major identity
+        for j in 0..n {
+            v[j * n + j] = 1.0;
+        }
         let r = n;
 
         let mut converged = false;
@@ -61,12 +83,11 @@ impl Svd {
             for p in 0..r {
                 for q in (p + 1)..r {
                     // Gram entries for columns p and q.
+                    let (up_col, uq_col) = column_pair(&mut u, m, p, q);
                     let mut alpha = 0.0;
                     let mut beta = 0.0;
                     let mut gamma = 0.0;
-                    for i in 0..m {
-                        let up = u.get(i, p);
-                        let uq = u.get(i, q);
+                    for (&up, &uq) in up_col.iter().zip(uq_col.iter()) {
                         alpha += up * up;
                         beta += uq * uq;
                         gamma += up * uq;
@@ -80,17 +101,18 @@ impl Svd {
                     let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = c * t;
-                    for i in 0..m {
-                        let up = u.get(i, p);
-                        let uq = u.get(i, q);
-                        u.set(i, p, c * up - s * uq);
-                        u.set(i, q, s * up + c * uq);
+                    for (up_i, uq_i) in up_col.iter_mut().zip(uq_col.iter_mut()) {
+                        let up = *up_i;
+                        let uq = *uq_i;
+                        *up_i = c * up - s * uq;
+                        *uq_i = s * up + c * uq;
                     }
-                    for i in 0..n {
-                        let vp = v.get(i, p);
-                        let vq = v.get(i, q);
-                        v.set(i, p, c * vp - s * vq);
-                        v.set(i, q, s * vp + c * vq);
+                    let (vp_col, vq_col) = column_pair(&mut v, n, p, q);
+                    for (vp_i, vq_i) in vp_col.iter_mut().zip(vq_col.iter_mut()) {
+                        let vp = *vp_i;
+                        let vq = *vq_i;
+                        *vp_i = c * vp - s * vq;
+                        *vq_i = s * vp + c * vq;
                     }
                 }
             }
@@ -108,8 +130,8 @@ impl Svd {
         let mut sigma = vec![0.0; r];
         for (j, s) in sigma.iter_mut().enumerate() {
             let mut norm = 0.0;
-            for i in 0..m {
-                norm += u.get(i, j) * u.get(i, j);
+            for &x in &u[j * m..(j + 1) * m] {
+                norm += x * x;
             }
             *s = norm.sqrt();
         }
@@ -125,16 +147,14 @@ impl Svd {
         for (new_j, &old_j) in order.iter().enumerate() {
             let s = sigma[old_j];
             sigma_sorted[new_j] = s;
-            for i in 0..m {
-                let val = if s > f64::EPSILON {
-                    u.get(i, old_j) / s
-                } else {
-                    0.0
-                };
+            let u_col = &u[old_j * m..(old_j + 1) * m];
+            for (i, &x) in u_col.iter().enumerate() {
+                let val = if s > f64::EPSILON { x / s } else { 0.0 };
                 u_sorted.set(i, new_j, val);
             }
-            for i in 0..n {
-                v_sorted.set(i, new_j, v.get(i, old_j));
+            let v_col = &v[old_j * n..(old_j + 1) * n];
+            for (i, &x) in v_col.iter().enumerate() {
+                v_sorted.set(i, new_j, x);
             }
         }
 

@@ -27,13 +27,30 @@
 //! The run order is deterministic (networks, then arrays, then strategies,
 //! each in insertion order) and every evaluation derives its weights from
 //! the single experiment seed, so a run is reproducible bit-for-bit.
+//!
+//! # Execution model
+//!
+//! Grid cells are independent (each one is seeded from the experiment seed
+//! and shares no mutable state), so [`Experiment::run`] distributes them over
+//! a scoped worker pool ([`crate::runtime`]) — one worker per available
+//! hardware thread by default, tunable via [`Experiment::parallelism`] —
+//! while a per-run decomposition cache ([`imc_core::DecompCache`]) shares the
+//! seeded weights, per-block SVDs and window searches across cells. Both are
+//! pure optimizations: records come back in grid order with values
+//! bit-identical to a serial, uncached run.
+
+use std::collections::HashMap;
 
 use imc_array::ArrayConfig;
+use imc_core::DecompCache;
 use imc_energy::EnergyParams;
 use imc_nn::NetworkArch;
 
 use crate::experiments::DEFAULT_SEED;
-use crate::network::{evaluate_strategy, CompressionMethod, NetworkEvaluation};
+use crate::network::{
+    evaluate_strategy, evaluate_strategy_cached, CompressionMethod, NetworkEvaluation,
+};
+use crate::runtime;
 use crate::strategy::CompressionStrategy;
 use crate::{Error, Result};
 
@@ -43,6 +60,8 @@ pub struct Experiment {
     arrays: Vec<usize>,
     strategies: Vec<Box<dyn CompressionStrategy>>,
     seed: u64,
+    parallelism: Option<usize>,
+    use_cache: bool,
 }
 
 impl Default for Experiment {
@@ -60,6 +79,8 @@ impl Experiment {
             arrays: Vec::new(),
             strategies: Vec::new(),
             seed: DEFAULT_SEED,
+            parallelism: None,
+            use_cache: true,
         }
     }
 
@@ -128,6 +149,32 @@ impl Experiment {
         self
     }
 
+    /// Sets how many worker threads the sweep uses (clamped to at least 1;
+    /// defaults to one per available hardware thread).
+    ///
+    /// Grid cells are seeded independently, so the worker count changes
+    /// neither the record order nor any value: `parallelism(1)` and
+    /// `parallelism(n)` produce byte-identical runs. `parallelism(1)`
+    /// executes inline on the calling thread with no thread machinery.
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Enables or disables the per-run decomposition cache (default:
+    /// enabled).
+    ///
+    /// The cache shares seeded weight tensors, per-block SVD spectra and
+    /// window-search results across grid cells; every entry is a pure
+    /// function of its key, so results are bit-identical either way.
+    /// Disabling is useful only for benchmarking the uncached path.
+    #[must_use]
+    pub fn decomposition_cache(mut self, enabled: bool) -> Self {
+        self.use_cache = enabled;
+        self
+    }
+
     /// Runs the full sweep: every network on every array size under every
     /// strategy, in insertion order.
     ///
@@ -151,23 +198,57 @@ impl Experiment {
                 what: "no strategy added (call .strategy(..) or .method(..))".to_owned(),
             });
         }
-        let mut records =
-            Vec::with_capacity(self.networks.len() * self.arrays.len() * self.strategies.len());
-        for (network_index, arch) in self.networks.iter().enumerate() {
-            for &size in &self.arrays {
-                let array = ArrayConfig::square(size)?;
-                for (strategy_index, strategy) in self.strategies.iter().enumerate() {
-                    let eval = evaluate_strategy(arch, strategy.as_ref(), array, self.seed)?;
-                    records.push(RunRecord {
-                        network_index,
-                        array_size: size,
-                        strategy_index,
-                        eval,
-                    });
+        // Validate the array configurations up front (in insertion order, so
+        // the first error matches what the serial loop used to report), then
+        // flatten the grid into independent cells for the worker pool.
+        let mut arrays = Vec::with_capacity(self.arrays.len());
+        for &size in &self.arrays {
+            arrays.push((size, ArrayConfig::square(size)?));
+        }
+        let mut cells =
+            Vec::with_capacity(self.networks.len() * arrays.len() * self.strategies.len());
+        for network_index in 0..self.networks.len() {
+            for &(size, array) in &arrays {
+                for strategy_index in 0..self.strategies.len() {
+                    cells.push((network_index, size, array, strategy_index));
                 }
             }
         }
-        Ok(ExperimentRun { records })
+
+        let cache = self.use_cache.then(DecompCache::new);
+        let workers = self
+            .parallelism
+            .unwrap_or_else(runtime::default_parallelism);
+        let evaluate_cell = |index: usize| -> Result<RunRecord> {
+            let (network_index, size, array, strategy_index) = cells[index];
+            let arch = &self.networks[network_index];
+            let strategy = self.strategies[strategy_index].as_ref();
+            let eval = match cache.as_ref() {
+                Some(cache) => evaluate_strategy_cached(arch, strategy, array, self.seed, cache),
+                None => evaluate_strategy(arch, strategy, array, self.seed),
+            }?;
+            Ok(RunRecord {
+                network_index,
+                array_size: size,
+                strategy_index,
+                eval,
+            })
+        };
+
+        // Serial runs stop at the first failing cell; parallel runs finish
+        // in-flight work and then surface the error of the first failing cell
+        // *in grid order*, so both modes report the identical error.
+        let mut records = Vec::with_capacity(cells.len());
+        if workers <= 1 {
+            for index in 0..cells.len() {
+                records.push(evaluate_cell(index)?);
+            }
+        } else {
+            for result in runtime::run_indexed(workers, cells.len(), evaluate_cell) {
+                records.push(result?);
+            }
+        }
+        Ok(ExperimentRun::new(records))
     }
 }
 
@@ -197,9 +278,29 @@ impl RunRecord {
 #[derive(Debug, Clone)]
 pub struct ExperimentRun {
     records: Vec<RunRecord>,
+    /// Cell coordinates → position in `records`, built once at run
+    /// completion so [`ExperimentRun::get`] is O(1) instead of a linear scan.
+    index: HashMap<(usize, usize, usize), usize>,
 }
 
 impl ExperimentRun {
+    /// Wraps completed records, indexing them by cell coordinates. When the
+    /// same coordinates occur twice (e.g. the same array size added twice),
+    /// the first occurrence wins, matching what a linear scan would find.
+    fn new(records: Vec<RunRecord>) -> Self {
+        let mut index = HashMap::with_capacity(records.len());
+        for (position, record) in records.iter().enumerate() {
+            index
+                .entry((
+                    record.network_index,
+                    record.array_size,
+                    record.strategy_index,
+                ))
+                .or_insert(position);
+        }
+        Self { records, index }
+    }
+
     /// All records in grid order.
     pub fn records(&self) -> &[RunRecord] {
         &self.records
@@ -228,21 +329,17 @@ impl ExperimentRun {
     }
 
     /// The single evaluation of `(network_index, array_size,
-    /// strategy_index)`, if that cell was part of the grid.
+    /// strategy_index)`, if that cell was part of the grid. O(1) via the
+    /// index map built at run completion.
     pub fn get(
         &self,
         network_index: usize,
         array_size: usize,
         strategy_index: usize,
     ) -> Option<&NetworkEvaluation> {
-        self.records
-            .iter()
-            .find(|r| {
-                r.network_index == network_index
-                    && r.array_size == array_size
-                    && r.strategy_index == strategy_index
-            })
-            .map(|r| &r.eval)
+        self.index
+            .get(&(network_index, array_size, strategy_index))
+            .map(|&position| &self.records[position].eval)
     }
 }
 

@@ -204,6 +204,25 @@ fn pareto_point(eval: &NetworkEvaluation) -> ParetoPoint {
 ///
 /// Propagates evaluation errors.
 pub fn fig6(arch: &NetworkArch, array_size: usize, seed: u64) -> Result<Fig6Panel> {
+    fig6_with_parallelism(arch, array_size, seed, None)
+}
+
+/// Like [`fig6`], but with an explicit worker count for the sweep
+/// (`None` uses one worker per available hardware thread).
+///
+/// The worker count changes neither the record order nor any value — this
+/// knob exists for callers that must bound thread usage (and for the
+/// determinism tests asserting serial and parallel panels are identical).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn fig6_with_parallelism(
+    arch: &NetworkArch,
+    array_size: usize,
+    seed: u64,
+    parallelism: Option<usize>,
+) -> Result<Fig6Panel> {
     let lowrank: Vec<CompressionMethod> = CompressionConfig::table1_grid(true)
         .into_iter()
         .map(CompressionMethod::LowRank)
@@ -214,15 +233,18 @@ pub fn fig6(arch: &NetworkArch, array_size: usize, seed: u64) -> Result<Fig6Pane
     let pairs: Vec<CompressionMethod> = (1..=8)
         .map(|entries| CompressionMethod::Pairs { entries })
         .collect();
-    let run = Experiment::new()
+    let mut experiment = Experiment::new()
         .network(arch.clone())
         .array(array_size)
         .seed(seed)
         .method(CompressionMethod::Uncompressed { sdk: false })
         .methods(lowrank.iter().copied())
         .methods(patdnn.iter().copied())
-        .methods(pairs.iter().copied())
-        .run()?;
+        .methods(pairs.iter().copied());
+    if let Some(workers) = parallelism {
+        experiment = experiment.parallelism(workers);
+    }
+    let run = experiment.run()?;
 
     // Slice the flat grid back into the method series by the lengths of the
     // method lists themselves, so reordering or resizing a sweep above cannot

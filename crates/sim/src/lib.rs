@@ -33,11 +33,16 @@ pub mod experiment;
 pub mod experiments;
 pub mod network;
 pub mod report;
+pub mod runtime;
 pub mod strategy;
 
 pub use experiment::{Experiment, ExperimentRun, RunRecord};
-pub use experiments::{fig6, fig7, fig8, fig9, fig9_for, headline, table1, DEFAULT_SEED};
-pub use network::{evaluate_strategy, CompressionMethod, NetworkEvaluation};
+pub use experiments::{
+    fig6, fig6_with_parallelism, fig7, fig8, fig9, fig9_for, headline, table1, DEFAULT_SEED,
+};
+pub use network::{
+    evaluate_strategy, evaluate_strategy_cached, CompressionMethod, NetworkEvaluation,
+};
 pub use strategy::{CompressionStrategy, ConvContext, LayerOutcome};
 
 /// Errors produced by the experiment harness.

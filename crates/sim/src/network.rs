@@ -8,7 +8,7 @@
 //! copyable description that lowers onto the built-in strategies.
 
 use imc_array::{linear_mapping, ArrayConfig};
-use imc_core::CompressionConfig;
+use imc_core::{CompressionConfig, DecompCache};
 use imc_energy::{AccessSchedule, EnergyParams, PeripheralKind};
 use imc_nn::{AccuracyModel, NetworkArch};
 use imc_tensor::LayerKind;
@@ -117,6 +117,39 @@ pub fn evaluate_strategy(
     array: ArrayConfig,
     seed: u64,
 ) -> Result<NetworkEvaluation> {
+    evaluate_inner(arch, strategy, array, seed, None)
+}
+
+/// Like [`evaluate_strategy`], but sourcing repeated work (seeded weights,
+/// per-block SVDs, window searches) from a shared [`DecompCache`].
+///
+/// The cache is a pure memoization layer: for the same inputs this returns
+/// exactly what [`evaluate_strategy`] returns, bit for bit. The
+/// [`Experiment`](crate::experiment::Experiment) sweep creates one cache per
+/// run and shares it across all grid cells (and worker threads), so each
+/// network's decompositions are computed once instead of once per
+/// (array × strategy) cell.
+///
+/// # Errors
+///
+/// Same contract as [`evaluate_strategy`].
+pub fn evaluate_strategy_cached(
+    arch: &NetworkArch,
+    strategy: &dyn CompressionStrategy,
+    array: ArrayConfig,
+    seed: u64,
+    cache: &DecompCache,
+) -> Result<NetworkEvaluation> {
+    evaluate_inner(arch, strategy, array, seed, Some(cache))
+}
+
+fn evaluate_inner(
+    arch: &NetworkArch,
+    strategy: &dyn CompressionStrategy,
+    array: ArrayConfig,
+    seed: u64,
+    cache: Option<&DecompCache>,
+) -> Result<NetworkEvaluation> {
     let accuracy_model = AccuracyModel::for_network(arch);
     let mut cycles = 0.0_f64;
     let mut parameters = 0usize;
@@ -149,7 +182,10 @@ pub fn evaluate_strategy(
                         array,
                         seed: layer_seed,
                     };
-                    strategy.compress_conv(&ctx)?
+                    match cache {
+                        Some(cache) => strategy.compress_conv_cached(&ctx, cache)?,
+                        None => strategy.compress_conv(&ctx)?,
+                    }
                 } else {
                     // Non-compressible layers of every method share the dense
                     // im2col mapping.

@@ -1,0 +1,96 @@
+//! Dependency-free scoped work pool for embarrassingly parallel sweeps.
+//!
+//! The experiment grids are collections of independent cells (every cell is
+//! seeded independently and shares no mutable state), so the scheduler can be
+//! minimal: an atomic cursor hands out cell indices to a fixed set of scoped
+//! worker threads, and each worker writes its result into the slot reserved
+//! for that index. Results come back in **input order** regardless of which
+//! worker computed them or in which order they finished, so a parallel run is
+//! indistinguishable from a serial one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of workers a sweep uses when none is requested explicitly: one
+/// per available hardware thread (falling back to 1 when the parallelism
+/// cannot be queried).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `jobs` invocations of `job` (one per index in `0..jobs`) on up to
+/// `workers` scoped threads, returning the results in index order.
+///
+/// With `workers <= 1` (or a single job) the jobs run inline on the calling
+/// thread — the exact serial loop, with no thread machinery at all. Worker
+/// threads claim indices from an atomic cursor, so scheduling is dynamic
+/// (long and short cells interleave without static partitioning imbalance).
+///
+/// # Panics
+///
+/// Panics if `job` panics on any index (the panic is propagated when the
+/// scope joins).
+pub fn run_indexed<T, F>(workers: usize, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(&job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= jobs {
+                    break;
+                }
+                let result = job(index);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed index stores a result before the scope joins")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 8] {
+            let out = run_indexed(workers, 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_yield_empty_results() {
+        let out: Vec<usize> = run_indexed(4, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = run_indexed(16, 3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_parallelism_is_at_least_one() {
+        assert!(default_parallelism() >= 1);
+    }
+}

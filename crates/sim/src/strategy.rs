@@ -18,7 +18,7 @@
 //! are what [`crate::network::CompressionMethod`] lowers to.
 
 use imc_array::{im2col_mapping, search_best_window, tiles_for, ArrayConfig};
-use imc_core::{CompressionConfig, LayerCompression};
+use imc_core::{CompressionConfig, DecompCache, LayerCompression};
 use imc_energy::{AccessSchedule, PeripheralKind};
 use imc_nn::AccuracyModel;
 use imc_pruning::{PairsPruning, PatternPruning, Peripheral};
@@ -69,7 +69,12 @@ pub struct LayerOutcome {
 /// `Box<dyn CompressionStrategy>` and sweeps them uniformly. Implementations
 /// must be deterministic in the per-layer seed (`ConvContext::seed`) for the
 /// regenerated tables and figures to be reproducible.
-pub trait CompressionStrategy {
+///
+/// `Send + Sync` are supertraits because the experiment scheduler shares
+/// strategies across worker threads
+/// ([`Experiment::parallelism`](crate::experiment::Experiment::parallelism));
+/// stateless strategies (like all the built-ins) satisfy them automatically.
+pub trait CompressionStrategy: Send + Sync {
     /// Short human-readable label used in reports (for the built-in methods
     /// this matches the paper's legend strings byte-for-byte).
     fn label(&self) -> String;
@@ -82,6 +87,29 @@ pub trait CompressionStrategy {
     /// implementations can use [`crate::Error::strategy`] for their own
     /// failure modes.
     fn compress_conv(&self, ctx: &ConvContext<'_>) -> Result<LayerOutcome>;
+
+    /// Like [`CompressionStrategy::compress_conv`], but with access to the
+    /// sweep's shared [`DecompCache`], so repeated work (seeded weights,
+    /// per-block SVDs, window searches) is computed once per run instead of
+    /// once per grid cell.
+    ///
+    /// The default implementation ignores the cache and delegates to
+    /// [`CompressionStrategy::compress_conv`] — external strategies stay
+    /// correct with zero changes and can opt into caching by overriding.
+    /// Overrides must return exactly what `compress_conv` would (the cache is
+    /// a pure memoization layer, never an approximation).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompressionStrategy::compress_conv`].
+    fn compress_conv_cached(
+        &self,
+        ctx: &ConvContext<'_>,
+        cache: &DecompCache,
+    ) -> Result<LayerOutcome> {
+        let _ = cache;
+        self.compress_conv(ctx)
+    }
 
     /// Network-level accuracy from the per-layer `(relative_error, weight)`
     /// pairs collected over the whole network.
@@ -163,14 +191,9 @@ impl CompressionStrategy for Im2col {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Sdk;
 
-impl CompressionStrategy for Sdk {
-    fn label(&self) -> String {
-        "SDK baseline".to_owned()
-    }
-
-    fn compress_conv(&self, ctx: &ConvContext<'_>) -> Result<LayerOutcome> {
-        let best = search_best_window(ctx.shape, ctx.array)?;
-        Ok(LayerOutcome {
+impl Sdk {
+    fn outcome_from(ctx: &ConvContext<'_>, best: &imc_array::WindowSearchResult) -> LayerOutcome {
+        LayerOutcome {
             cycles: best.cycles as f64,
             parameters: ctx.shape.weight_count(),
             relative_error: 0.0,
@@ -181,7 +204,27 @@ impl CompressionStrategy for Sdk {
                 &ctx.array,
                 PeripheralKind::None,
             )],
-        })
+        }
+    }
+}
+
+impl CompressionStrategy for Sdk {
+    fn label(&self) -> String {
+        "SDK baseline".to_owned()
+    }
+
+    fn compress_conv(&self, ctx: &ConvContext<'_>) -> Result<LayerOutcome> {
+        let best = search_best_window(ctx.shape, ctx.array)?;
+        Ok(Self::outcome_from(ctx, &best))
+    }
+
+    fn compress_conv_cached(
+        &self,
+        ctx: &ConvContext<'_>,
+        cache: &DecompCache,
+    ) -> Result<LayerOutcome> {
+        let best = cache.best_window(ctx.shape, ctx.array)?;
+        Ok(Self::outcome_from(ctx, &best))
     }
 
     fn network_accuracy(&self, model: &AccuracyModel, _layer_errors: &[(f64, f64)]) -> f64 {
@@ -205,17 +248,11 @@ impl LowRank {
     pub fn config(&self) -> CompressionConfig {
         self.config
     }
-}
 
-impl CompressionStrategy for LowRank {
-    fn label(&self) -> String {
-        format!("ours ({})", self.config.label())
-    }
-
-    fn compress_conv(&self, ctx: &ConvContext<'_>) -> Result<LayerOutcome> {
+    /// Lowers a per-layer compression summary onto the outcome contract
+    /// (cycles, parameters, error, and the two factor-stage schedules).
+    fn outcome_from(&self, ctx: &ConvContext<'_>, compressed: &LayerCompression) -> LayerOutcome {
         let shape = ctx.shape;
-        let weight = ctx.weight()?;
-        let compressed = LayerCompression::compress(shape, &weight, &self.config, ctx.array)?;
         let breakdown = compressed.cycle_breakdown();
         let gk = compressed.groups() * compressed.rank();
         let mut schedules = Vec::with_capacity(2);
@@ -246,12 +283,34 @@ impl CompressionStrategy for LowRank {
             &ctx.array,
             PeripheralKind::None,
         ));
-        Ok(LayerOutcome {
+        LayerOutcome {
             cycles: compressed.cycles() as f64,
             parameters: compressed.parameter_count(),
             relative_error: compressed.relative_error(),
             schedules,
-        })
+        }
+    }
+}
+
+impl CompressionStrategy for LowRank {
+    fn label(&self) -> String {
+        format!("ours ({})", self.config.label())
+    }
+
+    fn compress_conv(&self, ctx: &ConvContext<'_>) -> Result<LayerOutcome> {
+        let weight = ctx.weight()?;
+        let compressed = LayerCompression::compress(ctx.shape, &weight, &self.config, ctx.array)?;
+        Ok(self.outcome_from(ctx, &compressed))
+    }
+
+    fn compress_conv_cached(
+        &self,
+        ctx: &ConvContext<'_>,
+        cache: &DecompCache,
+    ) -> Result<LayerOutcome> {
+        let compressed =
+            LayerCompression::compress_cached(ctx.shape, &self.config, ctx.array, ctx.seed, cache)?;
+        Ok(self.outcome_from(ctx, &compressed))
     }
 }
 
@@ -299,16 +358,11 @@ pub struct Pairs {
     pub entries: usize,
 }
 
-impl CompressionStrategy for Pairs {
-    fn label(&self) -> String {
-        format!("PAIRS ({} entries)", self.entries)
-    }
-
-    fn compress_conv(&self, ctx: &ConvContext<'_>) -> Result<LayerOutcome> {
+impl Pairs {
+    fn outcome_for(&self, ctx: &ConvContext<'_>, weight: &Tensor4) -> Result<LayerOutcome> {
         let dense_params = ctx.shape.weight_count();
-        let weight = ctx.weight()?;
         let pruning = PairsPruning::new(self.entries)?;
-        let mapped = pruning.map_layer(ctx.shape, &weight, ctx.array)?;
+        let mapped = pruning.map_layer(ctx.shape, weight, ctx.array)?;
         let kept = ((1.0 - mapped.removed_fraction) * dense_params as f64).round() as usize;
         Ok(LayerOutcome {
             cycles: mapped.cycles() as f64,
@@ -325,6 +379,26 @@ impl CompressionStrategy for Pairs {
     }
 }
 
+impl CompressionStrategy for Pairs {
+    fn label(&self) -> String {
+        format!("PAIRS ({} entries)", self.entries)
+    }
+
+    fn compress_conv(&self, ctx: &ConvContext<'_>) -> Result<LayerOutcome> {
+        let weight = ctx.weight()?;
+        self.outcome_for(ctx, &weight)
+    }
+
+    fn compress_conv_cached(
+        &self,
+        ctx: &ConvContext<'_>,
+        cache: &DecompCache,
+    ) -> Result<LayerOutcome> {
+        let weight = cache.weight(ctx.shape, ctx.seed)?;
+        self.outcome_for(ctx, &weight)
+    }
+}
+
 /// A DoReFa-quantized (otherwise dense) model.
 #[derive(Debug, Clone, Copy)]
 pub struct DoReFa {
@@ -332,17 +406,20 @@ pub struct DoReFa {
     pub bits: usize,
 }
 
-impl CompressionStrategy for DoReFa {
-    fn label(&self) -> String {
-        format!("{}-bit quantized", self.bits)
-    }
-
-    fn compress_conv(&self, ctx: &ConvContext<'_>) -> Result<LayerOutcome> {
+impl DoReFa {
+    fn outcome_for(
+        &self,
+        ctx: &ConvContext<'_>,
+        cache: Option<&DecompCache>,
+    ) -> Result<LayerOutcome> {
         let shape = ctx.shape;
         let quant = QuantConfig::new(self.bits, self.bits)?;
         let cycles = imc_quant::quantized_conv_cycles(shape, &ctx.array, &quant)?;
         let quant_array = ctx.array.with_weight_bits(self.bits)?;
-        let best = search_best_window(shape, quant_array)?;
+        let best = match cache {
+            Some(cache) => cache.best_window(shape, quant_array)?,
+            None => search_best_window(shape, quant_array)?,
+        };
         let mut sched = tile_schedule(
             best.mapping.mapped.rows_used,
             best.mapping.mapped.cols_used,
@@ -357,6 +434,24 @@ impl CompressionStrategy for DoReFa {
             relative_error: 0.0,
             schedules: vec![sched],
         })
+    }
+}
+
+impl CompressionStrategy for DoReFa {
+    fn label(&self) -> String {
+        format!("{}-bit quantized", self.bits)
+    }
+
+    fn compress_conv(&self, ctx: &ConvContext<'_>) -> Result<LayerOutcome> {
+        self.outcome_for(ctx, None)
+    }
+
+    fn compress_conv_cached(
+        &self,
+        ctx: &ConvContext<'_>,
+        cache: &DecompCache,
+    ) -> Result<LayerOutcome> {
+        self.outcome_for(ctx, Some(cache))
     }
 
     fn network_accuracy(&self, model: &AccuracyModel, _layer_errors: &[(f64, f64)]) -> f64 {

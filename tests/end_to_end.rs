@@ -208,6 +208,71 @@ fn external_strategy_plugs_in_without_touching_imc_sim() {
 }
 
 #[test]
+fn parallel_and_serial_sweeps_are_byte_identical() {
+    // The sweep scheduler and the decomposition cache are pure optimizations:
+    // worker count and cache state must change neither the record order nor a
+    // single bit of any value.
+    let cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true).expect("valid config");
+    let sweep = |workers: usize, cached: bool| {
+        Experiment::new()
+            .network(resnet20())
+            .arrays([32, 64])
+            .seed(DEFAULT_SEED)
+            .method(CompressionMethod::Uncompressed { sdk: false })
+            .method(CompressionMethod::Uncompressed { sdk: true })
+            .method(CompressionMethod::LowRank(cfg))
+            .method(CompressionMethod::PatternPruning { entries: 4 })
+            .method(CompressionMethod::Pairs { entries: 4 })
+            .method(CompressionMethod::Quantized { bits: 2 })
+            .parallelism(workers)
+            .decomposition_cache(cached)
+            .run()
+            .expect("sweep succeeds")
+    };
+    let serial = sweep(1, true);
+    let parallel = sweep(8, true);
+    let uncached = sweep(8, false);
+    // `RunRecord` derives `Debug` over every field (including all f64 cycle,
+    // accuracy and schedule values), so equal debug strings mean the runs are
+    // byte-identical.
+    let render = |run: &imc::ExperimentRun| format!("{:#?}", run.records());
+    assert_eq!(render(&serial), render(&parallel));
+    assert_eq!(render(&serial), render(&uncached));
+}
+
+#[test]
+fn parallel_and_serial_reports_render_identically() {
+    use imc::sim::experiments::fig6_with_parallelism;
+    use imc::sim::report::fig6_markdown;
+    let serial = fig6_with_parallelism(&resnet20(), 64, DEFAULT_SEED, Some(1)).expect("panel");
+    let parallel = fig6_with_parallelism(&resnet20(), 64, DEFAULT_SEED, Some(8)).expect("panel");
+    assert_eq!(fig6_markdown(&serial), fig6_markdown(&parallel));
+}
+
+#[test]
+fn run_get_is_indexed_and_matches_records() {
+    let run = Experiment::new()
+        .network(resnet20())
+        .arrays([32, 64])
+        .method(CompressionMethod::Uncompressed { sdk: false })
+        .method(CompressionMethod::Uncompressed { sdk: true })
+        .run()
+        .expect("sweep succeeds");
+    for record in run.records() {
+        let via_get = run
+            .get(
+                record.network_index,
+                record.array_size,
+                record.strategy_index,
+            )
+            .expect("cell is part of the grid");
+        assert_eq!(via_get.cycles, record.eval.cycles);
+        assert_eq!(via_get.method, record.eval.method);
+    }
+    assert!(run.get(0, 48, 0).is_none());
+}
+
+#[test]
 fn table1_and_fig7_shapes_match_the_paper_structure() {
     let rows = table1(&resnet20(), DEFAULT_SEED).expect("Table I sweep succeeds");
     assert_eq!(rows.len(), 16, "4 group counts x 4 rank divisors");
