@@ -18,15 +18,19 @@ fn bench_kernels(c: &mut Criterion) {
     let array = ArrayConfig::square(64).expect("valid array");
 
     c.bench_function("svd_16x144", |b| {
+        b.scalar("f64");
         b.iter(|| Svd::compute(black_box(&w1)).expect("SVD converges"))
     });
     c.bench_function("svd_64x576", |b| {
+        b.scalar("f64");
         b.iter(|| Svd::compute(black_box(&w3)).expect("SVD converges"))
     });
     c.bench_function("lowrank_factors_64x576_k8", |b| {
+        b.scalar("f64");
         b.iter(|| LowRankFactors::compute(black_box(&w3), 8).expect("valid rank"))
     });
     c.bench_function("group_lowrank_64x576_g4_k8", |b| {
+        b.scalar("f64");
         b.iter(|| GroupLowRank::compute(black_box(&w3), 4, 8).expect("valid config"))
     });
     c.bench_function("sdk_matrix_16x144_pw4x4", |b| {
@@ -46,6 +50,7 @@ fn bench_dense_kernels(c: &mut Criterion) {
     let b_mat = uniform_matrix(512, 256, -1.0, 1.0, 2);
     let macs = (a.rows() * a.cols() * b_mat.cols()) as u64;
     c.bench_function("matmul_256x512_512x256", |bench| {
+        bench.scalar("f64");
         bench.throughput(macs);
         bench.iter(|| {
             black_box(&a)
@@ -56,6 +61,7 @@ fn bench_dense_kernels(c: &mut Criterion) {
 
     let tall = uniform_matrix(2304, 256, -1.0, 1.0, 3);
     c.bench_function("transpose_2304x256", |bench| {
+        bench.scalar("f64");
         bench.throughput((tall.rows() * tall.cols()) as u64);
         bench.iter(|| black_box(&tall).transpose())
     });

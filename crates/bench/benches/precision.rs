@@ -1,0 +1,93 @@
+//! `f32` vs `f64` kernel comparison on the SVD-bound hot path.
+//!
+//! Every benchmark below exists at both scalar widths and tags its JSON
+//! record with a `"scalar"` field, so each `cargo bench --bench precision`
+//! run appends a directly comparable `f32`-vs-`f64` pair to
+//! `BENCH_results.json`. The interesting ratio is per-name across the two
+//! tags: the acceptance bar for the generic-scalar refactor is ≥1.5×
+//! throughput for `f32` on the SVD-bound sweep.
+
+use imc_bench::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use imc_bench::stage3_layer;
+use imc_core::{GroupLowRank, Precision};
+use imc_linalg::{Matrix, Svd};
+
+/// The Jacobi SVD of the stage-3 im2col block (64×576), the single most
+/// expensive kernel of the evaluation pipeline, at both widths.
+fn bench_svd_both_widths(c: &mut Criterion) {
+    let (_, weight3) = stage3_layer();
+    let w64 = weight3.to_im2col_matrix();
+    let w32: Matrix<f32> = w64.cast();
+
+    c.bench_function("svd_64x576", |b| {
+        b.scalar("f64");
+        b.iter(|| Svd::compute(black_box(&w64)).expect("SVD converges"))
+    });
+    c.bench_function("svd_64x576", |b| {
+        b.scalar("f32");
+        b.iter(|| Svd::<f32>::compute(black_box(&w32)).expect("SVD converges"))
+    });
+}
+
+/// The SVD-bound sweep unit of the experiment grids — the per-block SVDs of
+/// a grouped layer decomposition (g = 4 over the 64×576 stage-3 block) — at
+/// both precisions through the same [`GroupLowRank`] entry point the sweeps
+/// use.
+fn bench_group_decomposition_both_widths(c: &mut Criterion) {
+    let (_, weight3) = stage3_layer();
+    let w64 = weight3.to_im2col_matrix();
+
+    c.bench_function("group_svd_sweep_64x576_g4_k8", |b| {
+        b.scalar("f64");
+        b.iter(|| {
+            GroupLowRank::compute_with_precision(black_box(&w64), 4, 8, Precision::F64)
+                .expect("valid config")
+        })
+    });
+    c.bench_function("group_svd_sweep_64x576_g4_k8", |b| {
+        b.scalar("f32");
+        b.iter(|| {
+            GroupLowRank::compute_with_precision(black_box(&w64), 4, 8, Precision::F32)
+                .expect("valid config")
+        })
+    });
+}
+
+/// Dense matmul at both widths (the reconstruction/error path), sized like
+/// the largest layer product of the workspace.
+fn bench_matmul_both_widths(c: &mut Criterion) {
+    let a64 = imc_linalg::uniform_matrix(256, 512, -1.0, 1.0, 1);
+    let b64 = imc_linalg::uniform_matrix(512, 256, -1.0, 1.0, 2);
+    let a32: Matrix<f32> = a64.cast();
+    let b32: Matrix<f32> = b64.cast();
+    let macs = (a64.rows() * a64.cols() * b64.cols()) as u64;
+
+    c.bench_function("matmul_256x512_512x256", |bench| {
+        bench.scalar("f64");
+        bench.throughput(macs);
+        bench.iter(|| {
+            black_box(&a64)
+                .matmul(black_box(&b64))
+                .expect("shapes match")
+        })
+    });
+    c.bench_function("matmul_256x512_512x256", |bench| {
+        bench.scalar("f32");
+        bench.throughput(macs);
+        bench.iter(|| {
+            black_box(&a32)
+                .matmul(black_box(&b32))
+                .expect("shapes match")
+        })
+    });
+}
+
+criterion_group!(
+    precision,
+    bench_svd_both_widths,
+    bench_group_decomposition_both_widths,
+    bench_matmul_both_widths
+);
+criterion_main!(precision);

@@ -95,6 +95,10 @@ pub struct BenchRecord {
     /// Declared elements processed per iteration (via
     /// [`Bencher::throughput`]), if any.
     pub elems_per_iter: Option<u64>,
+    /// Scalar width the benched kernel ran at (via [`Bencher::scalar`];
+    /// `"f32"` / `"f64"`), if declared. Distinguishes records of the same
+    /// kernel at different precisions in `BENCH_results.json`.
+    pub scalar: Option<String>,
 }
 
 impl BenchRecord {
@@ -118,9 +122,14 @@ impl BenchRecord {
             Some(v) => format!("{v:.1}"),
             None => "null".to_owned(),
         };
+        let scalar = match self.scalar.as_deref() {
+            Some(tag) => json_string(tag),
+            None => "null".to_owned(),
+        };
         format!(
-            "{{\"name\":{},\"ns_per_iter\":{:.1},\"iters\":{},\"elapsed_ns\":{},\"iters_per_s\":{:.1},\"elems_per_s\":{}}}",
+            "{{\"name\":{},\"scalar\":{},\"ns_per_iter\":{:.1},\"iters\":{},\"elapsed_ns\":{},\"iters_per_s\":{:.1},\"elems_per_s\":{}}}",
             json_string(&self.name),
+            scalar,
             self.ns_per_iter,
             self.iters,
             self.elapsed_ns,
@@ -185,6 +194,7 @@ impl Criterion {
                 iters: bencher.iters,
                 elapsed_ns: bencher.elapsed.as_nanos(),
                 elems_per_iter: bencher.elems_per_iter,
+                scalar: bencher.scalar.clone(),
             });
         }
         self
@@ -241,6 +251,7 @@ pub struct Bencher {
     iters: u64,
     elapsed: Duration,
     elems_per_iter: Option<u64>,
+    scalar: Option<String>,
 }
 
 impl Bencher {
@@ -249,6 +260,14 @@ impl Bencher {
     /// report throughput next to the per-iteration time.
     pub fn throughput(&mut self, elements: u64) -> &mut Self {
         self.elems_per_iter = Some(elements);
+        self
+    }
+
+    /// Declares the scalar width (`"f32"` / `"f64"`) the benched kernel runs
+    /// at, so its JSON record is distinguishable from the same kernel at
+    /// another precision.
+    pub fn scalar(&mut self, tag: &str) -> &mut Self {
+        self.scalar = Some(tag.to_owned());
         self
     }
 
@@ -393,12 +412,20 @@ mod tests {
             iters: 100,
             elapsed_ns: 123_450,
             elems_per_iter: Some(64),
+            scalar: Some("f32".to_owned()),
         };
         let json = record.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\\\"tall\\\""));
         assert!(json.contains("\"iters\":100"));
         assert!(json.contains("\"elems_per_s\":"));
+        assert!(json.contains("\"scalar\":\"f32\""));
+
+        let untagged = BenchRecord {
+            scalar: None,
+            ..record
+        };
+        assert!(untagged.to_json().contains("\"scalar\":null"));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use imc_array::{search_best_window, ArrayConfig, WindowSearchResult};
-use imc_linalg::{Matrix, Svd};
+use imc_linalg::{Matrix, Precision, Svd};
 use imc_tensor::{ConvShape, Tensor4};
 
 use crate::cycles::{lowrank_im2col_cycles, search_lowrank_window, CompressedCycles};
@@ -62,6 +62,12 @@ pub struct CachedDecomposition {
 /// first insertion winning is harmless.
 #[derive(Debug, Default)]
 pub struct DecompCache {
+    /// Width the per-block SVD kernels run at. Everything stored in the cache
+    /// is `f64` either way: under [`Precision::F32`] the block SVDs are
+    /// computed on rounded single-precision blocks and widened back before
+    /// insertion, so reporting stays double precision. One precision per
+    /// cache (it is a per-run object), so no cache key needs to carry it.
+    precision: Precision,
     weights: CacheMap<WeightKey, Arc<Tensor4>>,
     matrices: CacheMap<WeightKey, Arc<Matrix>>,
     block_svds: CacheMap<SvdKey, Arc<Vec<Svd>>>,
@@ -73,9 +79,22 @@ pub struct DecompCache {
 }
 
 impl DecompCache {
-    /// An empty cache.
+    /// An empty cache running its decomposition kernels in `f64`.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache running its per-block SVD kernels at `precision`.
+    pub fn with_precision(precision: Precision) -> Self {
+        Self {
+            precision,
+            ..Self::default()
+        }
+    }
+
+    /// The width the decomposition kernels of this cache run at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Probes one map without computing, counting a hit when present. The
@@ -154,12 +173,11 @@ impl DecompCache {
         }
         let matrix = self.im2col_matrix(shape, seed)?;
         self.get_or_try(&self.block_svds, key, || {
-            let blocks = matrix.split_cols(groups)?;
-            let mut svds = Vec::with_capacity(blocks.len());
-            for block in &blocks {
-                svds.push(Svd::compute(block)?);
-            }
-            Ok(Arc::new(svds))
+            Ok(Arc::new(crate::group::block_svds(
+                &matrix,
+                groups,
+                self.precision,
+            )?))
         })
     }
 

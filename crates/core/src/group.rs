@@ -10,7 +10,7 @@
 //! price is the additional `L_i` factors, which the mapping layer places into
 //! crossbar rows that the un-grouped mapping would have left idle.
 
-use imc_linalg::{Matrix, Svd};
+use imc_linalg::{Matrix, Precision, Svd};
 
 use crate::factors::LowRankFactors;
 use crate::{Error, Result};
@@ -33,14 +33,7 @@ impl GroupLowRank {
     /// Returns [`Error::InvalidConfig`] when the group count exceeds the
     /// number of columns or when `k` exceeds any block's maximum rank.
     pub fn compute(weight: &Matrix, groups: usize, k: usize) -> Result<Self> {
-        if groups == 0 || groups > weight.cols() {
-            return Err(Error::InvalidConfig {
-                what: format!(
-                    "group count {groups} is out of range for a matrix with {} columns",
-                    weight.cols()
-                ),
-            });
-        }
+        validate_group_count(groups, weight.cols())?;
         let blocks = weight.split_cols(groups)?;
         let mut factors = Vec::with_capacity(groups);
         let mut widths = Vec::with_capacity(groups);
@@ -63,6 +56,35 @@ impl GroupLowRank {
             widths,
             rows: weight.rows(),
         })
+    }
+
+    /// Like [`GroupLowRank::compute`], but running each block's SVD — the
+    /// dominant cost — at the requested [`Precision`].
+    ///
+    /// `Precision::F64` is exactly [`GroupLowRank::compute`] (bit for bit).
+    /// `Precision::F32` rounds each block to single precision, decomposes it
+    /// there, and widens the factors back to `f64`, so everything downstream
+    /// of the SVD (truncation, reconstruction, error reporting) stays in
+    /// double precision. The differential test suite bounds the resulting
+    /// reconstruction-error deviation per kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GroupLowRank::compute`].
+    pub fn compute_with_precision(
+        weight: &Matrix,
+        groups: usize,
+        k: usize,
+        precision: Precision,
+    ) -> Result<Self> {
+        match precision {
+            Precision::F64 => Self::compute(weight, groups, k),
+            Precision::F32 => {
+                validate_group_count(groups, weight.cols())?;
+                let svds = block_svds(weight, groups, Precision::F32)?;
+                Self::from_block_svds(&svds, k)
+            }
+        }
     }
 
     /// Builds `D_g(W)` at rank `k` from the already-computed per-block
@@ -240,6 +262,36 @@ impl GroupLowRank {
         }
         Ok(out.expect("at least one group exists by construction"))
     }
+}
+
+/// Rejects group counts outside `1..=cols` — the shared guard of every
+/// grouped-decomposition entry point (decompositions and error profiles, at
+/// either precision).
+pub(crate) fn validate_group_count(groups: usize, cols: usize) -> Result<()> {
+    if groups == 0 || groups > cols {
+        return Err(Error::InvalidConfig {
+            what: format!("group count {groups} is out of range for a matrix with {cols} columns"),
+        });
+    }
+    Ok(())
+}
+
+/// Per-block SVDs of `weight` split into `groups` column blocks, at the
+/// requested precision — the decomposition hot path shared by
+/// [`GroupLowRank::compute_with_precision`], the rank-sweep error profiles
+/// and the sweep cache. `Precision::F64` decomposes in place (the bit-exact
+/// reference); `Precision::F32` decomposes rounded single-precision blocks
+/// and widens the factors back to `f64`.
+pub(crate) fn block_svds(weight: &Matrix, groups: usize, precision: Precision) -> Result<Vec<Svd>> {
+    let blocks = weight.split_cols(groups)?;
+    let mut svds = Vec::with_capacity(blocks.len());
+    for block in &blocks {
+        svds.push(match precision {
+            Precision::F64 => Svd::compute(block)?,
+            Precision::F32 => Svd::<f32>::compute(&block.cast())?.cast::<f64>(),
+        });
+    }
+    Ok(svds)
 }
 
 #[cfg(test)]

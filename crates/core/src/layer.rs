@@ -1,6 +1,7 @@
 //! Per-layer compression summary: factors, error and cycle accounting.
 
 use imc_array::{im2col_mapping, search_best_window, ArrayConfig};
+use imc_linalg::Precision;
 use imc_tensor::{ConvShape, Tensor4};
 
 use crate::cache::DecompCache;
@@ -46,6 +47,26 @@ impl LayerCompression {
         config: &CompressionConfig,
         array: ArrayConfig,
     ) -> Result<Self> {
+        Self::compress_with_precision(shape, weight, config, array, Precision::F64)
+    }
+
+    /// Like [`LayerCompression::compress`], but running the per-block SVDs —
+    /// the dominant cost of the sweep hot path — at the requested
+    /// [`Precision`]. `Precision::F64` is [`LayerCompression::compress`] bit
+    /// for bit; `Precision::F32` decomposes rounded single-precision blocks
+    /// and widens the factors back to `f64`, so cycles, parameters and the
+    /// reported reconstruction error all stay double-precision quantities.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LayerCompression::compress`].
+    pub fn compress_with_precision(
+        shape: &ConvShape,
+        weight: &Tensor4,
+        config: &CompressionConfig,
+        array: ArrayConfig,
+        precision: Precision,
+    ) -> Result<Self> {
         let w = weight.to_im2col_matrix();
         let groups = config.groups.min(shape.im2col_rows());
         // The per-group block has n/groups columns; the resolvable rank is
@@ -54,7 +75,7 @@ impl LayerCompression {
         let max_rank = shape.out_channels.min(per_group_cols).max(1);
         let k = config.rank.resolve(shape.out_channels, max_rank);
 
-        let decomposition = GroupLowRank::compute(&w, groups, k)?;
+        let decomposition = GroupLowRank::compute_with_precision(&w, groups, k, precision)?;
         let relative_error = decomposition.relative_error(&w)?;
 
         let cycles = if config.use_sdk {

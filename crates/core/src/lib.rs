@@ -62,6 +62,11 @@ pub use layer::LayerCompression;
 pub use profile::GroupErrorProfile;
 pub use sdk_lowrank::SdkLowRank;
 
+// The precision knob of the decomposition hot path is defined next to the
+// `Scalar` trait in `imc-linalg`; re-exported here because this crate's cache
+// and layer APIs are where callers actually choose it.
+pub use imc_linalg::Precision;
+
 /// Errors produced by the compression layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]

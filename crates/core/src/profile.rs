@@ -6,9 +6,9 @@
 //! the per-block singular spectra once per (layer, group-count) pair and then
 //! answers any rank query in O(rank) time via the Eckart–Young tail formula.
 
-use imc_linalg::{Matrix, Svd};
+use imc_linalg::{Matrix, Precision};
 
-use crate::{Error, Result};
+use crate::Result;
 
 /// Per-block singular spectra of a group-partitioned weight matrix, from
 /// which the reconstruction error of any rank can be derived cheaply.
@@ -30,19 +30,27 @@ impl GroupErrorProfile {
     /// Returns [`Error::InvalidConfig`] when the group count exceeds the
     /// column count, or propagates SVD convergence failures.
     pub fn compute(weight: &Matrix, groups: usize) -> Result<Self> {
-        if groups == 0 || groups > weight.cols() {
-            return Err(Error::InvalidConfig {
-                what: format!(
-                    "group count {groups} is out of range for a matrix with {} columns",
-                    weight.cols()
-                ),
-            });
-        }
-        let blocks = weight.split_cols(groups)?;
-        let mut block_spectra = Vec::with_capacity(groups);
-        for block in &blocks {
-            block_spectra.push(Svd::compute(block)?.singular_values().to_vec());
-        }
+        Self::compute_with_precision(weight, groups, Precision::F64)
+    }
+
+    /// Like [`GroupErrorProfile::compute`], but running the per-block SVDs
+    /// at the requested [`Precision`] (`F64` is bit-identical to
+    /// [`GroupErrorProfile::compute`]; `F32` decomposes rounded blocks in
+    /// single precision and widens the spectra back to `f64`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GroupErrorProfile::compute`].
+    pub fn compute_with_precision(
+        weight: &Matrix,
+        groups: usize,
+        precision: Precision,
+    ) -> Result<Self> {
+        crate::group::validate_group_count(groups, weight.cols())?;
+        let block_spectra = crate::group::block_svds(weight, groups, precision)?
+            .iter()
+            .map(|svd| svd.singular_values().to_vec())
+            .collect();
         let total_sq_norm = weight.frobenius_norm().powi(2);
         Ok(Self {
             block_spectra,

@@ -1,0 +1,181 @@
+//! Direct unit tests of the shared decomposition cache: object identity of
+//! hits across threads, rank monotonicity of the shared-SVD derivation, and
+//! the precision knob's isolation from the cached `f64` reporting types.
+//!
+//! The sweep-level tests exercise `DecompCache` only indirectly (through
+//! `Experiment` runs); these pin its own contract.
+
+use std::sync::{Arc, Barrier};
+
+use imc_core::{DecompCache, GroupLowRank, Precision};
+use imc_tensor::ConvShape;
+
+fn shape() -> ConvShape {
+    ConvShape::square(16, 16, 3, 1, 1, 16).unwrap()
+}
+
+/// A cache hit must return the *same object* (one shared allocation), not an
+/// equal copy — that sharing is the entire point of the per-run cache.
+#[test]
+fn hits_return_the_same_arc_for_weights_matrices_and_decompositions() {
+    let cache = DecompCache::new();
+    let shape = shape();
+    let w1 = cache.weight(&shape, 7).unwrap();
+    let w2 = cache.weight(&shape, 7).unwrap();
+    assert!(
+        Arc::ptr_eq(&w1, &w2),
+        "weight hit must share the allocation"
+    );
+
+    let m1 = cache.im2col_matrix(&shape, 7).unwrap();
+    let m2 = cache.im2col_matrix(&shape, 7).unwrap();
+    assert!(
+        Arc::ptr_eq(&m1, &m2),
+        "matrix hit must share the allocation"
+    );
+
+    let s1 = cache.block_svds(&shape, 7, 4).unwrap();
+    let s2 = cache.block_svds(&shape, 7, 4).unwrap();
+    assert!(
+        Arc::ptr_eq(&s1, &s2),
+        "spectra hit must share the allocation"
+    );
+
+    let d1 = cache.decomposition(&shape, 7, 4, 4).unwrap();
+    let d2 = cache.decomposition(&shape, 7, 4, 4).unwrap();
+    assert!(
+        Arc::ptr_eq(&d1, &d2),
+        "per-(g,k) decomposition hit must share the allocation"
+    );
+
+    // Distinct keys must not alias.
+    let other_seed = cache.weight(&shape, 8).unwrap();
+    assert!(!Arc::ptr_eq(&w1, &other_seed));
+    let other_rank = cache.decomposition(&shape, 7, 4, 2).unwrap();
+    assert!(!Arc::ptr_eq(&d1, &other_rank));
+}
+
+/// Many threads racing on the same key must all end up holding the single
+/// stored object, no matter which thread computed (or double-computed) it.
+#[test]
+fn concurrent_lookups_converge_on_one_shared_object_per_key() {
+    let cache = DecompCache::new();
+    let shape = shape();
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+
+    let collected: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Line every thread up on the cold cache so the first
+                    // lookups genuinely race.
+                    barrier.wait();
+                    (
+                        cache.weight(&shape, 11).unwrap(),
+                        cache.block_svds(&shape, 11, 4).unwrap(),
+                        cache.decomposition(&shape, 11, 4, 4).unwrap(),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let (w0, s0, d0) = &collected[0];
+    for (w, s, d) in &collected[1..] {
+        assert!(Arc::ptr_eq(w0, w), "weights must be one shared object");
+        assert!(Arc::ptr_eq(s0, s), "spectra must be one shared object");
+        assert!(
+            Arc::ptr_eq(d0, d),
+            "decompositions must be one shared object"
+        );
+    }
+}
+
+/// Deriving ranks from one shared spectrum must be monotone: a higher rank
+/// never reconstructs worse. This is the Eckart–Young property the rank
+/// sweeps lean on when they reuse one SVD per (layer, group) pair.
+#[test]
+fn from_block_svds_is_rank_monotone() {
+    let cache = DecompCache::new();
+    let shape = shape();
+    let svds = cache.block_svds(&shape, 3, 4).unwrap();
+    let matrix = cache.im2col_matrix(&shape, 3).unwrap();
+    let max_rank = svds
+        .iter()
+        .map(|svd| svd.singular_values().len())
+        .min()
+        .unwrap();
+    assert!(max_rank >= 4, "fixture must allow a real rank sweep");
+
+    let mut prev = f64::INFINITY;
+    for k in 1..=max_rank {
+        let decomp = GroupLowRank::from_block_svds(&svds, k).unwrap();
+        let err = decomp.reconstruction_error(&matrix).unwrap();
+        assert!(
+            err <= prev + 1e-12,
+            "rank {k}: error {err} exceeds rank {} error {prev}",
+            k - 1
+        );
+        prev = err;
+    }
+    // Full rank reconstructs (numerically) exactly.
+    assert!(prev < 1e-9 * matrix.frobenius_norm().max(1.0));
+
+    // The cached derivation agrees with the shared-SVD derivation bit for
+    // bit at every rank.
+    for k in [1, 2, 4] {
+        let direct = GroupLowRank::from_block_svds(&svds, k).unwrap();
+        let cached = cache.decomposition(&shape, 3, 4, k).unwrap();
+        assert_eq!(
+            cached.decomposition.reconstruct(),
+            direct.reconstruct(),
+            "rank {k}"
+        );
+    }
+}
+
+/// The precision knob changes the numbers inside the cached spectra (within
+/// the differential budgets) but never the shapes, kinds or determinism of
+/// what the cache hands out.
+#[test]
+fn f32_cache_matches_f64_cache_within_budget_and_is_deterministic() {
+    let shape = shape();
+    let reference = DecompCache::new();
+    assert_eq!(reference.precision(), Precision::F64);
+    let fast_a = DecompCache::with_precision(Precision::F32);
+    let fast_b = DecompCache::with_precision(Precision::F32);
+    assert_eq!(fast_a.precision(), Precision::F32);
+
+    // Weights and matrices are precision-independent inputs: identical.
+    assert_eq!(
+        *reference.weight(&shape, 5).unwrap(),
+        *fast_a.weight(&shape, 5).unwrap()
+    );
+    assert_eq!(
+        *reference.im2col_matrix(&shape, 5).unwrap(),
+        *fast_a.im2col_matrix(&shape, 5).unwrap()
+    );
+
+    // Decompositions agree within the end-to-end error budget and the f32
+    // path is deterministic across caches.
+    let d64 = reference.decomposition(&shape, 5, 4, 4).unwrap();
+    let d32 = fast_a.decomposition(&shape, 5, 4, 4).unwrap();
+    let d32_again = fast_b.decomposition(&shape, 5, 4, 4).unwrap();
+    assert!(
+        (d64.relative_error - d32.relative_error).abs() < 1e-4,
+        "f64 {} vs f32 {}",
+        d64.relative_error,
+        d32.relative_error
+    );
+    assert_eq!(
+        d32.relative_error.to_bits(),
+        d32_again.relative_error.to_bits(),
+        "two f32 caches must agree bit for bit"
+    );
+    assert_eq!(
+        d32.decomposition.reconstruct(),
+        d32_again.decomposition.reconstruct()
+    );
+}

@@ -6,20 +6,21 @@
 //! verified numerically and so the mapping layer can materialize the
 //! second-stage crossbar contents.
 
+use crate::scalar::Scalar;
 use crate::{Error, Matrix, Result};
 
 /// Kronecker product `A ⊗ B`.
 ///
 /// The result has shape `(a.rows·b.rows) × (a.cols·b.cols)` with blocks
 /// `a[i][j] · B`.
-pub fn kron(a: &Matrix, b: &Matrix) -> Matrix {
+pub fn kron<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
     let (ar, ac) = a.shape();
     let (br, bc) = b.shape();
-    let mut out = Matrix::zeros(ar * br, ac * bc);
+    let mut out = Matrix::<S>::zeros(ar * br, ac * bc);
     for i in 0..ar {
         for j in 0..ac {
             let scale = a.get(i, j);
-            if scale == 0.0 {
+            if scale == S::ZERO {
                 continue;
             }
             for p in 0..br {
@@ -37,10 +38,10 @@ pub fn kron(a: &Matrix, b: &Matrix) -> Matrix {
 /// This is the block-diagonal matrix with `n` copies of `B` on the diagonal,
 /// exactly the `Ĩ_N ⊗ L` factor of Theorem 2. It is computed directly,
 /// without materializing the identity, because it is the common case.
-pub fn identity_kron(n: usize, b: &Matrix) -> Matrix {
+pub fn identity_kron<S: Scalar>(n: usize, b: &Matrix<S>) -> Matrix<S> {
     assert!(n > 0, "identity dimension must be non-zero");
     let (br, bc) = b.shape();
-    let mut out = Matrix::zeros(n * br, n * bc);
+    let mut out = Matrix::<S>::zeros(n * br, n * bc);
     for blk in 0..n {
         for p in 0..br {
             for q in 0..bc {
@@ -57,13 +58,13 @@ pub fn identity_kron(n: usize, b: &Matrix) -> Matrix {
 /// # Errors
 ///
 /// Returns [`Error::EmptyMatrix`] when no blocks are supplied.
-pub fn block_diag(blocks: &[Matrix]) -> Result<Matrix> {
+pub fn block_diag<S: Scalar>(blocks: &[Matrix<S>]) -> Result<Matrix<S>> {
     if blocks.is_empty() {
         return Err(Error::EmptyMatrix);
     }
     let rows: usize = blocks.iter().map(Matrix::rows).sum();
     let cols: usize = blocks.iter().map(Matrix::cols).sum();
-    let mut out = Matrix::zeros(rows, cols);
+    let mut out = Matrix::<S>::zeros(rows, cols);
     let mut r0 = 0;
     let mut c0 = 0;
     for b in blocks {
@@ -139,7 +140,7 @@ mod tests {
 
     #[test]
     fn block_diag_rejects_empty_input() {
-        assert!(block_diag(&[]).is_err());
+        assert!(block_diag::<f64>(&[]).is_err());
     }
 
     #[test]

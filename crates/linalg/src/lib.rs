@@ -3,8 +3,10 @@
 //! This crate provides everything the higher layers need to reason about
 //! weight matrices of convolutional and linear layers:
 //!
-//! * [`Matrix`] — a dense, row-major, `f64` matrix with the usual arithmetic,
-//!   slicing and stacking operations.
+//! * [`Matrix`] — a dense, row-major matrix with the usual arithmetic,
+//!   slicing and stacking operations, generic over the [`Scalar`] element
+//!   type (`f64` by default — the bit-exact reference precision — with `f32`
+//!   as the SIMD-friendly fast path certified by `tests/differential.rs`).
 //! * [`svd`] — a one-sided Jacobi singular value decomposition together with
 //!   rank-`k` truncation (Eckart–Young optimal low-rank approximation).
 //! * [`qr`] — Householder QR decomposition and least-squares solves.
@@ -24,7 +26,7 @@
 //! ```
 //! use imc_linalg::{Matrix, svd::Svd};
 //!
-//! let w = Matrix::from_rows(&[
+//! let w: Matrix = Matrix::from_rows(&[
 //!     vec![4.0, 0.0, 0.0],
 //!     vec![0.0, 3.0, 0.0],
 //!     vec![0.0, 0.0, 1.0],
@@ -44,6 +46,7 @@ pub mod matrix;
 pub mod norms;
 pub mod qr;
 pub mod random;
+pub mod scalar;
 pub mod solve;
 pub mod svd;
 
@@ -51,7 +54,8 @@ pub use kron::{block_diag, identity_kron, kron};
 pub use matrix::Matrix;
 pub use norms::{frobenius_distance, spectral_norm};
 pub use qr::Qr;
-pub use random::{randn_matrix, uniform_matrix, SeededRng};
+pub use random::{randn_matrix, randn_matrix_in, uniform_matrix, uniform_matrix_in, SeededRng};
+pub use scalar::{Precision, Scalar};
 pub use svd::{Svd, TruncatedSvd};
 
 /// Errors produced by the linear-algebra layer.

@@ -1,9 +1,15 @@
-//! Dense, row-major `f64` matrix.
+//! Dense, row-major matrix, generic over the [`Scalar`] element type.
 //!
 //! [`Matrix`] is the workhorse container of the whole workspace: im2col
 //! matrixized convolution weights, low-rank factors, SDK mappings and padding
-//! matrices are all represented as `Matrix` values.
+//! matrices are all represented as `Matrix` values. The element type defaults
+//! to `f64` (the bit-exact reference precision every golden table and figure
+//! is pinned to), so `Matrix` written without parameters everywhere else in
+//! the workspace still means exactly what it did before the crate went
+//! generic; `Matrix<f32>` is the SIMD-friendly fast path certified against
+//! the `f64` oracle by the differential test suite.
 
+use crate::scalar::Scalar;
 use crate::{Error, Result};
 
 /// Square tile edge used by the blocked [`Matrix::transpose`]. A 32×32 tile
@@ -21,27 +27,27 @@ const MATMUL_STRIPE_ELEMS: usize = 32 * 1024;
 /// stripe bookkeeping costs more than the cache reuse saves.
 const MATMUL_MIN_STRIPE: usize = 16;
 
-/// A dense matrix of `f64` values stored in row-major order.
+/// A dense matrix of [`Scalar`] values stored in row-major order.
 ///
-/// The type is deliberately simple: it owns a `Vec<f64>` and its shape.
+/// The type is deliberately simple: it owns a `Vec<S>` and its shape.
 /// All operations that can fail due to shape incompatibilities return
 /// [`Result`] instead of panicking, so that higher layers can surface
 /// configuration errors (e.g. an invalid rank or group count) gracefully.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Matrix {
+pub struct Matrix<S: Scalar = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl Matrix {
+impl<S: Scalar> Matrix<S> {
     /// Creates a matrix from a flat row-major buffer.
     ///
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if `data.len() != rows * cols`
     /// and [`Error::EmptyMatrix`] if either dimension is zero.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Result<Self> {
         if rows == 0 || cols == 0 {
             return Err(Error::EmptyMatrix);
         }
@@ -60,7 +66,7 @@ impl Matrix {
     ///
     /// Returns [`Error::EmptyMatrix`] for an empty row list or empty rows and
     /// [`Error::DimensionMismatch`] if rows have differing lengths.
-    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+    pub fn from_rows(rows: &[Vec<S>]) -> Result<Self> {
         if rows.is_empty() || rows[0].is_empty() {
             return Err(Error::EmptyMatrix);
         }
@@ -93,12 +99,12 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![S::ZERO; rows * cols],
         }
     }
 
     /// Creates a matrix filled with a constant value.
-    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+    pub fn filled(rows: usize, cols: usize, value: S) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
         Self {
             rows,
@@ -111,13 +117,13 @@ impl Matrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m.set(i, i, 1.0);
+            m.set(i, i, S::ONE);
         }
         m
     }
 
     /// Creates a matrix by evaluating `f(row, col)` for every element.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
@@ -129,7 +135,7 @@ impl Matrix {
     }
 
     /// Creates a diagonal matrix from the given diagonal entries.
-    pub fn from_diag(diag: &[f64]) -> Self {
+    pub fn from_diag(diag: &[S]) -> Self {
         let n = diag.len();
         let mut m = Self::zeros(n, n);
         for (i, &d) in diag.iter().enumerate() {
@@ -177,13 +183,13 @@ impl Matrix {
 
     /// Immutable access to the underlying row-major buffer.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable access to the underlying row-major buffer.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
         &mut self.data
     }
 
@@ -194,13 +200,13 @@ impl Matrix {
     /// Panics when the indices are out of bounds (internal invariant; all
     /// public entry points validate shapes up front).
     #[inline]
-    pub fn get(&self, row: usize, col: usize) -> f64 {
+    pub fn get(&self, row: usize, col: usize) -> S {
         debug_assert!(row < self.rows && col < self.cols);
         self.data[row * self.cols + col]
     }
 
     /// Checked element access.
-    pub fn try_get(&self, row: usize, col: usize) -> Result<f64> {
+    pub fn try_get(&self, row: usize, col: usize) -> Result<S> {
         if row >= self.rows {
             return Err(Error::OutOfBounds {
                 index: row,
@@ -220,13 +226,13 @@ impl Matrix {
 
     /// Sets a single element.
     #[inline]
-    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+    pub fn set(&mut self, row: usize, col: usize, value: S) {
         debug_assert!(row < self.rows && col < self.cols);
         self.data[row * self.cols + col] = value;
     }
 
     /// Returns a copy of row `row`.
-    pub fn row(&self, row: usize) -> Result<Vec<f64>> {
+    pub fn row(&self, row: usize) -> Result<Vec<S>> {
         if row >= self.rows {
             return Err(Error::OutOfBounds {
                 index: row,
@@ -238,7 +244,7 @@ impl Matrix {
     }
 
     /// Returns a copy of column `col`.
-    pub fn col(&self, col: usize) -> Result<Vec<f64>> {
+    pub fn col(&self, col: usize) -> Result<Vec<S>> {
         if col >= self.cols {
             return Err(Error::OutOfBounds {
                 index: col,
@@ -301,7 +307,7 @@ impl Matrix {
                 let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (k, &a) in lhs_row.iter().enumerate().take(k1).skip(k0) {
-                    if a == 0.0 {
+                    if a == S::ZERO {
                         continue;
                     }
                     let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
@@ -319,7 +325,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`Error::ShapeMismatch`] when `v.len() != self.cols()`.
-    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+    pub fn matvec(&self, v: &[S]) -> Result<Vec<S>> {
         if v.len() != self.cols {
             return Err(Error::ShapeMismatch {
                 left: self.shape(),
@@ -328,9 +334,9 @@ impl Matrix {
             });
         }
         // Note: `self.cols` is non-zero by construction, so `chunks` is safe.
-        let mut out = vec![0.0; self.rows];
+        let mut out = vec![S::ZERO; self.rows];
         for (out_i, row) in out.iter_mut().zip(self.data.chunks(self.cols)) {
-            *out_i = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+            *out_i = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
         }
         Ok(out)
     }
@@ -350,7 +356,7 @@ impl Matrix {
         self.zip_with(rhs, "hadamard", |a, b| a * b)
     }
 
-    fn zip_with(&self, rhs: &Self, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Self> {
+    fn zip_with(&self, rhs: &Self, op: &'static str, f: impl Fn(S, S) -> S) -> Result<Self> {
         if self.shape() != rhs.shape() {
             return Err(Error::ShapeMismatch {
                 left: self.shape(),
@@ -372,7 +378,7 @@ impl Matrix {
     }
 
     /// Multiplies every element by a scalar.
-    pub fn scale(&self, s: f64) -> Self {
+    pub fn scale(&self, s: S) -> Self {
         Self {
             rows: self.rows,
             cols: self.cols,
@@ -381,7 +387,7 @@ impl Matrix {
     }
 
     /// Applies `f` to every element, returning a new matrix.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+    pub fn map(&self, f: impl Fn(S) -> S) -> Self {
         Self {
             rows: self.rows,
             cols: self.cols,
@@ -571,34 +577,34 @@ impl Matrix {
     }
 
     /// Frobenius norm `‖A‖_F = sqrt(Σ a_ij²)`.
-    pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    pub fn frobenius_norm(&self) -> S {
+        self.data.iter().map(|&x| x * x).sum::<S>().sqrt()
     }
 
     /// Sum of all elements.
-    pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+    pub fn sum(&self) -> S {
+        self.data.iter().copied().sum()
     }
 
     /// Largest absolute element value.
-    pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    pub fn max_abs(&self) -> S {
+        self.data.iter().fold(S::ZERO, |m, &x| m.max(x.abs()))
     }
 
     /// Number of elements whose absolute value exceeds `threshold`.
-    pub fn count_nonzero(&self, threshold: f64) -> usize {
+    pub fn count_nonzero(&self, threshold: S) -> usize {
         self.data.iter().filter(|&&x| x.abs() > threshold).count()
     }
 
     /// Fraction of elements whose absolute value is at most `threshold`
     /// (the sparsity of the matrix).
-    pub fn sparsity(&self, threshold: f64) -> f64 {
+    pub fn sparsity(&self, threshold: S) -> f64 {
         1.0 - self.count_nonzero(threshold) as f64 / self.len() as f64
     }
 
     /// Returns `true` if every corresponding pair of elements differs by at
     /// most `tol` in absolute value.
-    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+    pub fn approx_eq(&self, other: &Self, tol: S) -> bool {
         self.shape() == other.shape()
             && self
                 .data
@@ -607,12 +613,26 @@ impl Matrix {
                 .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 
+    /// Converts the matrix to another scalar width, rounding every element
+    /// through `f64` (exact when widening, round-to-nearest when narrowing).
+    ///
+    /// This is the bridge between the `f64` reference pipeline and the `f32`
+    /// fast path: `m.cast::<f32>()` is the single-precision image of `m`,
+    /// and `m32.cast::<f64>()` widens results back for reporting.
+    pub fn cast<T: Scalar>(&self) -> Matrix<T> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| T::from_f64(x.to_f64())).collect(),
+        }
+    }
+
     /// Trace (sum of diagonal elements) of a square matrix.
     ///
     /// # Errors
     ///
     /// Returns [`Error::ShapeMismatch`] for non-square matrices.
-    pub fn trace(&self) -> Result<f64> {
+    pub fn trace(&self) -> Result<S> {
         if !self.is_square() {
             return Err(Error::ShapeMismatch {
                 left: self.shape(),
@@ -624,31 +644,31 @@ impl Matrix {
     }
 }
 
-impl core::ops::Add for &Matrix {
-    type Output = Result<Matrix>;
+impl<S: Scalar> core::ops::Add for &Matrix<S> {
+    type Output = Result<Matrix<S>>;
 
-    fn add(self, rhs: &Matrix) -> Self::Output {
+    fn add(self, rhs: &Matrix<S>) -> Self::Output {
         Matrix::add(self, rhs)
     }
 }
 
-impl core::ops::Sub for &Matrix {
-    type Output = Result<Matrix>;
+impl<S: Scalar> core::ops::Sub for &Matrix<S> {
+    type Output = Result<Matrix<S>>;
 
-    fn sub(self, rhs: &Matrix) -> Self::Output {
+    fn sub(self, rhs: &Matrix<S>) -> Self::Output {
         Matrix::sub(self, rhs)
     }
 }
 
-impl core::ops::Mul for &Matrix {
-    type Output = Result<Matrix>;
+impl<S: Scalar> core::ops::Mul for &Matrix<S> {
+    type Output = Result<Matrix<S>>;
 
-    fn mul(self, rhs: &Matrix) -> Self::Output {
+    fn mul(self, rhs: &Matrix<S>) -> Self::Output {
         self.matmul(rhs)
     }
 }
 
-impl core::fmt::Display for Matrix {
+impl<S: Scalar> core::fmt::Display for Matrix<S> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
         let max_rows = 8.min(self.rows);
@@ -689,7 +709,7 @@ mod tests {
             Err(Error::DimensionMismatch { .. })
         ));
         assert!(matches!(
-            Matrix::from_vec(0, 2, vec![]),
+            Matrix::<f64>::from_vec(0, 2, vec![]),
             Err(Error::EmptyMatrix)
         ));
     }
@@ -709,12 +729,12 @@ mod tests {
         assert_eq!(m.len(), 6);
         assert!(!m.is_empty());
         assert!(!m.is_square());
-        assert!(Matrix::identity(3).is_square());
+        assert!(Matrix::<f64>::identity(3).is_square());
     }
 
     #[test]
     fn identity_has_unit_diagonal() {
-        let i = Matrix::identity(4);
+        let i = Matrix::<f64>::identity(4);
         for r in 0..4 {
             for c in 0..4 {
                 assert_eq!(i.get(r, c), if r == c { 1.0 } else { 0.0 });
@@ -834,11 +854,11 @@ mod tests {
 
     #[test]
     fn stack_shape_checks() {
-        let a = Matrix::zeros(2, 2);
+        let a = Matrix::<f64>::zeros(2, 2);
         let b = Matrix::zeros(3, 2);
         assert!(Matrix::hstack(&[a.clone(), b.clone()]).is_err());
         assert!(Matrix::vstack(&[a, b]).is_ok());
-        assert!(Matrix::hstack(&[]).is_err());
+        assert!(Matrix::<f64>::hstack(&[]).is_err());
     }
 
     #[test]
@@ -864,7 +884,7 @@ mod tests {
 
     #[test]
     fn display_is_bounded() {
-        let big = Matrix::zeros(20, 20);
+        let big = Matrix::<f64>::zeros(20, 20);
         let s = format!("{big}");
         assert!(s.contains("Matrix 20x20"));
         assert!(s.lines().count() < 15);

@@ -1,20 +1,17 @@
 //! Matrix norms and distances.
 
+use crate::scalar::Scalar;
 use crate::{Error, Matrix, Result};
 
 /// Maximum number of power-iteration steps for the spectral norm.
 const POWER_ITER_MAX: usize = 500;
-
-/// Convergence tolerance (relative change of the Rayleigh quotient) for the
-/// spectral-norm power iteration.
-const POWER_ITER_TOL: f64 = 1e-12;
 
 /// Frobenius distance `‖A − B‖_F` between two equally shaped matrices.
 ///
 /// # Errors
 ///
 /// Returns [`Error::ShapeMismatch`] when the shapes differ.
-pub fn frobenius_distance(a: &Matrix, b: &Matrix) -> Result<f64> {
+pub fn frobenius_distance<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> Result<S> {
     Ok(a.sub(b)?.frobenius_norm())
 }
 
@@ -24,10 +21,10 @@ pub fn frobenius_distance(a: &Matrix, b: &Matrix) -> Result<f64> {
 /// # Errors
 ///
 /// Returns [`Error::ShapeMismatch`] when the shapes differ.
-pub fn relative_frobenius_error(reference: &Matrix, approx: &Matrix) -> Result<f64> {
+pub fn relative_frobenius_error<S: Scalar>(reference: &Matrix<S>, approx: &Matrix<S>) -> Result<S> {
     let dist = frobenius_distance(reference, approx)?;
     let denom = reference.frobenius_norm();
-    Ok(if denom > 0.0 { dist / denom } else { dist })
+    Ok(if denom > S::ZERO { dist / denom } else { dist })
 }
 
 /// Spectral norm (largest singular value) computed by power iteration on
@@ -37,24 +34,26 @@ pub fn relative_frobenius_error(reference: &Matrix, approx: &Matrix) -> Result<f
 ///
 /// Returns [`Error::NoConvergence`] if the Rayleigh quotient has not
 /// stabilized after the iteration budget.
-pub fn spectral_norm(a: &Matrix) -> Result<f64> {
+pub fn spectral_norm<S: Scalar>(a: &Matrix<S>) -> Result<S> {
     let ata = a.transpose().matmul(a)?;
     let n = ata.rows();
     // Deterministic non-degenerate start vector.
-    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 1e-3).collect();
+    let mut v: Vec<S> = (0..n)
+        .map(|i| S::from_f64(1.0 + (i as f64) * 1e-3))
+        .collect();
     normalize(&mut v);
-    let mut lambda_prev = 0.0;
+    let mut lambda_prev = S::ZERO;
     for iter in 0..POWER_ITER_MAX {
         let mut w = ata.matvec(&v)?;
-        let lambda: f64 = v.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+        let lambda: S = v.iter().zip(w.iter()).map(|(a, b)| *a * *b).sum();
         let norm = normalize(&mut w);
-        if norm <= f64::EPSILON {
+        if norm <= S::EPSILON {
             // A is (numerically) the zero matrix.
-            return Ok(0.0);
+            return Ok(S::ZERO);
         }
         v = w;
-        if (lambda - lambda_prev).abs() <= POWER_ITER_TOL * lambda.abs().max(1e-30) {
-            return Ok(lambda.max(0.0).sqrt());
+        if (lambda - lambda_prev).abs() <= S::POWER_ITER_TOL * lambda.abs().max(S::TINY) {
+            return Ok(lambda.max(S::ZERO).sqrt());
         }
         lambda_prev = lambda;
         if iter + 1 == POWER_ITER_MAX {
@@ -67,9 +66,9 @@ pub fn spectral_norm(a: &Matrix) -> Result<f64> {
     })
 }
 
-fn normalize(v: &mut [f64]) -> f64 {
-    let norm = v.iter().map(|&x| x * x).sum::<f64>().sqrt();
-    if norm > f64::EPSILON {
+fn normalize<S: Scalar>(v: &mut [S]) -> S {
+    let norm = v.iter().map(|&x| x * x).sum::<S>().sqrt();
+    if norm > S::EPSILON {
         for x in v.iter_mut() {
             *x /= norm;
         }
@@ -123,7 +122,7 @@ mod tests {
 
     #[test]
     fn spectral_norm_of_zero_matrix_is_zero() {
-        let z = Matrix::zeros(4, 4);
+        let z = Matrix::<f64>::zeros(4, 4);
         assert_eq!(spectral_norm(&z).unwrap(), 0.0);
     }
 

@@ -4,17 +4,18 @@
 //! by the least-squares routines in [`crate::solve`]; it also provides an
 //! independent path to validate the SVD in tests.
 
+use crate::scalar::Scalar;
 use crate::{Error, Matrix, Result};
 
 /// A thin QR decomposition `A = Q R` with `Q` of shape `m × n` (orthonormal
 /// columns) and `R` upper-triangular of shape `n × n`, for `m ≥ n`.
 #[derive(Debug, Clone)]
-pub struct Qr {
-    q: Matrix,
-    r: Matrix,
+pub struct Qr<S: Scalar = f64> {
+    q: Matrix<S>,
+    r: Matrix<S>,
 }
 
-impl Qr {
+impl<S: Scalar> Qr<S> {
     /// Computes the thin QR decomposition of `a` (requires `rows ≥ cols`).
     ///
     /// # Errors
@@ -22,7 +23,7 @@ impl Qr {
     /// Returns [`Error::ShapeMismatch`] if the matrix has more columns than
     /// rows (use the transpose, or an LQ formulation, for wide systems).
     #[allow(clippy::needless_range_loop)] // Householder kernels read clearer with explicit indices
-    pub fn compute(a: &Matrix) -> Result<Self> {
+    pub fn compute(a: &Matrix<S>) -> Result<Self> {
         let (m, n) = a.shape();
         if m < n {
             return Err(Error::ShapeMismatch {
@@ -34,37 +35,41 @@ impl Qr {
         // Householder reflections applied to a working copy; Q accumulated by
         // applying the same reflections to the identity.
         let mut r_work = a.clone();
-        let mut q_full = Matrix::identity(m);
+        let mut q_full = Matrix::<S>::identity(m);
 
         for k in 0..n {
             // Build the Householder vector for column k below the diagonal.
-            let mut norm = 0.0;
+            let mut norm = S::ZERO;
             for i in k..m {
                 let x = r_work.get(i, k);
                 norm += x * x;
             }
             let norm = norm.sqrt();
-            if norm <= f64::EPSILON {
+            if norm <= S::EPSILON {
                 continue;
             }
-            let alpha = if r_work.get(k, k) >= 0.0 { -norm } else { norm };
-            let mut v = vec![0.0; m];
+            let alpha = if r_work.get(k, k) >= S::ZERO {
+                -norm
+            } else {
+                norm
+            };
+            let mut v = vec![S::ZERO; m];
             v[k] = r_work.get(k, k) - alpha;
             for i in (k + 1)..m {
                 v[i] = r_work.get(i, k);
             }
-            let vnorm2: f64 = v.iter().map(|&x| x * x).sum();
-            if vnorm2 <= f64::EPSILON {
+            let vnorm2: S = v.iter().map(|&x| x * x).sum();
+            if vnorm2 <= S::EPSILON {
                 continue;
             }
 
             // Apply H = I - 2 v vᵀ / (vᵀ v) to R (from the left).
             for j in k..n {
-                let mut dot = 0.0;
+                let mut dot = S::ZERO;
                 for i in k..m {
                     dot += v[i] * r_work.get(i, j);
                 }
-                let factor = 2.0 * dot / vnorm2;
+                let factor = S::TWO * dot / vnorm2;
                 for i in k..m {
                     let val = r_work.get(i, j) - factor * v[i];
                     r_work.set(i, j, val);
@@ -72,11 +77,11 @@ impl Qr {
             }
             // Accumulate into Q (apply H from the right: Q ← Q·H).
             for i in 0..m {
-                let mut dot = 0.0;
+                let mut dot = S::ZERO;
                 for l in k..m {
                     dot += q_full.get(i, l) * v[l];
                 }
-                let factor = 2.0 * dot / vnorm2;
+                let factor = S::TWO * dot / vnorm2;
                 for l in k..m {
                     let val = q_full.get(i, l) - factor * v[l];
                     q_full.set(i, l, val);
@@ -85,7 +90,7 @@ impl Qr {
         }
 
         let q = q_full.submatrix(0, 0, m, n)?;
-        let mut r = Matrix::zeros(n, n);
+        let mut r = Matrix::<S>::zeros(n, n);
         for i in 0..n {
             for j in i..n {
                 r.set(i, j, r_work.get(i, j));
@@ -95,17 +100,17 @@ impl Qr {
     }
 
     /// The orthonormal factor `Q` (`m × n`).
-    pub fn q(&self) -> &Matrix {
+    pub fn q(&self) -> &Matrix<S> {
         &self.q
     }
 
     /// The upper-triangular factor `R` (`n × n`).
-    pub fn r(&self) -> &Matrix {
+    pub fn r(&self) -> &Matrix<S> {
         &self.r
     }
 
     /// Reconstructs `Q·R`.
-    pub fn reconstruct(&self) -> Matrix {
+    pub fn reconstruct(&self) -> Matrix<S> {
         self.q
             .matmul(&self.r)
             .expect("QR factor shapes are consistent by construction")
@@ -118,7 +123,7 @@ impl Qr {
     ///
     /// Returns [`Error::ShapeMismatch`] if `b` has the wrong length and
     /// [`Error::SingularSystem`] if `R` is numerically singular.
-    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+    pub fn solve(&self, b: &[S]) -> Result<Vec<S>> {
         if b.len() != self.q.rows() {
             return Err(Error::ShapeMismatch {
                 left: self.q.shape(),
@@ -136,9 +141,10 @@ impl Qr {
 /// # Errors
 ///
 /// Returns [`Error::SingularSystem`] when a diagonal entry is numerically
-/// zero and [`Error::ShapeMismatch`] on incompatible dimensions.
+/// zero (below [`Scalar::SOLVE_TOL`]) and [`Error::ShapeMismatch`] on
+/// incompatible dimensions.
 #[allow(clippy::needless_range_loop)] // triangular solve reads clearer with explicit indices
-pub fn back_substitute(r: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+pub fn back_substitute<S: Scalar>(r: &Matrix<S>, y: &[S]) -> Result<Vec<S>> {
     let n = r.cols();
     if r.rows() != n || y.len() != n {
         return Err(Error::ShapeMismatch {
@@ -147,14 +153,14 @@ pub fn back_substitute(r: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
             op: "back substitution",
         });
     }
-    let mut x = vec![0.0; n];
+    let mut x = vec![S::ZERO; n];
     for i in (0..n).rev() {
         let mut sum = y[i];
         for j in (i + 1)..n {
             sum -= r.get(i, j) * x[j];
         }
         let diag = r.get(i, i);
-        if diag.abs() <= 1e-14 {
+        if diag.abs() <= S::SOLVE_TOL {
             return Err(Error::SingularSystem);
         }
         x[i] = sum / diag;

@@ -10,6 +10,7 @@
 //! stable across platforms and releases, which is what pins the byte-identical
 //! reproduction of every table and figure.
 
+use crate::scalar::Scalar;
 use crate::Matrix;
 
 /// A small, fast, deterministic pseudo-random generator (SplitMix64).
@@ -76,23 +77,52 @@ impl UniformRange<usize> for core::ops::RangeInclusive<usize> {
 
 /// A matrix with i.i.d. normal entries `N(0, std²)`, generated from `seed`.
 pub fn randn_matrix(rows: usize, cols: usize, std: f64, seed: u64) -> Matrix {
+    randn_matrix_in::<f64>(rows, cols, std, seed)
+}
+
+/// [`randn_matrix`] at any scalar width.
+///
+/// Every generic fill samples the *same* `f64` SplitMix64/Box–Muller stream
+/// and rounds each draw into `S`, so `randn_matrix_in::<f32>(..)` is exactly
+/// the element-wise rounding of `randn_matrix(..)` — which is what lets the
+/// differential test harness compare the two widths on identical inputs.
+pub fn randn_matrix_in<S: Scalar>(rows: usize, cols: usize, std: f64, seed: u64) -> Matrix<S> {
     let mut rng = SeededRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| normal_sample(&mut rng) * std)
+    Matrix::from_fn(rows, cols, |_, _| {
+        S::from_f64(normal_sample(&mut rng) * std)
+    })
 }
 
 /// A matrix with i.i.d. uniform entries in `[low, high)`, generated from
 /// `seed`.
 pub fn uniform_matrix(rows: usize, cols: usize, low: f64, high: f64, seed: u64) -> Matrix {
+    uniform_matrix_in::<f64>(rows, cols, low, high, seed)
+}
+
+/// [`uniform_matrix`] at any scalar width (same stream, rounded draws).
+pub fn uniform_matrix_in<S: Scalar>(
+    rows: usize,
+    cols: usize,
+    low: f64,
+    high: f64,
+    seed: u64,
+) -> Matrix<S> {
     let mut rng = SeededRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(low..high))
+    Matrix::from_fn(rows, cols, |_, _| S::from_f64(rng.gen_range(low..high)))
 }
 
 /// A matrix of exact rank `k` (product of two random Gaussian factors),
 /// useful for testing rank-detection and truncation behaviour.
 pub fn low_rank_matrix(rows: usize, cols: usize, k: usize, seed: u64) -> Matrix {
+    low_rank_matrix_in::<f64>(rows, cols, k, seed)
+}
+
+/// [`low_rank_matrix`] at any scalar width: the Gaussian factors are the
+/// rounded `f64` draws and the product is accumulated in `S`.
+pub fn low_rank_matrix_in<S: Scalar>(rows: usize, cols: usize, k: usize, seed: u64) -> Matrix<S> {
     let k = k.clamp(1, rows.min(cols));
-    let l = randn_matrix(rows, k, 1.0, seed);
-    let r = randn_matrix(k, cols, 1.0, seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    let l = randn_matrix_in::<S>(rows, k, 1.0, seed);
+    let r = randn_matrix_in::<S>(k, cols, 1.0, seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
     l.matmul(&r)
         .expect("factor shapes are consistent by construction")
 }
@@ -100,8 +130,18 @@ pub fn low_rank_matrix(rows: usize, cols: usize, k: usize, seed: u64) -> Matrix 
 /// Kaiming/He-style initialization for a convolutional weight matrix with
 /// `fan_in` input connections: `N(0, sqrt(2 / fan_in)²)`.
 pub fn kaiming_matrix(rows: usize, cols: usize, fan_in: usize, seed: u64) -> Matrix {
+    kaiming_matrix_in::<f64>(rows, cols, fan_in, seed)
+}
+
+/// [`kaiming_matrix`] at any scalar width (same stream, rounded draws).
+pub fn kaiming_matrix_in<S: Scalar>(
+    rows: usize,
+    cols: usize,
+    fan_in: usize,
+    seed: u64,
+) -> Matrix<S> {
     let std = (2.0 / fan_in.max(1) as f64).sqrt();
-    randn_matrix(rows, cols, std, seed)
+    randn_matrix_in::<S>(rows, cols, std, seed)
 }
 
 /// Draws one standard-normal sample using the Box–Muller transform.

@@ -1,6 +1,7 @@
 //! Linear solves built on the QR decomposition.
 
 use crate::qr::Qr;
+use crate::scalar::Scalar;
 use crate::{Error, Matrix, Result};
 
 /// Solves the least-squares problem `min_x ‖A x − b‖₂` for a tall or square
@@ -9,7 +10,7 @@ use crate::{Error, Matrix, Result};
 /// # Errors
 ///
 /// Propagates shape and singularity errors from the underlying QR solve.
-pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+pub fn least_squares<S: Scalar>(a: &Matrix<S>, b: &[S]) -> Result<Vec<S>> {
     Qr::compute(a)?.solve(b)
 }
 
@@ -19,7 +20,7 @@ pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 ///
 /// Returns [`Error::ShapeMismatch`] for non-square `A` or mismatched `B`,
 /// and [`Error::SingularSystem`] when `A` is numerically singular.
-pub fn solve_matrix(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+pub fn solve_matrix<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> Result<Matrix<S>> {
     if !a.is_square() || a.rows() != b.rows() {
         return Err(Error::ShapeMismatch {
             left: a.shape(),
@@ -32,7 +33,7 @@ pub fn solve_matrix(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     for j in 0..b.cols() {
         cols.push(qr.solve(&b.col(j)?)?);
     }
-    let mut x = Matrix::zeros(a.cols(), b.cols());
+    let mut x = Matrix::<S>::zeros(a.cols(), b.cols());
     for (j, col) in cols.iter().enumerate() {
         for (i, &v) in col.iter().enumerate() {
             x.set(i, j, v);
@@ -47,8 +48,8 @@ pub fn solve_matrix(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 ///
 /// Returns [`Error::ShapeMismatch`] for non-square inputs and
 /// [`Error::SingularSystem`] for singular ones.
-pub fn inverse(a: &Matrix) -> Result<Matrix> {
-    solve_matrix(a, &Matrix::identity(a.rows()))
+pub fn inverse<S: Scalar>(a: &Matrix<S>) -> Result<Matrix<S>> {
+    solve_matrix(a, &Matrix::<S>::identity(a.rows()))
 }
 
 #[cfg(test)]
@@ -101,7 +102,7 @@ mod tests {
 
     #[test]
     fn inverse_of_singular_matrix_fails() {
-        let a = Matrix::zeros(3, 3);
+        let a = Matrix::<f64>::zeros(3, 3);
         assert!(matches!(inverse(&a), Err(Error::SingularSystem)));
     }
 }

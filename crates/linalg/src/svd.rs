@@ -7,19 +7,17 @@
 //! more than fast enough for the layer-sized matrices (a few thousand rows by
 //! a few hundred columns) that occur in this workspace.
 
+use crate::scalar::Scalar;
 use crate::{Error, Matrix, Result};
 
 /// Maximum number of Jacobi sweeps before the algorithm reports
 /// [`Error::NoConvergence`].
 const MAX_SWEEPS: usize = 60;
 
-/// Relative off-diagonal tolerance used as the Jacobi convergence criterion.
-const JACOBI_TOL: f64 = 1e-12;
-
 /// Mutably borrows columns `p` and `q` (with `p < q`) of a column-major
 /// buffer whose columns have length `len`.
 #[inline]
-fn column_pair(data: &mut [f64], len: usize, p: usize, q: usize) -> (&mut [f64], &mut [f64]) {
+fn column_pair<S: Scalar>(data: &mut [S], len: usize, p: usize, q: usize) -> (&mut [S], &mut [S]) {
     debug_assert!(p < q);
     let (head, tail) = data.split_at_mut(q * len);
     (&mut head[p * len..p * len + len], &mut tail[..len])
@@ -31,13 +29,13 @@ fn column_pair(data: &mut [f64], len: usize, p: usize, q: usize) -> (&mut [f64],
 /// length `r`, and `V` is `n × r`, where `r = min(m, n)`. Singular values are
 /// sorted in non-increasing order.
 #[derive(Debug, Clone)]
-pub struct Svd {
-    u: Matrix,
-    singular_values: Vec<f64>,
-    v: Matrix,
+pub struct Svd<S: Scalar = f64> {
+    u: Matrix<S>,
+    singular_values: Vec<S>,
+    v: Matrix<S>,
 }
 
-impl Svd {
+impl<S: Scalar> Svd<S> {
     /// Computes the SVD of `a` using one-sided Jacobi rotations.
     ///
     /// # Errors
@@ -45,7 +43,7 @@ impl Svd {
     /// Returns [`Error::NoConvergence`] if the Jacobi sweeps fail to
     /// orthogonalize the columns within the iteration budget (this does not
     /// happen for well-scaled inputs such as neural-network weights).
-    pub fn compute(a: &Matrix) -> Result<Self> {
+    pub fn compute(a: &Matrix<S>) -> Result<Self> {
         let (m, n) = a.shape();
         // One-sided Jacobi works on the columns; for wide matrices it is both
         // cheaper and better conditioned to decompose the transpose and swap
@@ -64,15 +62,15 @@ impl Svd {
         // (column j at `u[j*m..][..m]`) turns the stride-`cols` accesses of a
         // row-major layout into unit-stride streams. The arithmetic (and thus
         // the result, bit for bit) is identical to the row-major formulation.
-        let mut u = vec![0.0_f64; m * n]; // working columns converging to U·Σ
+        let mut u = vec![S::ZERO; m * n]; // working columns converging to U·Σ
         for (i, row) in a.as_slice().chunks(n).enumerate() {
             for (j, &x) in row.iter().enumerate() {
                 u[j * m + i] = x;
             }
         }
-        let mut v = vec![0.0_f64; n * n]; // column-major identity
+        let mut v = vec![S::ZERO; n * n]; // column-major identity
         for j in 0..n {
-            v[j * n + j] = 1.0;
+            v[j * n + j] = S::ONE;
         }
         let r = n;
 
@@ -82,24 +80,20 @@ impl Svd {
             converged = true;
             for p in 0..r {
                 for q in (p + 1)..r {
-                    // Gram entries for columns p and q.
+                    // Gram entries for columns p and q. The reduction is the
+                    // scalar type's own: strict serial order for f64 (the
+                    // bit-exact reference), a reassociated multi-lane pass
+                    // for f32 (see `Scalar::jacobi_gram`).
                     let (up_col, uq_col) = column_pair(&mut u, m, p, q);
-                    let mut alpha = 0.0;
-                    let mut beta = 0.0;
-                    let mut gamma = 0.0;
-                    for (&up, &uq) in up_col.iter().zip(uq_col.iter()) {
-                        alpha += up * up;
-                        beta += uq * uq;
-                        gamma += up * uq;
-                    }
-                    if gamma.abs() <= JACOBI_TOL * (alpha * beta).sqrt() || gamma == 0.0 {
+                    let (alpha, beta, gamma) = S::jacobi_gram(up_col, uq_col);
+                    if gamma.abs() <= S::JACOBI_TOL * (alpha * beta).sqrt() || gamma == S::ZERO {
                         continue;
                     }
                     converged = false;
                     // Jacobi rotation that zeroes the (p, q) Gram entry.
-                    let zeta = (beta - alpha) / (2.0 * gamma);
-                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
-                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let zeta = (beta - alpha) / (S::TWO * gamma);
+                    let t = zeta.signum() / (zeta.abs() + (S::ONE + zeta * zeta).sqrt());
+                    let c = S::ONE / (S::ONE + t * t).sqrt();
                     let s = c * t;
                     for (up_i, uq_i) in up_col.iter_mut().zip(uq_col.iter_mut()) {
                         let up = *up_i;
@@ -127,9 +121,9 @@ impl Svd {
 
         // Column norms of the rotated matrix are the singular values.
         let mut order: Vec<usize> = (0..r).collect();
-        let mut sigma = vec![0.0; r];
+        let mut sigma = vec![S::ZERO; r];
         for (j, s) in sigma.iter_mut().enumerate() {
-            let mut norm = 0.0;
+            let mut norm = S::ZERO;
             for &x in &u[j * m..(j + 1) * m] {
                 norm += x * x;
             }
@@ -141,15 +135,15 @@ impl Svd {
                 .unwrap_or(core::cmp::Ordering::Equal)
         });
 
-        let mut u_sorted = Matrix::zeros(m, r);
-        let mut v_sorted = Matrix::zeros(n, r);
-        let mut sigma_sorted = vec![0.0; r];
+        let mut u_sorted = Matrix::<S>::zeros(m, r);
+        let mut v_sorted = Matrix::<S>::zeros(n, r);
+        let mut sigma_sorted = vec![S::ZERO; r];
         for (new_j, &old_j) in order.iter().enumerate() {
             let s = sigma[old_j];
             sigma_sorted[new_j] = s;
             let u_col = &u[old_j * m..(old_j + 1) * m];
             for (i, &x) in u_col.iter().enumerate() {
-                let val = if s > f64::EPSILON { x / s } else { 0.0 };
+                let val = if s > S::EPSILON { x / s } else { S::ZERO };
                 u_sorted.set(i, new_j, val);
             }
             let v_col = &v[old_j * n..(old_j + 1) * n];
@@ -166,24 +160,39 @@ impl Svd {
     }
 
     /// The left singular vectors, `m × r`.
-    pub fn u(&self) -> &Matrix {
+    pub fn u(&self) -> &Matrix<S> {
         &self.u
     }
 
     /// The right singular vectors, `n × r` (not transposed).
-    pub fn v(&self) -> &Matrix {
+    pub fn v(&self) -> &Matrix<S> {
         &self.v
     }
 
     /// The singular values in non-increasing order.
-    pub fn singular_values(&self) -> &[f64] {
+    pub fn singular_values(&self) -> &[S] {
         &self.singular_values
+    }
+
+    /// Converts the decomposition to another scalar width (rounding through
+    /// `f64`), factor by factor. Widening `Svd<f32> -> Svd<f64>` is exact and
+    /// is how the fast path hands results back to the `f64` reporting layer.
+    pub fn cast<T: Scalar>(&self) -> Svd<T> {
+        Svd {
+            u: self.u.cast(),
+            singular_values: self
+                .singular_values
+                .iter()
+                .map(|&s| T::from_f64(s.to_f64()))
+                .collect(),
+            v: self.v.cast(),
+        }
     }
 
     /// Numerical rank: the number of singular values above
     /// `tol * max(singular value)`.
-    pub fn rank(&self, tol: f64) -> usize {
-        let max = self.singular_values.first().copied().unwrap_or(0.0);
+    pub fn rank(&self, tol: S) -> usize {
+        let max = self.singular_values.first().copied().unwrap_or(S::ZERO);
         self.singular_values
             .iter()
             .filter(|&&s| s > tol * max)
@@ -191,7 +200,7 @@ impl Svd {
     }
 
     /// Reconstructs the full matrix `U Σ Vᵀ`.
-    pub fn reconstruct(&self) -> Matrix {
+    pub fn reconstruct(&self) -> Matrix<S> {
         let sigma = Matrix::from_diag(&self.singular_values);
         self.u
             .matmul(&sigma)
@@ -204,7 +213,7 @@ impl Svd {
     /// The truncation is clamped to the available rank, so `k` larger than
     /// `min(m, n)` simply returns the full decomposition. A `k` of zero is
     /// clamped to one (a rank-zero factorization is never useful here).
-    pub fn truncate(&self, k: usize) -> TruncatedSvd {
+    pub fn truncate(&self, k: usize) -> TruncatedSvd<S> {
         let r = self.singular_values.len();
         let k = k.clamp(1, r);
         let u_k = self
@@ -224,32 +233,32 @@ impl Svd {
 
     /// The Eckart–Young optimal reconstruction error for a rank-`k`
     /// truncation: `sqrt(Σ_{i>k} σ_i²)`.
-    pub fn truncation_error(&self, k: usize) -> f64 {
+    pub fn truncation_error(&self, k: usize) -> S {
         self.singular_values
             .iter()
             .skip(k)
             .map(|&s| s * s)
-            .sum::<f64>()
+            .sum::<S>()
             .sqrt()
     }
 }
 
 /// A rank-`k` truncated SVD, the basic low-rank factorization `W ≈ L·R`.
 #[derive(Debug, Clone)]
-pub struct TruncatedSvd {
-    u: Matrix,
-    singular_values: Vec<f64>,
-    v: Matrix,
+pub struct TruncatedSvd<S: Scalar = f64> {
+    u: Matrix<S>,
+    singular_values: Vec<S>,
+    v: Matrix<S>,
 }
 
-impl TruncatedSvd {
+impl<S: Scalar> TruncatedSvd<S> {
     /// Computes the truncated SVD of `a` at rank `k` directly.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidRank`] if `k` is zero or exceeds `min(m, n)`,
     /// or propagates [`Error::NoConvergence`] from the Jacobi iteration.
-    pub fn compute(a: &Matrix, k: usize) -> Result<Self> {
+    pub fn compute(a: &Matrix<S>, k: usize) -> Result<Self> {
         let max_rank = a.rows().min(a.cols());
         if k == 0 || k > max_rank {
             return Err(Error::InvalidRank {
@@ -266,17 +275,17 @@ impl TruncatedSvd {
     }
 
     /// The truncated left singular vectors, `m × k`.
-    pub fn u(&self) -> &Matrix {
+    pub fn u(&self) -> &Matrix<S> {
         &self.u
     }
 
     /// The truncated right singular vectors, `n × k`.
-    pub fn v(&self) -> &Matrix {
+    pub fn v(&self) -> &Matrix<S> {
         &self.v
     }
 
     /// The retained singular values.
-    pub fn singular_values(&self) -> &[f64] {
+    pub fn singular_values(&self) -> &[S] {
         &self.singular_values
     }
 
@@ -284,7 +293,7 @@ impl TruncatedSvd {
     ///
     /// Following the paper's convention (Section III), the singular values
     /// are absorbed into the left factor.
-    pub fn left_factor(&self) -> Matrix {
+    pub fn left_factor(&self) -> Matrix<S> {
         let sigma = Matrix::from_diag(&self.singular_values);
         self.u
             .matmul(&sigma)
@@ -292,12 +301,12 @@ impl TruncatedSvd {
     }
 
     /// The right factor `R = Vᵀ` of shape `k × n`.
-    pub fn right_factor(&self) -> Matrix {
+    pub fn right_factor(&self) -> Matrix<S> {
         self.v.transpose()
     }
 
     /// Reconstructs the rank-`k` approximation `L·R`.
-    pub fn reconstruct(&self) -> Matrix {
+    pub fn reconstruct(&self) -> Matrix<S> {
         self.left_factor()
             .matmul(&self.right_factor())
             .expect("factor shapes are consistent by construction")
@@ -309,7 +318,7 @@ impl TruncatedSvd {
     ///
     /// Returns [`Error::ShapeMismatch`] when `reference` has a different
     /// shape than the reconstruction.
-    pub fn reconstruction_error(&self, reference: &Matrix) -> Result<f64> {
+    pub fn reconstruction_error(&self, reference: &Matrix<S>) -> Result<S> {
         Ok(reference.sub(&self.reconstruct())?.frobenius_norm())
     }
 

@@ -42,14 +42,12 @@
 use std::collections::HashMap;
 
 use imc_array::ArrayConfig;
-use imc_core::DecompCache;
+use imc_core::{DecompCache, Precision};
 use imc_energy::EnergyParams;
 use imc_nn::NetworkArch;
 
 use crate::experiments::DEFAULT_SEED;
-use crate::network::{
-    evaluate_strategy, evaluate_strategy_cached, CompressionMethod, NetworkEvaluation,
-};
+use crate::network::{evaluate_strategy_with, CompressionMethod, NetworkEvaluation};
 use crate::runtime;
 use crate::strategy::CompressionStrategy;
 use crate::{Error, Result};
@@ -62,6 +60,7 @@ pub struct Experiment {
     seed: u64,
     parallelism: Option<usize>,
     use_cache: bool,
+    precision: Precision,
 }
 
 impl Default for Experiment {
@@ -81,6 +80,7 @@ impl Experiment {
             seed: DEFAULT_SEED,
             parallelism: None,
             use_cache: true,
+            precision: Precision::F64,
         }
     }
 
@@ -175,6 +175,20 @@ impl Experiment {
         self
     }
 
+    /// Sets the width the sweep's decomposition kernels run at (default:
+    /// [`Precision::F64`], the bit-exact reference).
+    ///
+    /// [`Precision::F32`] is the opt-in fast path: the SVD-bound kernels of
+    /// weight-decomposing strategies (the paper's low-rank method) run in
+    /// single precision while weight synthesis, cycle accounting, accuracy
+    /// and energy reporting stay `f64`. The differential test suite bounds
+    /// how far an `F32` sweep may drift from the `F64` reference.
+    #[must_use]
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Runs the full sweep: every network on every array size under every
     /// strategy, in insertion order.
     ///
@@ -215,7 +229,9 @@ impl Experiment {
             }
         }
 
-        let cache = self.use_cache.then(DecompCache::new);
+        let cache = self
+            .use_cache
+            .then(|| DecompCache::with_precision(self.precision));
         let workers = self
             .parallelism
             .unwrap_or_else(runtime::default_parallelism);
@@ -223,10 +239,14 @@ impl Experiment {
             let (network_index, size, array, strategy_index) = cells[index];
             let arch = &self.networks[network_index];
             let strategy = self.strategies[strategy_index].as_ref();
-            let eval = match cache.as_ref() {
-                Some(cache) => evaluate_strategy_cached(arch, strategy, array, self.seed, cache),
-                None => evaluate_strategy(arch, strategy, array, self.seed),
-            }?;
+            let eval = evaluate_strategy_with(
+                arch,
+                strategy,
+                array,
+                self.seed,
+                self.precision,
+                cache.as_ref(),
+            )?;
             Ok(RunRecord {
                 network_index,
                 array_size: size,

@@ -7,14 +7,14 @@
 //! of re-decomposing every grid cell.
 
 use imc_array::ArrayConfig;
-use imc_core::{search_lowrank_window, CompressionConfig, GroupErrorProfile, RankSpec};
+use imc_core::{search_lowrank_window, CompressionConfig, GroupErrorProfile, Precision, RankSpec};
 use imc_energy::EnergyParams;
 use imc_nn::{resnet20, wrn16_4, AccuracyModel, NetworkArch};
 use imc_tensor::Tensor4;
 
 use crate::experiment::Experiment;
 use crate::network::{CompressionMethod, NetworkEvaluation};
-use crate::Result;
+use crate::{runtime, Result};
 
 /// Seed used for every synthesized weight tensor in the experiment harness.
 pub const DEFAULT_SEED: u64 = 2025;
@@ -52,26 +52,72 @@ pub struct Table1Row {
 ///
 /// Propagates decomposition and mapping errors.
 pub fn table1(arch: &NetworkArch, seed: u64) -> Result<Vec<Table1Row>> {
+    table1_with(arch, seed, Precision::F64, None)
+}
+
+/// The fully explicit Table I generator: like [`table1`], with the
+/// decomposition [`Precision`] and the worker count of the profile
+/// computation chosen by the caller.
+///
+/// The per-(layer, group) error profiles — one SVD sweep each, the dominant
+/// cost of the table — are computed on the [`crate::runtime`] work pool
+/// (`None` uses one worker per available hardware thread). Every profile is
+/// a pure function of `(layer geometry, layer seed, group count, precision)`
+/// and results are collected in flat (layer-major, then group) order, so the
+/// rows are byte-identical for every worker count; `Precision::F64` rows are
+/// byte-identical to [`table1`].
+///
+/// # Errors
+///
+/// Propagates decomposition and mapping errors. When several profile jobs
+/// fail, the error of the first failing (layer, group) pair in flat order is
+/// reported — exactly what a serial loop would surface.
+pub fn table1_with(
+    arch: &NetworkArch,
+    seed: u64,
+    precision: Precision,
+    parallelism: Option<usize>,
+) -> Result<Vec<Table1Row>> {
     let accuracy_model = AccuracyModel::for_network(arch);
     let arrays = [ArrayConfig::square(32)?, ArrayConfig::square(64)?];
     let groups_sweep = [1usize, 2, 4, 8];
     let rank_sweep = RankSpec::paper_divisors();
 
-    // Pre-compute error profiles per (layer, group count).
+    // Pre-compute error profiles per (layer, group count) on the work pool,
+    // one job per (layer, group) pair. Each job re-derives its seeded weight
+    // matrix (cheap next to the SVDs it feeds) so jobs share no state.
     let convs = arch.compressible_convs();
-    let mut profiles: Vec<Vec<GroupErrorProfile>> = Vec::with_capacity(convs.len());
     let mut weights_share: Vec<f64> = Vec::with_capacity(convs.len());
-    for (index, (_, shape)) in convs.iter().enumerate() {
+    for (_, shape) in &convs {
+        weights_share.push(shape.weight_count() as f64);
+    }
+    let workers = parallelism.unwrap_or_else(runtime::default_parallelism);
+    let jobs = convs.len() * groups_sweep.len();
+    let profile_job = |flat: usize| -> Result<GroupErrorProfile> {
+        let (index, gi) = (flat / groups_sweep.len(), flat % groups_sweep.len());
+        let (_, shape) = &convs[index];
         let layer_seed = seed.wrapping_add(index as u64).wrapping_mul(0x9E37_79B9);
         let weight = Tensor4::kaiming_for(shape, layer_seed)?;
         let matrix = weight.to_im2col_matrix();
-        let mut per_group = Vec::with_capacity(groups_sweep.len());
-        for &g in &groups_sweep {
-            let g = g.min(matrix.cols());
-            per_group.push(GroupErrorProfile::compute(&matrix, g)?);
+        let g = groups_sweep[gi].min(matrix.cols());
+        Ok(GroupErrorProfile::compute_with_precision(
+            &matrix, g, precision,
+        )?)
+    };
+    let mut flat_profiles = Vec::with_capacity(jobs);
+    if workers <= 1 {
+        for flat in 0..jobs {
+            flat_profiles.push(profile_job(flat)?);
         }
-        profiles.push(per_group);
-        weights_share.push(shape.weight_count() as f64);
+    } else {
+        for result in runtime::run_indexed(workers, jobs, profile_job) {
+            flat_profiles.push(result?);
+        }
+    }
+    let mut profiles: Vec<Vec<GroupErrorProfile>> = Vec::with_capacity(convs.len());
+    let mut flat_iter = flat_profiles.into_iter();
+    for _ in 0..convs.len() {
+        profiles.push(flat_iter.by_ref().take(groups_sweep.len()).collect());
     }
 
     let mut rows = Vec::new();
@@ -223,6 +269,28 @@ pub fn fig6_with_parallelism(
     seed: u64,
     parallelism: Option<usize>,
 ) -> Result<Fig6Panel> {
+    fig6_with(arch, array_size, seed, parallelism, Precision::F64)
+}
+
+/// The fully explicit Fig. 6 generator: like [`fig6`], with the worker count
+/// and the decomposition [`Precision`] of the sweep chosen by the caller.
+///
+/// `Precision::F64` panels are byte-identical to [`fig6`] for every worker
+/// count; `Precision::F32` runs the low-rank grid's SVDs in single precision
+/// (cycles are unchanged — they depend only on layer geometry — and the
+/// accuracy column drifts within the budgets asserted by the precision test
+/// suite).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn fig6_with(
+    arch: &NetworkArch,
+    array_size: usize,
+    seed: u64,
+    parallelism: Option<usize>,
+    precision: Precision,
+) -> Result<Fig6Panel> {
     let lowrank: Vec<CompressionMethod> = CompressionConfig::table1_grid(true)
         .into_iter()
         .map(CompressionMethod::LowRank)
@@ -240,7 +308,8 @@ pub fn fig6_with_parallelism(
         .method(CompressionMethod::Uncompressed { sdk: false })
         .methods(lowrank.iter().copied())
         .methods(patdnn.iter().copied())
-        .methods(pairs.iter().copied());
+        .methods(pairs.iter().copied())
+        .precision(precision);
     if let Some(workers) = parallelism {
         experiment = experiment.parallelism(workers);
     }

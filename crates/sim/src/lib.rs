@@ -38,12 +38,18 @@ pub mod strategy;
 
 pub use experiment::{Experiment, ExperimentRun, RunRecord};
 pub use experiments::{
-    fig6, fig6_with_parallelism, fig7, fig8, fig9, fig9_for, headline, table1, DEFAULT_SEED,
+    fig6, fig6_with, fig6_with_parallelism, fig7, fig8, fig9, fig9_for, headline, table1,
+    table1_with, DEFAULT_SEED,
 };
 pub use network::{
-    evaluate_strategy, evaluate_strategy_cached, CompressionMethod, NetworkEvaluation,
+    evaluate_strategy, evaluate_strategy_cached, evaluate_strategy_with, CompressionMethod,
+    NetworkEvaluation,
 };
 pub use strategy::{CompressionStrategy, ConvContext, LayerOutcome};
+
+// The decomposition-precision knob consumed by `Experiment::precision`,
+// `table1_with` and `fig6_with`; defined in `imc-linalg`.
+pub use imc_core::Precision;
 
 /// Errors produced by the experiment harness.
 #[derive(Debug)]

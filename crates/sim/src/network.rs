@@ -8,7 +8,7 @@
 //! copyable description that lowers onto the built-in strategies.
 
 use imc_array::{linear_mapping, ArrayConfig};
-use imc_core::{CompressionConfig, DecompCache};
+use imc_core::{CompressionConfig, DecompCache, Precision};
 use imc_energy::{AccessSchedule, EnergyParams, PeripheralKind};
 use imc_nn::{AccuracyModel, NetworkArch};
 use imc_tensor::LayerKind;
@@ -17,7 +17,7 @@ use crate::strategy::{
     dense_im2col_outcome, tile_schedule, CompressionStrategy, ConvContext, DoReFa, Im2col, LowRank,
     Pairs, PatDnn, Sdk,
 };
-use crate::Result;
+use crate::{Error, Result};
 
 /// The compression method applied to a network.
 ///
@@ -117,7 +117,7 @@ pub fn evaluate_strategy(
     array: ArrayConfig,
     seed: u64,
 ) -> Result<NetworkEvaluation> {
-    evaluate_inner(arch, strategy, array, seed, None)
+    evaluate_strategy_with(arch, strategy, array, seed, Precision::F64, None)
 }
 
 /// Like [`evaluate_strategy`], but sourcing repeated work (seeded weights,
@@ -140,16 +140,48 @@ pub fn evaluate_strategy_cached(
     seed: u64,
     cache: &DecompCache,
 ) -> Result<NetworkEvaluation> {
-    evaluate_inner(arch, strategy, array, seed, Some(cache))
+    evaluate_strategy_with(arch, strategy, array, seed, cache.precision(), Some(cache))
 }
 
-fn evaluate_inner(
+/// The fully explicit evaluation entry point: like [`evaluate_strategy`],
+/// with the decomposition [`Precision`] chosen by the caller and an optional
+/// shared [`DecompCache`].
+///
+/// `Precision::F64` (with or without cache) reproduces [`evaluate_strategy`]
+/// bit for bit. `Precision::F32` runs the SVD-bound strategy kernels in
+/// single precision while weights, cycles, accuracy and energy reporting all
+/// stay `f64`.
+///
+/// # Errors
+///
+/// Same contract as [`evaluate_strategy`], plus [`Error::Builder`] when a
+/// supplied cache was built for a *different* precision than the one
+/// requested: the cached strategy path decomposes at the cache's precision
+/// while uncached strategies would follow `precision`, and silently mixing
+/// the two inside one evaluation would defeat both the reproducibility of
+/// `F64` and the certified budgets of `F32`. (The
+/// [`Experiment`](crate::experiment::Experiment) builder always constructs a
+/// matching cache.)
+pub fn evaluate_strategy_with(
     arch: &NetworkArch,
     strategy: &dyn CompressionStrategy,
     array: ArrayConfig,
     seed: u64,
+    precision: Precision,
     cache: Option<&DecompCache>,
 ) -> Result<NetworkEvaluation> {
+    if let Some(cache) = cache {
+        if cache.precision() != precision {
+            return Err(Error::Builder {
+                what: format!(
+                    "decomposition cache was built for {} but the evaluation requested {} \
+                     (create the cache with DecompCache::with_precision)",
+                    cache.precision(),
+                    precision
+                ),
+            });
+        }
+    }
     let accuracy_model = AccuracyModel::for_network(arch);
     let mut cycles = 0.0_f64;
     let mut parameters = 0usize;
@@ -181,6 +213,7 @@ fn evaluate_inner(
                         shape: &shape,
                         array,
                         seed: layer_seed,
+                        precision,
                     };
                     match cache {
                         Some(cache) => strategy.compress_conv_cached(&ctx, cache)?,

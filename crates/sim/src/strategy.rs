@@ -18,7 +18,7 @@
 //! are what [`crate::network::CompressionMethod`] lowers to.
 
 use imc_array::{im2col_mapping, search_best_window, tiles_for, ArrayConfig};
-use imc_core::{CompressionConfig, DecompCache, LayerCompression};
+use imc_core::{CompressionConfig, DecompCache, LayerCompression, Precision};
 use imc_energy::{AccessSchedule, PeripheralKind};
 use imc_nn::AccuracyModel;
 use imc_pruning::{PairsPruning, PatternPruning, Peripheral};
@@ -38,6 +38,11 @@ pub struct ConvContext<'a> {
     /// deterministically from the experiment seed and the layer index, so a
     /// strategy that draws weights stays reproducible.
     pub seed: u64,
+    /// Width the strategy should run its decomposition kernels at (the
+    /// experiment's [`Precision`] knob). Weight synthesis and all reporting
+    /// stay `f64` regardless; only SVD-bound hot paths (the paper's low-rank
+    /// method) consult this. Strategies without such a kernel ignore it.
+    pub precision: Precision,
 }
 
 impl ConvContext<'_> {
@@ -299,7 +304,13 @@ impl CompressionStrategy for LowRank {
 
     fn compress_conv(&self, ctx: &ConvContext<'_>) -> Result<LayerOutcome> {
         let weight = ctx.weight()?;
-        let compressed = LayerCompression::compress(ctx.shape, &weight, &self.config, ctx.array)?;
+        let compressed = LayerCompression::compress_with_precision(
+            ctx.shape,
+            &weight,
+            &self.config,
+            ctx.array,
+            ctx.precision,
+        )?;
         Ok(self.outcome_from(ctx, &compressed))
     }
 
@@ -469,6 +480,7 @@ mod tests {
             shape,
             array: ArrayConfig::square(64).unwrap(),
             seed: 7,
+            precision: Precision::F64,
         }
     }
 

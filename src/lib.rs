@@ -60,7 +60,7 @@ pub use error::{Error, Result};
 // The experiment facade: the builder, the strategy contract it sweeps, and
 // the handful of types almost every experiment touches.
 pub use imc_array::ArrayConfig;
-pub use imc_core::{CompressionConfig, RankSpec};
+pub use imc_core::{CompressionConfig, Precision, RankSpec};
 pub use imc_energy::EnergyParams;
 pub use imc_nn::{resnet20, wrn16_4, NetworkArch};
 pub use imc_sim::strategy;
