@@ -1,0 +1,193 @@
+//! Diffs two `BENCH_results.json` files (JSON lines appended by the bench
+//! harness) and flags per-kernel regressions.
+//!
+//! ```text
+//! bench_diff <previous.json> <current.json> [--threshold <percent>]
+//! ```
+//!
+//! For every `(group, name, scalar)` kernel key, the **last** record in each
+//! file wins (the files are append-only run histories). A kernel regresses
+//! when its current `ns_per_iter` exceeds the previous one by more than the
+//! threshold (default 20%). Exit status:
+//!
+//! * `0` — no regression (including: previous file missing/empty, which is
+//!   normal for the first run of a CI artifact chain);
+//! * `1` — at least one kernel regressed beyond the threshold;
+//! * `2` — usage or parse error on the *current* file.
+//!
+//! CI wires this against the bench artifact of the previous run; the
+//! threshold is deliberately generous because shared runners are noisy.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use imc_sim::JsonValue;
+
+/// Kernel identity in the results history: `(group, name, scalar-tag)`.
+type Key = (String, String, String);
+
+/// Parses one results file into `key -> ns_per_iter`, last record winning.
+/// Malformed lines are reported and skipped (the file is an append-only log;
+/// one bad line must not invalidate the history).
+fn load_results(text: &str, label: &str) -> BTreeMap<Key, f64> {
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = match JsonValue::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{label}:{}: skipping malformed line ({e})", lineno + 1);
+                continue;
+            }
+        };
+        let group = value
+            .get("group")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("(no group)")
+            .to_owned();
+        let Some(results) = value.get("results").and_then(JsonValue::as_array) else {
+            continue;
+        };
+        for result in results {
+            let Some(name) = result.get("name").and_then(JsonValue::as_str) else {
+                continue;
+            };
+            let scalar = result
+                .get("scalar")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_owned();
+            let Some(ns) = result.get("ns_per_iter").and_then(JsonValue::as_f64) else {
+                continue;
+            };
+            if ns.is_finite() && ns > 0.0 {
+                out.insert((group.clone(), name.to_owned(), scalar), ns);
+            }
+        }
+    }
+    out
+}
+
+fn format_key((group, name, scalar): &Key) -> String {
+    if scalar.is_empty() {
+        format!("{group}/{name}")
+    } else {
+        format!("{group}/{name} [{scalar}]")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 20.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threshold" {
+            match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => threshold_pct = v,
+                _ => {
+                    eprintln!("--threshold expects a positive percentage");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [previous_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_diff <previous.json> <current.json> [--threshold <percent>]");
+        return ExitCode::from(2);
+    };
+
+    // A missing previous file is the normal first link of an artifact chain.
+    let previous = match std::fs::read_to_string(previous_path) {
+        Ok(text) => load_results(&text, previous_path),
+        Err(e) => {
+            println!("no previous results at {previous_path} ({e}); nothing to diff");
+            return ExitCode::SUCCESS;
+        }
+    };
+    let current = match std::fs::read_to_string(current_path) {
+        Ok(text) => load_results(&text, current_path),
+        Err(e) => {
+            eprintln!("could not read current results {current_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let ratio_limit = 1.0 + threshold_pct / 100.0;
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<56} {:>12} {:>12} {:>8}",
+        "kernel", "prev ns/iter", "curr ns/iter", "ratio"
+    );
+    for (key, curr_ns) in &current {
+        let Some(prev_ns) = previous.get(key) else {
+            continue; // New kernel: nothing to regress against.
+        };
+        compared += 1;
+        let ratio = curr_ns / prev_ns;
+        let verdict = if ratio > ratio_limit {
+            regressions += 1;
+            "  REGRESSION"
+        } else if ratio < 1.0 / ratio_limit {
+            "  improved"
+        } else {
+            ""
+        };
+        println!(
+            "{:<56} {:>12.1} {:>12.1} {:>7.2}x{verdict}",
+            format_key(key),
+            prev_ns,
+            curr_ns,
+            ratio
+        );
+    }
+    println!(
+        "\ncompared {compared} kernel(s) ({} previous, {} current); \
+         {regressions} regression(s) beyond {threshold_pct:.0}%",
+        previous.len(),
+        current.len()
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HISTORY: &str = concat!(
+        r#"{"schema":1,"group":"kernels","unix_time_s":1,"results":[{"name":"svd","scalar":null,"ns_per_iter":100.0,"iters":10,"elapsed_ns":1000,"iters_per_s":1.0,"elems_per_s":null}]}"#,
+        "\n",
+        r#"{"schema":1,"group":"kernels","unix_time_s":2,"results":[{"name":"svd","scalar":null,"ns_per_iter":200.0,"iters":10,"elapsed_ns":2000,"iters_per_s":1.0,"elems_per_s":null},{"name":"svd","scalar":"f32","ns_per_iter":50.0,"iters":10,"elapsed_ns":500,"iters_per_s":1.0,"elems_per_s":null}]}"#,
+        "\n",
+    );
+
+    #[test]
+    fn last_record_per_key_wins_and_scalar_tags_split_keys() {
+        let results = load_results(HISTORY, "test");
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[&("kernels".into(), "svd".into(), String::new())],
+            200.0,
+            "the later line must win"
+        );
+        assert_eq!(
+            results[&("kernels".into(), "svd".into(), "f32".into())],
+            50.0
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_fatal() {
+        let text = format!("not json at all\n{HISTORY}");
+        assert_eq!(load_results(&text, "test").len(), 2);
+    }
+}

@@ -51,7 +51,7 @@ pub mod layer;
 pub mod profile;
 pub mod sdk_lowrank;
 
-pub use cache::{CachedDecomposition, DecompCache};
+pub use cache::{CacheStats, CachedDecomposition, DecompCache, KindStats};
 pub use config::{CompressionConfig, RankSpec};
 pub use cycles::{
     lowrank_im2col_cycles, lowrank_sdk_cycles, search_lowrank_window, CompressedCycles,

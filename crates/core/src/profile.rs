@@ -6,7 +6,7 @@
 //! the per-block singular spectra once per (layer, group-count) pair and then
 //! answers any rank query in O(rank) time via the Eckart–Young tail formula.
 
-use imc_linalg::{Matrix, Precision};
+use imc_linalg::{Matrix, Precision, Svd};
 
 use crate::Result;
 
@@ -57,6 +57,24 @@ impl GroupErrorProfile {
             total_sq_norm,
             groups,
         })
+    }
+
+    /// Builds the profile from already-computed per-block SVDs of `weight`
+    /// partitioned into `svds.len()` column blocks — the sharing entry point
+    /// for callers that hold the spectra in a decomposition cache.
+    ///
+    /// For the same `(weight, group count, precision)` this is bit-identical
+    /// to [`GroupErrorProfile::compute_with_precision`]: both read the same
+    /// spectra and the same Frobenius norm.
+    pub fn from_block_svds(svds: &[Svd], weight: &Matrix) -> Self {
+        Self {
+            block_spectra: svds
+                .iter()
+                .map(|svd| svd.singular_values().to_vec())
+                .collect(),
+            total_sq_norm: weight.frobenius_norm().powi(2),
+            groups: svds.len(),
+        }
     }
 
     /// Number of groups the profile was computed for.

@@ -136,6 +136,60 @@ fn from_block_svds_is_rank_monotone() {
     }
 }
 
+/// A bounded cache under thread contention must stay correct: whatever mix
+/// of hits, recomputed misses and evictions each thread sees, every value it
+/// hands out is the pure function of its key.
+#[test]
+fn bounded_cache_is_correct_under_racing_threads() {
+    let shape = shape();
+    // Small enough that the working set of 4 seeds cannot fully fit.
+    let cache = DecompCache::with_budget(Precision::F64, 200 * 1024);
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+
+    let collected: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let barrier = &barrier;
+                let cache = &cache;
+                let shape = &shape;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let seed = (t % 4) as u64;
+                    cache
+                        .decomposition(shape, seed, 4, 4)
+                        .unwrap()
+                        .relative_error
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let reference = DecompCache::new();
+    for (t, err) in collected.iter().enumerate() {
+        let seed = (t % 4) as u64;
+        let expected = reference
+            .decomposition(&shape, seed, 4, 4)
+            .unwrap()
+            .relative_error;
+        assert_eq!(
+            err.to_bits(),
+            expected.to_bits(),
+            "thread {t} (seed {seed}) must see the pure value"
+        );
+    }
+    let stats = cache.cache_stats();
+    assert_eq!(
+        stats.hits() + stats.misses(),
+        stats
+            .per_kind()
+            .iter()
+            .map(|(_, k)| k.lookups())
+            .sum::<u64>()
+    );
+}
+
 /// The precision knob changes the numbers inside the cached spectra (within
 /// the differential budgets) but never the shapes, kinds or determinism of
 /// what the cache hands out.

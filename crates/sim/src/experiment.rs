@@ -34,12 +34,22 @@
 //! and shares no mutable state), so [`Experiment::run`] distributes them over
 //! a scoped worker pool ([`crate::runtime`]) — one worker per available
 //! hardware thread by default, tunable via [`Experiment::parallelism`] —
-//! while a per-run decomposition cache ([`imc_core::DecompCache`]) shares the
+//! while a decomposition cache ([`imc_core::DecompCache`]) shares the
 //! seeded weights, per-block SVDs and window searches across cells. Both are
 //! pure optimizations: records come back in grid order with values
 //! bit-identical to a serial, uncached run.
+//!
+//! The cache is per-run for [`Experiment::run`]; [`Experiment::run_in`]
+//! instead borrows the long-lived cache of an
+//! [`EvalSession`](crate::session::EvalSession), extending the sharing
+//! across runs. [`Experiment::cells`] restricts one run to a cell range of
+//! the grid (the sharding primitive), and [`ExperimentRun::merge`]
+//! reassembles shard runs — possibly serialized through
+//! [`ExperimentRun::to_jsonl`](crate::record) in between — into the
+//! canonical grid order, byte-identically to an unsharded run.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
 use imc_array::ArrayConfig;
 use imc_core::{DecompCache, Precision};
@@ -49,6 +59,7 @@ use imc_nn::NetworkArch;
 use crate::experiments::DEFAULT_SEED;
 use crate::network::{evaluate_strategy_with, CompressionMethod, NetworkEvaluation};
 use crate::runtime;
+use crate::session::EvalSession;
 use crate::strategy::CompressionStrategy;
 use crate::{Error, Result};
 
@@ -61,6 +72,7 @@ pub struct Experiment {
     parallelism: Option<usize>,
     use_cache: bool,
     precision: Precision,
+    cell_range: Option<Range<usize>>,
 }
 
 impl Default for Experiment {
@@ -81,6 +93,7 @@ impl Experiment {
             parallelism: None,
             use_cache: true,
             precision: Precision::F64,
+            cell_range: None,
         }
     }
 
@@ -189,14 +202,79 @@ impl Experiment {
         self
     }
 
+    /// Restricts the sweep to one contiguous range of grid cells — the
+    /// sharding primitive for multi-process sweeps.
+    ///
+    /// Cells are numbered `0..grid_cells()` in canonical grid order
+    /// (network-major, then array, then strategy, each in insertion order).
+    /// Each produced [`RunRecord`] keeps its **global** cell index, so
+    /// [`ExperimentRun::merge`] can reassemble shard runs into the canonical
+    /// order of the full grid.
+    #[must_use]
+    pub fn cells(mut self, range: Range<usize>) -> Self {
+        self.cell_range = Some(range);
+        self
+    }
+
+    /// Number of cells in the full grid (networks × arrays × strategies), as
+    /// currently configured — the exclusive upper bound for
+    /// [`Experiment::cells`] ranges.
+    pub fn grid_cells(&self) -> usize {
+        self.networks.len() * self.arrays.len() * self.strategies.len()
+    }
+
+    /// Runs the sweep inside a long-lived [`EvalSession`], sharing the
+    /// session's decomposition cache with every other run of the session:
+    /// repeated sweeps over the same networks, seeds and precision reuse each
+    /// other's seeded weights, per-block SVDs and window searches instead of
+    /// recomputing them.
+    ///
+    /// The cache is pure memoization, so a warm-session run is bit-identical
+    /// to a cold [`Experiment::run`] of the same sweep. (With
+    /// [`Experiment::decomposition_cache`] disabled, the session cache is
+    /// neither read nor written and the run is equivalent to an uncached
+    /// `run()`.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Builder`] when the session's [`Precision`] differs
+    /// from this experiment's: the cached entries were (or would be) computed
+    /// at the session's width, and silently mixing widths would defeat both
+    /// the reproducibility of `F64` and the certified budgets of `F32`.
+    /// Otherwise, the same contract as [`Experiment::run`].
+    pub fn run_in(self, session: &EvalSession) -> Result<ExperimentRun> {
+        if session.precision() != self.precision {
+            return Err(Error::Builder {
+                what: format!(
+                    "session was built for {} but the experiment requested {} \
+                     (set EvalSession::builder().precision(..) to match)",
+                    session.precision(),
+                    self.precision
+                ),
+            });
+        }
+        let cache = self.use_cache.then(|| session.cache());
+        self.run_with(cache)
+    }
+
     /// Runs the full sweep: every network on every array size under every
-    /// strategy, in insertion order.
+    /// strategy, in insertion order. Sugar for [`Experiment::run_in`] with a
+    /// throwaway single-run session (a fresh, unbounded decomposition cache).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Builder`] when networks, arrays or strategies are
     /// empty, and propagates evaluation errors otherwise.
     pub fn run(self) -> Result<ExperimentRun> {
+        let cache = self
+            .use_cache
+            .then(|| DecompCache::with_precision(self.precision));
+        self.run_with(cache.as_ref())
+    }
+
+    /// The shared sweep engine behind [`Experiment::run`] (throwaway cache)
+    /// and [`Experiment::run_in`] (session-owned cache).
+    fn run_with(self, cache: Option<&DecompCache>) -> Result<ExperimentRun> {
         if self.networks.is_empty() {
             return Err(Error::Builder {
                 what: "no network added (call .network(..) or .networks(..))".to_owned(),
@@ -214,7 +292,8 @@ impl Experiment {
         }
         // Validate the array configurations up front (in insertion order, so
         // the first error matches what the serial loop used to report), then
-        // flatten the grid into independent cells for the worker pool.
+        // flatten the grid into independent cells for the worker pool. Each
+        // cell carries its global grid index so shard runs stay mergeable.
         let mut arrays = Vec::with_capacity(self.arrays.len());
         for &size in &self.arrays {
             arrays.push((size, ArrayConfig::square(size)?));
@@ -224,30 +303,35 @@ impl Experiment {
         for network_index in 0..self.networks.len() {
             for &(size, array) in &arrays {
                 for strategy_index in 0..self.strategies.len() {
-                    cells.push((network_index, size, array, strategy_index));
+                    cells.push((cells.len(), network_index, size, array, strategy_index));
                 }
             }
         }
+        if let Some(range) = &self.cell_range {
+            if range.start >= range.end || range.end > cells.len() {
+                return Err(Error::Builder {
+                    what: format!(
+                        "cell range {}..{} is empty or exceeds the {}-cell grid",
+                        range.start,
+                        range.end,
+                        cells.len()
+                    ),
+                });
+            }
+            cells = cells[range.clone()].to_vec();
+        }
 
-        let cache = self
-            .use_cache
-            .then(|| DecompCache::with_precision(self.precision));
         let workers = self
             .parallelism
             .unwrap_or_else(runtime::default_parallelism);
         let evaluate_cell = |index: usize| -> Result<RunRecord> {
-            let (network_index, size, array, strategy_index) = cells[index];
+            let (cell_index, network_index, size, array, strategy_index) = cells[index];
             let arch = &self.networks[network_index];
             let strategy = self.strategies[strategy_index].as_ref();
-            let eval = evaluate_strategy_with(
-                arch,
-                strategy,
-                array,
-                self.seed,
-                self.precision,
-                cache.as_ref(),
-            )?;
+            let eval =
+                evaluate_strategy_with(arch, strategy, array, self.seed, self.precision, cache)?;
             Ok(RunRecord {
+                cell_index,
                 network_index,
                 array_size: size,
                 strategy_index,
@@ -276,6 +360,11 @@ impl Experiment {
 /// array size.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
+    /// Global index of this cell in the canonical grid order of the *full*
+    /// experiment (network-major, then array, then strategy) — stable across
+    /// [`Experiment::cells`] shard runs, so shards can be merged back into
+    /// canonical order.
+    pub cell_index: usize,
     /// Index of the network in insertion order.
     pub network_index: usize,
     /// Square array size of this evaluation.
@@ -307,7 +396,7 @@ impl ExperimentRun {
     /// Wraps completed records, indexing them by cell coordinates. When the
     /// same coordinates occur twice (e.g. the same array size added twice),
     /// the first occurrence wins, matching what a linear scan would find.
-    fn new(records: Vec<RunRecord>) -> Self {
+    pub(crate) fn new(records: Vec<RunRecord>) -> Self {
         let mut index = HashMap::with_capacity(records.len());
         for (position, record) in records.iter().enumerate() {
             index
@@ -319,6 +408,38 @@ impl ExperimentRun {
                 .or_insert(position);
         }
         Self { records, index }
+    }
+
+    /// Reassembles shard runs (produced by [`Experiment::cells`], possibly
+    /// serialized and read back on another host) into one run in canonical
+    /// cell order — the merge half of the shard/merge sweep workflow.
+    ///
+    /// Shards may arrive in any order and need not cover a contiguous range;
+    /// records are sorted by their global [`RunRecord::cell_index`]. Merging
+    /// all shards of a grid is byte-identical to running the grid unsharded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] when two shards carry the same cell index —
+    /// overlapping shard ranges are a sharding bug, and silently keeping one
+    /// of the duplicates would mask it.
+    pub fn merge(shards: impl IntoIterator<Item = ExperimentRun>) -> Result<ExperimentRun> {
+        let mut records: Vec<RunRecord> = shards
+            .into_iter()
+            .flat_map(|shard| shard.records.into_iter())
+            .collect();
+        records.sort_by_key(|r| r.cell_index);
+        for pair in records.windows(2) {
+            if pair[0].cell_index == pair[1].cell_index {
+                return Err(Error::Record {
+                    what: format!(
+                        "duplicate cell index {} across shards (overlapping cell ranges?)",
+                        pair[0].cell_index
+                    ),
+                });
+            }
+        }
+        Ok(ExperimentRun::new(records))
     }
 
     /// All records in grid order.

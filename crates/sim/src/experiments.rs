@@ -7,13 +7,16 @@
 //! of re-decomposing every grid cell.
 
 use imc_array::ArrayConfig;
-use imc_core::{search_lowrank_window, CompressionConfig, GroupErrorProfile, Precision, RankSpec};
+use imc_core::{
+    search_lowrank_window, CompressionConfig, DecompCache, GroupErrorProfile, Precision, RankSpec,
+};
 use imc_energy::EnergyParams;
 use imc_nn::{resnet20, wrn16_4, AccuracyModel, NetworkArch};
 use imc_tensor::Tensor4;
 
-use crate::experiment::Experiment;
+use crate::experiment::{Experiment, ExperimentRun};
 use crate::network::{CompressionMethod, NetworkEvaluation};
+use crate::session::EvalSession;
 use crate::{runtime, Result};
 
 /// Seed used for every synthesized weight tensor in the experiment harness.
@@ -78,6 +81,42 @@ pub fn table1_with(
     precision: Precision,
     parallelism: Option<usize>,
 ) -> Result<Vec<Table1Row>> {
+    table1_impl(arch, seed, precision, parallelism, None)
+}
+
+/// The session variant of [`table1`]: per-(layer, group) block SVDs, window
+/// searches and cycle accountings are sourced from (and written back to) the
+/// session's shared decomposition cache, so a warm session regenerates the
+/// table without re-running a single SVD.
+///
+/// Rows are bit-identical to [`table1_with`] at the session's precision, for
+/// every worker count and cache state — the cache is pure memoization.
+///
+/// # Errors
+///
+/// Same contract as [`table1_with`].
+pub fn table1_in(
+    arch: &NetworkArch,
+    seed: u64,
+    parallelism: Option<usize>,
+    session: &EvalSession,
+) -> Result<Vec<Table1Row>> {
+    table1_impl(
+        arch,
+        seed,
+        session.precision(),
+        parallelism,
+        Some(session.cache()),
+    )
+}
+
+fn table1_impl(
+    arch: &NetworkArch,
+    seed: u64,
+    precision: Precision,
+    parallelism: Option<usize>,
+    cache: Option<&DecompCache>,
+) -> Result<Vec<Table1Row>> {
     let accuracy_model = AccuracyModel::for_network(arch);
     let arrays = [ArrayConfig::square(32)?, ArrayConfig::square(64)?];
     let groups_sweep = [1usize, 2, 4, 8];
@@ -97,12 +136,25 @@ pub fn table1_with(
         let (index, gi) = (flat / groups_sweep.len(), flat % groups_sweep.len());
         let (_, shape) = &convs[index];
         let layer_seed = seed.wrapping_add(index as u64).wrapping_mul(0x9E37_79B9);
-        let weight = Tensor4::kaiming_for(shape, layer_seed)?;
-        let matrix = weight.to_im2col_matrix();
-        let g = groups_sweep[gi].min(matrix.cols());
-        Ok(GroupErrorProfile::compute_with_precision(
-            &matrix, g, precision,
-        )?)
+        match cache {
+            // Session runs share the matrixized weights and per-block SVDs
+            // through the cache; the derived profile is bit-identical to the
+            // direct computation (same spectra, same Frobenius norm).
+            Some(cache) => {
+                let matrix = cache.im2col_matrix(shape, layer_seed)?;
+                let g = groups_sweep[gi].min(matrix.cols());
+                let svds = cache.block_svds(shape, layer_seed, g)?;
+                Ok(GroupErrorProfile::from_block_svds(&svds, &matrix))
+            }
+            None => {
+                let weight = Tensor4::kaiming_for(shape, layer_seed)?;
+                let matrix = weight.to_im2col_matrix();
+                let g = groups_sweep[gi].min(matrix.cols());
+                Ok(GroupErrorProfile::compute_with_precision(
+                    &matrix, g, precision,
+                )?)
+            }
+        }
     };
     let mut flat_profiles = Vec::with_capacity(jobs);
     if workers <= 1 {
@@ -155,11 +207,17 @@ pub fn table1_with(
                                     let per_group_cols = shape.im2col_rows() / g;
                                     let max_rank = shape.out_channels.min(per_group_cols).max(1);
                                     let k = rank.resolve(shape.out_channels, max_rank);
-                                    total += if *use_sdk {
-                                        search_lowrank_window(&shape, k, g, array)?.total()
-                                    } else {
-                                        imc_core::lowrank_im2col_cycles(&shape, k, g, array)?
-                                            .total()
+                                    total += match cache {
+                                        Some(cache) => cache
+                                            .lowrank_cycles(&shape, k, g, *array, *use_sdk)?
+                                            .total(),
+                                        None if *use_sdk => {
+                                            search_lowrank_window(&shape, k, g, array)?.total()
+                                        }
+                                        None => {
+                                            imc_core::lowrank_im2col_cycles(&shape, k, g, array)?
+                                                .total()
+                                        }
                                     };
                                 } else {
                                     total += imc_array::im2col_mapping(&shape, *array).cycles();
@@ -291,33 +349,94 @@ pub fn fig6_with(
     parallelism: Option<usize>,
     precision: Precision,
 ) -> Result<Fig6Panel> {
-    let lowrank: Vec<CompressionMethod> = CompressionConfig::table1_grid(true)
-        .into_iter()
-        .map(CompressionMethod::LowRank)
-        .collect();
-    let patdnn: Vec<CompressionMethod> = (1..=8)
-        .map(|entries| CompressionMethod::PatternPruning { entries })
-        .collect();
-    let pairs: Vec<CompressionMethod> = (1..=8)
-        .map(|entries| CompressionMethod::Pairs { entries })
-        .collect();
-    let mut experiment = Experiment::new()
+    let mut experiment = fig6_experiment(arch, array_size, seed).precision(precision);
+    if let Some(workers) = parallelism {
+        experiment = experiment.parallelism(workers);
+    }
+    fig6_panel_from_run(arch, array_size, &experiment.run()?)
+}
+
+/// The session variant of [`fig6`]: the sweep runs through
+/// [`Experiment::run_in`], so repeated panels (across array sizes, reruns,
+/// or other figures of the same session) share one decomposition cache.
+///
+/// Panels are bit-identical to [`fig6_with`] at the session's precision, for
+/// every worker count and cache state.
+///
+/// # Errors
+///
+/// Propagates evaluation errors, and rejects sessions whose precision the
+/// experiment cannot honor (see [`Experiment::run_in`]).
+pub fn fig6_in(
+    arch: &NetworkArch,
+    array_size: usize,
+    seed: u64,
+    parallelism: Option<usize>,
+    session: &EvalSession,
+) -> Result<Fig6Panel> {
+    let mut experiment = fig6_experiment(arch, array_size, seed).precision(session.precision());
+    if let Some(workers) = parallelism {
+        experiment = experiment.parallelism(workers);
+    }
+    fig6_panel_from_run(arch, array_size, &experiment.run_in(session)?)
+}
+
+/// The Fig. 6 sweep as a reusable [`Experiment`]: the im2col baseline, the
+/// proposed method's full (group, rank) grid, and the PatDNN / PAIRS entry
+/// sweeps on one network and array size — in the exact cell order
+/// [`fig6`] evaluates.
+///
+/// Exposed so shard drivers can split the same grid by cell range
+/// ([`Experiment::cells`]) and merge the shards back into a run that is
+/// byte-identical to the panel generator's own sweep.
+pub fn fig6_experiment(arch: &NetworkArch, array_size: usize, seed: u64) -> Experiment {
+    let (lowrank, patdnn, pairs) = fig6_method_series();
+    Experiment::new()
         .network(arch.clone())
         .array(array_size)
         .seed(seed)
         .method(CompressionMethod::Uncompressed { sdk: false })
-        .methods(lowrank.iter().copied())
-        .methods(patdnn.iter().copied())
-        .methods(pairs.iter().copied())
-        .precision(precision);
-    if let Some(workers) = parallelism {
-        experiment = experiment.parallelism(workers);
-    }
-    let run = experiment.run()?;
+        .methods(lowrank)
+        .methods(patdnn)
+        .methods(pairs)
+}
 
-    // Slice the flat grid back into the method series by the lengths of the
-    // method lists themselves, so reordering or resizing a sweep above cannot
-    // silently mislabel a series.
+/// The three compared method series of the Fig. 6 sweep (proposed low-rank
+/// grid, PatDNN, PAIRS) — the single source of truth for both the grid
+/// construction ([`fig6_experiment`]) and the slicing of a completed run
+/// back into labeled series ([`fig6_panel_from_run`]).
+type Fig6Series = (
+    Vec<CompressionMethod>,
+    Vec<CompressionMethod>,
+    Vec<CompressionMethod>,
+);
+
+fn fig6_method_series() -> Fig6Series {
+    let lowrank = CompressionConfig::table1_grid(true)
+        .into_iter()
+        .map(CompressionMethod::LowRank)
+        .collect();
+    let patdnn = (1..=8)
+        .map(|entries| CompressionMethod::PatternPruning { entries })
+        .collect();
+    let pairs = (1..=8)
+        .map(|entries| CompressionMethod::Pairs { entries })
+        .collect();
+    (lowrank, patdnn, pairs)
+}
+
+/// Assembles a [`Fig6Panel`] from a completed [`fig6_experiment`] run.
+///
+/// The flat grid is sliced back into the method series by the lengths of the
+/// method lists themselves ([`fig6_method_series`] is shared with the grid
+/// construction), so reordering or resizing the sweep cannot silently
+/// mislabel a series.
+fn fig6_panel_from_run(
+    arch: &NetworkArch,
+    array_size: usize,
+    run: &ExperimentRun,
+) -> Result<Fig6Panel> {
+    let (lowrank, patdnn, pairs) = fig6_method_series();
     let evals: Vec<&NetworkEvaluation> = run.evaluations().collect();
     let (baseline, rest) = evals.split_first().expect("run is non-empty");
     let (ours_evals, rest) = rest.split_at(lowrank.len());

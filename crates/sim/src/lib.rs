@@ -23,6 +23,17 @@
 //!   networks × array sizes × strategies; the figure generators in
 //!   [`experiments`] are thin sweeps over it.
 //!
+//! Two service-scale layers sit on top of the experiment facade:
+//!
+//! * [`session`] — the long-lived [`EvalSession`]: one bounded, shared
+//!   decomposition cache reused across [`Experiment::run_in`] calls, so
+//!   repeated sweeps over the same networks/seeds/precision skip the
+//!   redundant SVD work. `Experiment::run` is sugar for a throwaway session.
+//! * [`record`] — the versioned JSON-lines serialization of
+//!   [`ExperimentRun`]s, plus [`Experiment::cells`] (cell-range sharding)
+//!   and [`ExperimentRun::merge`]: a grid can be split across processes or
+//!   hosts and reassembled byte-identically.
+//!
 //! Every function takes explicit seeds and is fully deterministic, so the
 //! generated reports are reproducible bit-for-bit.
 
@@ -32,20 +43,28 @@
 pub mod experiment;
 pub mod experiments;
 pub mod network;
+pub mod record;
 pub mod report;
 pub mod runtime;
+pub mod session;
 pub mod strategy;
 
 pub use experiment::{Experiment, ExperimentRun, RunRecord};
 pub use experiments::{
-    fig6, fig6_with, fig6_with_parallelism, fig7, fig8, fig9, fig9_for, headline, table1,
-    table1_with, DEFAULT_SEED,
+    fig6, fig6_experiment, fig6_in, fig6_with, fig6_with_parallelism, fig7, fig8, fig9, fig9_for,
+    headline, table1, table1_in, table1_with, DEFAULT_SEED,
 };
 pub use network::{
     evaluate_strategy, evaluate_strategy_cached, evaluate_strategy_with, CompressionMethod,
     NetworkEvaluation,
 };
+pub use record::JsonValue;
+pub use session::{EvalSession, EvalSessionBuilder};
 pub use strategy::{CompressionStrategy, ConvContext, LayerOutcome};
+
+// The cache-observability types surfaced by `EvalSession::stats`; defined
+// next to `DecompCache` in `imc-core`.
+pub use imc_core::{CacheStats, KindStats};
 
 // The decomposition-precision knob consumed by `Experiment::precision`,
 // `table1_with` and `fig6_with`; defined in `imc-linalg`.
@@ -79,6 +98,13 @@ pub enum Error {
         /// Description of the strategy failure.
         what: String,
     },
+    /// A serialized run record could not be written, read or merged
+    /// (malformed JSON lines, unsupported format version, truncated or
+    /// overlapping shard files, I/O failures).
+    Record {
+        /// Description of the record failure.
+        what: String,
+    },
 }
 
 impl Error {
@@ -101,6 +127,7 @@ impl core::fmt::Display for Error {
             Error::Nn(e) => write!(f, "neural network error: {e}"),
             Error::Builder { what } => write!(f, "experiment builder error: {what}"),
             Error::Strategy { what } => write!(f, "compression strategy error: {what}"),
+            Error::Record { what } => write!(f, "run record error: {what}"),
         }
     }
 }
@@ -114,7 +141,7 @@ impl std::error::Error for Error {
             Error::Array(e) => Some(e),
             Error::Tensor(e) => Some(e),
             Error::Nn(e) => Some(e),
-            Error::Builder { .. } | Error::Strategy { .. } => None,
+            Error::Builder { .. } | Error::Strategy { .. } | Error::Record { .. } => None,
         }
     }
 }

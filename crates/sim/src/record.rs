@@ -1,0 +1,781 @@
+//! Serialized run records: a versioned JSON-lines format for
+//! [`ExperimentRun`]s.
+//!
+//! The sharded-sweep workflow needs runs to cross process (and host)
+//! boundaries: a driver splits an experiment grid into cell ranges
+//! ([`Experiment::cells`](crate::experiment::Experiment::cells)), each worker
+//! evaluates its shard and serializes the result, and the driver merges the
+//! shards back into the canonical run
+//! ([`ExperimentRun::merge`](ExperimentRun::merge)). No serde-style
+//! dependency is available offline, so — like the bench harness's
+//! `BENCH_results.json` sink this format is modeled on — both the writer and
+//! the reader are hand-rolled.
+//!
+//! # Format (version 1)
+//!
+//! One header line followed by one line per record:
+//!
+//! ```json
+//! {"format":"imc.experiment-run","version":1,"records":2}
+//! {"cell":0,"network":0,"array":64,"strategy":0,"eval":{"network":"ResNet-20","method":"uncompressed (im2col)","array_size":64,"cycles":30154,"accuracy":91.6,"parameters":268346,"schedules":[{"active_rows":27,"active_cols":16,"cols_per_weight":1,"loads":1024,"peripheral":"none"}]}}
+//! {"cell":1,"network":0,"array":64,"strategy":1,"eval":{"...":"..."}}
+//! ```
+//!
+//! * The `format` and `version` fields gate compatibility: readers reject
+//!   unknown formats and versions instead of guessing.
+//! * `cell` is the record's global grid index
+//!   ([`RunRecord::cell_index`]), which makes shard files self-describing
+//!   for [`ExperimentRun::merge`].
+//! * Floating-point fields are written with Rust's shortest round-trip
+//!   `Display`, so **serialization is bit-exact**: reading a line back
+//!   reconstructs every `f64` bit for bit. A shard/merge round-trip of a
+//!   grid is therefore byte-identical to the unsharded in-memory run.
+//!
+//! The tolerant [`JsonValue`] parser underneath is exposed for other
+//! harness-adjacent tooling that reads this crate's JSON-lines artifacts
+//! (e.g. the bench-regression diff over `BENCH_results.json`).
+
+use std::path::Path;
+
+use imc_energy::{AccessSchedule, PeripheralKind};
+
+use crate::experiment::{ExperimentRun, RunRecord};
+use crate::network::NetworkEvaluation;
+use crate::{Error, Result};
+
+/// Format tag of the run-record JSON-lines header.
+pub const RUN_FORMAT: &str = "imc.experiment-run";
+
+/// Current version of the run-record format; readers reject other versions.
+pub const RUN_FORMAT_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value model + recursive-descent parser.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+///
+/// Numbers keep their **raw token** instead of eagerly converting to `f64`,
+/// so integer fields of any magnitude and floating-point fields both convert
+/// losslessly at the access site ([`JsonValue::as_u64`] /
+/// [`JsonValue::as_f64`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source token (e.g. `"-12.5e3"`).
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, as key/value pairs in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] describing the first syntax error.
+    pub fn parse(input: &str) -> Result<JsonValue> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parse_error(
+                parser.pos,
+                "trailing characters after JSON value",
+            ));
+        }
+        Ok(value)
+    }
+
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find_map(|(k, v)| (k == key).then_some(v)),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (exact for every value this crate writes, which
+    /// uses shortest round-trip formatting).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(token) => token.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when it is a non-negative integer token.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(token) => token.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `usize`, when it is a non-negative integer token.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Number(token) => token.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn parse_error(pos: usize, what: &str) -> Error {
+    Error::Record {
+        what: format!("JSON parse error at byte {pos}: {what}"),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(parse_error(
+                self.pos,
+                &format!("expected '{}'", byte as char),
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: JsonValue) -> Result<JsonValue> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(parse_error(self.pos, &format!("expected '{literal}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.eat_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.eat_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.eat_literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(parse_error(self.pos, "expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(parse_error(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(parse_error(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(parse_error(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| parse_error(self.pos, "invalid \\u escape"))?;
+                            // Surrogate pairs are not produced by this
+                            // crate's writer; reject rather than mis-decode.
+                            let c = char::from_u32(hex).ok_or_else(|| {
+                                parse_error(self.pos, "\\u escape is not a scalar value")
+                            })?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(parse_error(self.pos, "invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. The input is a
+                    // `&str` and the cursor only ever advances by whole
+                    // scalars, so the lead byte determines the width exactly;
+                    // validating just that slice keeps string parsing linear.
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + width).min(self.bytes.len());
+                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| parse_error(self.pos, "invalid UTF-8 in string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
+        if token.is_empty() || token == "-" || token.parse::<f64>().is_err() {
+            return Err(parse_error(start, "invalid number"));
+        }
+        Ok(JsonValue::Number(token.to_owned()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing.
+// ---------------------------------------------------------------------------
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` with Rust's shortest round-trip `Display` — parsing the
+/// token back yields the identical bit pattern for every finite value.
+fn json_f64(value: f64, field: &str) -> Result<String> {
+    if !value.is_finite() {
+        return Err(Error::Record {
+            what: format!("field '{field}' is {value}, which JSON cannot represent"),
+        });
+    }
+    Ok(format!("{value}"))
+}
+
+fn peripheral_tag(kind: PeripheralKind) -> &'static str {
+    match kind {
+        PeripheralKind::None => "none",
+        PeripheralKind::ZeroSkip => "zero_skip",
+        PeripheralKind::Mux => "mux",
+    }
+}
+
+fn peripheral_from_tag(tag: &str) -> Result<PeripheralKind> {
+    match tag {
+        "none" => Ok(PeripheralKind::None),
+        "zero_skip" => Ok(PeripheralKind::ZeroSkip),
+        "mux" => Ok(PeripheralKind::Mux),
+        other => Err(Error::Record {
+            what: format!("unknown peripheral kind '{other}'"),
+        }),
+    }
+}
+
+fn schedule_to_json(schedule: &AccessSchedule) -> String {
+    format!(
+        "{{\"active_rows\":{},\"active_cols\":{},\"cols_per_weight\":{},\"loads\":{},\"peripheral\":{}}}",
+        schedule.active_rows,
+        schedule.active_cols,
+        schedule.cols_per_weight,
+        schedule.loads,
+        json_string(peripheral_tag(schedule.peripheral)),
+    )
+}
+
+fn eval_to_json(eval: &NetworkEvaluation) -> Result<String> {
+    let schedules: Vec<String> = eval.schedules.iter().map(schedule_to_json).collect();
+    Ok(format!(
+        "{{\"network\":{},\"method\":{},\"array_size\":{},\"cycles\":{},\"accuracy\":{},\"parameters\":{},\"schedules\":[{}]}}",
+        json_string(&eval.network),
+        json_string(&eval.method),
+        eval.array_size,
+        json_f64(eval.cycles, "cycles")?,
+        json_f64(eval.accuracy, "accuracy")?,
+        eval.parameters,
+        schedules.join(","),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Reading.
+// ---------------------------------------------------------------------------
+
+/// Fetches `key` from `value`, or reports which record field is missing.
+fn member<'a>(value: &'a JsonValue, key: &str, context: &str) -> Result<&'a JsonValue> {
+    value.get(key).ok_or_else(|| Error::Record {
+        what: format!("{context}: missing field '{key}'"),
+    })
+}
+
+fn usize_member(value: &JsonValue, key: &str, context: &str) -> Result<usize> {
+    member(value, key, context)?
+        .as_usize()
+        .ok_or_else(|| Error::Record {
+            what: format!("{context}: field '{key}' is not a non-negative integer"),
+        })
+}
+
+fn f64_member(value: &JsonValue, key: &str, context: &str) -> Result<f64> {
+    member(value, key, context)?
+        .as_f64()
+        .ok_or_else(|| Error::Record {
+            what: format!("{context}: field '{key}' is not a number"),
+        })
+}
+
+fn str_member<'a>(value: &'a JsonValue, key: &str, context: &str) -> Result<&'a str> {
+    member(value, key, context)?
+        .as_str()
+        .ok_or_else(|| Error::Record {
+            what: format!("{context}: field '{key}' is not a string"),
+        })
+}
+
+fn schedule_from_json(value: &JsonValue) -> Result<AccessSchedule> {
+    let ctx = "schedule";
+    Ok(AccessSchedule {
+        active_rows: usize_member(value, "active_rows", ctx)?,
+        active_cols: usize_member(value, "active_cols", ctx)?,
+        cols_per_weight: usize_member(value, "cols_per_weight", ctx)?,
+        loads: member(value, "loads", ctx)?
+            .as_u64()
+            .ok_or_else(|| Error::Record {
+                what: "schedule: field 'loads' is not a non-negative integer".to_owned(),
+            })?,
+        peripheral: peripheral_from_tag(str_member(value, "peripheral", ctx)?)?,
+    })
+}
+
+fn eval_from_json(value: &JsonValue) -> Result<NetworkEvaluation> {
+    let ctx = "eval";
+    let schedules = member(value, "schedules", ctx)?
+        .as_array()
+        .ok_or_else(|| Error::Record {
+            what: "eval: field 'schedules' is not an array".to_owned(),
+        })?
+        .iter()
+        .map(schedule_from_json)
+        .collect::<Result<Vec<_>>>()?;
+    Ok(NetworkEvaluation {
+        network: str_member(value, "network", ctx)?.to_owned(),
+        method: str_member(value, "method", ctx)?.to_owned(),
+        array_size: usize_member(value, "array_size", ctx)?,
+        cycles: f64_member(value, "cycles", ctx)?,
+        accuracy: f64_member(value, "accuracy", ctx)?,
+        parameters: usize_member(value, "parameters", ctx)?,
+        schedules,
+    })
+}
+
+impl RunRecord {
+    /// Serializes this record as one JSON line (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] when a floating-point field is non-finite
+    /// (JSON has no encoding for it; evaluations never produce one).
+    pub fn to_json_line(&self) -> Result<String> {
+        Ok(format!(
+            "{{\"cell\":{},\"network\":{},\"array\":{},\"strategy\":{},\"eval\":{}}}",
+            self.cell_index,
+            self.network_index,
+            self.array_size,
+            self.strategy_index,
+            eval_to_json(&self.eval)?,
+        ))
+    }
+
+    /// Parses one record line written by [`RunRecord::to_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] on malformed JSON or missing fields.
+    pub fn from_json_line(line: &str) -> Result<Self> {
+        let value = JsonValue::parse(line)?;
+        let ctx = "record";
+        Ok(RunRecord {
+            cell_index: usize_member(&value, "cell", ctx)?,
+            network_index: usize_member(&value, "network", ctx)?,
+            array_size: usize_member(&value, "array", ctx)?,
+            strategy_index: usize_member(&value, "strategy", ctx)?,
+            eval: eval_from_json(member(&value, "eval", ctx)?)?,
+        })
+    }
+}
+
+impl ExperimentRun {
+    /// Serializes the run as versioned JSON lines: one header line, then one
+    /// line per record in run order. The inverse of
+    /// [`ExperimentRun::from_jsonl`], bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] when a floating-point field is non-finite.
+    pub fn to_jsonl(&self) -> Result<String> {
+        let mut out = format!(
+            "{{\"format\":{},\"version\":{},\"records\":{}}}\n",
+            json_string(RUN_FORMAT),
+            RUN_FORMAT_VERSION,
+            self.records().len(),
+        );
+        for record in self.records() {
+            out.push_str(&record.to_json_line()?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parses a run serialized by [`ExperimentRun::to_jsonl`], validating the
+    /// format tag, the version and the declared record count. Records keep
+    /// their file order (shard files are reassembled with
+    /// [`ExperimentRun::merge`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] on an unknown format or version, a record
+    /// count mismatch, or any malformed line.
+    pub fn from_jsonl(input: &str) -> Result<Self> {
+        let mut lines = input.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines.next().ok_or_else(|| Error::Record {
+            what: "empty input: expected a header line".to_owned(),
+        })?;
+        let header = JsonValue::parse(header_line)?;
+        let format = str_member(&header, "format", "header")?;
+        if format != RUN_FORMAT {
+            return Err(Error::Record {
+                what: format!("unknown format '{format}' (expected '{RUN_FORMAT}')"),
+            });
+        }
+        let version = member(&header, "version", "header")?
+            .as_u64()
+            .ok_or_else(|| Error::Record {
+                what: "header: field 'version' is not an integer".to_owned(),
+            })?;
+        if version != RUN_FORMAT_VERSION {
+            return Err(Error::Record {
+                what: format!(
+                    "unsupported version {version} (this reader understands version {RUN_FORMAT_VERSION})"
+                ),
+            });
+        }
+        let declared = usize_member(&header, "records", "header")?;
+        let records = lines
+            .map(RunRecord::from_json_line)
+            .collect::<Result<Vec<_>>>()?;
+        if records.len() != declared {
+            return Err(Error::Record {
+                what: format!(
+                    "header declares {declared} records but {} lines follow (truncated shard file?)",
+                    records.len()
+                ),
+            });
+        }
+        Ok(ExperimentRun::new(records))
+    }
+
+    /// Writes [`ExperimentRun::to_jsonl`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] on serialization or I/O failure.
+    pub fn save_jsonl(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_jsonl()?).map_err(|e| Error::Record {
+            what: format!("could not write {}: {e}", path.display()),
+        })
+    }
+
+    /// Reads a run from a file written by [`ExperimentRun::save_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] on I/O failure or any
+    /// [`ExperimentRun::from_jsonl`] error.
+    pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let input = std::fs::read_to_string(path).map_err(|e| Error::Record {
+            what: format!("could not read {}: {e}", path.display()),
+        })?;
+        Self::from_jsonl(&input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use crate::experiments::DEFAULT_SEED;
+    use crate::network::CompressionMethod;
+    use imc_nn::resnet20;
+
+    fn small_run() -> ExperimentRun {
+        Experiment::new()
+            .network(resnet20())
+            .arrays([32, 64])
+            .seed(DEFAULT_SEED)
+            .method(CompressionMethod::Uncompressed { sdk: false })
+            .method(CompressionMethod::PatternPruning { entries: 4 })
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn json_parser_handles_the_grammar() {
+        let doc = r#"{"a":[1,-2.5e3,true,null,"x\n\"yé"],"b":{"c":0.1}, "d": [] }"#;
+        let v = JsonValue::parse(doc).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(-2500.0));
+        assert_eq!(a[1].as_u64(), None);
+        assert_eq!(a[2], JsonValue::Bool(true));
+        assert_eq!(a[3], JsonValue::Null);
+        assert_eq!(a[4].as_str(), Some("x\n\"y\u{e9}"));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_f64(), Some(0.1));
+        assert_eq!(v.get("d").unwrap().as_array().unwrap().len(), 0);
+
+        for bad in ["{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated", "-"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn f64_tokens_round_trip_bit_for_bit() {
+        for value in [
+            0.0,
+            -0.0,
+            1.0,
+            91.6,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            6.02214076e23,
+            30719.999999999996,
+        ] {
+            let token = json_f64(value, "x").unwrap();
+            let parsed: f64 = token.parse().unwrap();
+            assert_eq!(parsed.to_bits(), value.to_bits(), "token {token}");
+        }
+        assert!(json_f64(f64::NAN, "x").is_err());
+        assert!(json_f64(f64::INFINITY, "x").is_err());
+    }
+
+    #[test]
+    fn run_round_trips_byte_identically() {
+        let run = small_run();
+        let text = run.to_jsonl().unwrap();
+        let back = ExperimentRun::from_jsonl(&text).unwrap();
+        // Serialized forms are byte-identical…
+        assert_eq!(text, back.to_jsonl().unwrap());
+        // …and so is the in-memory Debug rendering (covers every f64 bit).
+        assert_eq!(
+            format!("{:#?}", run.records()),
+            format!("{:#?}", back.records())
+        );
+    }
+
+    #[test]
+    fn reader_rejects_foreign_and_truncated_inputs() {
+        let run = small_run();
+        let text = run.to_jsonl().unwrap();
+
+        // Unknown format tag.
+        let foreign = text.replacen(RUN_FORMAT, "something.else", 1);
+        assert!(ExperimentRun::from_jsonl(&foreign).is_err());
+
+        // Future version.
+        let future = text.replacen("\"version\":1", "\"version\":2", 1);
+        let err = ExperimentRun::from_jsonl(&future).unwrap_err();
+        assert!(format!("{err}").contains("version"), "{err}");
+
+        // Truncated payload (header promises more records).
+        let truncated: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let err = ExperimentRun::from_jsonl(&truncated).unwrap_err();
+        assert!(format!("{err}").contains("truncated"), "{err}");
+
+        // Empty input.
+        assert!(ExperimentRun::from_jsonl("").is_err());
+    }
+
+    #[test]
+    fn merge_reassembles_shards_in_canonical_order() {
+        let grid = || {
+            Experiment::new()
+                .network(resnet20())
+                .arrays([32, 64])
+                .seed(DEFAULT_SEED)
+                .method(CompressionMethod::Uncompressed { sdk: false })
+                .method(CompressionMethod::PatternPruning { entries: 4 })
+        };
+        let unsharded = grid().run().unwrap();
+        let total = grid().grid_cells();
+        assert_eq!(total, 4);
+
+        // Run the shards out of order and round-trip each through JSON lines.
+        let mut shards = Vec::new();
+        for range in [2..total, 0..2] {
+            let shard = grid().cells(range).run().unwrap();
+            let text = shard.to_jsonl().unwrap();
+            shards.push(ExperimentRun::from_jsonl(&text).unwrap());
+        }
+        let merged = ExperimentRun::merge(shards).unwrap();
+        assert_eq!(
+            merged.to_jsonl().unwrap(),
+            unsharded.to_jsonl().unwrap(),
+            "shard/merge round-trip must be byte-identical"
+        );
+
+        // Overlapping shards are rejected.
+        let a = grid().cells(0..2).run().unwrap();
+        let b = grid().cells(1..3).run().unwrap();
+        let err = ExperimentRun::merge([a, b]).unwrap_err();
+        assert!(format!("{err}").contains("duplicate cell index"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_cell_ranges_are_rejected() {
+        let grid = Experiment::new()
+            .network(resnet20())
+            .array(32)
+            .method(CompressionMethod::Uncompressed { sdk: false });
+        assert_eq!(grid.grid_cells(), 1);
+        assert!(matches!(grid.cells(0..2).run(), Err(Error::Builder { .. })));
+        let empty = Experiment::new()
+            .network(resnet20())
+            .array(32)
+            .method(CompressionMethod::Uncompressed { sdk: false })
+            .cells(1..1);
+        assert!(matches!(empty.run(), Err(Error::Builder { .. })));
+    }
+}

@@ -1,0 +1,77 @@
+//! Sharded sweep demo: runs the Fig. 6 grid (ResNet-20, 64×64 arrays) as N
+//! cell-range shards, writes each shard's records to a JSON-lines file,
+//! merges the shards back, and diffs the merged run against the unsharded
+//! one — byte for byte.
+//!
+//! In production the shards would run in separate processes (or on separate
+//! hosts), each executing `fig6_experiment(..).cells(start..end)` and
+//! shipping its JSON-lines file back to the driver; this example performs
+//! the same dataflow in one process so the diff is self-contained.
+//!
+//! Run with `cargo run --release --example shard_sweep` (optionally pass the
+//! shard count, default 4: `-- 8`).
+
+use imc::sim::experiments::{fig6_experiment, DEFAULT_SEED};
+use imc::{resnet20, ExperimentRun};
+
+fn main() {
+    let shards: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let arch = resnet20();
+    let grid = || fig6_experiment(&arch, 64, DEFAULT_SEED);
+    let total = grid().grid_cells();
+    let shards = shards.clamp(1, total);
+    println!("fig6 grid: {total} cells, running as {shards} shard(s)\n");
+
+    // The reference: one unsharded run of the full grid.
+    let unsharded = grid().run().expect("unsharded sweep succeeds");
+
+    // Each shard evaluates one contiguous cell range and persists its
+    // records as versioned JSON lines.
+    let dir = std::env::temp_dir().join("imc_shard_sweep");
+    std::fs::create_dir_all(&dir).expect("can create shard directory");
+    let mut shard_files = Vec::new();
+    for s in 0..shards {
+        let (start, end) = (s * total / shards, (s + 1) * total / shards);
+        let run = grid()
+            .cells(start..end)
+            .run()
+            .expect("shard sweep succeeds");
+        let path = dir.join(format!("shard_{s}.jsonl"));
+        run.save_jsonl(&path).expect("shard file writes");
+        println!(
+            "shard {s}: cells {start:>3}..{end:>3}  ->  {} ({} records)",
+            path.display(),
+            run.records().len()
+        );
+        shard_files.push(path);
+    }
+
+    // The driver side: read every shard file back and merge.
+    let parsed: Vec<ExperimentRun> = shard_files
+        .iter()
+        .map(|path| ExperimentRun::load_jsonl(path).expect("shard file parses"))
+        .collect();
+    let merged = ExperimentRun::merge(parsed).expect("shards merge");
+
+    // Diff against the unsharded run, byte for byte.
+    let merged_bytes = merged.to_jsonl().expect("merged run serializes");
+    let unsharded_bytes = unsharded.to_jsonl().expect("unsharded run serializes");
+    assert_eq!(
+        merged_bytes, unsharded_bytes,
+        "merged shards must be byte-identical to the unsharded run"
+    );
+    println!(
+        "\nmerged {} records from {} shard file(s): byte-identical to the \
+         unsharded run ({} bytes of JSON lines)",
+        merged.records().len(),
+        shard_files.len(),
+        merged_bytes.len()
+    );
+
+    for path in &shard_files {
+        let _ = std::fs::remove_file(path);
+    }
+}

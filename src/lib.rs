@@ -27,6 +27,13 @@
 //! New compression methods implement [`CompressionStrategy`] and plug into
 //! the same sweep without touching any workspace crate.
 //!
+//! Service-style workloads run many sweeps: an [`EvalSession`] owns one
+//! bounded decomposition cache shared by every [`Experiment::run_in`] call
+//! (warm runs skip the SVD work, bit-identically), and
+//! [`Experiment::cells`] / [`ExperimentRun::merge`] plus the versioned
+//! JSON-lines form ([`ExperimentRun::to_jsonl`]) shard one grid across
+//! processes and reassemble the canonical run byte-identically.
+//!
 //! The actual implementations live in the `crates/` workspace members:
 //!
 //! * [`imc_linalg`] — dense linear algebra (SVD, QR, Kronecker products).
@@ -60,11 +67,11 @@ pub use error::{Error, Result};
 // The experiment facade: the builder, the strategy contract it sweeps, and
 // the handful of types almost every experiment touches.
 pub use imc_array::ArrayConfig;
-pub use imc_core::{CompressionConfig, Precision, RankSpec};
+pub use imc_core::{CacheStats, CompressionConfig, KindStats, Precision, RankSpec};
 pub use imc_energy::EnergyParams;
 pub use imc_nn::{resnet20, wrn16_4, NetworkArch};
 pub use imc_sim::strategy;
 pub use imc_sim::{
-    CompressionMethod, CompressionStrategy, ConvContext, Experiment, ExperimentRun, LayerOutcome,
-    NetworkEvaluation, RunRecord, DEFAULT_SEED,
+    CompressionMethod, CompressionStrategy, ConvContext, EvalSession, EvalSessionBuilder,
+    Experiment, ExperimentRun, LayerOutcome, NetworkEvaluation, RunRecord, DEFAULT_SEED,
 };
