@@ -552,13 +552,6 @@ impl DecompCache {
             resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
         }
     }
-
-    /// `(hits, misses)` summed across every cached kind.
-    #[deprecated(note = "use cache_stats() for per-kind hits/misses, evictions and resident bytes")]
-    pub fn stats(&self) -> (u64, u64) {
-        let stats = self.cache_stats();
-        (stats.hits(), stats.misses())
-    }
 }
 
 /// Estimated heap footprint of a cached value, used by the LRU budget.
@@ -657,18 +650,6 @@ mod tests {
         assert_eq!(stats.decompositions.hits, 2);
         assert_eq!(stats.evictions(), 0);
         assert!(stats.resident_bytes > 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_tuple_stats_shim_matches_cache_stats() {
-        let cache = DecompCache::new();
-        let shape = shape();
-        for _ in 0..2 {
-            cache.decomposition(&shape, 1, 2, 4).unwrap();
-        }
-        let stats = cache.cache_stats();
-        assert_eq!(cache.stats(), (stats.hits(), stats.misses()));
     }
 
     #[test]

@@ -60,6 +60,9 @@ use crate::experiments::DEFAULT_SEED;
 use crate::network::{evaluate_strategy_with, CompressionMethod, NetworkEvaluation};
 use crate::runtime;
 use crate::session::EvalSession;
+use crate::spec::{
+    builtin_method_spec, ExperimentSpec, RunManifest, StrategySpec, SPEC_FORMAT_VERSION,
+};
 use crate::strategy::CompressionStrategy;
 use crate::{Error, Result};
 
@@ -70,9 +73,18 @@ pub struct Experiment {
     strategies: Vec<Box<dyn CompressionStrategy>>,
     seed: u64,
     parallelism: Option<usize>,
+    parallelism_override: Option<usize>,
     use_cache: bool,
     precision: Precision,
     cell_range: Option<Range<usize>>,
+    /// Spec provenance of `networks`, index-aligned: the name each network
+    /// is addressable by on the wire (the architecture's display name, or
+    /// the registry name a spec resolved it from).
+    pub(crate) network_names: Vec<String>,
+    /// Spec provenance of `strategies`, index-aligned: `Some` for built-in
+    /// methods and registry-built strategies, `None` for opaque
+    /// [`CompressionStrategy`] objects (which cannot be serialized).
+    pub(crate) strategy_specs: Vec<Option<StrategySpec>>,
 }
 
 impl Default for Experiment {
@@ -91,15 +103,19 @@ impl Experiment {
             strategies: Vec::new(),
             seed: DEFAULT_SEED,
             parallelism: None,
+            parallelism_override: None,
             use_cache: true,
             precision: Precision::F64,
             cell_range: None,
+            network_names: Vec::new(),
+            strategy_specs: Vec::new(),
         }
     }
 
     /// Adds one network to the sweep.
     #[must_use]
     pub fn network(mut self, arch: NetworkArch) -> Self {
+        self.network_names.push(arch.name.clone());
         self.networks.push(arch);
         self
     }
@@ -107,7 +123,9 @@ impl Experiment {
     /// Adds several networks to the sweep.
     #[must_use]
     pub fn networks(mut self, archs: impl IntoIterator<Item = NetworkArch>) -> Self {
-        self.networks.extend(archs);
+        for arch in archs {
+            self = self.network(arch);
+        }
         self
     }
 
@@ -134,23 +152,32 @@ impl Experiment {
     }
 
     /// Adds an already-boxed strategy to the sweep.
+    ///
+    /// The strategy is opaque to the spec layer: an experiment containing
+    /// one cannot be serialized by [`Experiment::to_spec`]. To make an
+    /// external strategy wire-addressable, register it in a
+    /// [`Registry`](crate::registry::Registry) and build the experiment from
+    /// an [`ExperimentSpec`] instead.
     #[must_use]
     pub fn boxed_strategy(mut self, strategy: Box<dyn CompressionStrategy>) -> Self {
         self.strategies.push(strategy);
+        self.strategy_specs.push(None);
         self
     }
 
     /// Adds one of the paper's built-in methods to the sweep.
     #[must_use]
-    pub fn method(self, method: CompressionMethod) -> Self {
-        self.boxed_strategy(method.strategy())
+    pub fn method(mut self, method: CompressionMethod) -> Self {
+        self.strategies.push(method.strategy());
+        self.strategy_specs.push(Some(builtin_method_spec(&method)));
+        self
     }
 
     /// Adds several built-in methods to the sweep.
     #[must_use]
     pub fn methods(mut self, methods: impl IntoIterator<Item = CompressionMethod>) -> Self {
         for method in methods {
-            self.strategies.push(method.strategy());
+            self = self.method(method);
         }
         self
     }
@@ -172,6 +199,21 @@ impl Experiment {
     #[must_use]
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the worker count **without** recording it as part of the request:
+    /// unlike [`Experiment::parallelism`], this neither appears in
+    /// [`Experiment::to_spec`] nor in the run's reproducibility manifest.
+    ///
+    /// This is the execution-site knob for drivers (e.g. `imc run
+    /// --parallelism`) that run someone else's spec on local resources: the
+    /// worker count never affects results, so overriding it must not change
+    /// a byte of the serialized run. Takes precedence over
+    /// [`Experiment::parallelism`] when both are set.
+    #[must_use]
+    pub fn parallelism_override(mut self, workers: usize) -> Self {
+        self.parallelism_override = Some(workers.max(1));
         self
     }
 
@@ -221,6 +263,48 @@ impl Experiment {
     /// [`Experiment::cells`] ranges.
     pub fn grid_cells(&self) -> usize {
         self.networks.len() * self.arrays.len() * self.strategies.len()
+    }
+
+    /// Serializes the experiment as a wire-format [`ExperimentSpec`] — the
+    /// lossless inverse of
+    /// [`ExperimentSpec::into_experiment`](crate::spec::ExperimentSpec::into_experiment):
+    /// resolving the spec against a registry that knows the same names
+    /// reproduces this grid exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] when a strategy was added as an opaque
+    /// [`CompressionStrategy`] object ([`Experiment::strategy`] /
+    /// [`Experiment::boxed_strategy`]): without a registered name there is
+    /// nothing to write on the wire. Built-in methods and registry-built
+    /// strategies always serialize.
+    pub fn to_spec(&self) -> Result<ExperimentSpec> {
+        let mut strategies = Vec::with_capacity(self.strategy_specs.len());
+        for (index, spec) in self.strategy_specs.iter().enumerate() {
+            match spec {
+                Some(spec) => strategies.push(spec.clone()),
+                None => {
+                    return Err(Error::Spec {
+                        what: format!(
+                            "strategy #{index} ('{}') was added as an opaque \
+                             CompressionStrategy object and has no wire name; register it in a \
+                             Registry and build the experiment from a spec to serialize it",
+                            self.strategies[index].label()
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(ExperimentSpec {
+            seed: self.seed,
+            precision: self.precision,
+            parallelism: self.parallelism,
+            cache: self.use_cache,
+            cells: self.cell_range.clone(),
+            networks: self.network_names.clone(),
+            arrays: self.arrays.clone(),
+            strategies,
+        })
     }
 
     /// Runs the sweep inside a long-lived [`EvalSession`], sharing the
@@ -307,6 +391,7 @@ impl Experiment {
                 }
             }
         }
+        let grid_size = cells.len();
         if let Some(range) = &self.cell_range {
             if range.start >= range.end || range.end > cells.len() {
                 return Err(Error::Builder {
@@ -321,8 +406,21 @@ impl Experiment {
             cells = cells[range.clone()].to_vec();
         }
 
+        // The reproducibility manifest: available whenever the experiment is
+        // spec-serializable (opaque strategies have no wire identity to
+        // record, so their runs carry no manifest).
+        let manifest = self.to_spec().ok().map(|spec| RunManifest {
+            seed: self.seed,
+            precision: self.precision,
+            parallelism: self.parallelism,
+            cells: self.cell_range.clone().unwrap_or(0..grid_size),
+            spec_version: SPEC_FORMAT_VERSION,
+            spec_hash: spec.content_hash(),
+        });
+
         let workers = self
-            .parallelism
+            .parallelism_override
+            .or(self.parallelism)
             .unwrap_or_else(runtime::default_parallelism);
         let evaluate_cell = |index: usize| -> Result<RunRecord> {
             let (cell_index, network_index, size, array, strategy_index) = cells[index];
@@ -352,7 +450,7 @@ impl Experiment {
                 records.push(result?);
             }
         }
-        Ok(ExperimentRun::new(records))
+        Ok(ExperimentRun::new(records, manifest))
     }
 }
 
@@ -390,13 +488,16 @@ pub struct ExperimentRun {
     /// Cell coordinates → position in `records`, built once at run
     /// completion so [`ExperimentRun::get`] is O(1) instead of a linear scan.
     index: HashMap<(usize, usize, usize), usize>,
+    /// What produced the run, when the experiment was spec-serializable;
+    /// embedded in the serialized header.
+    manifest: Option<RunManifest>,
 }
 
 impl ExperimentRun {
     /// Wraps completed records, indexing them by cell coordinates. When the
     /// same coordinates occur twice (e.g. the same array size added twice),
     /// the first occurrence wins, matching what a linear scan would find.
-    pub(crate) fn new(records: Vec<RunRecord>) -> Self {
+    pub(crate) fn new(records: Vec<RunRecord>, manifest: Option<RunManifest>) -> Self {
         let mut index = HashMap::with_capacity(records.len());
         for (position, record) in records.iter().enumerate() {
             index
@@ -407,7 +508,19 @@ impl ExperimentRun {
                 ))
                 .or_insert(position);
         }
-        Self { records, index }
+        Self {
+            records,
+            index,
+            manifest,
+        }
+    }
+
+    /// The reproducibility manifest of the producing experiment: `Some` for
+    /// every run of a spec-serializable experiment (and for merges of such
+    /// runs), `None` when the experiment contained an opaque strategy or the
+    /// run was read from a pre-manifest record file.
+    pub fn manifest(&self) -> Option<&RunManifest> {
+        self.manifest.as_ref()
     }
 
     /// Reassembles shard runs (produced by [`Experiment::cells`], possibly
@@ -422,12 +535,26 @@ impl ExperimentRun {
     ///
     /// Returns [`Error::Record`] when two shards carry the same cell index —
     /// overlapping shard ranges are a sharding bug, and silently keeping one
-    /// of the duplicates would mask it.
+    /// of the duplicates would mask it — or when shards carry manifests of
+    /// *different* experiments (mismatched seed, precision or spec hash):
+    /// merging unrelated grids is equally a driver bug.
+    ///
+    /// The merged run keeps a manifest when every shard has one, they agree,
+    /// and the union of their cell ranges is one contiguous span (the normal
+    /// shard/merge dataflow); merging all shards of a grid therefore
+    /// reproduces the unsharded run's manifest — and its serialized bytes —
+    /// exactly.
     pub fn merge(shards: impl IntoIterator<Item = ExperimentRun>) -> Result<ExperimentRun> {
-        let mut records: Vec<RunRecord> = shards
-            .into_iter()
-            .flat_map(|shard| shard.records.into_iter())
-            .collect();
+        let mut records: Vec<RunRecord> = Vec::new();
+        let mut present: Vec<RunManifest> = Vec::new();
+        let mut missing = false;
+        for shard in shards {
+            match shard.manifest {
+                Some(manifest) => present.push(manifest),
+                None => missing = true,
+            }
+            records.extend(shard.records);
+        }
         records.sort_by_key(|r| r.cell_index);
         for pair in records.windows(2) {
             if pair[0].cell_index == pair[1].cell_index {
@@ -439,7 +566,61 @@ impl ExperimentRun {
                 });
             }
         }
-        Ok(ExperimentRun::new(records))
+        // Cross-check every manifest that exists — a manifest-less shard in
+        // the mix must not disable mismatch detection for the others — but
+        // only keep a merged manifest when *all* shards carried one (a
+        // partial manifest could not vouch for the whole run).
+        let manifest = if present.is_empty() {
+            None
+        } else {
+            let merged = Self::merge_manifests(&present)?;
+            if missing {
+                None
+            } else {
+                merged
+            }
+        };
+        Ok(ExperimentRun::new(records, manifest))
+    }
+
+    /// Combines shard manifests: identity fields must agree; the cell ranges
+    /// combine into their covering span when they tile it contiguously
+    /// (otherwise no honest single range exists and the merge drops the
+    /// manifest). The recorded `parallelism` is an execution knob, not
+    /// identity — shards that disagree on it still merge, and the merged
+    /// manifest then records `None` (no single request pinned one).
+    fn merge_manifests(list: &[RunManifest]) -> Result<Option<RunManifest>> {
+        let first = &list[0];
+        for manifest in &list[1..] {
+            let same = manifest.seed == first.seed
+                && manifest.precision == first.precision
+                && manifest.spec_version == first.spec_version
+                && manifest.spec_hash == first.spec_hash;
+            if !same {
+                return Err(Error::Record {
+                    what: "shards carry manifests of different experiments \
+                           (mismatched seed, precision or spec hash)"
+                        .to_owned(),
+                });
+            }
+        }
+        let parallelism = list
+            .iter()
+            .all(|m| m.parallelism == first.parallelism)
+            .then_some(first.parallelism)
+            .flatten();
+        let start = list.iter().map(|m| m.cells.start).min().expect("non-empty");
+        let end = list.iter().map(|m| m.cells.end).max().expect("non-empty");
+        let covered: usize = list.iter().map(|m| m.cells.len()).sum();
+        if covered == end - start {
+            Ok(Some(RunManifest {
+                parallelism,
+                cells: start..end,
+                ..first.clone()
+            }))
+        } else {
+            Ok(None)
+        }
     }
 
     /// All records in grid order.

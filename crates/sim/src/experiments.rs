@@ -17,7 +17,7 @@ use imc_tensor::Tensor4;
 use crate::experiment::{Experiment, ExperimentRun};
 use crate::network::{CompressionMethod, NetworkEvaluation};
 use crate::session::EvalSession;
-use crate::{runtime, Result};
+use crate::{runtime, Error, Result};
 
 /// Seed used for every synthesized weight tensor in the experiment harness.
 pub const DEFAULT_SEED: u64 = 2025;
@@ -108,6 +108,81 @@ pub fn table1_in(
         parallelism,
         Some(session.cache()),
     )
+}
+
+/// The Table I grid as a declarative [`Experiment`]: the low-rank
+/// (group × rank) grid without SDK mapping followed by the same grid with
+/// it, on both paper array sizes — the sweep `imc spec table1` emits and
+/// the shape [`table1_rows_from_run`] reassembles into report rows.
+///
+/// Unlike [`table1`] — which shares one SVD error profile per
+/// (layer, group) pair across the whole rank sweep and aggregates accuracy
+/// over the compressible layers only — this sweep evaluates every grid cell
+/// through the standard strategy engine, so its accuracy column follows the
+/// whole-network weighting convention of [`fig6`] (cycle columns agree with
+/// [`table1`] exactly; both derive from the same cycle model).
+pub fn table1_experiment(arch: &NetworkArch, seed: u64) -> Experiment {
+    Experiment::new()
+        .network(arch.clone())
+        .arrays([32, 64])
+        .seed(seed)
+        .methods(
+            CompressionConfig::table1_grid(false)
+                .into_iter()
+                .map(CompressionMethod::LowRank),
+        )
+        .methods(
+            CompressionConfig::table1_grid(true)
+                .into_iter()
+                .map(CompressionMethod::LowRank),
+        )
+}
+
+/// Reassembles a completed [`table1_experiment`] run into [`Table1Row`]s
+/// (for [`crate::report::table1_markdown`] / CSV rendering).
+///
+/// # Errors
+///
+/// Returns [`Error::Spec`] when the run does not have the Table I sweep's
+/// shape (one network, arrays 32 and 64, the 32-strategy low-rank grid).
+pub fn table1_rows_from_run(run: &ExperimentRun) -> Result<Vec<Table1Row>> {
+    let grid = CompressionConfig::table1_grid(false);
+    let expected = 2 * 2 * grid.len();
+    if run.records().len() != expected || run.records().iter().any(|r| r.network_index != 0) {
+        return Err(Error::Spec {
+            what: format!(
+                "run is not a table1 sweep (expected {expected} records of one network \
+                 over arrays [32, 64] and the {}-cell low-rank grid twice; \
+                 generate one with `imc spec table1`)",
+                grid.len()
+            ),
+        });
+    }
+    let cell = |array: usize, strategy: usize| {
+        run.get(0, array, strategy).ok_or_else(|| Error::Spec {
+            what: format!(
+                "run is not a table1 sweep: missing cell (array {array}, strategy {strategy})"
+            ),
+        })
+    };
+    let mut rows = Vec::with_capacity(grid.len());
+    for (index, cfg) in grid.iter().enumerate() {
+        let plain_32 = cell(32, index)?;
+        let plain_64 = cell(64, index)?;
+        let sdk_32 = cell(32, grid.len() + index)?;
+        let sdk_64 = cell(64, grid.len() + index)?;
+        rows.push(Table1Row {
+            network: plain_32.network.clone(),
+            groups: cfg.groups,
+            rank: cfg.rank,
+            accuracy: plain_32.accuracy,
+            cycles_32_plain: plain_32.cycles as u64,
+            cycles_64_plain: plain_64.cycles as u64,
+            cycles_32_sdk: sdk_32.cycles as u64,
+            cycles_64_sdk: sdk_64.cycles as u64,
+        });
+    }
+    Ok(rows)
 }
 
 fn table1_impl(
@@ -353,7 +428,7 @@ pub fn fig6_with(
     if let Some(workers) = parallelism {
         experiment = experiment.parallelism(workers);
     }
-    fig6_panel_from_run(arch, array_size, &experiment.run()?)
+    fig6_panel_from_run(&experiment.run()?)
 }
 
 /// The session variant of [`fig6`]: the sweep runs through
@@ -378,7 +453,7 @@ pub fn fig6_in(
     if let Some(workers) = parallelism {
         experiment = experiment.parallelism(workers);
     }
-    fig6_panel_from_run(arch, array_size, &experiment.run_in(session)?)
+    fig6_panel_from_run(&experiment.run_in(session)?)
 }
 
 /// The Fig. 6 sweep as a reusable [`Experiment`]: the im2col baseline, the
@@ -425,18 +500,35 @@ fn fig6_method_series() -> Fig6Series {
     (lowrank, patdnn, pairs)
 }
 
-/// Assembles a [`Fig6Panel`] from a completed [`fig6_experiment`] run.
+/// Assembles a [`Fig6Panel`] from a completed [`fig6_experiment`] run —
+/// including one deserialized from run JSON lines (`imc report fig6`); the
+/// network and array size are read off the records.
 ///
 /// The flat grid is sliced back into the method series by the lengths of the
 /// method lists themselves ([`fig6_method_series`] is shared with the grid
 /// construction), so reordering or resizing the sweep cannot silently
 /// mislabel a series.
-fn fig6_panel_from_run(
-    arch: &NetworkArch,
-    array_size: usize,
-    run: &ExperimentRun,
-) -> Result<Fig6Panel> {
+///
+/// # Errors
+///
+/// Returns [`Error::Spec`] when the run does not have the Fig. 6 sweep's
+/// shape (one network, one array size, baseline + low-rank grid + the two
+/// pruning entry sweeps).
+pub fn fig6_panel_from_run(run: &ExperimentRun) -> Result<Fig6Panel> {
     let (lowrank, patdnn, pairs) = fig6_method_series();
+    let expected = 1 + lowrank.len() + patdnn.len() + pairs.len();
+    let single_cell_grid = run
+        .records()
+        .iter()
+        .all(|r| r.network_index == 0 && r.array_size == run.records()[0].array_size);
+    if run.records().len() != expected || !single_cell_grid {
+        return Err(Error::Spec {
+            what: format!(
+                "run is not a fig6 sweep (expected {expected} records of one network on one \
+                 array size; generate one with `imc spec fig6`)"
+            ),
+        });
+    }
     let evals: Vec<&NetworkEvaluation> = run.evaluations().collect();
     let (baseline, rest) = evals.split_first().expect("run is non-empty");
     let (ours_evals, rest) = rest.split_at(lowrank.len());
@@ -445,8 +537,8 @@ fn fig6_panel_from_run(
     let ours_grid: Vec<ParetoPoint> = ours_evals.iter().copied().map(pareto_point).collect();
 
     Ok(Fig6Panel {
-        network: arch.name.clone(),
-        array_size,
+        network: baseline.network.clone(),
+        array_size: run.records()[0].array_size,
         baseline_cycles: baseline.cycles,
         baseline_accuracy: baseline.accuracy,
         ours: pareto_front(&ours_grid),
@@ -478,16 +570,7 @@ pub struct Fig7Bar {
 /// Propagates evaluation errors.
 pub fn fig7(arch: &NetworkArch, seed: u64) -> Result<Vec<Fig7Bar>> {
     let params = EnergyParams::default();
-    let ours_cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true)
-        .expect("paper configuration is valid");
-    let run = Experiment::new()
-        .network(arch.clone())
-        .arrays([32, 64, 128])
-        .seed(seed)
-        .method(CompressionMethod::Uncompressed { sdk: false })
-        .method(CompressionMethod::PatternPruning { entries: 6 })
-        .method(CompressionMethod::LowRank(ours_cfg))
-        .run()?;
+    let run = fig7_experiment(arch, seed).run()?;
     let bars = run
         .records()
         .chunks(3)
@@ -504,6 +587,22 @@ pub fn fig7(arch: &NetworkArch, seed: u64) -> Result<Vec<Fig7Bar>> {
         })
         .collect();
     Ok(bars)
+}
+
+/// The Fig. 7 energy comparison as a declarative [`Experiment`]: im2col
+/// baseline, 6-entry pattern pruning and the proposed configuration across
+/// the paper's three array sizes — the sweep `imc spec fig7` emits and
+/// [`fig7`] runs.
+pub fn fig7_experiment(arch: &NetworkArch, seed: u64) -> Experiment {
+    let ours_cfg = CompressionConfig::new(RankSpec::Divisor(8), 4, true)
+        .expect("paper configuration is valid");
+    Experiment::new()
+        .network(arch.clone())
+        .arrays([32, 64, 128])
+        .seed(seed)
+        .method(CompressionMethod::Uncompressed { sdk: false })
+        .method(CompressionMethod::PatternPruning { entries: 6 })
+        .method(CompressionMethod::LowRank(ours_cfg))
 }
 
 /// One panel of Fig. 8: ours vs quantized models on one array size.
@@ -524,12 +623,7 @@ pub struct Fig8Panel {
 /// Propagates evaluation errors.
 pub fn fig8(seed: u64) -> Result<Vec<Fig8Panel>> {
     let arch = resnet20();
-    let run = Experiment::new()
-        .network(arch.clone())
-        .arrays([64, 128])
-        .seed(seed)
-        .methods((1..=4).map(|bits| CompressionMethod::Quantized { bits }))
-        .run()?;
+    let run = fig8_experiment(seed).run()?;
     let mut panels = Vec::new();
     for size in [64usize, 128] {
         let quantized = run.for_array(size).map(|r| pareto_point(&r.eval)).collect();
@@ -541,6 +635,18 @@ pub fn fig8(seed: u64) -> Result<Vec<Fig8Panel>> {
         });
     }
     Ok(panels)
+}
+
+/// The quantization sweep of Fig. 8 as a declarative [`Experiment`]:
+/// 1–4-bit DoReFa models of ResNet-20 on 64×64 and 128×128 arrays — the
+/// sweep `imc spec fig8` emits. (The full figure combines it with the
+/// [`fig6_experiment`] low-rank grids of the same array sizes.)
+pub fn fig8_experiment(seed: u64) -> Experiment {
+    Experiment::new()
+        .network(resnet20())
+        .arrays([64, 128])
+        .seed(seed)
+        .methods((1..=4).map(|bits| CompressionMethod::Quantized { bits }))
 }
 
 /// One comparison row of Fig. 9: the proposed method vs traditional low-rank
@@ -572,19 +678,7 @@ impl Fig9Row {
 ///
 /// Propagates evaluation errors.
 pub fn fig9_for(arch: &NetworkArch, array_size: usize, seed: u64) -> Result<Vec<Fig9Row>> {
-    let run = Experiment::new()
-        .network(arch.clone())
-        .array(array_size)
-        .seed(seed)
-        .methods(RankSpec::paper_divisors().into_iter().flat_map(|rank| {
-            let proposed =
-                CompressionConfig::new(rank, 4, true).expect("paper configuration is valid");
-            [
-                CompressionMethod::LowRank(CompressionConfig::traditional(rank)),
-                CompressionMethod::LowRank(proposed),
-            ]
-        }))
-        .run()?;
+    let run = fig9_experiment(arch, array_size, seed).run()?;
     let rows = run
         .records()
         .chunks(2)
@@ -598,6 +692,25 @@ pub fn fig9_for(arch: &NetworkArch, array_size: usize, seed: u64) -> Result<Vec<
         })
         .collect();
     Ok(rows)
+}
+
+/// The Fig. 9 comparison as a declarative [`Experiment`]: traditional
+/// low-rank (g = 1, im2col factors) vs the proposed method (g = 4, SDK
+/// factors) at each paper rank divisor, interleaved pairwise — the sweep
+/// `imc spec fig9` emits and [`fig9_for`] runs.
+pub fn fig9_experiment(arch: &NetworkArch, array_size: usize, seed: u64) -> Experiment {
+    Experiment::new()
+        .network(arch.clone())
+        .array(array_size)
+        .seed(seed)
+        .methods(RankSpec::paper_divisors().into_iter().flat_map(|rank| {
+            let proposed =
+                CompressionConfig::new(rank, 4, true).expect("paper configuration is valid");
+            [
+                CompressionMethod::LowRank(CompressionConfig::traditional(rank)),
+                CompressionMethod::LowRank(proposed),
+            ]
+        }))
 }
 
 /// Regenerates Fig. 9: ResNet-20 on 64×64 arrays and WRN16-4 on 128×128

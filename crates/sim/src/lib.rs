@@ -23,7 +23,7 @@
 //!   networks × array sizes × strategies; the figure generators in
 //!   [`experiments`] are thin sweeps over it.
 //!
-//! Two service-scale layers sit on top of the experiment facade:
+//! Four service-scale layers sit on top of the experiment facade:
 //!
 //! * [`session`] — the long-lived [`EvalSession`]: one bounded, shared
 //!   decomposition cache reused across [`Experiment::run_in`] calls, so
@@ -33,6 +33,16 @@
 //!   [`ExperimentRun`]s, plus [`Experiment::cells`] (cell-range sharding)
 //!   and [`ExperimentRun::merge`]: a grid can be split across processes or
 //!   hosts and reassembled byte-identically.
+//! * [`spec`] — the versioned [`ExperimentSpec`] request document: any sweep
+//!   as wire-format data (networks, arrays and strategies **by name**), a
+//!   lossless [`Experiment::to_spec`] round-trip, and the [`RunManifest`]
+//!   every spec-serializable run embeds into its serialized header.
+//! * [`registry`] — the name → constructor [`Registry`] the spec layer
+//!   resolves against; external networks and strategies register under
+//!   their own names and become addressable over the wire.
+//!
+//! (The [`json`] module holds the shared hand-rolled JSON value model both
+//! wire formats are built on.)
 //!
 //! Every function takes explicit seeds and is fully deterministic, so the
 //! generated reports are reproducible bit-for-bit.
@@ -42,24 +52,30 @@
 
 pub mod experiment;
 pub mod experiments;
+pub mod json;
 pub mod network;
 pub mod record;
+pub mod registry;
 pub mod report;
 pub mod runtime;
 pub mod session;
+pub mod spec;
 pub mod strategy;
 
 pub use experiment::{Experiment, ExperimentRun, RunRecord};
 pub use experiments::{
-    fig6, fig6_experiment, fig6_in, fig6_with, fig6_with_parallelism, fig7, fig8, fig9, fig9_for,
-    headline, table1, table1_in, table1_with, DEFAULT_SEED,
+    fig6, fig6_experiment, fig6_in, fig6_panel_from_run, fig6_with, fig6_with_parallelism, fig7,
+    fig7_experiment, fig8, fig8_experiment, fig9, fig9_experiment, fig9_for, headline, table1,
+    table1_experiment, table1_in, table1_rows_from_run, table1_with, DEFAULT_SEED,
 };
+pub use json::JsonValue;
 pub use network::{
     evaluate_strategy, evaluate_strategy_cached, evaluate_strategy_with, CompressionMethod,
     NetworkEvaluation,
 };
-pub use record::JsonValue;
+pub use registry::Registry;
 pub use session::{EvalSession, EvalSessionBuilder};
+pub use spec::{ExperimentSpec, RunManifest, StrategySpec, SPEC_FORMAT, SPEC_FORMAT_VERSION};
 pub use strategy::{CompressionStrategy, ConvContext, LayerOutcome};
 
 // The cache-observability types surfaced by `EvalSession::stats`; defined
@@ -105,6 +121,14 @@ pub enum Error {
         /// Description of the record failure.
         what: String,
     },
+    /// A declarative experiment request could not be resolved (malformed or
+    /// unsupported spec document, unknown network/strategy names, invalid
+    /// strategy parameters, a non-serializable experiment, I/O failures on
+    /// spec files).
+    Spec {
+        /// Description of the spec failure.
+        what: String,
+    },
 }
 
 impl Error {
@@ -128,6 +152,7 @@ impl core::fmt::Display for Error {
             Error::Builder { what } => write!(f, "experiment builder error: {what}"),
             Error::Strategy { what } => write!(f, "compression strategy error: {what}"),
             Error::Record { what } => write!(f, "run record error: {what}"),
+            Error::Spec { what } => write!(f, "experiment spec error: {what}"),
         }
     }
 }
@@ -141,7 +166,10 @@ impl std::error::Error for Error {
             Error::Array(e) => Some(e),
             Error::Tensor(e) => Some(e),
             Error::Nn(e) => Some(e),
-            Error::Builder { .. } | Error::Strategy { .. } | Error::Record { .. } => None,
+            Error::Builder { .. }
+            | Error::Strategy { .. }
+            | Error::Record { .. }
+            | Error::Spec { .. } => None,
         }
     }
 }

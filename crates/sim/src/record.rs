@@ -16,7 +16,7 @@
 //! One header line followed by one line per record:
 //!
 //! ```json
-//! {"format":"imc.experiment-run","version":1,"records":2}
+//! {"format":"imc.experiment-run","version":1,"records":2,"manifest":{"spec_version":1,"spec_hash":"93f2a1c07be4d658","seed":2025,"precision":"f64","parallelism":null,"cells":{"start":0,"end":2}}}
 //! {"cell":0,"network":0,"array":64,"strategy":0,"eval":{"network":"ResNet-20","method":"uncompressed (im2col)","array_size":64,"cycles":30154,"accuracy":91.6,"parameters":268346,"schedules":[{"active_rows":27,"active_cols":16,"cols_per_weight":1,"loads":1024,"peripheral":"none"}]}}
 //! {"cell":1,"network":0,"array":64,"strategy":1,"eval":{"...":"..."}}
 //! ```
@@ -30,359 +30,37 @@
 //!   `Display`, so **serialization is bit-exact**: reading a line back
 //!   reconstructs every `f64` bit for bit. A shard/merge round-trip of a
 //!   grid is therefore byte-identical to the unsharded in-memory run.
+//! * When the producing [`Experiment`](crate::experiment::Experiment) is
+//!   spec-serializable, the header carries its **reproducibility manifest**
+//!   ([`RunManifest`](crate::spec::RunManifest)): seed, precision,
+//!   parallelism, cell range, spec format version and the content hash of
+//!   the producing [`ExperimentSpec`](crate::spec::ExperimentSpec) — so a
+//!   merged run records exactly what produced it. Headers without a
+//!   manifest (runs of opaque strategies, or files written before the spec
+//!   layer existed) stay readable.
 //!
-//! The tolerant [`JsonValue`] parser underneath is exposed for other
-//! harness-adjacent tooling that reads this crate's JSON-lines artifacts
-//! (e.g. the bench-regression diff over `BENCH_results.json`).
+//! The tolerant [`JsonValue`] model underneath lives in [`crate::json`] and
+//! is shared with the experiment-spec format (and exposed for other
+//! harness-adjacent tooling reading this crate's JSON-lines artifacts, e.g.
+//! the bench-regression diff over `BENCH_results.json`).
 
 use std::path::Path;
 
 use imc_energy::{AccessSchedule, PeripheralKind};
 
 use crate::experiment::{ExperimentRun, RunRecord};
+use crate::json::{json_f64, json_string};
 use crate::network::NetworkEvaluation;
+use crate::spec::RunManifest;
 use crate::{Error, Result};
+
+pub use crate::json::JsonValue;
 
 /// Format tag of the run-record JSON-lines header.
 pub const RUN_FORMAT: &str = "imc.experiment-run";
 
 /// Current version of the run-record format; readers reject other versions.
 pub const RUN_FORMAT_VERSION: u64 = 1;
-
-// ---------------------------------------------------------------------------
-// A minimal JSON value model + recursive-descent parser.
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value.
-///
-/// Numbers keep their **raw token** instead of eagerly converting to `f64`,
-/// so integer fields of any magnitude and floating-point fields both convert
-/// losslessly at the access site ([`JsonValue::as_u64`] /
-/// [`JsonValue::as_f64`]).
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A number, as its raw source token (e.g. `"-12.5e3"`).
-    Number(String),
-    /// A string (unescaped).
-    String(String),
-    /// An array.
-    Array(Vec<JsonValue>),
-    /// An object, as key/value pairs in source order.
-    Object(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    /// Parses one complete JSON document (trailing whitespace allowed,
-    /// trailing garbage rejected).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Record`] describing the first syntax error.
-    pub fn parse(input: &str) -> Result<JsonValue> {
-        let mut parser = Parser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        parser.skip_whitespace();
-        let value = parser.value()?;
-        parser.skip_whitespace();
-        if parser.pos != parser.bytes.len() {
-            return Err(parse_error(
-                parser.pos,
-                "trailing characters after JSON value",
-            ));
-        }
-        Ok(value)
-    }
-
-    /// Member of an object by key.
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Object(members) => members.iter().find_map(|(k, v)| (k == key).then_some(v)),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::String(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The number as `f64` (exact for every value this crate writes, which
-    /// uses shortest round-trip formatting).
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Number(token) => token.parse().ok(),
-            _ => None,
-        }
-    }
-
-    /// The number as `u64`, when it is a non-negative integer token.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            JsonValue::Number(token) => token.parse().ok(),
-            _ => None,
-        }
-    }
-
-    /// The number as `usize`, when it is a non-negative integer token.
-    pub fn as_usize(&self) -> Option<usize> {
-        match self {
-            JsonValue::Number(token) => token.parse().ok(),
-            _ => None,
-        }
-    }
-
-    /// The array elements, if this is an array.
-    pub fn as_array(&self) -> Option<&[JsonValue]> {
-        match self {
-            JsonValue::Array(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-fn parse_error(pos: usize, what: &str) -> Error {
-    Error::Record {
-        what: format!("JSON parse error at byte {pos}: {what}"),
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_whitespace(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<()> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(parse_error(
-                self.pos,
-                &format!("expected '{}'", byte as char),
-            ))
-        }
-    }
-
-    fn eat_literal(&mut self, literal: &str, value: JsonValue) -> Result<JsonValue> {
-        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
-            self.pos += literal.len();
-            Ok(value)
-        } else {
-            Err(parse_error(self.pos, &format!("expected '{literal}'")))
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(JsonValue::String(self.string()?)),
-            Some(b't') => self.eat_literal("true", JsonValue::Bool(true)),
-            Some(b'f') => self.eat_literal("false", JsonValue::Bool(false)),
-            Some(b'n') => self.eat_literal("null", JsonValue::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(parse_error(self.pos, "expected a JSON value")),
-        }
-    }
-
-    fn object(&mut self) -> Result<JsonValue> {
-        self.expect(b'{')?;
-        let mut members = Vec::new();
-        self.skip_whitespace();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(JsonValue::Object(members));
-        }
-        loop {
-            self.skip_whitespace();
-            let key = self.string()?;
-            self.skip_whitespace();
-            self.expect(b':')?;
-            self.skip_whitespace();
-            let value = self.value()?;
-            members.push((key, value));
-            self.skip_whitespace();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Object(members));
-                }
-                _ => return Err(parse_error(self.pos, "expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JsonValue> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_whitespace();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(JsonValue::Array(items));
-        }
-        loop {
-            self.skip_whitespace();
-            items.push(self.value()?);
-            self.skip_whitespace();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                _ => return Err(parse_error(self.pos, "expected ',' or ']' in array")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(parse_error(self.pos, "unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'b') => out.push('\u{0008}'),
-                        Some(b'f') => out.push('\u{000C}'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| parse_error(self.pos, "invalid \\u escape"))?;
-                            // Surrogate pairs are not produced by this
-                            // crate's writer; reject rather than mis-decode.
-                            let c = char::from_u32(hex).ok_or_else(|| {
-                                parse_error(self.pos, "\\u escape is not a scalar value")
-                            })?;
-                            out.push(c);
-                            self.pos += 4;
-                        }
-                        _ => return Err(parse_error(self.pos, "invalid escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(b) if b < 0x80 => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-                Some(b) => {
-                    // Consume one multi-byte UTF-8 scalar. The input is a
-                    // `&str` and the cursor only ever advances by whole
-                    // scalars, so the lead byte determines the width exactly;
-                    // validating just that slice keeps string parsing linear.
-                    let width = match b {
-                        0xC0..=0xDF => 2,
-                        0xE0..=0xEF => 3,
-                        _ => 4,
-                    };
-                    let end = (self.pos + width).min(self.bytes.len());
-                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
-                        .ok()
-                        .and_then(|s| s.chars().next())
-                        .ok_or_else(|| parse_error(self.pos, "invalid UTF-8 in string"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<JsonValue> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-            }
-        }
-        let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
-        if token.is_empty() || token == "-" || token.parse::<f64>().is_err() {
-            return Err(parse_error(start, "invalid number"));
-        }
-        Ok(JsonValue::Number(token.to_owned()))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Writing.
-// ---------------------------------------------------------------------------
-
-/// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats an `f64` with Rust's shortest round-trip `Display` — parsing the
-/// token back yields the identical bit pattern for every finite value.
-fn json_f64(value: f64, field: &str) -> Result<String> {
-    if !value.is_finite() {
-        return Err(Error::Record {
-            what: format!("field '{field}' is {value}, which JSON cannot represent"),
-        });
-    }
-    Ok(format!("{value}"))
-}
 
 fn peripheral_tag(kind: PeripheralKind) -> &'static str {
     match kind {
@@ -544,8 +222,12 @@ impl ExperimentRun {
     ///
     /// Returns [`Error::Record`] when a floating-point field is non-finite.
     pub fn to_jsonl(&self) -> Result<String> {
+        let manifest = match self.manifest() {
+            Some(manifest) => format!(",\"manifest\":{}", manifest.to_header_json()),
+            None => String::new(),
+        };
         let mut out = format!(
-            "{{\"format\":{},\"version\":{},\"records\":{}}}\n",
+            "{{\"format\":{},\"version\":{},\"records\":{}{manifest}}}\n",
             json_string(RUN_FORMAT),
             RUN_FORMAT_VERSION,
             self.records().len(),
@@ -591,6 +273,10 @@ impl ExperimentRun {
             });
         }
         let declared = usize_member(&header, "records", "header")?;
+        let manifest = header
+            .get("manifest")
+            .map(RunManifest::from_header_value)
+            .transpose()?;
         let records = lines
             .map(RunRecord::from_json_line)
             .collect::<Result<Vec<_>>>()?;
@@ -602,7 +288,7 @@ impl ExperimentRun {
                 ),
             });
         }
-        Ok(ExperimentRun::new(records))
+        Ok(ExperimentRun::new(records, manifest))
     }
 
     /// Writes [`ExperimentRun::to_jsonl`] to a file.
@@ -652,46 +338,6 @@ mod tests {
     }
 
     #[test]
-    fn json_parser_handles_the_grammar() {
-        let doc = r#"{"a":[1,-2.5e3,true,null,"x\n\"yé"],"b":{"c":0.1}, "d": [] }"#;
-        let v = JsonValue::parse(doc).unwrap();
-        let a = v.get("a").unwrap().as_array().unwrap();
-        assert_eq!(a[0].as_u64(), Some(1));
-        assert_eq!(a[1].as_f64(), Some(-2500.0));
-        assert_eq!(a[1].as_u64(), None);
-        assert_eq!(a[2], JsonValue::Bool(true));
-        assert_eq!(a[3], JsonValue::Null);
-        assert_eq!(a[4].as_str(), Some("x\n\"y\u{e9}"));
-        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_f64(), Some(0.1));
-        assert_eq!(v.get("d").unwrap().as_array().unwrap().len(), 0);
-
-        for bad in ["{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated", "-"] {
-            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must be rejected");
-        }
-    }
-
-    #[test]
-    fn f64_tokens_round_trip_bit_for_bit() {
-        for value in [
-            0.0,
-            -0.0,
-            1.0,
-            91.6,
-            1.0 / 3.0,
-            f64::MIN_POSITIVE,
-            f64::MAX,
-            6.02214076e23,
-            30719.999999999996,
-        ] {
-            let token = json_f64(value, "x").unwrap();
-            let parsed: f64 = token.parse().unwrap();
-            assert_eq!(parsed.to_bits(), value.to_bits(), "token {token}");
-        }
-        assert!(json_f64(f64::NAN, "x").is_err());
-        assert!(json_f64(f64::INFINITY, "x").is_err());
-    }
-
-    #[test]
     fn run_round_trips_byte_identically() {
         let run = small_run();
         let text = run.to_jsonl().unwrap();
@@ -703,6 +349,31 @@ mod tests {
             format!("{:#?}", run.records()),
             format!("{:#?}", back.records())
         );
+        // The manifest survives the round-trip too.
+        assert_eq!(back.manifest(), run.manifest());
+        assert!(run.manifest().is_some(), "built-in sweeps carry a manifest");
+    }
+
+    #[test]
+    fn manifest_reflects_the_producing_experiment() {
+        let run = small_run();
+        let manifest = run.manifest().expect("spec-serializable experiment");
+        assert_eq!(manifest.seed, DEFAULT_SEED);
+        assert_eq!(manifest.cells, 0..4, "1 network × 2 arrays × 2 methods");
+        assert_eq!(manifest.parallelism, None);
+        let header = run.to_jsonl().unwrap().lines().next().unwrap().to_owned();
+        assert!(header.contains("\"manifest\""), "{header}");
+        assert!(header.contains(&manifest.spec_hash_hex()), "{header}");
+
+        // Pre-manifest headers (and opaque-strategy runs) stay readable.
+        let stripped = run.to_jsonl().unwrap().replacen(
+            &format!(",\"manifest\":{}", manifest.to_header_json()),
+            "",
+            1,
+        );
+        let back = ExperimentRun::from_jsonl(&stripped).unwrap();
+        assert!(back.manifest().is_none());
+        assert_eq!(back.records().len(), run.records().len());
     }
 
     #[test]
@@ -761,6 +432,81 @@ mod tests {
         let b = grid().cells(1..3).run().unwrap();
         let err = ExperimentRun::merge([a, b]).unwrap_err();
         assert!(format!("{err}").contains("duplicate cell index"), "{err}");
+    }
+
+    #[test]
+    fn merge_tolerates_differing_parallelism_knobs() {
+        // The worker count is an execution detail, not experiment identity:
+        // shards produced with different pinned worker counts still merge,
+        // and the combined manifest records no single count.
+        let grid = |workers: Option<usize>| {
+            let mut experiment = Experiment::new()
+                .network(resnet20())
+                .arrays([32, 64])
+                .seed(DEFAULT_SEED)
+                .method(CompressionMethod::Uncompressed { sdk: false })
+                .method(CompressionMethod::PatternPruning { entries: 4 });
+            if let Some(workers) = workers {
+                experiment = experiment.parallelism(workers);
+            }
+            experiment
+        };
+        let a = grid(Some(1)).cells(0..2).run().unwrap();
+        let b = grid(Some(2)).cells(2..4).run().unwrap();
+        let merged = ExperimentRun::merge([a, b]).unwrap();
+        let manifest = merged.manifest().expect("agreeing identities keep it");
+        assert_eq!(manifest.parallelism, None, "no single request pinned one");
+        assert_eq!(manifest.cells, 0..4);
+        // Records are what an unpinned unsharded run produces.
+        assert_eq!(
+            merged.records().len(),
+            grid(None).run().unwrap().records().len()
+        );
+
+        // Identity mismatches (different seed => different spec hash) are
+        // still a driver bug and refuse to merge.
+        let c = grid(None).cells(0..2).run().unwrap();
+        let d = grid(None).seed(7).cells(2..4).run().unwrap();
+        let err = ExperimentRun::merge([c, d]).unwrap_err();
+        assert!(format!("{err}").contains("different experiments"), "{err}");
+
+        // A manifest-less shard in the mix must not disable that check for
+        // the shards that do carry manifests…
+        let strip_manifest = |run: ExperimentRun| {
+            let header_manifest =
+                format!(",\"manifest\":{}", run.manifest().unwrap().to_header_json());
+            let stripped = run.to_jsonl().unwrap().replacen(&header_manifest, "", 1);
+            ExperimentRun::from_jsonl(&stripped).unwrap()
+        };
+        let manifest_less = strip_manifest(grid(None).cells(0..1).run().unwrap());
+        assert!(manifest_less.manifest().is_none());
+        let c = grid(None).cells(1..2).run().unwrap();
+        let d = grid(None).seed(7).cells(2..4).run().unwrap();
+        let err = ExperimentRun::merge([manifest_less, c, d]).unwrap_err();
+        assert!(format!("{err}").contains("different experiments"), "{err}");
+
+        // …and a merge containing one drops the merged manifest (it cannot
+        // vouch for records it never covered).
+        let c = grid(None).cells(0..2).run().unwrap();
+        let tail = strip_manifest(grid(None).cells(2..4).run().unwrap());
+        let merged = ExperimentRun::merge([c, tail]).unwrap();
+        assert!(merged.manifest().is_none());
+        assert_eq!(merged.records().len(), 4);
+    }
+
+    #[test]
+    fn malformed_manifests_are_record_errors() {
+        let run = small_run();
+        let text = run.to_jsonl().unwrap();
+        let broken = text.replacen(
+            "\"cells\":{\"start\":0,\"end\":4}",
+            "\"cells\":{\"start\":0}",
+            1,
+        );
+        assert_ne!(broken, text, "header must have been rewritten");
+        let err = ExperimentRun::from_jsonl(&broken).unwrap_err();
+        assert!(matches!(err, Error::Record { .. }), "{err}");
+        assert!(format!("{err}").contains("cells"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! String-keyed factories resolving spec names to networks and strategies.
+//!
+//! The wire-format [`ExperimentSpec`](crate::spec::ExperimentSpec) names its
+//! networks and strategies; a [`Registry`] is what turns those names back
+//! into live values. The built-in names are pre-registered
+//! ([`Registry::new`]):
+//!
+//! | Kind | Names |
+//! |---|---|
+//! | Networks | `resnet20` (alias `ResNet-20`), `wrn16-4` (alias `WRN16-4`) |
+//! | Strategies | `im2col`, `sdk`, `lowrank`, `patdnn`, `pairs`, `dorefa` |
+//!
+//! Network aliases exist because
+//! [`Experiment::to_spec`](crate::experiment::Experiment::to_spec) records
+//! the architecture's display name (`"ResNet-20"`) for experiments built
+//! from a [`NetworkArch`] value directly — both spellings resolve to the
+//! same constructor.
+//!
+//! External code extends the registry without touching this crate:
+//!
+//! ```
+//! use imc_sim::registry::Registry;
+//! use imc_sim::spec::StrategySpec;
+//! use imc_sim::strategy::Im2col;
+//!
+//! let mut registry = Registry::new();
+//! registry.strategy("my-method", |spec: &StrategySpec| {
+//!     // Read parameters off the spec object, build the strategy.
+//!     let _ = spec.get("knob");
+//!     Ok(Box::new(Im2col))
+//! });
+//! assert!(registry.strategy_names().any(|n| n == "my-method"));
+//! ```
+//!
+//! Unknown names surface as [`Error::Spec`], with the registered names
+//! listed in the message.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use imc_nn::{resnet20, wrn16_4, NetworkArch};
+
+use crate::spec::{builtin_method_from_spec, StrategySpec};
+use crate::strategy::CompressionStrategy;
+use crate::{Error, Result};
+
+type NetworkFactory = Arc<dyn Fn() -> NetworkArch + Send + Sync>;
+type StrategyFactory =
+    Arc<dyn Fn(&StrategySpec) -> Result<Box<dyn CompressionStrategy>> + Send + Sync>;
+
+/// Name → constructor registries for spec resolution.
+///
+/// Lookup is exact-match on the name; networks and strategies live in
+/// separate namespaces. The registry is `Send + Sync` (factories must be),
+/// so one registry can serve a whole evaluation service.
+pub struct Registry {
+    networks: BTreeMap<String, NetworkFactory>,
+    strategies: BTreeMap<String, StrategyFactory>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry with every built-in network and strategy pre-registered
+    /// (see the [module docs](self) for the names).
+    pub fn new() -> Self {
+        let mut registry = Self::empty();
+        registry.network("resnet20", resnet20);
+        registry.network("ResNet-20", resnet20);
+        registry.network("wrn16-4", wrn16_4);
+        registry.network("WRN16-4", wrn16_4);
+        for name in ["im2col", "sdk", "lowrank", "patdnn", "pairs", "dorefa"] {
+            registry.strategy(name, |spec: &StrategySpec| {
+                Ok(builtin_method_from_spec(spec)?.strategy())
+            });
+        }
+        registry
+    }
+
+    /// A registry with nothing registered — the starting point for services
+    /// that want full control over the addressable name set.
+    pub fn empty() -> Self {
+        Self {
+            networks: BTreeMap::new(),
+            strategies: BTreeMap::new(),
+        }
+    }
+
+    /// Registers (or replaces) a network constructor under `name`.
+    pub fn network(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> NetworkArch + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.networks.insert(name.into(), Arc::new(factory));
+        self
+    }
+
+    /// Registers (or replaces) a strategy factory under `name`. The factory
+    /// receives the whole [`StrategySpec`] object, so it can read any
+    /// parameter members it defines; it should reject parameters it does not
+    /// understand (the built-ins do) so typos fail loudly.
+    pub fn strategy(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(&StrategySpec) -> Result<Box<dyn CompressionStrategy>> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.strategies.insert(name.into(), Arc::new(factory));
+        self
+    }
+
+    /// The registered network names, sorted.
+    pub fn network_names(&self) -> impl Iterator<Item = &str> {
+        self.networks.keys().map(String::as_str)
+    }
+
+    /// The registered strategy names, sorted.
+    pub fn strategy_names(&self) -> impl Iterator<Item = &str> {
+        self.strategies.keys().map(String::as_str)
+    }
+
+    /// Builds the network registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] for unknown names, listing the registered
+    /// ones.
+    pub fn build_network(&self, name: &str) -> Result<NetworkArch> {
+        match self.networks.get(name) {
+            Some(factory) => Ok(factory()),
+            None => Err(Error::Spec {
+                what: format!(
+                    "unknown network '{name}' (registered: {})",
+                    join_or_none(self.network_names())
+                ),
+            }),
+        }
+    }
+
+    /// Builds a strategy from its spec entry, dispatching on
+    /// [`StrategySpec::method`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] for unknown method names (listing the
+    /// registered ones) and propagates the factory's own errors.
+    pub fn build_strategy(&self, spec: &StrategySpec) -> Result<Box<dyn CompressionStrategy>> {
+        let name = spec.method();
+        match self.strategies.get(name) {
+            Some(factory) => factory(spec),
+            None => Err(Error::Spec {
+                what: format!(
+                    "unknown strategy '{name}' (registered: {})",
+                    join_or_none(self.strategy_names())
+                ),
+            }),
+        }
+    }
+}
+
+fn join_or_none<'a>(names: impl Iterator<Item = &'a str>) -> String {
+    let joined: Vec<&str> = names.collect();
+    if joined.is_empty() {
+        "none".to_owned()
+    } else {
+        joined.join(", ")
+    }
+}
+
+impl core::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Registry")
+            .field("networks", &self.networks.keys().collect::<Vec<_>>())
+            .field("strategies", &self.strategies.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_preregistered_with_aliases() {
+        let registry = Registry::new();
+        assert_eq!(
+            registry.build_network("resnet20").unwrap().name,
+            "ResNet-20"
+        );
+        assert_eq!(
+            registry.build_network("ResNet-20").unwrap().name,
+            "ResNet-20"
+        );
+        assert_eq!(registry.build_network("wrn16-4").unwrap().name, "WRN16-4");
+        for name in ["im2col", "sdk", "lowrank", "patdnn", "pairs", "dorefa"] {
+            assert!(
+                registry.strategy_names().any(|n| n == name),
+                "{name} missing"
+            );
+        }
+        let strategy = registry.build_strategy(&StrategySpec::new("sdk")).unwrap();
+        assert_eq!(strategy.label(), "SDK baseline");
+    }
+
+    #[test]
+    fn unknown_names_surface_as_spec_errors() {
+        let registry = Registry::new();
+        let err = registry.build_network("resnet18").unwrap_err();
+        assert!(matches!(err, Error::Spec { .. }));
+        assert!(format!("{err}").contains("resnet20"), "{err}");
+
+        let err = match registry.build_strategy(&StrategySpec::new("magik")) {
+            Ok(_) => panic!("unknown strategy must be rejected"),
+            Err(err) => err,
+        };
+        assert!(matches!(err, Error::Spec { .. }));
+        assert!(format!("{err}").contains("lowrank"), "{err}");
+
+        let empty = Registry::empty();
+        let err = empty.build_network("resnet20").unwrap_err();
+        assert!(format!("{err}").contains("none"), "{err}");
+    }
+
+    #[test]
+    fn external_registrations_extend_the_namespace() {
+        let mut registry = Registry::new();
+        registry.network("tiny", || {
+            imc_nn::NetworkArch::new(
+                "Tiny-1",
+                "CIFAR-10",
+                10,
+                90.0,
+                vec![imc_tensor::LayerShape::conv(
+                    "only",
+                    imc_tensor::ConvShape::square(3, 8, 3, 1, 1, 8).unwrap(),
+                    true,
+                )],
+            )
+            .expect("valid toy network")
+        });
+        registry.strategy("alias-of-sdk", |_spec| Ok(Box::new(crate::strategy::Sdk)));
+        assert_eq!(registry.build_network("tiny").unwrap().name, "Tiny-1");
+        let strategy = registry
+            .build_strategy(&StrategySpec::new("alias-of-sdk"))
+            .unwrap();
+        assert_eq!(strategy.label(), "SDK baseline");
+    }
+}

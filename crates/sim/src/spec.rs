@@ -1,0 +1,950 @@
+//! Declarative experiment requests: the versioned `imc.experiment-spec`
+//! JSON document.
+//!
+//! The sharded-record format of [`crate::record`] standardized the *output*
+//! side of the experiment pipeline; this module standardizes the *input*
+//! side. An [`ExperimentSpec`] is a wire-format description of one
+//! [`Experiment`](crate::experiment::Experiment) — networks, array sizes and
+//! compression strategies **by name**, plus seed, precision and the
+//! execution knobs — so a driver, CI job or shard worker can submit any
+//! sweep (the paper's fig6–9/table1 grids or a novel scenario) as data
+//! instead of a recompiled Rust program.
+//!
+//! # Format (version 1)
+//!
+//! ```json
+//! {
+//!   "format": "imc.experiment-spec",
+//!   "version": 1,
+//!   "seed": 2025,
+//!   "precision": "f64",
+//!   "networks": ["resnet20"],
+//!   "arrays": [32, 64],
+//!   "strategies": [
+//!     {"method": "im2col"},
+//!     {"method": "lowrank", "groups": 4, "rank": {"divisor": 8}, "sdk": true},
+//!     {"method": "patdnn", "entries": 4}
+//!   ]
+//! }
+//! ```
+//!
+//! * `format` and `version` gate compatibility exactly like the run-record
+//!   header: readers reject unknown formats and versions.
+//! * `seed` (default [`DEFAULT_SEED`]) and `precision` (`"f64"` — the
+//!   default — or `"f32"`) pin reproducibility.
+//! * Three optional members tune execution without changing results:
+//!   `"parallelism": N` (worker count; omitted = one per hardware thread),
+//!   `"cache": false` (disable the per-run decomposition cache; benchmarking
+//!   only) and `"cells": {"start": A, "end": B}` (restrict the run to a cell
+//!   range of the grid — the sharding primitive, usually supplied by the
+//!   driver via `imc run --cells` instead of baked into the spec).
+//! * `networks` and `strategies` are resolved against a
+//!   [`Registry`](crate::registry::Registry): the built-in names are
+//!   pre-registered, external [`CompressionStrategy`] implementations and
+//!   custom networks register under their own names and become addressable
+//!   over the wire with zero changes here. Unknown names surface as
+//!   [`Error::Spec`].
+//!
+//! # Round-trip and provenance
+//!
+//! [`Experiment::to_spec`](crate::experiment::Experiment::to_spec) and
+//! [`ExperimentSpec::into_experiment`] are lossless inverses for every
+//! spec-serializable experiment (one built from
+//! [`CompressionMethod`](crate::network::CompressionMethod)s and/or
+//! registry-built strategies). Every run of such an experiment embeds a
+//! [`RunManifest`] — seed, precision, parallelism, cell range, spec format
+//! version and the spec [content hash](ExperimentSpec::content_hash) — into
+//! its serialized header, so a merged run records exactly what produced it.
+
+use std::ops::Range;
+use std::path::Path;
+
+use imc_core::{CompressionConfig, Precision, RankSpec};
+
+use crate::experiment::Experiment;
+use crate::experiments::DEFAULT_SEED;
+use crate::json::{json_string, JsonValue};
+use crate::network::CompressionMethod;
+use crate::registry::Registry;
+use crate::{Error, Result};
+
+/// Format tag of the experiment-spec document.
+pub const SPEC_FORMAT: &str = "imc.experiment-spec";
+
+/// Current version of the experiment-spec format; readers reject other
+/// versions.
+pub const SPEC_FORMAT_VERSION: u64 = 1;
+
+fn spec_error(what: impl Into<String>) -> Error {
+    Error::Spec { what: what.into() }
+}
+
+/// Re-labels a JSON syntax error (raised as [`Error::Record`] by the shared
+/// parser) as a spec error, since here the malformed document is a spec.
+fn as_spec_error(error: Error) -> Error {
+    match error {
+        Error::Record { what } => Error::Spec { what },
+        other => other,
+    }
+}
+
+pub(crate) fn precision_name(precision: Precision) -> &'static str {
+    match precision {
+        Precision::F64 => "f64",
+        Precision::F32 => "f32",
+    }
+}
+
+pub(crate) fn precision_from_name(name: &str) -> Option<Precision> {
+    match name {
+        "f64" => Some(Precision::F64),
+        "f32" => Some(Precision::F32),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy specs.
+// ---------------------------------------------------------------------------
+
+/// One strategy entry of a spec: a JSON object with a `"method"` name and
+/// method-specific parameters, e.g.
+/// `{"method": "lowrank", "groups": 4, "rank": {"divisor": 8}, "sdk": true}`.
+///
+/// The five built-in methods have canonical encodings
+/// ([`builtin_method_spec`]); external strategies use whatever parameter
+/// members their registered factory understands — the whole object is handed
+/// to the factory verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategySpec {
+    value: JsonValue,
+}
+
+impl StrategySpec {
+    /// A spec naming `method` with no parameters.
+    pub fn new(method: impl Into<String>) -> Self {
+        Self {
+            value: JsonValue::Object(vec![(
+                "method".to_owned(),
+                JsonValue::String(method.into()),
+            )]),
+        }
+    }
+
+    /// Appends one parameter member (builder-style).
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: JsonValue) -> Self {
+        if let JsonValue::Object(members) = &mut self.value {
+            members.push((key.into(), value));
+        }
+        self
+    }
+
+    /// Appends an unsigned-integer parameter member.
+    #[must_use]
+    pub fn with_usize(self, key: impl Into<String>, value: usize) -> Self {
+        self.with(key, JsonValue::Number(value.to_string()))
+    }
+
+    /// Appends a boolean parameter member.
+    #[must_use]
+    pub fn with_bool(self, key: impl Into<String>, value: bool) -> Self {
+        self.with(key, JsonValue::Bool(value))
+    }
+
+    /// Wraps a parsed JSON value, validating the shape (an object with a
+    /// string `"method"` member).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] when the value is not such an object.
+    pub fn from_value(value: JsonValue) -> Result<Self> {
+        match &value {
+            JsonValue::Object(_) => {}
+            _ => return Err(spec_error("strategy entries must be JSON objects")),
+        }
+        if value.get("method").and_then(JsonValue::as_str).is_none() {
+            return Err(spec_error("strategy entries need a string 'method' member"));
+        }
+        Ok(Self { value })
+    }
+
+    /// The method name.
+    pub fn method(&self) -> &str {
+        self.value
+            .get("method")
+            .and_then(JsonValue::as_str)
+            .expect("validated on construction")
+    }
+
+    /// A parameter member by key (`"method"` included).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.value.get(key)
+    }
+
+    /// The underlying JSON object.
+    pub fn value(&self) -> &JsonValue {
+        &self.value
+    }
+
+    /// Serializes as a compact JSON object (member order preserved).
+    pub fn to_json(&self) -> String {
+        self.value.to_json()
+    }
+
+    fn usize_param(&self, key: &str) -> Result<usize> {
+        self.get(key).and_then(JsonValue::as_usize).ok_or_else(|| {
+            spec_error(format!(
+                "strategy '{}': member '{key}' must be a non-negative integer",
+                self.method()
+            ))
+        })
+    }
+
+    fn bool_param(&self, key: &str) -> Result<bool> {
+        self.get(key).and_then(JsonValue::as_bool).ok_or_else(|| {
+            spec_error(format!(
+                "strategy '{}': member '{key}' must be a boolean",
+                self.method()
+            ))
+        })
+    }
+
+    /// Rejects parameter members outside `allowed` — built-in methods parse
+    /// strictly so a typo fails loudly instead of being ignored.
+    fn check_keys(&self, allowed: &[&str]) -> Result<()> {
+        if let JsonValue::Object(members) = &self.value {
+            for (key, _) in members {
+                if key != "method" && !allowed.contains(&key.as_str()) {
+                    return Err(spec_error(format!(
+                        "strategy '{}': unknown member '{key}' (allowed: {})",
+                        self.method(),
+                        if allowed.is_empty() {
+                            "none".to_owned()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The canonical spec encoding of a built-in [`CompressionMethod`].
+pub fn builtin_method_spec(method: &CompressionMethod) -> StrategySpec {
+    match *method {
+        CompressionMethod::Uncompressed { sdk: false } => StrategySpec::new("im2col"),
+        CompressionMethod::Uncompressed { sdk: true } => StrategySpec::new("sdk"),
+        CompressionMethod::LowRank(cfg) => {
+            let rank = match cfg.rank {
+                RankSpec::Divisor(d) => JsonValue::Object(vec![(
+                    "divisor".to_owned(),
+                    JsonValue::Number(d.to_string()),
+                )]),
+                RankSpec::Absolute(k) => JsonValue::Object(vec![(
+                    "absolute".to_owned(),
+                    JsonValue::Number(k.to_string()),
+                )]),
+            };
+            StrategySpec::new("lowrank")
+                .with_usize("groups", cfg.groups)
+                .with("rank", rank)
+                .with_bool("sdk", cfg.use_sdk)
+        }
+        CompressionMethod::PatternPruning { entries } => {
+            StrategySpec::new("patdnn").with_usize("entries", entries)
+        }
+        CompressionMethod::Pairs { entries } => {
+            StrategySpec::new("pairs").with_usize("entries", entries)
+        }
+        CompressionMethod::Quantized { bits } => {
+            StrategySpec::new("dorefa").with_usize("bits", bits)
+        }
+    }
+}
+
+/// Parses the canonical encoding of a built-in method back into its
+/// [`CompressionMethod`] — the inverse of [`builtin_method_spec`], and what
+/// the pre-registered registry factories run.
+///
+/// # Errors
+///
+/// Returns [`Error::Spec`] on an unknown method name, a missing/mistyped
+/// parameter, an unknown parameter member, or a parameter combination the
+/// method itself rejects.
+pub fn builtin_method_from_spec(spec: &StrategySpec) -> Result<CompressionMethod> {
+    match spec.method() {
+        "im2col" => {
+            spec.check_keys(&[])?;
+            Ok(CompressionMethod::Uncompressed { sdk: false })
+        }
+        "sdk" => {
+            spec.check_keys(&[])?;
+            Ok(CompressionMethod::Uncompressed { sdk: true })
+        }
+        "lowrank" => {
+            spec.check_keys(&["groups", "rank", "sdk"])?;
+            let groups = spec.usize_param("groups")?;
+            let rank_value = spec
+                .get("rank")
+                .ok_or_else(|| spec_error("strategy 'lowrank': missing member 'rank'"))?;
+            let rank =
+                match (
+                    rank_value.get("divisor").and_then(JsonValue::as_usize),
+                    rank_value.get("absolute").and_then(JsonValue::as_usize),
+                ) {
+                    (Some(d), None) => RankSpec::Divisor(d),
+                    (None, Some(k)) => RankSpec::Absolute(k),
+                    _ => return Err(spec_error(
+                        "strategy 'lowrank': 'rank' must be {\"divisor\": N} or {\"absolute\": N}",
+                    )),
+                };
+            let use_sdk = spec.bool_param("sdk")?;
+            let cfg = CompressionConfig::new(rank, groups, use_sdk)
+                .map_err(|e| spec_error(format!("strategy 'lowrank': {e}")))?;
+            Ok(CompressionMethod::LowRank(cfg))
+        }
+        "patdnn" => {
+            spec.check_keys(&["entries"])?;
+            Ok(CompressionMethod::PatternPruning {
+                entries: spec.usize_param("entries")?,
+            })
+        }
+        "pairs" => {
+            spec.check_keys(&["entries"])?;
+            Ok(CompressionMethod::Pairs {
+                entries: spec.usize_param("entries")?,
+            })
+        }
+        "dorefa" => {
+            spec.check_keys(&["bits"])?;
+            Ok(CompressionMethod::Quantized {
+                bits: spec.usize_param("bits")?,
+            })
+        }
+        other => Err(spec_error(format!("unknown built-in method '{other}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The spec document.
+// ---------------------------------------------------------------------------
+
+/// A declarative, versioned experiment request: the wire-format twin of the
+/// [`Experiment`](crate::experiment::Experiment) builder.
+///
+/// See the [module docs](self) for the JSON schema. Construct one with
+/// [`Experiment::to_spec`](crate::experiment::Experiment::to_spec), by
+/// filling the fields directly, or by parsing
+/// ([`ExperimentSpec::from_json`]); turn it back into a runnable experiment
+/// with [`ExperimentSpec::into_experiment`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment seed (every weight tensor derives from it).
+    pub seed: u64,
+    /// Width of the decomposition kernels (`f64` reference or `f32` fast
+    /// path).
+    pub precision: Precision,
+    /// Worker count; `None` = one per available hardware thread. Never
+    /// affects results.
+    pub parallelism: Option<usize>,
+    /// Whether the per-run decomposition cache is enabled (default `true`;
+    /// disabling exists only for benchmarking and never affects results).
+    pub cache: bool,
+    /// Restriction to a contiguous cell range of the grid (the sharding
+    /// primitive); `None` = the full grid.
+    pub cells: Option<Range<usize>>,
+    /// Network names, resolved via [`Registry`](crate::registry::Registry).
+    pub networks: Vec<String>,
+    /// Square array sizes.
+    pub arrays: Vec<usize>,
+    /// Strategy entries, resolved via [`Registry`](crate::registry::Registry).
+    pub strategies: Vec<StrategySpec>,
+}
+
+impl ExperimentSpec {
+    /// Serializes the spec as the canonical pretty-printed v1 document: the
+    /// exact inverse of [`ExperimentSpec::from_json`] (parse → write is
+    /// byte-identical for canonical documents).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"format\": {},\n", json_string(SPEC_FORMAT)));
+        out.push_str(&format!("  \"version\": {SPEC_FORMAT_VERSION},\n"));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!(
+            "  \"precision\": {},\n",
+            json_string(precision_name(self.precision))
+        ));
+        if let Some(workers) = self.parallelism {
+            out.push_str(&format!("  \"parallelism\": {workers},\n"));
+        }
+        if !self.cache {
+            out.push_str("  \"cache\": false,\n");
+        }
+        if let Some(cells) = &self.cells {
+            out.push_str(&format!(
+                "  \"cells\": {{\"start\": {}, \"end\": {}}},\n",
+                cells.start, cells.end
+            ));
+        }
+        let networks: Vec<String> = self.networks.iter().map(|n| json_string(n)).collect();
+        out.push_str(&format!("  \"networks\": [{}],\n", networks.join(", ")));
+        let arrays: Vec<String> = self.arrays.iter().map(ToString::to_string).collect();
+        out.push_str(&format!("  \"arrays\": [{}],\n", arrays.join(", ")));
+        if self.strategies.is_empty() {
+            out.push_str("  \"strategies\": []\n");
+        } else {
+            out.push_str("  \"strategies\": [\n");
+            for (i, strategy) in self.strategies.iter().enumerate() {
+                out.push_str("    ");
+                out.push_str(&strategy.to_json());
+                out.push_str(if i + 1 < self.strategies.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a v1 spec document, validating the format tag, the version and
+    /// every member (unknown members are rejected so typos fail loudly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] on malformed JSON, an unknown format or
+    /// version, a missing required member, or an unknown member.
+    pub fn from_json(input: &str) -> Result<Self> {
+        let value = JsonValue::parse(input).map_err(as_spec_error)?;
+        Self::from_value(&value)
+    }
+
+    fn from_value(value: &JsonValue) -> Result<Self> {
+        let members = value
+            .as_object()
+            .ok_or_else(|| spec_error("spec document must be a JSON object"))?;
+        const KNOWN: [&str; 10] = [
+            "format",
+            "version",
+            "seed",
+            "precision",
+            "parallelism",
+            "cache",
+            "cells",
+            "networks",
+            "arrays",
+            "strategies",
+        ];
+        for (key, _) in members {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(spec_error(format!("unknown spec member '{key}'")));
+            }
+        }
+
+        let format = value
+            .get("format")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| spec_error("missing string member 'format'"))?;
+        if format != SPEC_FORMAT {
+            return Err(spec_error(format!(
+                "unknown format '{format}' (expected '{SPEC_FORMAT}')"
+            )));
+        }
+        let version = value
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| spec_error("missing integer member 'version'"))?;
+        if version != SPEC_FORMAT_VERSION {
+            return Err(spec_error(format!(
+                "unsupported version {version} (this reader understands version {SPEC_FORMAT_VERSION})"
+            )));
+        }
+
+        let seed = match value.get("seed") {
+            None => DEFAULT_SEED,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| spec_error("member 'seed' must be a non-negative integer"))?,
+        };
+        let precision = match value.get("precision") {
+            None => Precision::F64,
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| spec_error("member 'precision' must be a string"))?;
+                precision_from_name(name).ok_or_else(|| {
+                    spec_error(format!("unknown precision '{name}' (use 'f64' or 'f32')"))
+                })?
+            }
+        };
+        let parallelism = match value.get("parallelism") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => {
+                let workers = v.as_usize().ok_or_else(|| {
+                    spec_error("member 'parallelism' must be a positive integer or null")
+                })?;
+                // The builder clamps worker counts to at least 1; accepting 0
+                // here would silently rewrite the request (and its manifest).
+                if workers == 0 {
+                    return Err(spec_error(
+                        "member 'parallelism' must be at least 1 (omit it for one \
+                         worker per hardware thread)",
+                    ));
+                }
+                Some(workers)
+            }
+        };
+        let cache = match value.get("cache") {
+            None => true,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| spec_error("member 'cache' must be a boolean"))?,
+        };
+        let cells = match value.get("cells") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(parse_cells(v).map_err(spec_error)?),
+        };
+
+        let networks = value
+            .get("networks")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| spec_error("missing array member 'networks'"))?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| spec_error("member 'networks' must contain only strings"))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let arrays = value
+            .get("arrays")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| spec_error("missing array member 'arrays'"))?
+            .iter()
+            .map(|a| {
+                a.as_usize().ok_or_else(|| {
+                    spec_error("member 'arrays' must contain only non-negative integers")
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let strategies = value
+            .get("strategies")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| spec_error("missing array member 'strategies'"))?
+            .iter()
+            .map(|s| StrategySpec::from_value(s.clone()))
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(Self {
+            seed,
+            precision,
+            parallelism,
+            cache,
+            cells,
+            networks,
+            arrays,
+            strategies,
+        })
+    }
+
+    /// Writes [`ExperimentSpec::to_json`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] on I/O failure.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json()).map_err(|e| Error::Spec {
+            what: format!("could not write {}: {e}", path.display()),
+        })
+    }
+
+    /// Reads a spec from a file written by [`ExperimentSpec::save_json`] (or
+    /// by hand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] on I/O failure or any
+    /// [`ExperimentSpec::from_json`] error.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let input = std::fs::read_to_string(path).map_err(|e| Error::Spec {
+            what: format!("could not read {}: {e}", path.display()),
+        })?;
+        Self::from_json(&input)
+    }
+
+    /// Resolves the spec into a runnable
+    /// [`Experiment`](crate::experiment::Experiment), looking every network
+    /// and strategy name up in `registry`.
+    ///
+    /// The resolved experiment keeps this spec as its provenance, so
+    /// [`Experiment::to_spec`](crate::experiment::Experiment::to_spec) is
+    /// lossless: `spec.into_experiment(r)?.to_spec()? == spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] for names the registry does not know (the
+    /// message lists the registered names).
+    pub fn into_experiment(&self, registry: &Registry) -> Result<Experiment> {
+        let mut experiment = Experiment::new()
+            .seed(self.seed)
+            .precision(self.precision)
+            .decomposition_cache(self.cache);
+        if let Some(workers) = self.parallelism {
+            experiment = experiment.parallelism(workers);
+        }
+        if let Some(cells) = &self.cells {
+            experiment = experiment.cells(cells.clone());
+        }
+        for name in &self.networks {
+            experiment = experiment.network(registry.build_network(name)?);
+            // Keep the spec's name (possibly a registry alias) as the
+            // provenance, so the round-trip back to a spec is lossless.
+            if let Some(last) = experiment.network_names.last_mut() {
+                name.clone_into(last);
+            }
+        }
+        experiment = experiment.arrays(self.arrays.iter().copied());
+        for strategy in &self.strategies {
+            experiment = experiment.boxed_strategy(registry.build_strategy(strategy)?);
+            if let Some(last) = experiment.strategy_specs.last_mut() {
+                *last = Some(strategy.clone());
+            }
+        }
+        Ok(experiment)
+    }
+
+    /// The FNV-1a 64-bit hash of the spec's *identity*: format, version,
+    /// seed, precision, networks, arrays and strategies — the members that
+    /// determine every produced value. The execution knobs (`parallelism`,
+    /// `cache`) and the shard restriction (`cells`) are excluded, so all
+    /// shards of one grid (and reruns at any worker count) share the hash.
+    pub fn content_hash(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in self.identity_json().as_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// The compact serialization [`ExperimentSpec::content_hash`] runs over.
+    fn identity_json(&self) -> String {
+        let networks: Vec<String> = self.networks.iter().map(|n| json_string(n)).collect();
+        let arrays: Vec<String> = self.arrays.iter().map(ToString::to_string).collect();
+        let strategies: Vec<String> = self.strategies.iter().map(StrategySpec::to_json).collect();
+        format!(
+            "{{\"format\":{},\"version\":{},\"seed\":{},\"precision\":{},\"networks\":[{}],\"arrays\":[{}],\"strategies\":[{}]}}",
+            json_string(SPEC_FORMAT),
+            SPEC_FORMAT_VERSION,
+            self.seed,
+            json_string(precision_name(self.precision)),
+            networks.join(","),
+            arrays.join(","),
+            strategies.join(","),
+        )
+    }
+}
+
+/// Parses a `{"start": A, "end": B}` object; the caller wraps the message
+/// in the error kind of its own format (spec vs record).
+fn parse_cells(value: &JsonValue) -> core::result::Result<Range<usize>, String> {
+    let member = |key: &str| {
+        value
+            .get(key)
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| "'cells' must be {\"start\": A, \"end\": B}".to_owned())
+    };
+    Ok(member("start")?..member("end")?)
+}
+
+// ---------------------------------------------------------------------------
+// The reproducibility manifest embedded in run headers.
+// ---------------------------------------------------------------------------
+
+/// What produced a run: the reproducibility manifest embedded into the
+/// header of every serialized [`ExperimentRun`](crate::experiment::ExperimentRun)
+/// whose experiment was spec-serializable.
+///
+/// `seed`, `precision` and `spec_hash` identify the grid's values
+/// completely; `cells` records which slice of the grid this run covers
+/// (shards keep their subrange, and
+/// [`ExperimentRun::merge`](crate::experiment::ExperimentRun::merge)
+/// reassembles the covered span). `parallelism` records the requested worker
+/// knob for the record — results never depend on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Decomposition-kernel width.
+    pub precision: Precision,
+    /// Requested worker count (`None` = one per hardware thread). Recorded
+    /// for provenance only; results are identical for every worker count.
+    pub parallelism: Option<usize>,
+    /// The (global) cell range this run covers; the full grid for unsharded
+    /// runs.
+    pub cells: Range<usize>,
+    /// [`SPEC_FORMAT_VERSION`] of the producing spec.
+    pub spec_version: u64,
+    /// [`ExperimentSpec::content_hash`] of the producing spec.
+    pub spec_hash: u64,
+}
+
+impl RunManifest {
+    /// The spec content hash as the 16-digit hex string used on the wire.
+    pub fn spec_hash_hex(&self) -> String {
+        format!("{:016x}", self.spec_hash)
+    }
+
+    /// Serializes as the compact header object.
+    pub(crate) fn to_header_json(&self) -> String {
+        format!(
+            "{{\"spec_version\":{},\"spec_hash\":{},\"seed\":{},\"precision\":{},\"parallelism\":{},\"cells\":{{\"start\":{},\"end\":{}}}}}",
+            self.spec_version,
+            json_string(&self.spec_hash_hex()),
+            self.seed,
+            json_string(precision_name(self.precision)),
+            match self.parallelism {
+                Some(workers) => workers.to_string(),
+                None => "null".to_owned(),
+            },
+            self.cells.start,
+            self.cells.end,
+        )
+    }
+
+    /// Parses the header object written by
+    /// [`RunManifest::to_header_json`]. Raised errors use [`Error::Record`]:
+    /// a malformed manifest is a malformed record file.
+    pub(crate) fn from_header_value(value: &JsonValue) -> Result<Self> {
+        let record_error = |what: String| Error::Record { what };
+        let spec_version = value
+            .get("spec_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| record_error("manifest: missing integer 'spec_version'".into()))?;
+        let hex = value
+            .get("spec_hash")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| record_error("manifest: missing string 'spec_hash'".into()))?;
+        let spec_hash = u64::from_str_radix(hex, 16)
+            .map_err(|_| record_error(format!("manifest: invalid spec hash '{hex}'")))?;
+        let seed = value
+            .get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| record_error("manifest: missing integer 'seed'".into()))?;
+        let precision_token = value
+            .get("precision")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| record_error("manifest: missing string 'precision'".into()))?;
+        let precision = precision_from_name(precision_token).ok_or_else(|| {
+            record_error(format!("manifest: unknown precision '{precision_token}'"))
+        })?;
+        let parallelism = match value.get("parallelism") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(v.as_usize().ok_or_else(|| {
+                record_error("manifest: 'parallelism' must be an integer or null".into())
+            })?),
+        };
+        let cells = value
+            .get("cells")
+            .ok_or_else(|| record_error("manifest: missing 'cells'".into()))
+            .and_then(|v| {
+                parse_cells(v).map_err(|what| record_error(format!("manifest: {what}")))
+            })?;
+        Ok(Self {
+            seed,
+            precision,
+            parallelism,
+            cells,
+            spec_version,
+            spec_hash,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn fixture_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            seed: DEFAULT_SEED,
+            precision: Precision::F64,
+            parallelism: None,
+            cache: true,
+            cells: None,
+            networks: vec!["resnet20".to_owned()],
+            arrays: vec![32, 64],
+            strategies: vec![
+                StrategySpec::new("im2col"),
+                builtin_method_spec(&CompressionMethod::LowRank(
+                    CompressionConfig::new(RankSpec::Divisor(8), 4, true).unwrap(),
+                )),
+                StrategySpec::new("patdnn").with_usize("entries", 4),
+            ],
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trips_byte_identically() {
+        let spec = fixture_spec();
+        let text = spec.to_json();
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text, "canonical parse → write is stable");
+    }
+
+    #[test]
+    fn optional_members_round_trip() {
+        let mut spec = fixture_spec();
+        spec.parallelism = Some(3);
+        spec.cache = false;
+        spec.cells = Some(2..5);
+        spec.precision = Precision::F32;
+        let text = spec.to_json();
+        assert!(text.contains("\"parallelism\": 3"), "{text}");
+        assert!(text.contains("\"cache\": false"), "{text}");
+        assert!(
+            text.contains("\"cells\": {\"start\": 2, \"end\": 5}"),
+            "{text}"
+        );
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_as_spec_errors() {
+        let canonical = fixture_spec().to_json();
+        for (label, doc) in [
+            ("not json", "{".to_owned()),
+            ("not an object", "[1,2]".to_owned()),
+            (
+                "foreign format",
+                canonical.replacen(SPEC_FORMAT, "something.else", 1),
+            ),
+            (
+                "future version",
+                canonical.replacen("\"version\": 1", "\"version\": 2", 1),
+            ),
+            (
+                "unknown member",
+                canonical.replacen("\"seed\"", "\"sede\"", 1),
+            ),
+            ("bad precision", canonical.replacen("\"f64\"", "\"f16\"", 1)),
+            (
+                "zero parallelism",
+                canonical.replacen(
+                    "\"precision\": \"f64\",",
+                    "\"precision\": \"f64\",\n  \"parallelism\": 0,",
+                    1,
+                ),
+            ),
+        ] {
+            let err = ExperimentSpec::from_json(&doc).unwrap_err();
+            assert!(
+                matches!(err, Error::Spec { .. }),
+                "{label}: wrong error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn builtin_methods_round_trip_through_specs() {
+        let cfg = CompressionConfig::new(RankSpec::Absolute(3), 2, false).unwrap();
+        for method in [
+            CompressionMethod::Uncompressed { sdk: false },
+            CompressionMethod::Uncompressed { sdk: true },
+            CompressionMethod::LowRank(cfg),
+            CompressionMethod::LowRank(
+                CompressionConfig::new(RankSpec::Divisor(8), 4, true).unwrap(),
+            ),
+            CompressionMethod::PatternPruning { entries: 4 },
+            CompressionMethod::Pairs { entries: 6 },
+            CompressionMethod::Quantized { bits: 2 },
+        ] {
+            let spec = builtin_method_spec(&method);
+            assert_eq!(builtin_method_from_spec(&spec).unwrap(), method, "{spec:?}");
+        }
+        // Strict parameter validation.
+        for bad in [
+            StrategySpec::new("lowrank"),
+            StrategySpec::new("patdnn"),
+            StrategySpec::new("patdnn")
+                .with_usize("entries", 4)
+                .with_usize("extra", 1),
+            StrategySpec::new("dorefa").with_bool("bits", true),
+            StrategySpec::new("nope"),
+        ] {
+            assert!(
+                matches!(builtin_method_from_spec(&bad), Err(Error::Spec { .. })),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn content_hash_tracks_identity_not_execution_knobs() {
+        let base = fixture_spec();
+        let hash = base.content_hash();
+
+        let mut knobs = base.clone();
+        knobs.parallelism = Some(7);
+        knobs.cache = false;
+        knobs.cells = Some(0..2);
+        assert_eq!(knobs.content_hash(), hash, "execution knobs excluded");
+
+        let mut reseeded = base.clone();
+        reseeded.seed = 7;
+        assert_ne!(reseeded.content_hash(), hash);
+
+        let mut regridded = base;
+        regridded.arrays.push(128);
+        assert_ne!(regridded.content_hash(), hash);
+    }
+
+    #[test]
+    fn manifest_header_json_round_trips() {
+        let manifest = RunManifest {
+            seed: DEFAULT_SEED,
+            precision: Precision::F32,
+            parallelism: Some(4),
+            cells: 3..9,
+            spec_version: SPEC_FORMAT_VERSION,
+            spec_hash: 0x0123_4567_89ab_cdef,
+        };
+        let json = manifest.to_header_json();
+        let parsed = RunManifest::from_header_value(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, manifest);
+        assert_eq!(parsed.spec_hash_hex(), "0123456789abcdef");
+
+        let auto = RunManifest {
+            parallelism: None,
+            ..manifest
+        };
+        let json = auto.to_header_json();
+        assert!(json.contains("\"parallelism\":null"), "{json}");
+        let parsed = RunManifest::from_header_value(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, auto);
+    }
+
+    #[test]
+    fn spec_resolves_and_round_trips_through_the_registry() {
+        let registry = Registry::new();
+        let spec = fixture_spec();
+        let experiment = spec.into_experiment(&registry).unwrap();
+        assert_eq!(
+            experiment.grid_cells(),
+            6,
+            "1 network x 2 arrays x 3 strategies"
+        );
+        assert_eq!(experiment.to_spec().unwrap(), spec, "lossless round-trip");
+    }
+}

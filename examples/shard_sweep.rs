@@ -1,77 +1,93 @@
-//! Sharded sweep demo: runs the Fig. 6 grid (ResNet-20, 64×64 arrays) as N
-//! cell-range shards, writes each shard's records to a JSON-lines file,
-//! merges the shards back, and diffs the merged run against the unsharded
-//! one — byte for byte.
+//! Sharded sweep demo, driven entirely through the `imc` CLI: emits the
+//! canonical Fig. 6 spec (`imc spec`), runs the grid as N cell-range shards
+//! (`imc run --cells`), merges the shard files back (`imc merge`), and
+//! diffs the merged run against the unsharded CLI run — byte for byte,
+//! reproducibility manifest included.
 //!
 //! In production the shards would run in separate processes (or on separate
-//! hosts), each executing `fig6_experiment(..).cells(start..end)` and
+//! hosts), each executing `imc run fig6.spec.json --cells A..B` and
 //! shipping its JSON-lines file back to the driver; this example performs
-//! the same dataflow in one process so the diff is self-contained.
+//! the same dataflow in one process by calling the CLI entry point
+//! ([`imc::cli::run_command`]) with the exact argument vectors those shell
+//! commands would carry.
 //!
 //! Run with `cargo run --release --example shard_sweep` (optionally pass the
 //! shard count, default 4: `-- 8`).
 
+use imc::cli::run_command;
 use imc::sim::experiments::{fig6_experiment, DEFAULT_SEED};
 use imc::{resnet20, ExperimentRun};
+
+/// `imc <args...>`, argv-style.
+fn imc(args: &[&str]) {
+    run_command(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
+        .unwrap_or_else(|e| panic!("imc {}: {e}", args.join(" ")));
+}
 
 fn main() {
     let shards: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(4);
-    let arch = resnet20();
-    let grid = || fig6_experiment(&arch, 64, DEFAULT_SEED);
-    let total = grid().grid_cells();
+    let total = fig6_experiment(&resnet20(), 64, DEFAULT_SEED).grid_cells();
     let shards = shards.clamp(1, total);
     println!("fig6 grid: {total} cells, running as {shards} shard(s)\n");
 
-    // The reference: one unsharded run of the full grid.
-    let unsharded = grid().run().expect("unsharded sweep succeeds");
-
-    // Each shard evaluates one contiguous cell range and persists its
-    // records as versioned JSON lines.
     let dir = std::env::temp_dir().join("imc_shard_sweep");
     std::fs::create_dir_all(&dir).expect("can create shard directory");
+    let path = |name: &str| dir.join(name).to_str().expect("utf-8 path").to_owned();
+
+    // The request travels as data: one canonical spec file for everybody.
+    let spec = path("fig6.spec.json");
+    imc(&["spec", "fig6", "--out", &spec]);
+
+    // The reference: one unsharded CLI run of the full grid.
+    let full = path("full.jsonl");
+    imc(&["run", &spec, "--out", &full]);
+
+    // Each worker runs one contiguous cell range of the same spec.
     let mut shard_files = Vec::new();
     for s in 0..shards {
         let (start, end) = (s * total / shards, (s + 1) * total / shards);
-        let run = grid()
-            .cells(start..end)
-            .run()
-            .expect("shard sweep succeeds");
-        let path = dir.join(format!("shard_{s}.jsonl"));
-        run.save_jsonl(&path).expect("shard file writes");
-        println!(
-            "shard {s}: cells {start:>3}..{end:>3}  ->  {} ({} records)",
-            path.display(),
-            run.records().len()
-        );
-        shard_files.push(path);
+        let out = path(&format!("shard_{s}.jsonl"));
+        imc(&[
+            "run",
+            &spec,
+            "--cells",
+            &format!("{start}..{end}"),
+            "--out",
+            &out,
+        ]);
+        println!("shard {s}: imc run fig6.spec.json --cells {start:>3}..{end:>3}  ->  {out}");
+        shard_files.push(out);
     }
 
-    // The driver side: read every shard file back and merge.
-    let parsed: Vec<ExperimentRun> = shard_files
-        .iter()
-        .map(|path| ExperimentRun::load_jsonl(path).expect("shard file parses"))
-        .collect();
-    let merged = ExperimentRun::merge(parsed).expect("shards merge");
+    // The driver side: merge the shard files back into the canonical run.
+    let merged = path("merged.jsonl");
+    let mut merge_args = vec!["merge"];
+    merge_args.extend(shard_files.iter().map(String::as_str));
+    merge_args.extend(["--out", &merged]);
+    imc(&merge_args);
 
     // Diff against the unsharded run, byte for byte.
-    let merged_bytes = merged.to_jsonl().expect("merged run serializes");
-    let unsharded_bytes = unsharded.to_jsonl().expect("unsharded run serializes");
+    let merged_bytes = std::fs::read_to_string(&merged).expect("merged run readable");
+    let full_bytes = std::fs::read_to_string(&full).expect("unsharded run readable");
     assert_eq!(
-        merged_bytes, unsharded_bytes,
+        merged_bytes, full_bytes,
         "merged shards must be byte-identical to the unsharded run"
     );
+    let run = ExperimentRun::from_jsonl(&merged_bytes).expect("merged run parses");
+    let manifest = run.manifest().expect("spec-driven runs carry a manifest");
     println!(
         "\nmerged {} records from {} shard file(s): byte-identical to the \
-         unsharded run ({} bytes of JSON lines)",
-        merged.records().len(),
+         unsharded run ({} bytes of JSON lines, spec hash {})",
+        run.records().len(),
         shard_files.len(),
-        merged_bytes.len()
+        merged_bytes.len(),
+        manifest.spec_hash_hex(),
     );
 
-    for path in &shard_files {
-        let _ = std::fs::remove_file(path);
+    for name in shard_files.iter().chain([&spec, &full, &merged]) {
+        let _ = std::fs::remove_file(name);
     }
 }

@@ -1,0 +1,7 @@
+//! The `imc` binary: a thin wrapper over [`imc::cli`], which holds the
+//! argument parsing, the subcommand implementations and their `--help`
+//! texts (see `imc help`).
+
+fn main() {
+    std::process::exit(imc::cli::main_from_args(std::env::args().skip(1)));
+}

@@ -1,0 +1,490 @@
+//! The `imc` command-line driver: experiments as wire-format requests.
+//!
+//! Every subcommand moves one of the harness's two wire formats around:
+//!
+//! | Subcommand | Input → output |
+//! |---|---|
+//! | `imc spec`   | sweep name → canonical `imc.experiment-spec` JSON |
+//! | `imc run`    | spec JSON → `imc.experiment-run` JSON lines |
+//! | `imc shard`  | spec JSON + `--cells A..B` → one shard's JSON lines |
+//! | `imc merge`  | shard JSON-lines files → the merged canonical run |
+//! | `imc report` | run JSON lines → the table1/fig6 text reports |
+//!
+//! The binary (`src/bin/imc.rs`) is a thin wrapper over
+//! [`main_from_args`]; [`run_command`] is the same entry point with
+//! library-style error handling, used by `examples/shard_sweep.rs` to drive
+//! the CLI in-process. Every file argument accepts `-` for stdin, and
+//! `--out` writes to a file instead of stdout, so the commands compose both
+//! ways: `imc spec fig6 | imc run - | imc report fig6 -`.
+//!
+//! Name resolution uses the default [`Registry`] (the built-in networks and
+//! strategies); services embedding custom strategies drive
+//! [`ExperimentSpec`] against their own registry through the library API
+//! instead.
+
+use std::io::Read;
+
+use imc_sim::experiments::{
+    fig6_experiment, fig6_panel_from_run, fig7_experiment, fig8_experiment, fig9_experiment,
+    table1_experiment, table1_rows_from_run, DEFAULT_SEED,
+};
+use imc_sim::report::{fig6_markdown, table1_csv, table1_markdown};
+use imc_sim::{ExperimentRun, ExperimentSpec, Registry};
+
+use crate::{Error, Result};
+
+const ROOT_HELP: &str = "\
+imc — declarative experiment driver for the IMC low-rank reproduction
+
+USAGE:
+    imc <COMMAND> [ARGS]
+
+COMMANDS:
+    spec      Emit the canonical spec of a paper sweep (table1, fig6-9)
+    run       Run an experiment spec, writing run JSON lines
+    shard     Run one cell-range shard of an experiment spec
+    merge     Merge shard run files into one canonical run
+    report    Render a run file as a text report (table1, fig6)
+    help      Show this help, or `imc help <COMMAND>` for one command
+
+Specs are versioned `imc.experiment-spec` JSON documents; runs are versioned
+`imc.experiment-run` JSON lines with bit-exact floats and a reproducibility
+manifest in the header. File arguments accept `-` for stdin, and every
+producing command takes `--out FILE` instead of stdout, so commands compose:
+
+    imc spec fig6 | imc run - | imc report fig6 -
+";
+
+const SPEC_HELP: &str = "\
+imc spec — emit the canonical experiment spec of a paper sweep
+
+USAGE:
+    imc spec <table1|fig6|fig7|fig8|fig9> [OPTIONS]
+
+OPTIONS:
+    --network <NAME>   Network (default: resnet20). table1/fig6/fig7/fig9.
+    --array <N>        Array size (default: 64). fig6/fig9 only.
+    --seed <N>         Experiment seed (default: 2025).
+    --out <FILE>       Write the spec to FILE instead of stdout.
+    --help             Show this help.
+
+The emitted document is exactly what the library generators run: `imc spec
+fig6 | imc run -` is byte-identical to the in-process fig6 sweep. fig8 emits
+the quantization sweep of the figure (the full figure additionally uses the
+fig6 grids of the same array sizes).
+";
+
+const RUN_HELP: &str = "\
+imc run — run an experiment spec, writing run JSON lines
+
+USAGE:
+    imc run <SPEC|-> [OPTIONS]
+
+OPTIONS:
+    --cells <A..B>        Restrict the run to grid cells A..B (the sharding
+                          primitive; cell indices stay global, so shard
+                          outputs feed `imc merge`).
+    --parallelism <N>     Local worker-count override. Results never depend
+                          on it and it is not recorded in the manifest, so
+                          the output is byte-identical for every N.
+    --out <FILE>          Write the run to FILE instead of stdout.
+    --help                Show this help.
+
+Networks and strategies are resolved by name against the built-in registry
+(networks: resnet20, wrn16-4; strategies: im2col, sdk, lowrank, patdnn,
+pairs, dorefa). Unknown names fail with a spec error listing what is
+registered.
+";
+
+const SHARD_HELP: &str = "\
+imc shard — run one cell-range shard of an experiment spec
+
+USAGE:
+    imc shard <SPEC|-> --cells <A..B> [OPTIONS]
+
+OPTIONS:
+    --cells <A..B>        The shard's grid-cell range (required).
+    --parallelism <N>     Local worker-count override (not recorded).
+    --out <FILE>          Write the shard run to FILE instead of stdout.
+    --help                Show this help.
+
+Equivalent to `imc run --cells A..B`: records keep their global cell
+indices, and `imc merge` reassembles all shards into a run byte-identical
+to the unsharded `imc run` of the same spec.
+";
+
+const MERGE_HELP: &str = "\
+imc merge — merge shard run files into one canonical run
+
+USAGE:
+    imc merge <SHARD>... [OPTIONS]
+
+OPTIONS:
+    --out <FILE>   Write the merged run to FILE instead of stdout.
+    --help         Show this help.
+
+Shards may be listed in any order; records are reassembled by global cell
+index. Overlapping shards, and shards whose manifests disagree (different
+seed, precision or spec hash), are rejected. Merging every shard of a grid
+reproduces the unsharded run byte for byte, manifest included.
+";
+
+const REPORT_HELP: &str = "\
+imc report — render a run file as a text report
+
+USAGE:
+    imc report <table1|fig6> <RUN|-> [OPTIONS]
+
+OPTIONS:
+    --csv          Emit CSV instead of Markdown (table1 only).
+    --out <FILE>   Write the report to FILE instead of stdout.
+    --help         Show this help.
+
+The run must have the matching sweep's shape (generate it with `imc spec
+table1` / `imc spec fig6` piped into `imc run`). table1 renders the
+group × rank grid with the cycle columns of the paper's Table I; fig6
+renders the Pareto panel.
+";
+
+fn usage_error(what: impl Into<String>) -> Error {
+    Error::Sim(imc_sim::Error::Spec { what: what.into() })
+}
+
+/// Entry point of the `imc` binary: parses `args` (without the program
+/// name), executes the subcommand, and maps errors to an exit code (`0`
+/// success, `1` failure) after printing them to stderr.
+pub fn main_from_args(args: impl IntoIterator<Item = String>) -> i32 {
+    let args: Vec<String> = args.into_iter().collect();
+    match run_command(&args) {
+        Ok(()) => 0,
+        Err(error) => {
+            eprintln!("imc: {error}");
+            eprintln!("run `imc help` for usage");
+            1
+        }
+    }
+}
+
+/// Executes one CLI invocation (`args` excludes the program name), writing
+/// any produced document to stdout or the `--out` file. The library-style
+/// twin of [`main_from_args`], used to drive the CLI in-process.
+///
+/// # Errors
+///
+/// Usage mistakes and name-resolution failures surface as
+/// [`imc_sim::Error::Spec`] (wrapped in [`Error::Sim`]); everything else
+/// propagates the underlying library error.
+pub fn run_command(args: &[String]) -> Result<()> {
+    let Some(command) = args.first() else {
+        return print_stdout(ROOT_HELP);
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "spec" => cmd_spec(rest),
+        "run" => cmd_run(rest, false),
+        "shard" => cmd_run(rest, true),
+        "merge" => cmd_merge(rest),
+        "report" => cmd_report(rest),
+        "help" | "--help" | "-h" => {
+            let text = match rest.first().map(String::as_str) {
+                None => ROOT_HELP,
+                Some("spec") => SPEC_HELP,
+                Some("run") => RUN_HELP,
+                Some("shard") => SHARD_HELP,
+                Some("merge") => MERGE_HELP,
+                Some("report") => REPORT_HELP,
+                Some(other) => return Err(usage_error(format!("unknown command '{other}'"))),
+            };
+            print_stdout(text)
+        }
+        other => Err(usage_error(format!(
+            "unknown command '{other}' (run `imc help`)"
+        ))),
+    }
+}
+
+/// One parsed invocation: positional arguments and recognized `--flag
+/// value` / `--flag` options.
+struct Parsed {
+    positional: Vec<String>,
+    network: Option<String>,
+    array: Option<usize>,
+    seed: Option<u64>,
+    cells: Option<std::ops::Range<usize>>,
+    parallelism: Option<usize>,
+    out: Option<String>,
+    csv: bool,
+    help: bool,
+}
+
+fn parse_args(args: &[String], allowed: &[&str]) -> Result<Parsed> {
+    let mut parsed = Parsed {
+        positional: Vec::new(),
+        network: None,
+        array: None,
+        seed: None,
+        cells: None,
+        parallelism: None,
+        out: None,
+        csv: false,
+        help: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let flag = arg.as_str();
+        if flag == "--help" || flag == "-h" {
+            parsed.help = true;
+            continue;
+        }
+        if let Some(name) = flag.strip_prefix("--") {
+            if !allowed.contains(&name) {
+                return Err(usage_error(format!(
+                    "unknown option '--{name}' (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            if name == "csv" {
+                parsed.csv = true;
+                continue;
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| usage_error(format!("option '--{name}' needs a value")))?;
+            match name {
+                "network" => parsed.network = Some(value.clone()),
+                "array" => parsed.array = Some(parse_usize(value, "--array")?),
+                "seed" => {
+                    parsed.seed = Some(value.parse().map_err(|_| {
+                        usage_error(format!("'--seed {value}' is not a non-negative integer"))
+                    })?);
+                }
+                "cells" => parsed.cells = Some(parse_cell_range(value)?),
+                "parallelism" => parsed.parallelism = Some(parse_usize(value, "--parallelism")?),
+                "out" => parsed.out = Some(value.clone()),
+                _ => unreachable!("allowed list covers every match arm"),
+            }
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_usize(value: &str, flag: &str) -> Result<usize> {
+    value
+        .parse()
+        .map_err(|_| usage_error(format!("'{flag} {value}' is not a non-negative integer")))
+}
+
+fn parse_cell_range(value: &str) -> Result<std::ops::Range<usize>> {
+    let (start, end) = value
+        .split_once("..")
+        .ok_or_else(|| usage_error(format!("'--cells {value}' is not of the form A..B")))?;
+    Ok(parse_usize(start, "--cells")?..parse_usize(end, "--cells")?)
+}
+
+/// Reads a document argument: a path, or `-` for stdin.
+fn read_input(source: &str) -> Result<String> {
+    if source == "-" {
+        let mut input = String::new();
+        std::io::stdin()
+            .read_to_string(&mut input)
+            .map_err(|e| usage_error(format!("could not read stdin: {e}")))?;
+        Ok(input)
+    } else {
+        std::fs::read_to_string(source)
+            .map_err(|e| usage_error(format!("could not read {source}: {e}")))
+    }
+}
+
+/// Writes `content` to stdout. A closed pipe (`imc run … | head`) is a
+/// normal way for a downstream consumer to stop reading — treated as
+/// success, not a panic or an error.
+fn print_stdout(content: &str) -> Result<()> {
+    use std::io::Write;
+    let mut stdout = std::io::stdout().lock();
+    match stdout
+        .write_all(content.as_bytes())
+        .and_then(|()| stdout.flush())
+    {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(usage_error(format!("could not write stdout: {e}"))),
+    }
+}
+
+/// Writes a produced document to `--out` or stdout.
+fn write_output(out: Option<&str>, content: &str) -> Result<()> {
+    match out {
+        Some(path) => std::fs::write(path, content)
+            .map_err(|e| usage_error(format!("could not write {path}: {e}"))),
+        None => print_stdout(content),
+    }
+}
+
+fn cmd_spec(args: &[String]) -> Result<()> {
+    let parsed = parse_args(args, &["network", "array", "seed", "out"])?;
+    if parsed.help {
+        return print_stdout(SPEC_HELP);
+    }
+    let [sweep] = parsed.positional.as_slice() else {
+        return Err(usage_error(
+            "expected exactly one sweep name (table1, fig6, fig7, fig8 or fig9)",
+        ));
+    };
+    // Which options each sweep actually consumes; accepting (and dropping)
+    // an unused `--network`/`--array` would silently emit a different sweep
+    // than the one asked for.
+    let (uses_network, uses_array) = match sweep.as_str() {
+        "fig6" | "fig9" => (true, true),
+        "table1" | "fig7" => (true, false),
+        "fig8" => (false, false),
+        other => {
+            return Err(usage_error(format!(
+                "unknown sweep '{other}' (known: table1, fig6, fig7, fig8, fig9)"
+            )))
+        }
+    };
+    if !uses_network && parsed.network.is_some() {
+        return Err(usage_error(format!(
+            "'{sweep}' is a fixed-network sweep and takes no '--network'"
+        )));
+    }
+    if !uses_array && parsed.array.is_some() {
+        return Err(usage_error(format!(
+            "'{sweep}' sweeps fixed array sizes and takes no '--array'"
+        )));
+    }
+    let registry = Registry::new();
+    let network = parsed.network.as_deref().unwrap_or("resnet20");
+    let arch = registry.build_network(network)?;
+    let array = parsed.array.unwrap_or(64);
+    let seed = parsed.seed.unwrap_or(DEFAULT_SEED);
+    let experiment = match sweep.as_str() {
+        "table1" => table1_experiment(&arch, seed),
+        "fig6" => fig6_experiment(&arch, array, seed),
+        "fig7" => fig7_experiment(&arch, seed),
+        "fig9" => fig9_experiment(&arch, array, seed),
+        _ => fig8_experiment(seed),
+    };
+    write_output(parsed.out.as_deref(), &experiment.to_spec()?.to_json())
+}
+
+fn cmd_run(args: &[String], shard: bool) -> Result<()> {
+    let parsed = parse_args(args, &["cells", "parallelism", "out"])?;
+    if parsed.help {
+        return print_stdout(if shard { SHARD_HELP } else { RUN_HELP });
+    }
+    let [source] = parsed.positional.as_slice() else {
+        return Err(usage_error("expected exactly one spec file (or '-')"));
+    };
+    if shard && parsed.cells.is_none() {
+        return Err(usage_error("imc shard needs '--cells A..B'"));
+    }
+    let spec = ExperimentSpec::from_json(&read_input(source)?)?;
+    let mut experiment = spec.into_experiment(&Registry::new())?;
+    if let Some(cells) = parsed.cells {
+        experiment = experiment.cells(cells);
+    }
+    if let Some(workers) = parsed.parallelism {
+        experiment = experiment.parallelism_override(workers);
+    }
+    let run = experiment.run()?;
+    write_output(parsed.out.as_deref(), &run.to_jsonl()?)
+}
+
+fn cmd_merge(args: &[String]) -> Result<()> {
+    let parsed = parse_args(args, &["out"])?;
+    if parsed.help {
+        return print_stdout(MERGE_HELP);
+    }
+    if parsed.positional.is_empty() {
+        return Err(usage_error("expected at least one shard run file"));
+    }
+    let mut shards = Vec::with_capacity(parsed.positional.len());
+    for source in &parsed.positional {
+        shards.push(ExperimentRun::from_jsonl(&read_input(source)?)?);
+    }
+    let merged = ExperimentRun::merge(shards)?;
+    write_output(parsed.out.as_deref(), &merged.to_jsonl()?)
+}
+
+fn cmd_report(args: &[String]) -> Result<()> {
+    let parsed = parse_args(args, &["csv", "out"])?;
+    if parsed.help {
+        return print_stdout(REPORT_HELP);
+    }
+    let [kind, source] = parsed.positional.as_slice() else {
+        return Err(usage_error(
+            "expected a report kind (table1 or fig6) and a run file (or '-')",
+        ));
+    };
+    let run = ExperimentRun::from_jsonl(&read_input(source)?)?;
+    let report = match kind.as_str() {
+        "table1" => {
+            let rows = table1_rows_from_run(&run)?;
+            if parsed.csv {
+                table1_csv(&rows)
+            } else {
+                table1_markdown(&rows)
+            }
+        }
+        "fig6" => {
+            if parsed.csv {
+                return Err(usage_error("'--csv' is only available for table1 reports"));
+            }
+            fig6_markdown(&fig6_panel_from_run(&run)?)
+        }
+        other => {
+            return Err(usage_error(format!(
+                "unknown report kind '{other}' (known: table1, fig6)"
+            )))
+        }
+    };
+    write_output(parsed.out.as_deref(), &report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn unknown_commands_and_options_are_usage_errors() {
+        let err = run_command(&strings(&["frobnicate"])).unwrap_err();
+        assert!(format!("{err}").contains("unknown command"), "{err}");
+        let err = run_command(&strings(&["run", "--frobnicate", "x"])).unwrap_err();
+        assert!(format!("{err}").contains("unknown option"), "{err}");
+        let err = run_command(&strings(&["spec", "fig17"])).unwrap_err();
+        assert!(format!("{err}").contains("unknown sweep"), "{err}");
+        // Options a sweep does not consume are rejected, not dropped.
+        let err = run_command(&strings(&["spec", "fig8", "--network", "wrn16-4"])).unwrap_err();
+        assert!(format!("{err}").contains("--network"), "{err}");
+        let err = run_command(&strings(&["spec", "table1", "--array", "128"])).unwrap_err();
+        assert!(format!("{err}").contains("--array"), "{err}");
+        let err = run_command(&strings(&["shard", "spec.json"])).unwrap_err();
+        assert!(format!("{err}").contains("--cells"), "{err}");
+        let err = run_command(&strings(&["run", "-", "--cells", "3"])).unwrap_err();
+        assert!(format!("{err}").contains("A..B"), "{err}");
+    }
+
+    #[test]
+    fn spec_command_writes_a_parseable_canonical_spec() {
+        let dir = std::env::temp_dir().join("imc_cli_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig6.spec.json");
+        run_command(&strings(&["spec", "fig6", "--out", path.to_str().unwrap()])).unwrap();
+        let spec = ExperimentSpec::load_json(&path).unwrap();
+        assert_eq!(spec.networks, vec!["ResNet-20".to_owned()]);
+        assert_eq!(spec.arrays, vec![64]);
+        assert_eq!(spec.strategies.len(), 33, "baseline + 16 lowrank + 8 + 8");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

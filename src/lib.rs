@@ -34,6 +34,14 @@
 //! JSON-lines form ([`ExperimentRun::to_jsonl`]) shard one grid across
 //! processes and reassemble the canonical run byte-identically.
 //!
+//! Experiments are also *wire-format requests*: an [`ExperimentSpec`] names
+//! networks and strategies as data (resolved through a [`Registry`], which
+//! external strategies extend), round-trips losslessly via
+//! [`Experiment::to_spec`], and stamps every run's serialized header with a
+//! reproducibility manifest. The [`cli`] module (the `imc` binary) drives
+//! the whole pipeline from the command line:
+//! `imc spec fig6 | imc run - | imc report fig6 -`.
+//!
 //! The actual implementations live in the `crates/` workspace members:
 //!
 //! * [`imc_linalg`] — dense linear algebra (SVD, QR, Kronecker products).
@@ -60,6 +68,7 @@ pub use imc_quant as quant;
 pub use imc_sim as sim;
 pub use imc_tensor as tensor;
 
+pub mod cli;
 mod error;
 
 pub use error::{Error, Result};
@@ -73,5 +82,6 @@ pub use imc_nn::{resnet20, wrn16_4, NetworkArch};
 pub use imc_sim::strategy;
 pub use imc_sim::{
     CompressionMethod, CompressionStrategy, ConvContext, EvalSession, EvalSessionBuilder,
-    Experiment, ExperimentRun, LayerOutcome, NetworkEvaluation, RunRecord, DEFAULT_SEED,
+    Experiment, ExperimentRun, ExperimentSpec, LayerOutcome, NetworkEvaluation, Registry,
+    RunManifest, RunRecord, StrategySpec, DEFAULT_SEED,
 };

@@ -208,6 +208,76 @@ fn external_strategy_plugs_in_without_touching_imc_sim() {
 }
 
 #[test]
+fn external_strategy_is_wire_addressable_through_the_registry() {
+    // The spec-driven counterpart of the test above: registering the
+    // external method under a name makes it addressable from a wire-format
+    // request, and the resolved sweep is byte-identical to the directly
+    // built one.
+    use imc::{ExperimentSpec, Registry, StrategySpec};
+
+    let mut registry = Registry::new();
+    registry.strategy("half-channels", |spec: &StrategySpec| {
+        // External factories see the whole spec object; this one takes no
+        // parameters beyond the method name.
+        if spec.get("entries").is_some() {
+            return Err(imc::sim::Error::Spec {
+                what: "half-channels takes no 'entries' parameter".to_owned(),
+            });
+        }
+        Ok(Box::new(HalfChannels))
+    });
+
+    let direct = Experiment::new()
+        .network(resnet20())
+        .array(32)
+        .method(CompressionMethod::Uncompressed { sdk: false })
+        .strategy(HalfChannels)
+        .run()
+        .expect("direct sweep succeeds");
+
+    let spec = ExperimentSpec::from_json(
+        r#"{
+          "format": "imc.experiment-spec",
+          "version": 1,
+          "seed": 2025,
+          "networks": ["resnet20"],
+          "arrays": [32],
+          "strategies": [
+            {"method": "im2col"},
+            {"method": "half-channels"}
+          ]
+        }"#,
+    )
+    .expect("hand-written spec parses");
+    let resolved = spec
+        .into_experiment(&registry)
+        .expect("registered names resolve")
+        .run()
+        .expect("spec-driven sweep succeeds");
+
+    // Records are identical; only the manifests differ (the direct build
+    // contains an opaque strategy, so it carries none).
+    assert_eq!(
+        format!("{:#?}", direct.records()),
+        format!("{:#?}", resolved.records()),
+        "spec-driven external sweep must match the direct one"
+    );
+    assert!(direct.manifest().is_none(), "opaque build has no manifest");
+    let manifest = resolved
+        .manifest()
+        .expect("registry-built experiments are spec-serializable");
+    assert_eq!(manifest.spec_hash, spec.content_hash());
+
+    // Unregistered, the same spec fails with a spec error naming the method.
+    let err = match spec.into_experiment(&Registry::new()) {
+        Ok(_) => panic!("unregistered strategy must be rejected"),
+        Err(err) => err,
+    };
+    assert!(matches!(err, imc::sim::Error::Spec { .. }), "{err}");
+    assert!(format!("{err}").contains("half-channels"), "{err}");
+}
+
+#[test]
 fn parallel_and_serial_sweeps_are_byte_identical() {
     // The sweep scheduler and the decomposition cache are pure optimizations:
     // worker count and cache state must change neither the record order nor a

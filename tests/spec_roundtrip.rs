@@ -1,0 +1,169 @@
+//! Property tests for the spec layer: the builder → spec → builder
+//! round-trip must be lossless over seeded random grids, and a resolved
+//! spec must run to the identical grid, byte for byte.
+
+use imc::linalg::random::SeededRng;
+use imc::sim::spec::builtin_method_spec;
+use imc::{
+    resnet20, wrn16_4, CompressionConfig, CompressionMethod, Experiment, ExperimentSpec, RankSpec,
+    Registry,
+};
+
+/// Draws a random spec-serializable experiment: 1 network, 1–2 (small)
+/// arrays, 1–3 built-in methods, a random seed — cheap enough to *run*, so
+/// the round-trip can be checked on the records, not just the description.
+fn random_experiment(rng: &mut SeededRng) -> Experiment {
+    let mut experiment = Experiment::new().seed(rng.next_u64() % 10_000);
+    experiment = if rng.next_u64().is_multiple_of(4) {
+        experiment.network(wrn16_4())
+    } else {
+        experiment.network(resnet20())
+    };
+    let arrays = [32usize, 64, 128];
+    for i in 0..1 + (rng.next_u64() % 2) as usize {
+        experiment = experiment.array(arrays[(rng.next_u64() as usize + i) % arrays.len()]);
+    }
+    for _ in 0..1 + rng.next_u64() % 3 {
+        let method = match rng.next_u64() % 6 {
+            0 => CompressionMethod::Uncompressed { sdk: false },
+            1 => CompressionMethod::Uncompressed { sdk: true },
+            2 => {
+                let divisors = [2usize, 4, 8, 16];
+                let groups = [1usize, 2, 4, 8];
+                let cfg = CompressionConfig::new(
+                    RankSpec::Divisor(divisors[rng.next_u64() as usize % 4]),
+                    groups[rng.next_u64() as usize % 4],
+                    rng.next_u64().is_multiple_of(2),
+                )
+                .expect("valid grid point");
+                CompressionMethod::LowRank(cfg)
+            }
+            3 => CompressionMethod::PatternPruning {
+                entries: 1 + rng.next_u64() as usize % 8,
+            },
+            4 => CompressionMethod::Pairs {
+                entries: 1 + rng.next_u64() as usize % 8,
+            },
+            _ => CompressionMethod::Quantized {
+                bits: 1 + rng.next_u64() as usize % 4,
+            },
+        };
+        experiment = experiment.method(method);
+    }
+    experiment
+}
+
+#[test]
+fn builder_to_spec_to_builder_preserves_the_description() {
+    // Cheap half of the property: over many random grids, the spec document
+    // round-trips losslessly through JSON and through the registry.
+    let registry = Registry::new();
+    let mut rng = SeededRng::seed_from_u64(31);
+    for case in 0..64 {
+        let spec = random_experiment(&mut rng)
+            .to_spec()
+            .expect("built-in methods serialize");
+        let json = spec.to_json();
+        let reparsed = ExperimentSpec::from_json(&json).expect("canonical spec parses");
+        assert_eq!(reparsed, spec, "case {case}: JSON round-trip");
+        assert_eq!(reparsed.to_json(), json, "case {case}: canonical bytes");
+        let rebuilt = spec
+            .into_experiment(&registry)
+            .expect("known names resolve")
+            .to_spec()
+            .expect("resolved experiments serialize");
+        assert_eq!(rebuilt, spec, "case {case}: registry round-trip");
+        assert_eq!(
+            rebuilt.content_hash(),
+            spec.content_hash(),
+            "case {case}: identity hash"
+        );
+    }
+}
+
+#[test]
+fn resolved_specs_run_to_byte_identical_grids() {
+    // Expensive half: actually run a handful of the random grids both ways.
+    let registry = Registry::new();
+    let mut rng = SeededRng::seed_from_u64(7);
+    let mut checked = 0;
+    while checked < 4 {
+        let experiment = random_experiment(&mut rng);
+        // Keep this test fast: skip the big-network / many-cell draws.
+        if experiment.grid_cells() > 4 || experiment.to_spec().unwrap().networks[0] != "ResNet-20" {
+            continue;
+        }
+        let spec = experiment.to_spec().expect("built-ins serialize");
+        let direct = experiment.run().expect("direct run");
+        let resolved = spec
+            .into_experiment(&registry)
+            .expect("known names resolve")
+            .run()
+            .expect("spec-driven run");
+        assert_eq!(
+            direct.to_jsonl().unwrap(),
+            resolved.to_jsonl().unwrap(),
+            "spec-driven run must be byte-identical (spec: {})",
+            spec.to_json()
+        );
+        checked += 1;
+    }
+}
+
+#[test]
+fn opaque_strategies_are_rejected_with_a_spec_error() {
+    struct Opaque;
+    impl imc::CompressionStrategy for Opaque {
+        fn label(&self) -> String {
+            "opaque".to_owned()
+        }
+        fn compress_conv(
+            &self,
+            ctx: &imc::ConvContext<'_>,
+        ) -> Result<imc::LayerOutcome, imc::sim::Error> {
+            let _ = ctx;
+            Err(imc::sim::Error::strategy("never evaluated"))
+        }
+    }
+    let err = Experiment::new()
+        .network(resnet20())
+        .array(32)
+        .method(CompressionMethod::Uncompressed { sdk: false })
+        .strategy(Opaque)
+        .to_spec()
+        .unwrap_err();
+    assert!(matches!(err, imc::sim::Error::Spec { .. }), "{err}");
+    assert!(format!("{err}").contains("opaque"), "{err}");
+}
+
+#[test]
+fn manifest_spec_hash_matches_the_emitting_spec() {
+    let experiment = || {
+        Experiment::new()
+            .network(resnet20())
+            .array(32)
+            .method(CompressionMethod::Uncompressed { sdk: false })
+            .method(builtin_roundtrip(CompressionMethod::PatternPruning {
+                entries: 4,
+            }))
+    };
+    let spec = experiment().to_spec().unwrap();
+    let run = experiment().run().unwrap();
+    let manifest = run.manifest().expect("manifest present");
+    assert_eq!(manifest.spec_hash, spec.content_hash());
+    assert_eq!(manifest.cells, 0..2);
+
+    // Shards share the unsharded hash (cells are excluded from identity).
+    let shard = experiment().cells(1..2).run().unwrap();
+    let shard_manifest = shard.manifest().expect("manifest present");
+    assert_eq!(shard_manifest.spec_hash, manifest.spec_hash);
+    assert_eq!(shard_manifest.cells, 1..2);
+}
+
+/// Round-trips a method through its spec encoding — a tiny sanity detour
+/// proving the public `builtin_method_spec` surface composes with the
+/// builder.
+fn builtin_roundtrip(method: CompressionMethod) -> CompressionMethod {
+    let spec = builtin_method_spec(&method);
+    imc::sim::spec::builtin_method_from_spec(&spec).expect("canonical encoding parses")
+}
