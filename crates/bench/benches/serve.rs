@@ -1,0 +1,77 @@
+//! Serve bench: what a client pays for the same fig6 sweep at the three
+//! temperatures the evaluation server offers, tracked in
+//! `BENCH_results.json` under the `serve` group.
+//!
+//! * `serve_fig6_cold_request` — a fresh server per iteration: bind,
+//!   connect, compute the sweep on a cold session, stream it back. The
+//!   process-per-sweep baseline every client paid before `imc serve`.
+//! * `serve_fig6_warm_session_request` — one long-lived server with the
+//!   response cache disabled: every request recomputes, but on the warm
+//!   shared session, so the decompositions are all cache hits.
+//! * `serve_fig6_warm_response_cache` — the same server with the response
+//!   cache on: an identical repeat request is served straight from the
+//!   retained bytes.
+//!
+//! All three return byte-identical responses, equal to the in-process run
+//! (asserted here before measuring). The ≥5× warm-vs-cold acceptance gate
+//! of the server issue reads these numbers.
+
+use imc_bench::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use imc_nn::resnet20;
+use imc_sim::experiments::{fig6_experiment, DEFAULT_SEED};
+use imc_sim::{ServeClient, ServeConfig, Server};
+
+fn bench_serve_temperatures(c: &mut Criterion) {
+    let arch = resnet20();
+    let spec_json = fig6_experiment(&arch, 64, DEFAULT_SEED)
+        .to_spec()
+        .expect("fig6 serializes")
+        .to_json();
+    let golden = fig6_experiment(&arch, 64, DEFAULT_SEED)
+        .run()
+        .expect("library sweep succeeds")
+        .to_jsonl()
+        .expect("library run serializes");
+
+    let cold_request = || {
+        let server = Server::bind(ServeConfig::new()).expect("server binds");
+        let response = ServeClient::new(server.local_addr().to_string())
+            .post_run(&spec_json)
+            .expect("cold request succeeds");
+        drop(server);
+        response
+    };
+
+    let warm_server =
+        Server::bind(ServeConfig::new().response_cache_bytes(0)).expect("server binds");
+    let warm_client = ServeClient::new(warm_server.local_addr().to_string());
+    let cached_server = Server::bind(ServeConfig::new()).expect("server binds");
+    let cached_client = ServeClient::new(cached_server.local_addr().to_string());
+
+    // Warm both servers and pin the bit-identity contract before timing:
+    // every temperature returns the in-process bytes.
+    assert_eq!(cold_request(), golden);
+    assert_eq!(warm_client.post_run(&spec_json).expect("warms"), golden);
+    assert_eq!(cached_client.post_run(&spec_json).expect("warms"), golden);
+
+    c.bench_function("serve_fig6_cold_request", |b| {
+        b.iter(|| black_box(cold_request()));
+    });
+    c.bench_function("serve_fig6_warm_session_request", |b| {
+        b.iter(|| black_box(warm_client.post_run(&spec_json).expect("request")));
+    });
+    c.bench_function("serve_fig6_warm_response_cache", |b| {
+        b.iter(|| black_box(cached_client.post_run(&spec_json).expect("request")));
+    });
+
+    let metrics = warm_server.metrics();
+    println!(
+        "warm server after measurement: {} computed, {} coalesced, {} cache hits",
+        metrics.runs_computed, metrics.runs_coalesced, metrics.response_cache_hits
+    );
+}
+
+criterion_group!(serve, bench_serve_temperatures);
+criterion_main!(serve);

@@ -82,6 +82,17 @@ impl KindStats {
         self.hits + self.misses
     }
 
+    /// Fraction of lookups answered from the cache, in `[0, 1]`; `0.0`
+    /// before any lookup (so freshly created caches report a defined rate).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
     fn merged(self, other: KindStats) -> KindStats {
         KindStats {
             hits: self.hits + other.hits,
@@ -149,6 +160,12 @@ impl CacheStats {
     /// Total evictions across every kind.
     pub fn evictions(&self) -> u64 {
         self.total().evictions
+    }
+
+    /// Fraction of lookups answered from the cache across every kind, in
+    /// `[0, 1]`; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        self.total().hit_rate()
     }
 }
 

@@ -233,3 +233,67 @@ fn f32_cache_matches_f64_cache_within_budget_and_is_deterministic() {
         d32_again.decomposition.reconstruct()
     );
 }
+
+/// The hit-rate accessors the evaluation service's metrics endpoint leans
+/// on: defined (0.0) on fresh counters, exact fractions otherwise, and the
+/// aggregate rate weighs kinds by their lookup volume.
+#[test]
+fn hit_rate_accessors_report_defined_exact_fractions() {
+    use imc_core::{CacheStats, KindStats};
+
+    let fresh = KindStats::default();
+    assert_eq!(fresh.hit_rate(), 0.0, "no lookups yet must not be NaN");
+    assert_eq!(CacheStats::default().hit_rate(), 0.0);
+
+    let kind = KindStats {
+        hits: 3,
+        misses: 1,
+        evictions: 2,
+    };
+    assert_eq!(kind.hit_rate(), 0.75);
+    assert_eq!(
+        KindStats {
+            hits: 5,
+            misses: 0,
+            evictions: 0,
+        }
+        .hit_rate(),
+        1.0
+    );
+    assert_eq!(
+        KindStats {
+            hits: 0,
+            misses: 4,
+            evictions: 0,
+        }
+        .hit_rate(),
+        0.0
+    );
+
+    // The aggregate is hits/lookups over the summed counters — a
+    // lookup-weighted mean, not a mean of per-kind rates.
+    let stats = CacheStats {
+        weights: KindStats {
+            hits: 9,
+            misses: 1,
+            evictions: 0,
+        },
+        decompositions: KindStats {
+            hits: 0,
+            misses: 10,
+            evictions: 0,
+        },
+        ..CacheStats::default()
+    };
+    assert_eq!(stats.hit_rate(), 9.0 / 20.0);
+
+    // And a live cache reports the rate its counters imply: one miss then
+    // one hit on the same weight key is exactly 0.5 for that kind.
+    let cache = DecompCache::new();
+    let shape = shape();
+    cache.weight(&shape, 11).unwrap();
+    cache.weight(&shape, 11).unwrap();
+    let observed = cache.cache_stats();
+    assert_eq!(observed.weights.hit_rate(), 0.5);
+    assert!(observed.hit_rate() > 0.0);
+}

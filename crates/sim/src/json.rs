@@ -18,6 +18,12 @@
 //!   what makes the run-record format bit-exact.
 //! * **Objects preserve member order**, so a parse → write round-trip is
 //!   canonical: the same value always serializes to the same bytes.
+//! * **The parser is safe on untrusted input** — the evaluation server
+//!   ([`crate::serve`]) feeds it bytes straight off the network. Nesting
+//!   deeper than [`MAX_PARSE_DEPTH`] is rejected (a recursive-descent
+//!   parser would otherwise overflow its stack on `[[[[…`), and duplicate
+//!   object keys are a parse error rather than a silent
+//!   last-or-first-wins ambiguity.
 
 use crate::{Error, Result};
 
@@ -54,6 +60,7 @@ impl JsonValue {
         let mut parser = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         parser.skip_whitespace();
         let value = parser.value()?;
@@ -180,9 +187,16 @@ fn parse_error(pos: usize, what: &str) -> Error {
     }
 }
 
+/// Maximum container nesting the parser accepts. Every legitimate document
+/// of this crate's wire formats nests a handful of levels; 64 leaves wide
+/// headroom while keeping the recursive descent far from stack exhaustion
+/// on adversarial `[[[[…` input.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -230,17 +244,43 @@ impl Parser<'_> {
         }
     }
 
+    /// Counts one level of container nesting; errors past
+    /// [`MAX_PARSE_DEPTH`]. Paired with `leave` in `object`/`array`.
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(parse_error(
+                self.pos,
+                &format!("nesting deeper than {MAX_PARSE_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn object(&mut self) -> Result<JsonValue> {
         self.expect(b'{')?;
-        let mut members = Vec::new();
+        self.enter()?;
+        let mut members: Vec<(String, JsonValue)> = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.leave();
             return Ok(JsonValue::Object(members));
         }
         loop {
             self.skip_whitespace();
+            let key_pos = self.pos;
             let key = self.string()?;
+            if members.iter().any(|(existing, _)| *existing == key) {
+                return Err(parse_error(
+                    key_pos,
+                    &format!("duplicate object key '{key}'"),
+                ));
+            }
             self.skip_whitespace();
             self.expect(b':')?;
             self.skip_whitespace();
@@ -251,6 +291,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(JsonValue::Object(members));
                 }
                 _ => return Err(parse_error(self.pos, "expected ',' or '}' in object")),
@@ -260,10 +301,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<JsonValue> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.leave();
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -274,6 +317,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(parse_error(self.pos, "expected ',' or ']' in array")),
@@ -466,6 +510,61 @@ mod tests {
         // Member order is preserved, not sorted.
         let swapped = r#"{"f":1,"a":2}"#;
         assert_eq!(JsonValue::parse(swapped).unwrap().to_json(), swapped);
+    }
+
+    #[test]
+    fn nesting_past_the_depth_limit_is_a_parse_error_not_a_crash() {
+        // Exactly at the limit: accepted (arrays, objects, and a mix).
+        let deep_arrays = format!(
+            "{}{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(JsonValue::parse(&deep_arrays).is_ok());
+        let deep_objects = format!(
+            "{}null{}",
+            "{\"k\":".repeat(MAX_PARSE_DEPTH),
+            "}".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(JsonValue::parse(&deep_objects).is_ok());
+
+        // One level past: rejected with the depth in the message.
+        let over = format!(
+            "{}{}",
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            "]".repeat(MAX_PARSE_DEPTH + 1)
+        );
+        let err = JsonValue::parse(&over).unwrap_err();
+        assert!(
+            format!("{err}").contains("nesting deeper than"),
+            "unexpected error: {err}"
+        );
+
+        // The adversarial case the limit exists for: an unclosed open-bracket
+        // flood must error out, not exhaust the parser's stack.
+        let flood = "[".repeat(1 << 20);
+        assert!(JsonValue::parse(&flood).is_err());
+        let object_flood = "{\"k\":".repeat(1 << 18);
+        assert!(JsonValue::parse(&object_flood).is_err());
+
+        // Depth is structural, not cumulative: many shallow siblings stay
+        // fine.
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(JsonValue::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected_with_the_offending_key() {
+        let err = JsonValue::parse(r#"{"a":1,"b":2,"a":3}"#).unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("duplicate object key 'a'"), "{text}");
+
+        // Escapes are unescaped before comparison: "a" is 'a'.
+        assert!(JsonValue::parse(r#"{"a":1,"\u0061":2}"#).is_err());
+
+        // Same key in *different* objects is legal.
+        assert!(JsonValue::parse(r#"{"x":{"a":1},"y":{"a":2}}"#).is_ok());
+        assert!(JsonValue::parse(r#"[{"a":1},{"a":2}]"#).is_ok());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!   networks × array sizes × strategies; the figure generators in
 //!   [`experiments`] are thin sweeps over it.
 //!
-//! Four service-scale layers sit on top of the experiment facade:
+//! Five service-scale layers sit on top of the experiment facade:
 //!
 //! * [`session`] — the long-lived [`EvalSession`]: one bounded, shared
 //!   decomposition cache reused across [`Experiment::run_in`] calls, so
@@ -40,6 +40,10 @@
 //! * [`registry`] — the name → constructor [`Registry`] the spec layer
 //!   resolves against; external networks and strategies register under
 //!   their own names and become addressable over the wire.
+//! * [`serve`] — the long-lived evaluation [`Server`]: a zero-dependency
+//!   HTTP/1.1 service that executes POSTed spec documents on shared
+//!   per-precision sessions, coalesces identical in-flight requests onto
+//!   one computation, and reports live cache/latency metrics.
 //!
 //! (The [`json`] module holds the shared hand-rolled JSON value model both
 //! wire formats are built on.)
@@ -58,6 +62,7 @@ pub mod record;
 pub mod registry;
 pub mod report;
 pub mod runtime;
+pub mod serve;
 pub mod session;
 pub mod spec;
 pub mod strategy;
@@ -74,6 +79,7 @@ pub use network::{
     NetworkEvaluation,
 };
 pub use registry::Registry;
+pub use serve::{ServeClient, ServeConfig, ServeMetrics, Server};
 pub use session::{EvalSession, EvalSessionBuilder};
 pub use spec::{ExperimentSpec, RunManifest, StrategySpec, SPEC_FORMAT, SPEC_FORMAT_VERSION};
 pub use strategy::{CompressionStrategy, ConvContext, LayerOutcome};
@@ -129,6 +135,12 @@ pub enum Error {
         /// Description of the spec failure.
         what: String,
     },
+    /// The evaluation service failed (bind/socket errors, malformed HTTP
+    /// traffic, or a non-2xx server response surfaced by [`ServeClient`]).
+    Serve {
+        /// Description of the service failure.
+        what: String,
+    },
 }
 
 impl Error {
@@ -153,6 +165,7 @@ impl core::fmt::Display for Error {
             Error::Strategy { what } => write!(f, "compression strategy error: {what}"),
             Error::Record { what } => write!(f, "run record error: {what}"),
             Error::Spec { what } => write!(f, "experiment spec error: {what}"),
+            Error::Serve { what } => write!(f, "evaluation service error: {what}"),
         }
     }
 }
@@ -169,7 +182,8 @@ impl std::error::Error for Error {
             Error::Builder { .. }
             | Error::Strategy { .. }
             | Error::Record { .. }
-            | Error::Spec { .. } => None,
+            | Error::Spec { .. }
+            | Error::Serve { .. } => None,
         }
     }
 }

@@ -1,0 +1,1515 @@
+//! The long-lived evaluation server: experiment specs over HTTP/1.1.
+//!
+//! [`spec`](crate::spec) made experiments wire-format requests and
+//! [`session`](crate::session) made their evaluation state long-lived; this
+//! module is the layer that finally **listens**. A [`Server`] is a
+//! hand-rolled HTTP/1.1 service over [`std::net::TcpListener`] — zero
+//! external dependencies, the same rule as [`crate::json`] — that accepts
+//! POSTed `imc.experiment-spec` documents, executes them on precision-keyed
+//! shared [`EvalSession`]s, and streams the resulting
+//! `imc.experiment-run` JSON lines back as a chunked response. The bytes a
+//! client receives are **identical to `imc run` of the same spec** —
+//! manifest header included — so the server is a drop-in, warm-cache
+//! replacement for process-per-sweep execution.
+//!
+//! # Endpoints
+//!
+//! | Method & path | Behaviour |
+//! |---|---|
+//! | `POST /v1/run`      | body: spec JSON → chunked run JSON lines |
+//! | `GET /v1/metrics`   | JSON snapshot: requests, coalescing, cache stats, latency percentiles |
+//! | `GET /v1/health`    | `{"status":"ok"}` (readiness probe) |
+//! | `POST /v1/shutdown` | acknowledge, then shut down gracefully |
+//!
+//! # Request coalescing
+//!
+//! The spec [content hash](crate::spec::ExperimentSpec::content_hash) is the
+//! natural memoization key: two requests whose specs hash identically (and
+//! agree on the byte-relevant execution members — see [`RunKey`]) produce
+//! identical bytes, so computing them twice is pure waste. The server keeps
+//! a **single-flight map**: the first request of a key computes; requests
+//! arriving while that computation is in flight block on its result slot and
+//! receive the very same bytes (counted as `coalesced` in the metrics).
+//! Completed responses additionally enter a bounded LRU **response cache**,
+//! so identical requests arriving *after* the flight has landed are served
+//! without recomputation (counted as `response_cache_hits`).
+//!
+//! Coalescing and caching are observable only in the metrics and in the
+//! `x-imc-source` response header (`computed` / `coalesced` / `cache`);
+//! the response bytes are identical on every path.
+//!
+//! # Metrics and determinism
+//!
+//! `/v1/metrics` reports request counts, coalescing counters, per-kind
+//! session [`CacheStats`] (with the hit-rate accessors), and p50/p90/p99
+//! run latencies from a **fixed-bucket histogram**. Latencies live only in
+//! this histogram — run records carry no timestamps — so serving a spec
+//! through the server never perturbs the determinism of the run bytes.
+//!
+//! # Shutdown
+//!
+//! `POST /v1/shutdown` is the graceful path: the acknowledgement is sent,
+//! the listener stops accepting, in-flight requests run to completion, and
+//! [`Server::wait`] returns. (The zero-dependency rule leaves no portable
+//! way to install OS signal handlers, so SIGINT/SIGTERM keep their default
+//! process-killing disposition; drivers that want graceful teardown use the
+//! endpoint, as the CI smoke job does.)
+//!
+//! ```no_run
+//! use imc_sim::serve::{ServeClient, ServeConfig, Server};
+//!
+//! let server = Server::bind(ServeConfig::new().addr("127.0.0.1:0")).unwrap();
+//! let client = ServeClient::new(server.local_addr().to_string());
+//! let spec = imc_sim::experiments::fig6_experiment(&imc_nn::resnet20(), 64, 2025)
+//!     .to_spec()
+//!     .unwrap();
+//! let run_bytes = client.post_run(&spec.to_json()).unwrap();
+//! assert!(run_bytes.starts_with("{\"format\":\"imc.experiment-run\""));
+//! client.shutdown_server().unwrap();
+//! server.wait();
+//! ```
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use imc_core::{CacheStats, Precision};
+
+use crate::json::{json_string, JsonValue};
+use crate::registry::Registry;
+use crate::session::EvalSession;
+use crate::spec::{precision_name, ExperimentSpec};
+use crate::{Error, Result};
+
+/// Format tag of the `/v1/metrics` document.
+pub const METRICS_FORMAT: &str = "imc.serve-metrics";
+
+/// Current version of the metrics document; consumers gate on it like the
+/// other wire formats.
+pub const METRICS_FORMAT_VERSION: u64 = 1;
+
+fn serve_error(what: impl Into<String>) -> Error {
+    Error::Serve { what: what.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------------
+
+/// Configures a [`Server`]: bind address, connection workers, session cache
+/// budget and response-cache bound.
+#[derive(Clone)]
+pub struct ServeConfig {
+    addr: String,
+    workers: usize,
+    cache_budget_bytes: Option<usize>,
+    response_cache_bytes: usize,
+    max_body_bytes: usize,
+    registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("cache_budget_bytes", &self.cache_budget_bytes)
+            .field("response_cache_bytes", &self.response_cache_bytes)
+            .field("max_body_bytes", &self.max_body_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            cache_budget_bytes: None,
+            response_cache_bytes: 64 << 20,
+            max_body_bytes: 8 << 20,
+            registry: Arc::new(Registry::new()),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration: loopback on an ephemeral port, 4
+    /// connection workers, unbounded session caches, a 64 MiB response
+    /// cache and an 8 MiB request-body cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the bind address (`host:port`; port `0` picks an ephemeral
+    /// port, reported by [`Server::local_addr`]).
+    #[must_use]
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets how many connection-handler threads serve requests concurrently
+    /// (each run additionally parallelizes over the
+    /// [`runtime`](crate::runtime) worker pool; clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Bounds every precision-keyed [`EvalSession`]'s decomposition cache to
+    /// an estimated resident-byte budget (default: unbounded). Identical
+    /// semantics to
+    /// [`EvalSessionBuilder::cache_budget_bytes`](crate::session::EvalSessionBuilder::cache_budget_bytes).
+    #[must_use]
+    pub fn cache_budget_bytes(mut self, budget: usize) -> Self {
+        self.cache_budget_bytes = Some(budget);
+        self
+    }
+
+    /// Bounds the completed-response LRU cache to `budget` bytes of run
+    /// JSONL (default 64 MiB; `0` disables response caching — single-flight
+    /// coalescing of concurrent identical requests still applies).
+    #[must_use]
+    pub fn response_cache_bytes(mut self, budget: usize) -> Self {
+        self.response_cache_bytes = budget;
+        self
+    }
+
+    /// Caps the accepted request-body size (default 8 MiB); larger POSTs
+    /// are refused with `413 Payload Too Large` before buffering.
+    #[must_use]
+    pub fn max_body_bytes(mut self, limit: usize) -> Self {
+        self.max_body_bytes = limit.max(1);
+        self
+    }
+
+    /// Replaces the name-resolution [`Registry`] (default:
+    /// [`Registry::new`], the built-in networks and strategies). Services
+    /// with external strategies register them here and they become
+    /// POSTable by name.
+    #[must_use]
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.registry = Arc::new(registry);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing keys, single-flight slots and the response cache.
+// ---------------------------------------------------------------------------
+
+/// The coalescing/memoization key of one `/v1/run` request: every member
+/// that can alter the **response bytes**.
+///
+/// `spec_hash` ([`ExperimentSpec::content_hash`]) covers seed, precision,
+/// networks, arrays and strategies. The manifest embedded in the run header
+/// additionally records the covered cell range and the *requested*
+/// parallelism, so both are part of the key even though parallelism never
+/// changes record values — two specs differing only in `"parallelism"`
+/// produce headers that differ byte-wise and must not share a response.
+/// `precision` is already inside the hash; it is kept as an explicit member
+/// because it also selects the shared session (and guards against hash
+/// collisions across widths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// FNV-1a content hash of the spec identity.
+    pub spec_hash: u64,
+    /// Decomposition-kernel width (selects the shared session).
+    pub precision: Precision,
+    /// The spec's cell-range restriction, if any.
+    pub cells: Option<(usize, usize)>,
+    /// The spec's pinned worker count, if any (recorded in the manifest).
+    pub parallelism: Option<usize>,
+}
+
+impl RunKey {
+    /// The key of a parsed spec.
+    pub fn of(spec: &ExperimentSpec) -> Self {
+        Self {
+            spec_hash: spec.content_hash(),
+            precision: spec.precision,
+            cells: spec.cells.clone().map(|r| (r.start, r.end)),
+            parallelism: spec.parallelism,
+        }
+    }
+}
+
+/// How a `/v1/run` response was obtained; reported in the `x-imc-source`
+/// header and counted in the metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunSource {
+    Computed,
+    Coalesced,
+    Cache,
+}
+
+impl RunSource {
+    fn tag(self) -> &'static str {
+        match self {
+            RunSource::Computed => "computed",
+            RunSource::Coalesced => "coalesced",
+            RunSource::Cache => "cache",
+        }
+    }
+}
+
+/// The result slot one in-flight computation publishes to its coalesced
+/// followers: the shared response bytes, or the error every waiter should
+/// surface.
+struct Flight {
+    slot: Mutex<Option<core::result::Result<Arc<String>, RequestError>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: core::result::Result<Arc<String>, RequestError>) {
+        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> core::result::Result<Arc<String>, RequestError> {
+        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.ready.wait(slot).expect("flight slot poisoned");
+        }
+    }
+}
+
+/// A completed response kept for reuse, with the LRU tick of its most
+/// recent use.
+struct CachedResponse {
+    bytes: Arc<String>,
+    last_used: u64,
+}
+
+/// Bounded LRU over completed run responses, keyed like the single-flight
+/// map. A `budget_bytes` of zero disables retention entirely.
+struct ResponseCache {
+    entries: HashMap<RunKey, CachedResponse>,
+    total_bytes: usize,
+    budget_bytes: usize,
+    tick: u64,
+}
+
+impl ResponseCache {
+    fn new(budget_bytes: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            total_bytes: 0,
+            budget_bytes,
+            tick: 0,
+        }
+    }
+
+    fn get(&mut self, key: &RunKey) -> Option<Arc<String>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.bytes)
+        })
+    }
+
+    fn insert(&mut self, key: RunKey, bytes: Arc<String>) {
+        if self.budget_bytes == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(previous) = self.entries.insert(
+            key,
+            CachedResponse {
+                bytes: Arc::clone(&bytes),
+                last_used: self.tick,
+            },
+        ) {
+            self.total_bytes -= previous.bytes.len();
+        }
+        self.total_bytes += bytes.len();
+        // Evict least-recently-used entries until the budget holds again; a
+        // single response larger than the whole budget simply never stays.
+        while self.total_bytes > self.budget_bytes {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| *key)
+            else {
+                break;
+            };
+            if let Some(evicted) = self.entries.remove(&oldest) {
+                self.total_bytes -= evicted.bytes.len();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+// ---------------------------------------------------------------------------
+
+/// Upper bucket boundaries (microseconds) of the fixed run-latency
+/// histogram; one implicit overflow bucket follows the last boundary.
+const LATENCY_BUCKETS_US: [u64; 17] = [
+    250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+    2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+];
+
+/// Lock-free counters every handler thread updates; the `/v1/metrics`
+/// endpoint snapshots them.
+#[derive(Default)]
+struct MetricsInner {
+    requests_total: AtomicU64,
+    run_requests: AtomicU64,
+    metrics_requests: AtomicU64,
+    health_requests: AtomicU64,
+    shutdown_requests: AtomicU64,
+    error_responses: AtomicU64,
+    runs_computed: AtomicU64,
+    runs_coalesced: AtomicU64,
+    response_cache_hits: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+}
+
+impl MetricsInner {
+    fn record_run_latency(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of the server's observability counters — the
+/// in-process twin of the `/v1/metrics` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMetrics {
+    /// Requests accepted, across every endpoint (errors included).
+    pub requests_total: u64,
+    /// `POST /v1/run` requests.
+    pub run_requests: u64,
+    /// `GET /v1/metrics` requests.
+    pub metrics_requests: u64,
+    /// `GET /v1/health` requests.
+    pub health_requests: u64,
+    /// `POST /v1/shutdown` requests.
+    pub shutdown_requests: u64,
+    /// Responses with a non-2xx status.
+    pub error_responses: u64,
+    /// Run requests that executed a sweep themselves.
+    pub runs_computed: u64,
+    /// Run requests that attached to an identical in-flight computation.
+    pub runs_coalesced: u64,
+    /// Run requests served from the completed-response cache.
+    pub response_cache_hits: u64,
+    /// Counts per latency bucket (the last bucket is the >60 s overflow).
+    pub latency_buckets: Vec<u64>,
+    /// Per-precision session cache statistics, sorted by precision name.
+    pub sessions: Vec<(String, CacheStats)>,
+}
+
+impl ServeMetrics {
+    /// Total run-latency observations.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_buckets.iter().sum()
+    }
+
+    /// The `q`-quantile run latency in milliseconds, from the fixed-bucket
+    /// histogram: the upper boundary of the bucket in which the quantile
+    /// falls (saturating at the 60 s overflow boundary). `None` without
+    /// observations.
+    pub fn latency_quantile_ms(&self, q: f64) -> Option<f64> {
+        let count = self.latency_count();
+        if count == 0 {
+            return None;
+        }
+        let needed = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.latency_buckets.iter().enumerate() {
+            seen += n;
+            if seen >= needed {
+                let bound_us = LATENCY_BUCKETS_US
+                    .get(bucket)
+                    .copied()
+                    .unwrap_or(LATENCY_BUCKETS_US[LATENCY_BUCKETS_US.len() - 1]);
+                return Some(bound_us as f64 / 1_000.0);
+            }
+        }
+        None
+    }
+
+    /// Serializes the snapshot as the versioned `/v1/metrics` JSON
+    /// document.
+    pub fn to_json(&self) -> String {
+        let quantile = |q: f64| match self.latency_quantile_ms(q) {
+            Some(ms) => format!("{ms}"),
+            None => "null".to_owned(),
+        };
+        let buckets: Vec<String> = self
+            .latency_buckets
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let bounds: Vec<String> = LATENCY_BUCKETS_US
+            .iter()
+            .map(|us| format!("{}", *us as f64 / 1_000.0))
+            .collect();
+        let sessions: Vec<String> = self
+            .sessions
+            .iter()
+            .map(|(precision, stats)| {
+                let kinds: Vec<String> = stats
+                    .per_kind()
+                    .iter()
+                    .map(|(name, kind)| {
+                        format!(
+                            "{}:{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{}}}",
+                            json_string(name),
+                            kind.hits,
+                            kind.misses,
+                            kind.evictions,
+                            format_rate(kind.hit_rate()),
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"precision\":{},\"resident_bytes\":{},\"hit_rate\":{},\"kinds\":{{{}}}}}",
+                    json_string(precision),
+                    stats.resident_bytes,
+                    format_rate(stats.hit_rate()),
+                    kinds.join(","),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"format\":{},\"version\":{},\
+             \"requests\":{{\"total\":{},\"run\":{},\"metrics\":{},\"health\":{},\"shutdown\":{},\"errors\":{}}},\
+             \"runs\":{{\"computed\":{},\"coalesced\":{},\"response_cache_hits\":{}}},\
+             \"latency_ms\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"bucket_bounds_ms\":[{}],\"bucket_counts\":[{}]}},\
+             \"sessions\":[{}]}}",
+            json_string(METRICS_FORMAT),
+            METRICS_FORMAT_VERSION,
+            self.requests_total,
+            self.run_requests,
+            self.metrics_requests,
+            self.health_requests,
+            self.shutdown_requests,
+            self.error_responses,
+            self.runs_computed,
+            self.runs_coalesced,
+            self.response_cache_hits,
+            self.latency_count(),
+            quantile(0.50),
+            quantile(0.90),
+            quantile(0.99),
+            bounds.join(","),
+            buckets.join(","),
+            sessions.join(","),
+        )
+    }
+}
+
+/// Formats a hit rate with enough digits to be readable and stable.
+fn format_rate(rate: f64) -> String {
+    format!("{:.4}", rate)
+}
+
+// ---------------------------------------------------------------------------
+// Shared server state and the server handle.
+// ---------------------------------------------------------------------------
+
+/// State shared by every connection-handler thread.
+struct ServerState {
+    registry: Arc<Registry>,
+    cache_budget_bytes: Option<usize>,
+    sessions: Mutex<HashMap<Precision, Arc<EvalSession>>>,
+    flights: Mutex<HashMap<RunKey, Arc<Flight>>>,
+    response_cache: Mutex<ResponseCache>,
+    metrics: MetricsInner,
+    shutdown: AtomicBool,
+    max_body_bytes: usize,
+}
+
+impl ServerState {
+    /// The shared session of `precision`, created on first use with the
+    /// configured cache budget.
+    fn session_for(&self, precision: Precision) -> Arc<EvalSession> {
+        let mut sessions = self.sessions.lock().expect("session map poisoned");
+        Arc::clone(sessions.entry(precision).or_insert_with(|| {
+            let mut builder = EvalSession::builder().precision(precision);
+            if let Some(budget) = self.cache_budget_bytes {
+                builder = builder.cache_budget_bytes(budget);
+            }
+            Arc::new(builder.build())
+        }))
+    }
+
+    fn snapshot_metrics(&self) -> ServeMetrics {
+        let m = &self.metrics;
+        let latency_buckets = m
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let mut sessions: Vec<(String, CacheStats)> = self
+            .sessions
+            .lock()
+            .expect("session map poisoned")
+            .iter()
+            .map(|(precision, session)| (precision_name(*precision).to_owned(), session.stats()))
+            .collect();
+        sessions.sort_by(|a, b| a.0.cmp(&b.0));
+        ServeMetrics {
+            requests_total: m.requests_total.load(Ordering::Relaxed),
+            run_requests: m.run_requests.load(Ordering::Relaxed),
+            metrics_requests: m.metrics_requests.load(Ordering::Relaxed),
+            health_requests: m.health_requests.load(Ordering::Relaxed),
+            shutdown_requests: m.shutdown_requests.load(Ordering::Relaxed),
+            error_responses: m.error_responses.load(Ordering::Relaxed),
+            runs_computed: m.runs_computed.load(Ordering::Relaxed),
+            runs_coalesced: m.runs_coalesced.load(Ordering::Relaxed),
+            response_cache_hits: m.response_cache_hits.load(Ordering::Relaxed),
+            latency_buckets,
+            sessions,
+        }
+    }
+}
+
+/// A running evaluation server: the handle owning the listener, the
+/// connection workers and the shared sessions.
+///
+/// Bind with [`Server::bind`]; stop it by POSTing `/v1/shutdown` (or calling
+/// [`Server::shutdown`]) and then [`Server::wait`]. Dropping the handle also
+/// shuts down and joins.
+pub struct Server {
+    state: Arc<ServerState>,
+    local_addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener and starts the accept loop plus the configured
+    /// connection workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] when the address cannot be bound.
+    pub fn bind(config: ServeConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| serve_error(format!("could not bind {}: {e}", config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| serve_error(format!("could not read bound address: {e}")))?;
+        let state = Arc::new(ServerState {
+            registry: Arc::clone(&config.registry),
+            cache_budget_bytes: config.cache_budget_bytes,
+            sessions: Mutex::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
+            response_cache: Mutex::new(ResponseCache::new(config.response_cache_bytes)),
+            metrics: MetricsInner::default(),
+            shutdown: AtomicBool::new(false),
+            max_body_bytes: config.max_body_bytes,
+        });
+
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        for _ in 0..config.workers {
+            let receiver = Arc::clone(&receiver);
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || loop {
+                let next = receiver.lock().expect("connection queue poisoned").recv();
+                match next {
+                    Ok(stream) => handle_connection(&state, stream),
+                    // The accept loop dropped the sender: shutdown.
+                    Err(_) => break,
+                }
+            }));
+        }
+        {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || {
+                // `sender` moves in here; dropping it on exit closes the
+                // worker queue and lets the workers drain and stop.
+                for stream in listener.incoming() {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if sender.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        Ok(Server {
+            state,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The bound socket address (resolves the ephemeral port of `:0`
+    /// binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the server's metrics — the in-process equivalent of
+    /// `GET /v1/metrics`.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.state.snapshot_metrics()
+    }
+
+    /// Requests a graceful shutdown: stop accepting, let in-flight requests
+    /// finish. Idempotent; [`Server::wait`] (or drop) joins the threads.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.state, self.local_addr);
+    }
+
+    /// Blocks until the server has shut down (via `POST /v1/shutdown` or
+    /// [`Server::shutdown`]) and every worker has drained.
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shutdown();
+            self.join_threads();
+        }
+    }
+}
+
+/// Flags the shutdown and pokes the listener with a throwaway connection so
+/// a blocked `accept` observes the flag.
+fn trigger_shutdown(state: &ServerState, addr: SocketAddr) {
+    if state.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing (server side).
+// ---------------------------------------------------------------------------
+
+/// How long a connection may dribble its request in / ignore its response
+/// before the worker gives up on it.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Hard cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// A request error carrying the HTTP status it should surface as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RequestError {
+    status: u16,
+    message: String,
+}
+
+impl RequestError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// One parsed request: method, path and body.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Reads one HTTP/1.1 request off the stream. `Content-Length` bodies only;
+/// the cap on head and body sizes makes the server safe to expose to
+/// untrusted peers.
+fn read_request(
+    stream: &mut TcpStream,
+    max_body_bytes: usize,
+) -> core::result::Result<Request, RequestError> {
+    let bad = |what: String| RequestError::new(400, what);
+    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_subslice(&buffer, b"\r\n\r\n") {
+            break pos;
+        }
+        if buffer.len() > MAX_HEAD_BYTES {
+            return Err(bad("request head exceeds 16 KiB".to_owned()));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| bad(format!("could not read request: {e}")))?;
+        if n == 0 {
+            return Err(bad("connection closed mid-request".to_owned()));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buffer[..head_end])
+        .map_err(|_| bad("request head is not UTF-8".to_owned()))?
+        .to_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = (
+        parts.next().unwrap_or_default().to_owned(),
+        parts.next().unwrap_or_default().to_owned(),
+        parts.next().unwrap_or_default(),
+    );
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("malformed request line '{request_line}'")));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| bad(format!("invalid content-length '{value}'")))?;
+        } else if name == "transfer-encoding" && value.to_ascii_lowercase().contains("chunked") {
+            return Err(bad(
+                "chunked request bodies are not supported (send content-length)".to_owned(),
+            ));
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(RequestError::new(
+            413,
+            format!(
+                "request body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"
+            ),
+        ));
+    }
+    let mut body = buffer[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(bad("request body longer than content-length".to_owned()));
+    }
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| bad(format!("could not read request body: {e}")))?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body".to_owned()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(bad("request body longer than content-length".to_owned()));
+        }
+    }
+    Ok(Request { method, path, body })
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Writes a complete (content-length) response.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Streams a run back as a chunked response, one chunk per JSON line — the
+/// client sees complete records as they are written.
+fn write_chunked_response(
+    stream: &mut TcpStream,
+    source: RunSource,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\nx-imc-source: {}\r\nconnection: close\r\n\r\n",
+        source.tag(),
+    );
+    stream.write_all(head.as_bytes())?;
+    for line in body.split_inclusive('\n') {
+        stream.write_all(format!("{:x}\r\n", line.len()).as_bytes())?;
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\r\n")?;
+    }
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+fn write_error(stream: &mut TcpStream, error: &RequestError) -> std::io::Result<()> {
+    let body = format!("{{\"error\":{}}}\n", json_string(&error.message));
+    write_response(stream, error.status, "application/json", &[], &body)
+}
+
+// ---------------------------------------------------------------------------
+// Request handling.
+// ---------------------------------------------------------------------------
+
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let request = match read_request(&mut stream, state.max_body_bytes) {
+        Ok(request) => request,
+        Err(error) => {
+            // A poke connection during shutdown sends no bytes; don't count
+            // or answer it.
+            state
+                .metrics
+                .error_responses
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = write_error(&mut stream, &error);
+            return;
+        }
+    };
+    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    let endpoint = (request.method.as_str(), request.path.as_str());
+    let outcome: core::result::Result<(), RequestError> = match endpoint {
+        ("POST", "/v1/run") => {
+            state.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
+            handle_run(state, &request.body).and_then(|(bytes, source)| {
+                write_chunked_response(&mut stream, source, &bytes)
+                    .map_err(|e| RequestError::new(500, format!("could not write response: {e}")))
+            })
+        }
+        ("GET", "/v1/metrics") => {
+            state
+                .metrics
+                .metrics_requests
+                .fetch_add(1, Ordering::Relaxed);
+            let body = format!("{}\n", state.snapshot_metrics().to_json());
+            write_response(&mut stream, 200, "application/json", &[], &body)
+                .map_err(|e| RequestError::new(500, format!("could not write response: {e}")))
+        }
+        ("GET", "/v1/health") => {
+            state
+                .metrics
+                .health_requests
+                .fetch_add(1, Ordering::Relaxed);
+            write_response(
+                &mut stream,
+                200,
+                "application/json",
+                &[],
+                "{\"status\":\"ok\"}\n",
+            )
+            .map_err(|e| RequestError::new(500, format!("could not write response: {e}")))
+        }
+        ("POST", "/v1/shutdown") => {
+            state
+                .metrics
+                .shutdown_requests
+                .fetch_add(1, Ordering::Relaxed);
+            let written = write_response(
+                &mut stream,
+                200,
+                "application/json",
+                &[],
+                "{\"status\":\"shutting down\"}\n",
+            );
+            // Acknowledge first, then stop accepting; the local address is
+            // recoverable from the connection itself.
+            if let Ok(addr) = stream.local_addr() {
+                trigger_shutdown(state, addr);
+            } else {
+                state.shutdown.store(true, Ordering::SeqCst);
+            }
+            written.map_err(|e| RequestError::new(500, format!("could not write response: {e}")))
+        }
+        ("POST" | "GET", "/v1/run" | "/v1/metrics" | "/v1/health" | "/v1/shutdown") => {
+            Err(RequestError::new(
+                405,
+                format!("{} does not accept {}", request.path, request.method),
+            ))
+        }
+        (_, path) => Err(RequestError::new(404, format!("unknown path '{path}'"))),
+    };
+    if let Err(error) = outcome {
+        state
+            .metrics
+            .error_responses
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = write_error(&mut stream, &error);
+    }
+}
+
+/// The `/v1/run` pipeline: parse → coalesce → execute → cache. Returns the
+/// shared response bytes and how they were obtained.
+fn handle_run(
+    state: &ServerState,
+    body: &[u8],
+) -> core::result::Result<(Arc<String>, RunSource), RequestError> {
+    let started = Instant::now();
+    let text = std::str::from_utf8(body)
+        .map_err(|_| RequestError::new(400, "request body is not UTF-8"))?;
+    let spec =
+        ExperimentSpec::from_json(text).map_err(|e| RequestError::new(400, format!("{e}")))?;
+    let key = RunKey::of(&spec);
+
+    // Completed earlier? Serve the retained bytes.
+    if let Some(bytes) = state
+        .response_cache
+        .lock()
+        .expect("response cache poisoned")
+        .get(&key)
+    {
+        state
+            .metrics
+            .response_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        state.metrics.record_run_latency(started.elapsed());
+        return Ok((bytes, RunSource::Cache));
+    }
+
+    // Identical request in flight? Attach to it.
+    let (flight, leader) = {
+        let mut flights = state.flights.lock().expect("flight map poisoned");
+        match flights.get(&key) {
+            Some(flight) => (Arc::clone(flight), false),
+            None => {
+                let flight = Arc::new(Flight::new());
+                flights.insert(key, Arc::clone(&flight));
+                (flight, true)
+            }
+        }
+    };
+    if !leader {
+        state.metrics.runs_coalesced.fetch_add(1, Ordering::Relaxed);
+        let result = flight.wait();
+        state.metrics.record_run_latency(started.elapsed());
+        return result.map(|bytes| (bytes, RunSource::Coalesced));
+    }
+
+    // Leader: execute the spec on the shared session of its precision.
+    let result = execute_spec(state, &spec);
+    {
+        // Publish under the flight-map lock so a request that misses the
+        // response cache always finds either the flight or the cached
+        // response, never a gap between the two.
+        let mut flights = state.flights.lock().expect("flight map poisoned");
+        if let Ok(bytes) = &result {
+            state
+                .response_cache
+                .lock()
+                .expect("response cache poisoned")
+                .insert(key, Arc::clone(bytes));
+        }
+        flight.publish(result.clone());
+        flights.remove(&key);
+    }
+    if result.is_ok() {
+        state.metrics.runs_computed.fetch_add(1, Ordering::Relaxed);
+    }
+    state.metrics.record_run_latency(started.elapsed());
+    result.map(|bytes| (bytes, RunSource::Computed))
+}
+
+/// Resolves and runs one spec, serializing the run to the exact bytes
+/// `imc run` would produce.
+fn execute_spec(
+    state: &ServerState,
+    spec: &ExperimentSpec,
+) -> core::result::Result<Arc<String>, RequestError> {
+    let classify = |e: &Error| match e {
+        // The client's document was unresolvable or inconsistent.
+        Error::Spec { .. } | Error::Builder { .. } => 400,
+        _ => 500,
+    };
+    let experiment = spec
+        .into_experiment(&state.registry)
+        .map_err(|e| RequestError::new(classify(&e), format!("{e}")))?;
+    let session = state.session_for(spec.precision);
+    let run = experiment
+        .run_in(&session)
+        .map_err(|e| RequestError::new(classify(&e), format!("{e}")))?;
+    let bytes = run
+        .to_jsonl()
+        .map_err(|e| RequestError::new(500, format!("{e}")))?;
+    Ok(Arc::new(bytes))
+}
+
+// ---------------------------------------------------------------------------
+// The client.
+// ---------------------------------------------------------------------------
+
+/// A minimal blocking HTTP client for the server's endpoints — the test,
+/// bench and CLI (`imc call`) helper, dependency-free like the server.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: String,
+    timeout: Duration,
+}
+
+impl ServeClient {
+    /// A client for the server at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            timeout: Duration::from_secs(600),
+        }
+    }
+
+    /// Overrides the per-request I/O timeout (default 600 s — sweeps are
+    /// slow on cold caches).
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// POSTs a spec document to `/v1/run`, returning the run JSON lines —
+    /// byte-identical to `imc run` of the same spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] on connection failure or a non-2xx
+    /// response (the message carries the server's error body).
+    pub fn post_run(&self, spec_json: &str) -> Result<String> {
+        self.request("POST", "/v1/run", Some(spec_json))
+    }
+
+    /// Fetches the `/v1/metrics` JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] on connection failure or a non-2xx response.
+    pub fn metrics(&self) -> Result<String> {
+        self.request("GET", "/v1/metrics", None)
+    }
+
+    /// Fetches `/v1/health` (readiness probe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] on connection failure or a non-2xx response.
+    pub fn health(&self) -> Result<String> {
+        self.request("GET", "/v1/health", None)
+    }
+
+    /// Requests a graceful server shutdown (`POST /v1/shutdown`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] on connection failure or a non-2xx response.
+    pub fn shutdown_server(&self) -> Result<String> {
+        self.request("POST", "/v1/shutdown", None)
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<String> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| serve_error(format!("could not connect to {}: {e}", self.addr)))?;
+        let _ = stream.set_read_timeout(Some(self.timeout));
+        let _ = stream.set_write_timeout(Some(self.timeout));
+        let _ = stream.set_nodelay(true);
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.addr,
+            body.len(),
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .and_then(|()| stream.flush())
+            .map_err(|e| serve_error(format!("could not send request: {e}")))?;
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| serve_error(format!("could not read response: {e}")))?;
+        let (status, body) = parse_response(&raw)?;
+        if !(200..300).contains(&status) {
+            // Error bodies are `{"error": "..."}`; surface the message.
+            let message = JsonValue::parse(body.trim())
+                .ok()
+                .and_then(|v| {
+                    v.get("error")
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_owned)
+                })
+                .unwrap_or_else(|| body.trim().to_owned());
+            return Err(serve_error(format!(
+                "server returned HTTP {status}: {message}"
+            )));
+        }
+        Ok(body)
+    }
+}
+
+/// Parses a complete HTTP/1.1 response (status line, headers, then either a
+/// content-length or chunked body).
+fn parse_response(raw: &[u8]) -> Result<(u16, String)> {
+    let head_end = find_subslice(raw, b"\r\n\r\n")
+        .ok_or_else(|| serve_error("malformed response: no header terminator".to_owned()))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| serve_error("response head is not UTF-8".to_owned()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| serve_error(format!("malformed status line '{status_line}'")))?;
+    let mut chunked = false;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().to_ascii_lowercase().contains("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    let payload = &raw[head_end + 4..];
+    let body = if chunked {
+        decode_chunked(payload)?
+    } else {
+        payload.to_vec()
+    };
+    String::from_utf8(body)
+        .map(|body| (status, body))
+        .map_err(|_| serve_error("response body is not UTF-8".to_owned()))
+}
+
+/// Decodes a chunked transfer-encoded body.
+fn decode_chunked(mut payload: &[u8]) -> Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let line_end = find_subslice(payload, b"\r\n")
+            .ok_or_else(|| serve_error("malformed chunked body: missing size line".to_owned()))?;
+        let size_token = std::str::from_utf8(&payload[..line_end])
+            .map_err(|_| serve_error("malformed chunk size".to_owned()))?
+            .trim();
+        // Chunk extensions (`;`-suffixed) are legal; we never send them.
+        let size_token = size_token.split(';').next().unwrap_or_default();
+        let size = usize::from_str_radix(size_token, 16)
+            .map_err(|_| serve_error(format!("invalid chunk size '{size_token}'")))?;
+        payload = &payload[line_end + 2..];
+        if size == 0 {
+            return Ok(body);
+        }
+        if payload.len() < size + 2 {
+            return Err(serve_error("truncated chunked body".to_owned()));
+        }
+        body.extend_from_slice(&payload[..size]);
+        payload = &payload[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::DEFAULT_SEED;
+    use crate::spec::StrategySpec;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            seed: DEFAULT_SEED,
+            precision: Precision::F64,
+            parallelism: None,
+            cache: true,
+            cells: None,
+            networks: vec!["resnet20".to_owned()],
+            arrays: vec![32],
+            strategies: vec![StrategySpec::new("im2col")],
+        }
+    }
+
+    fn start_server() -> (Server, ServeClient) {
+        let server = Server::bind(ServeConfig::new().workers(4)).expect("server binds");
+        let client = ServeClient::new(server.local_addr().to_string());
+        (server, client)
+    }
+
+    #[test]
+    fn run_endpoint_matches_the_in_process_run_bytes() {
+        let (server, client) = start_server();
+        let spec = tiny_spec();
+        let golden = spec
+            .into_experiment(&Registry::new())
+            .unwrap()
+            .run()
+            .unwrap()
+            .to_jsonl()
+            .unwrap();
+        let first = client.post_run(&spec.to_json()).unwrap();
+        assert_eq!(first, golden, "server bytes must equal `imc run` bytes");
+        // A second identical request is a response-cache hit with the same
+        // bytes.
+        let second = client.post_run(&spec.to_json()).unwrap();
+        assert_eq!(second, golden);
+        let metrics = server.metrics();
+        assert_eq!(metrics.run_requests, 2);
+        assert_eq!(metrics.runs_computed, 1);
+        assert_eq!(metrics.response_cache_hits, 1);
+        assert_eq!(metrics.runs_coalesced, 0);
+        assert!(metrics.latency_count() >= 2);
+        client.shutdown_server().unwrap();
+        server.wait();
+    }
+
+    #[test]
+    fn health_metrics_and_errors_speak_http() {
+        let (server, client) = start_server();
+        assert_eq!(client.health().unwrap(), "{\"status\":\"ok\"}\n");
+
+        // Malformed spec → 400 with the spec error in the message.
+        let err = client.post_run("{definitely not json").unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("HTTP 400"), "{text}");
+
+        // Unknown network → 400 listing registered names.
+        let mut spec = tiny_spec();
+        spec.networks = vec!["resnet18".to_owned()];
+        let err = client.post_run(&spec.to_json()).unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("HTTP 400"), "{text}");
+        assert!(text.contains("resnet20"), "{text}");
+
+        // Unknown path → 404; wrong method → 405.
+        let raw = ServeClient::new(server.local_addr().to_string());
+        let err = raw.request("GET", "/nope", None).unwrap_err();
+        assert!(format!("{err}").contains("HTTP 404"), "{err}");
+        let err = raw.request("GET", "/v1/run", None).unwrap_err();
+        assert!(format!("{err}").contains("HTTP 405"), "{err}");
+
+        let metrics_json = client.metrics().unwrap();
+        let parsed = JsonValue::parse(metrics_json.trim()).expect("metrics is valid JSON");
+        assert_eq!(
+            parsed.get("format").and_then(JsonValue::as_str),
+            Some(METRICS_FORMAT)
+        );
+        let errors = parsed
+            .get("requests")
+            .and_then(|r| r.get("errors"))
+            .and_then(JsonValue::as_u64)
+            .unwrap();
+        assert!(errors >= 4, "four failing requests were made: {errors}");
+        client.shutdown_server().unwrap();
+        server.wait();
+    }
+
+    #[test]
+    fn specs_differing_only_in_manifest_knobs_do_not_share_bytes() {
+        let (server, client) = start_server();
+        let unpinned = tiny_spec();
+        let mut pinned = tiny_spec();
+        pinned.parallelism = Some(1);
+        let a = client.post_run(&unpinned.to_json()).unwrap();
+        let b = client.post_run(&pinned.to_json()).unwrap();
+        assert_ne!(a, b, "manifest parallelism differs, so headers differ");
+        assert!(b.contains("\"parallelism\":1"), "{b}");
+        assert_eq!(server.metrics().runs_computed, 2);
+
+        // Same spec with a cell restriction is a third key.
+        let mut sliced = tiny_spec();
+        sliced.cells = Some(0..1);
+        let c = client.post_run(&sliced.to_json()).unwrap();
+        assert!(c.contains("\"cells\":{\"start\":0,\"end\":1}"), "{c}");
+        assert_eq!(server.metrics().runs_computed, 3);
+        client.shutdown_server().unwrap();
+        server.wait();
+    }
+
+    /// A strategy that exercises the decomposition cache (im2col alone
+    /// never queries it).
+    fn lowrank_strategy() -> StrategySpec {
+        StrategySpec::new("lowrank")
+            .with_usize("groups", 4)
+            .with(
+                "rank",
+                JsonValue::Object(vec![(
+                    "divisor".to_owned(),
+                    JsonValue::Number("8".to_owned()),
+                )]),
+            )
+            .with_bool("sdk", true)
+    }
+
+    #[test]
+    fn sessions_are_shared_across_requests_of_one_precision() {
+        let (server, client) = start_server();
+        let mut spec = tiny_spec();
+        spec.strategies = vec![lowrank_strategy()];
+        client.post_run(&spec.to_json()).unwrap();
+        // A different grid (different hash) over the same network and seed
+        // reuses the same session's decompositions.
+        let mut wider = tiny_spec();
+        wider.strategies = vec![lowrank_strategy()];
+        wider.arrays = vec![32, 64];
+        client.post_run(&wider.to_json()).unwrap();
+        let metrics = server.metrics();
+        assert_eq!(metrics.runs_computed, 2);
+        let (precision, stats) = &metrics.sessions[0];
+        assert_eq!(precision, "f64");
+        assert!(
+            stats.hits() > 0,
+            "second sweep must hit the shared session cache: {stats:?}"
+        );
+        client.shutdown_server().unwrap();
+        server.wait();
+    }
+
+    #[test]
+    fn graceful_shutdown_stops_accepting() {
+        let (server, client) = start_server();
+        client.shutdown_server().unwrap();
+        server.wait();
+        // The listener is gone: connecting now fails (or is refused on
+        // read); either way no response arrives.
+        assert!(client.health().is_err());
+    }
+
+    #[test]
+    fn response_cache_evicts_by_lru_budget() {
+        let mut cache = ResponseCache::new(10);
+        let key = |n: u64| RunKey {
+            spec_hash: n,
+            precision: Precision::F64,
+            cells: None,
+            parallelism: None,
+        };
+        let bytes = |s: &str| Arc::new(s.to_owned());
+        cache.insert(key(1), bytes("aaaa"));
+        cache.insert(key(2), bytes("bbbb"));
+        assert!(cache.get(&key(1)).is_some());
+        // 4 + 4 + 4 > 10: inserting c evicts the LRU entry (key 2).
+        cache.insert(key(3), bytes("cccc"));
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        // An entry larger than the whole budget never stays.
+        cache.insert(key(4), bytes("xxxxxxxxxxxxxxxx"));
+        assert!(cache.get(&key(4)).is_none());
+        // Budget 0 disables retention.
+        let mut disabled = ResponseCache::new(0);
+        disabled.insert(key(1), bytes("aaaa"));
+        assert!(disabled.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn latency_quantiles_come_from_bucket_bounds() {
+        let mut metrics = ServeMetrics {
+            requests_total: 0,
+            run_requests: 0,
+            metrics_requests: 0,
+            health_requests: 0,
+            shutdown_requests: 0,
+            error_responses: 0,
+            runs_computed: 0,
+            runs_coalesced: 0,
+            response_cache_hits: 0,
+            latency_buckets: vec![0; LATENCY_BUCKETS_US.len() + 1],
+            sessions: Vec::new(),
+        };
+        assert_eq!(metrics.latency_quantile_ms(0.5), None);
+        // 90 fast (≤0.25 ms), 9 medium (≤100 ms), 1 overflow (>60 s).
+        metrics.latency_buckets[0] = 90;
+        metrics.latency_buckets[8] = 9;
+        metrics.latency_buckets[LATENCY_BUCKETS_US.len()] = 1;
+        assert_eq!(metrics.latency_quantile_ms(0.50), Some(0.25));
+        assert_eq!(metrics.latency_quantile_ms(0.90), Some(0.25));
+        assert_eq!(metrics.latency_quantile_ms(0.99), Some(100.0));
+        // The overflow bucket saturates at the last boundary.
+        assert_eq!(metrics.latency_quantile_ms(1.0), Some(60_000.0));
+        let json = metrics.to_json();
+        assert!(json.contains("\"p50\":0.25"), "{json}");
+        assert!(json.contains("\"count\":100"), "{json}");
+        assert!(JsonValue::parse(&json).is_ok(), "metrics JSON parses");
+    }
+
+    #[test]
+    fn run_key_tracks_byte_relevant_members_only() {
+        let spec = tiny_spec();
+        let base = RunKey::of(&spec);
+        let mut cache_off = tiny_spec();
+        cache_off.cache = false;
+        assert_eq!(
+            RunKey::of(&cache_off),
+            base,
+            "cache knob never alters bytes"
+        );
+        let mut pinned = tiny_spec();
+        pinned.parallelism = Some(2);
+        assert_ne!(RunKey::of(&pinned), base, "manifest records parallelism");
+        let mut sliced = tiny_spec();
+        sliced.cells = Some(0..1);
+        assert_ne!(RunKey::of(&sliced), base);
+        let mut reseeded = tiny_spec();
+        reseeded.seed = 7;
+        assert_ne!(RunKey::of(&reseeded), base, "seed changes the hash");
+    }
+
+    #[test]
+    fn chunked_bodies_decode_exactly() {
+        let encoded = b"4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        assert_eq!(decode_chunked(encoded).unwrap(), b"Wikipedia");
+        assert!(decode_chunked(b"zz\r\nxx\r\n").is_err());
+        assert!(decode_chunked(b"5\r\nab").is_err());
+    }
+}

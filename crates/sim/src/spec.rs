@@ -429,6 +429,35 @@ impl ExperimentSpec {
         let members = value
             .as_object()
             .ok_or_else(|| spec_error("spec document must be a JSON object"))?;
+
+        // Gate on format and version *before* validating the member set: a
+        // future-version document may legitimately carry members this
+        // reader has never heard of, and "unsupported version 2" is the
+        // actionable error — not a complaint about the first such member.
+        let format = value
+            .get("format")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| spec_error("missing string member 'format'"))?;
+        if format != SPEC_FORMAT {
+            return Err(spec_error(format!(
+                "unknown format '{format}' (expected '{SPEC_FORMAT}')"
+            )));
+        }
+        let version = match value.get("version") {
+            None => return Err(spec_error("missing integer member 'version'")),
+            Some(v) => v.as_u64().ok_or_else(|| {
+                spec_error(format!(
+                    "member 'version' must be a non-negative integer, got {}",
+                    v.to_json()
+                ))
+            })?,
+        };
+        if version != SPEC_FORMAT_VERSION {
+            return Err(spec_error(format!(
+                "unsupported version {version} (this reader understands version {SPEC_FORMAT_VERSION})"
+            )));
+        }
+
         const KNOWN: [&str; 10] = [
             "format",
             "version",
@@ -445,25 +474,6 @@ impl ExperimentSpec {
             if !KNOWN.contains(&key.as_str()) {
                 return Err(spec_error(format!("unknown spec member '{key}'")));
             }
-        }
-
-        let format = value
-            .get("format")
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| spec_error("missing string member 'format'"))?;
-        if format != SPEC_FORMAT {
-            return Err(spec_error(format!(
-                "unknown format '{format}' (expected '{SPEC_FORMAT}')"
-            )));
-        }
-        let version = value
-            .get("version")
-            .and_then(JsonValue::as_u64)
-            .ok_or_else(|| spec_error("missing integer member 'version'"))?;
-        if version != SPEC_FORMAT_VERSION {
-            return Err(spec_error(format!(
-                "unsupported version {version} (this reader understands version {SPEC_FORMAT_VERSION})"
-            )));
         }
 
         let seed = match value.get("seed") {

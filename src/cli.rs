@@ -9,6 +9,8 @@
 //! | `imc shard`  | spec JSON + `--cells A..B` → one shard's JSON lines |
 //! | `imc merge`  | shard JSON-lines files → the merged canonical run |
 //! | `imc report` | run JSON lines → the table1/fig6 text reports |
+//! | `imc serve`  | spec JSON over HTTP → run JSON lines over HTTP |
+//! | `imc call`   | client for a running `imc serve` (run/metrics/health/shutdown) |
 //!
 //! The binary (`src/bin/imc.rs`) is a thin wrapper over
 //! [`main_from_args`]; [`run_command`] is the same entry point with
@@ -29,7 +31,7 @@ use imc_sim::experiments::{
     table1_experiment, table1_rows_from_run, DEFAULT_SEED,
 };
 use imc_sim::report::{fig6_markdown, table1_csv, table1_markdown};
-use imc_sim::{ExperimentRun, ExperimentSpec, Registry};
+use imc_sim::{ExperimentRun, ExperimentSpec, Registry, ServeClient, ServeConfig, Server};
 
 use crate::{Error, Result};
 
@@ -45,6 +47,8 @@ COMMANDS:
     shard     Run one cell-range shard of an experiment spec
     merge     Merge shard run files into one canonical run
     report    Render a run file as a text report (table1, fig6)
+    serve     Run the long-lived evaluation server (spec in, run out)
+    call      Talk to a running server (run, metrics, health, shutdown)
     help      Show this help, or `imc help <COMMAND>` for one command
 
 Specs are versioned `imc.experiment-spec` JSON documents; runs are versioned
@@ -146,6 +150,59 @@ group × rank grid with the cycle columns of the paper's Table I; fig6
 renders the Pareto panel.
 ";
 
+const SERVE_HELP: &str = "\
+imc serve — run the long-lived evaluation server
+
+USAGE:
+    imc serve [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>        Bind address (default: 127.0.0.1:8077; port 0
+                              picks an ephemeral port, printed on startup).
+    --threads <N>             Connection-handler threads (default: 4). Each
+                              run additionally parallelizes over the worker
+                              pool, like `imc run`.
+    --cache-budget-mb <N>     Bound each precision's shared decomposition
+                              cache to N MiB (default: unbounded).
+    --response-cache-mb <N>   Bound the completed-response cache to N MiB
+                              (default: 64; 0 disables response reuse —
+                              concurrent identical requests still coalesce).
+    --help                    Show this help.
+
+ENDPOINTS:
+    POST /v1/run        Body: an `imc.experiment-spec` document. Response:
+                        chunked `imc.experiment-run` JSON lines,
+                        byte-identical to `imc run` of the same spec.
+    GET  /v1/metrics    Request counts, coalescing counters, per-precision
+                        session cache stats, p50/p90/p99 run latency.
+    GET  /v1/health     Readiness probe.
+    POST /v1/shutdown   Graceful shutdown: stop accepting, finish in-flight
+                        requests, then exit 0.
+
+Identical concurrent requests coalesce onto one computation; identical later
+requests are served from the bounded response cache. Both are visible in the
+metrics and in the `x-imc-source` response header, never in the run bytes.
+The process runs until `POST /v1/shutdown` (`imc call shutdown`).
+";
+
+const CALL_HELP: &str = "\
+imc call — talk to a running `imc serve`
+
+USAGE:
+    imc call run <SPEC|-> [OPTIONS]
+    imc call <metrics|health|shutdown> [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>   Server address (default: 127.0.0.1:8077).
+    --out <FILE>         Write the response to FILE instead of stdout.
+    --help               Show this help.
+
+`imc call run` POSTs the spec document to /v1/run and writes the returned
+run JSON lines — byte-identical to running the spec locally with `imc run`,
+but executed on the server's warm shared caches. The other forms fetch
+/v1/metrics, /v1/health, or request a graceful shutdown.
+";
+
 fn usage_error(what: impl Into<String>) -> Error {
     Error::Sim(imc_sim::Error::Spec { what: what.into() })
 }
@@ -185,6 +242,8 @@ pub fn run_command(args: &[String]) -> Result<()> {
         "shard" => cmd_run(rest, true),
         "merge" => cmd_merge(rest),
         "report" => cmd_report(rest),
+        "serve" => cmd_serve(rest),
+        "call" => cmd_call(rest),
         "help" | "--help" | "-h" => {
             let text = match rest.first().map(String::as_str) {
                 None => ROOT_HELP,
@@ -193,6 +252,8 @@ pub fn run_command(args: &[String]) -> Result<()> {
                 Some("shard") => SHARD_HELP,
                 Some("merge") => MERGE_HELP,
                 Some("report") => REPORT_HELP,
+                Some("serve") => SERVE_HELP,
+                Some("call") => CALL_HELP,
                 Some(other) => return Err(usage_error(format!("unknown command '{other}'"))),
             };
             print_stdout(text)
@@ -213,6 +274,10 @@ struct Parsed {
     cells: Option<std::ops::Range<usize>>,
     parallelism: Option<usize>,
     out: Option<String>,
+    addr: Option<String>,
+    threads: Option<usize>,
+    cache_budget_mb: Option<usize>,
+    response_cache_mb: Option<usize>,
     csv: bool,
     help: bool,
 }
@@ -226,6 +291,10 @@ fn parse_args(args: &[String], allowed: &[&str]) -> Result<Parsed> {
         cells: None,
         parallelism: None,
         out: None,
+        addr: None,
+        threads: None,
+        cache_budget_mb: None,
+        response_cache_mb: None,
         csv: false,
         help: false,
     };
@@ -265,6 +334,14 @@ fn parse_args(args: &[String], allowed: &[&str]) -> Result<Parsed> {
                 "cells" => parsed.cells = Some(parse_cell_range(value)?),
                 "parallelism" => parsed.parallelism = Some(parse_usize(value, "--parallelism")?),
                 "out" => parsed.out = Some(value.clone()),
+                "addr" => parsed.addr = Some(value.clone()),
+                "threads" => parsed.threads = Some(parse_usize(value, "--threads")?),
+                "cache-budget-mb" => {
+                    parsed.cache_budget_mb = Some(parse_usize(value, "--cache-budget-mb")?)
+                }
+                "response-cache-mb" => {
+                    parsed.response_cache_mb = Some(parse_usize(value, "--response-cache-mb")?)
+                }
                 _ => unreachable!("allowed list covers every match arm"),
             }
         } else {
@@ -446,6 +523,74 @@ fn cmd_report(args: &[String]) -> Result<()> {
         }
     };
     write_output(parsed.out.as_deref(), &report)
+}
+
+/// The default server/client address; port 8077 keeps out of the way of
+/// common dev servers.
+const DEFAULT_ADDR: &str = "127.0.0.1:8077";
+
+fn cmd_serve(args: &[String]) -> Result<()> {
+    let parsed = parse_args(
+        args,
+        &["addr", "threads", "cache-budget-mb", "response-cache-mb"],
+    )?;
+    if parsed.help {
+        return print_stdout(SERVE_HELP);
+    }
+    if !parsed.positional.is_empty() {
+        return Err(usage_error("imc serve takes no positional arguments"));
+    }
+    let mut config = ServeConfig::new().addr(parsed.addr.as_deref().unwrap_or(DEFAULT_ADDR));
+    if let Some(threads) = parsed.threads {
+        config = config.workers(threads);
+    }
+    if let Some(mb) = parsed.cache_budget_mb {
+        config = config.cache_budget_bytes(mb << 20);
+    }
+    if let Some(mb) = parsed.response_cache_mb {
+        config = config.response_cache_bytes(mb << 20);
+    }
+    let server = Server::bind(config).map_err(Error::Sim)?;
+    // Flush before blocking so drivers polling stdout see readiness.
+    print_stdout(&format!(
+        "imc serve: listening on http://{}\n\
+         imc serve: POST /v1/run · GET /v1/metrics · GET /v1/health · POST /v1/shutdown\n",
+        server.local_addr()
+    ))?;
+    server.wait();
+    print_stdout("imc serve: shut down cleanly\n")
+}
+
+fn cmd_call(args: &[String]) -> Result<()> {
+    let parsed = parse_args(args, &["addr", "out"])?;
+    if parsed.help {
+        return print_stdout(CALL_HELP);
+    }
+    let client = ServeClient::new(parsed.addr.as_deref().unwrap_or(DEFAULT_ADDR));
+    let response = match parsed.positional.as_slice() {
+        [action] if action == "run" => {
+            return Err(usage_error("imc call run needs a spec file (or '-')"))
+        }
+        [action, source] if action == "run" => {
+            client.post_run(&read_input(source)?).map_err(Error::Sim)?
+        }
+        [action] => match action.as_str() {
+            "metrics" => client.metrics().map_err(Error::Sim)?,
+            "health" => client.health().map_err(Error::Sim)?,
+            "shutdown" => client.shutdown_server().map_err(Error::Sim)?,
+            other => {
+                return Err(usage_error(format!(
+                    "unknown call '{other}' (known: run, metrics, health, shutdown)"
+                )))
+            }
+        },
+        _ => {
+            return Err(usage_error(
+                "expected `imc call run <SPEC|->` or `imc call <metrics|health|shutdown>`",
+            ))
+        }
+    };
+    write_output(parsed.out.as_deref(), &response)
 }
 
 #[cfg(test)]

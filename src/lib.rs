@@ -83,5 +83,6 @@ pub use imc_sim::strategy;
 pub use imc_sim::{
     CompressionMethod, CompressionStrategy, ConvContext, EvalSession, EvalSessionBuilder,
     Experiment, ExperimentRun, ExperimentSpec, LayerOutcome, NetworkEvaluation, Registry,
-    RunManifest, RunRecord, StrategySpec, DEFAULT_SEED,
+    RunManifest, RunRecord, ServeClient, ServeConfig, ServeMetrics, Server, StrategySpec,
+    DEFAULT_SEED,
 };

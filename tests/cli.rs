@@ -231,6 +231,55 @@ fn unknown_names_and_malformed_input_fail_with_spec_errors() {
 }
 
 #[test]
+fn future_version_documents_fail_with_spec_errors_not_panics() {
+    // `imc run` on a spec from a future format version: nonzero exit, a
+    // spec-style error naming the version, and no panic — even when the
+    // future document carries members this reader has never heard of.
+    let spec = stdout_of(&["spec", "fig6"], None);
+    let future_spec = spec.replacen("\"version\": 1", "\"version\": 2", 1);
+    let output = imc(&["run", "-"], Some(&future_spec));
+    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(1), "clean exit, not a signal");
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(stderr.contains("unsupported version 2"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    let with_new_member = future_spec.replacen(
+        "\"version\": 2,",
+        "\"version\": 2,\n  \"frontier\": true,",
+        1,
+    );
+    let output = imc(&["run", "-"], Some(&with_new_member));
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(
+        stderr.contains("unsupported version 2"),
+        "version must gate before the member check: {stderr}"
+    );
+
+    // A version that is present but not an integer is reported as such.
+    let bad_version = spec.replacen("\"version\": 1", "\"version\": \"one\"", 1);
+    let output = imc(&["run", "-"], Some(&bad_version));
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(
+        stderr.contains("member 'version' must be a non-negative integer"),
+        "{stderr}"
+    );
+
+    // `imc report` on a run file from a future format version: same
+    // contract on the record-reading path.
+    let run = stdout_of(&["run", "-"], Some(&spec));
+    let future_run = run.replacen("\"version\":1", "\"version\":7", 1);
+    let output = imc(&["report", "fig6", "-"], Some(&future_run));
+    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(stderr.contains("unsupported version 7"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
 fn every_subcommand_has_help_text() {
     for command in ["spec", "run", "shard", "merge", "report"] {
         let direct = stdout_of(&[command, "--help"], None);

@@ -1,0 +1,115 @@
+//! End-to-end tests of the evaluation server: N concurrent clients
+//! submitting the same fig6 spec must each receive JSON lines
+//! byte-identical to the in-process `fig6_experiment()` run, and the
+//! metrics endpoint must show that the identical requests coalesced onto
+//! one computation instead of running eight sweeps.
+
+use std::sync::{Arc, Barrier};
+
+use imc::sim::experiments::{fig6_experiment, DEFAULT_SEED};
+use imc::sim::JsonValue;
+use imc::{resnet20, ServeClient, ServeConfig, Server};
+
+#[test]
+fn concurrent_identical_fig6_requests_coalesce_onto_identical_bytes() {
+    const CLIENTS: usize = 8;
+
+    // The golden: the in-process library sweep, serialized — what `imc run`
+    // of the same spec prints, manifest header included.
+    let experiment = fig6_experiment(&resnet20(), 64, DEFAULT_SEED);
+    let spec_json = experiment.to_spec().expect("fig6 serializes").to_json();
+    let golden = fig6_experiment(&resnet20(), 64, DEFAULT_SEED)
+        .run()
+        .expect("library sweep succeeds")
+        .to_jsonl()
+        .expect("library run serializes");
+
+    // One handler thread per client, so all eight requests are genuinely
+    // in flight together and the barrier release makes coalescing certain
+    // rather than timing-dependent.
+    let server = Server::bind(ServeConfig::new().workers(CLIENTS)).expect("server binds");
+    let addr = server.local_addr().to_string();
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let addr = addr.clone();
+                let spec_json = spec_json.clone();
+                scope.spawn(move || {
+                    let client = ServeClient::new(addr);
+                    barrier.wait();
+                    client.post_run(&spec_json).expect("request succeeds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, response) in responses.iter().enumerate() {
+        assert_eq!(
+            *response, golden,
+            "client {i} must receive the in-process fig6 bytes"
+        );
+    }
+
+    // The in-process snapshot: one computation, everyone else attached to
+    // it (in flight) or read it back (after it landed).
+    let metrics = server.metrics();
+    assert_eq!(metrics.run_requests, CLIENTS as u64);
+    assert!(
+        metrics.runs_coalesced >= 1,
+        "concurrent identical requests must coalesce: {metrics:?}"
+    );
+    assert_eq!(
+        metrics.runs_computed + metrics.runs_coalesced + metrics.response_cache_hits,
+        CLIENTS as u64,
+        "every request is computed, coalesced or served from cache: {metrics:?}"
+    );
+    assert_eq!(metrics.runs_computed, 1, "one computation serves all");
+
+    // The same story over the wire: the /v1/metrics endpoint agrees.
+    let scraped = ServeClient::new(addr.clone())
+        .metrics()
+        .expect("metrics endpoint responds");
+    let doc = JsonValue::parse(scraped.trim()).expect("metrics is valid JSON");
+    assert_eq!(
+        doc.get("format").and_then(JsonValue::as_str),
+        Some("imc.serve-metrics")
+    );
+    let runs = doc.get("runs").expect("runs section");
+    let coalesced = runs
+        .get("coalesced")
+        .and_then(JsonValue::as_u64)
+        .expect("coalesced counter");
+    assert!(coalesced >= 1, "metrics endpoint must report coalescing");
+    assert_eq!(runs.get("computed").and_then(JsonValue::as_u64), Some(1));
+    let latency = doc.get("latency_ms").expect("latency section");
+    assert_eq!(
+        latency.get("count").and_then(JsonValue::as_u64),
+        Some(CLIENTS as u64)
+    );
+    assert!(
+        latency.get("p50").and_then(JsonValue::as_f64).is_some(),
+        "percentiles are numbers once observations exist"
+    );
+
+    // A straggler arriving after the flight landed gets the cached bytes.
+    let late = ServeClient::new(addr)
+        .post_run(&spec_json)
+        .expect("late request succeeds");
+    assert_eq!(late, golden);
+    let after = server.metrics();
+    assert_eq!(after.runs_computed, 1, "the straggler recomputes nothing");
+    assert_eq!(
+        after.response_cache_hits,
+        metrics.response_cache_hits + 1,
+        "the straggler is a response-cache hit"
+    );
+
+    ServeClient::new(server.local_addr().to_string())
+        .shutdown_server()
+        .expect("graceful shutdown");
+    server.wait();
+}
