@@ -60,6 +60,10 @@ use crate::experiments::DEFAULT_SEED;
 use crate::network::{evaluate_strategy_with, CompressionMethod, NetworkEvaluation};
 use crate::runtime;
 use crate::session::EvalSession;
+
+/// A streaming observer of completed records, fed in grid order by
+/// [`Experiment::run_streaming`].
+type RecordSink<'a> = &'a mut dyn FnMut(&RunRecord) -> Result<()>;
 use crate::spec::{
     builtin_method_spec, ExperimentSpec, RunManifest, StrategySpec, SPEC_FORMAT_VERSION,
 };
@@ -356,9 +360,74 @@ impl Experiment {
         self.run_with(cache.as_ref())
     }
 
+    /// Runs the sweep like [`Experiment::run`], additionally delivering
+    /// every completed record to `sink` **in grid order, as soon as it and
+    /// every earlier record are available** — while later cells are still
+    /// computing. This is what lets a sweep worker stream records to disk
+    /// (via [`crate::record::RunWriter`]): a worker killed mid-sweep leaves
+    /// every already-delivered record safely written instead of losing the
+    /// whole shard.
+    ///
+    /// The returned run is identical to what [`Experiment::run`] produces.
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::run`]; additionally, an error returned by `sink`
+    /// stops the sweep and is propagated.
+    pub fn run_streaming(
+        self,
+        sink: &mut dyn FnMut(&RunRecord) -> Result<()>,
+    ) -> Result<ExperimentRun> {
+        let cache = self
+            .use_cache
+            .then(|| DecompCache::with_precision(self.precision));
+        self.run_with_sink(cache.as_ref(), Some(sink))
+    }
+
+    /// The planned reproducibility manifest of this experiment — what
+    /// [`Experiment::run`] will embed into the run, available *before*
+    /// running so a streaming writer can put it in the header up front.
+    /// `None` when the experiment is not spec-serializable, or when its
+    /// configuration would not survive validation.
+    pub fn planned_manifest(&self) -> Option<RunManifest> {
+        let grid = self.grid_cells();
+        if let Some(range) = &self.cell_range {
+            if range.start >= range.end || range.end > grid {
+                return None;
+            }
+        }
+        self.to_spec().ok().map(|spec| RunManifest {
+            seed: self.seed,
+            precision: self.precision,
+            parallelism: self.parallelism,
+            cells: self.cell_range.clone().unwrap_or(0..grid),
+            spec_version: SPEC_FORMAT_VERSION,
+            spec_hash: spec.content_hash(),
+        })
+    }
+
+    /// The number of cells this experiment will actually evaluate: the
+    /// pinned [`Experiment::cells`] range, or the whole grid.
+    pub fn planned_cells(&self) -> usize {
+        match &self.cell_range {
+            Some(range) => range.len(),
+            None => self.grid_cells(),
+        }
+    }
+
     /// The shared sweep engine behind [`Experiment::run`] (throwaway cache)
     /// and [`Experiment::run_in`] (session-owned cache).
     fn run_with(self, cache: Option<&DecompCache>) -> Result<ExperimentRun> {
+        self.run_with_sink(cache, None)
+    }
+
+    /// The sweep engine proper; `sink`, when given, observes records in
+    /// grid order as they complete.
+    fn run_with_sink(
+        self,
+        cache: Option<&DecompCache>,
+        sink: Option<RecordSink<'_>>,
+    ) -> Result<ExperimentRun> {
         if self.networks.is_empty() {
             return Err(Error::Builder {
                 what: "no network added (call .network(..) or .networks(..))".to_owned(),
@@ -441,13 +510,42 @@ impl Experiment {
         // in-flight work and then surface the error of the first failing cell
         // *in grid order*, so both modes report the identical error.
         let mut records = Vec::with_capacity(cells.len());
-        if workers <= 1 {
-            for index in 0..cells.len() {
-                records.push(evaluate_cell(index)?);
+        match sink {
+            None => {
+                if workers <= 1 {
+                    for index in 0..cells.len() {
+                        records.push(evaluate_cell(index)?);
+                    }
+                } else {
+                    for result in runtime::run_indexed(workers, cells.len(), evaluate_cell) {
+                        records.push(result?);
+                    }
+                }
             }
-        } else {
-            for result in runtime::run_indexed(workers, cells.len(), evaluate_cell) {
-                records.push(result?);
+            Some(sink) => {
+                // The streaming engine delivers completed records in grid
+                // order while later cells still compute, so the sink sees
+                // the same order (and the run surfaces the same first
+                // grid-order error) as the collecting paths above.
+                let mut failure = None;
+                runtime::run_indexed_each(workers, cells.len(), evaluate_cell, |_, result| {
+                    match result.and_then(|record| {
+                        sink(&record)?;
+                        Ok(record)
+                    }) {
+                        Ok(record) => {
+                            records.push(record);
+                            true
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            false
+                        }
+                    }
+                });
+                if let Some(e) = failure {
+                    return Err(e);
+                }
             }
         }
         Ok(ExperimentRun::new(records, manifest))
@@ -589,7 +687,7 @@ impl ExperimentRun {
     /// manifest). The recorded `parallelism` is an execution knob, not
     /// identity — shards that disagree on it still merge, and the merged
     /// manifest then records `None` (no single request pinned one).
-    fn merge_manifests(list: &[RunManifest]) -> Result<Option<RunManifest>> {
+    pub(crate) fn merge_manifests(list: &[RunManifest]) -> Result<Option<RunManifest>> {
         let first = &list[0];
         for manifest in &list[1..] {
             let same = manifest.seed == first.seed

@@ -23,7 +23,7 @@
 //!   networks × array sizes × strategies; the figure generators in
 //!   [`experiments`] are thin sweeps over it.
 //!
-//! Five service-scale layers sit on top of the experiment facade:
+//! Six service-scale layers sit on top of the experiment facade:
 //!
 //! * [`session`] — the long-lived [`EvalSession`]: one bounded, shared
 //!   decomposition cache reused across [`Experiment::run_in`] calls, so
@@ -44,6 +44,10 @@
 //!   HTTP/1.1 service that executes POSTed spec documents on shared
 //!   per-precision sessions, coalesces identical in-flight requests onto
 //!   one computation, and reports live cache/latency metrics.
+//! * [`sweep`] — the fault-tolerant sweep orchestrator: a spec's cell grid
+//!   as a dynamic queue of cell-range chunks over worker *processes*, with
+//!   a checkpointed state ledger, salvage of torn shards, bounded retries
+//!   of dead workers, and a streaming byte-identical merge.
 //!
 //! (The [`json`] module holds the shared hand-rolled JSON value model both
 //! wire formats are built on.)
@@ -66,6 +70,7 @@ pub mod serve;
 pub mod session;
 pub mod spec;
 pub mod strategy;
+pub mod sweep;
 
 pub use experiment::{Experiment, ExperimentRun, RunRecord};
 pub use experiments::{
@@ -83,6 +88,7 @@ pub use serve::{ServeClient, ServeConfig, ServeMetrics, Server};
 pub use session::{EvalSession, EvalSessionBuilder};
 pub use spec::{ExperimentSpec, RunManifest, StrategySpec, SPEC_FORMAT, SPEC_FORMAT_VERSION};
 pub use strategy::{CompressionStrategy, ConvContext, LayerOutcome};
+pub use sweep::{SweepConfig, SweepEvent, SweepReport};
 
 // The cache-observability types surfaced by `EvalSession::stats`; defined
 // next to `DecompCache` in `imc-core`.
@@ -141,6 +147,22 @@ pub enum Error {
         /// Description of the service failure.
         what: String,
     },
+    /// A filesystem operation failed. Kept distinct from the format errors
+    /// ([`Error::Record`] / [`Error::Spec`]) because I/O failures are
+    /// typically *transient*: the `imc` CLI maps this variant to its own
+    /// exit code so sweep orchestrators can retry a dead worker instead of
+    /// giving the whole sweep up.
+    Io {
+        /// Description of the I/O failure.
+        what: String,
+    },
+    /// The sweep orchestrator failed (stale or corrupt state ledger, a
+    /// worker failing with a permanent error, or cells left unrecoverable
+    /// after the retry budget).
+    Sweep {
+        /// Description of the orchestration failure.
+        what: String,
+    },
 }
 
 impl Error {
@@ -166,6 +188,8 @@ impl core::fmt::Display for Error {
             Error::Record { what } => write!(f, "run record error: {what}"),
             Error::Spec { what } => write!(f, "experiment spec error: {what}"),
             Error::Serve { what } => write!(f, "evaluation service error: {what}"),
+            Error::Io { what } => write!(f, "I/O error: {what}"),
+            Error::Sweep { what } => write!(f, "sweep error: {what}"),
         }
     }
 }
@@ -183,7 +207,9 @@ impl std::error::Error for Error {
             | Error::Strategy { .. }
             | Error::Record { .. }
             | Error::Spec { .. }
-            | Error::Serve { .. } => None,
+            | Error::Serve { .. }
+            | Error::Io { .. }
+            | Error::Sweep { .. } => None,
         }
     }
 }

@@ -44,7 +44,9 @@
 //! harness-adjacent tooling reading this crate's JSON-lines artifacts, e.g.
 //! the bench-regression diff over `BENCH_results.json`).
 
-use std::path::Path;
+use std::io::Write;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
 
 use imc_energy::{AccessSchedule, PeripheralKind};
 
@@ -104,6 +106,60 @@ fn eval_to_json(eval: &NetworkEvaluation) -> Result<String> {
         eval.parameters,
         schedules.join(","),
     ))
+}
+
+/// Serializes the header line (no trailing newline): the one writer shared
+/// by [`ExperimentRun::to_jsonl`], [`RunWriter`] and the streaming merge,
+/// so every producer emits byte-identical headers.
+pub(crate) fn run_header_json(records: usize, manifest: Option<&RunManifest>) -> String {
+    let manifest = match manifest {
+        Some(manifest) => format!(",\"manifest\":{}", manifest.to_header_json()),
+        None => String::new(),
+    };
+    format!(
+        "{{\"format\":{},\"version\":{},\"records\":{records}{manifest}}}",
+        json_string(RUN_FORMAT),
+        RUN_FORMAT_VERSION,
+    )
+}
+
+/// The parsed header line of a run file: what it declares before any record
+/// is read.
+pub(crate) struct RunHeader {
+    /// The record count the header promises.
+    pub(crate) declared: usize,
+    /// The reproducibility manifest, when the header carries one.
+    pub(crate) manifest: Option<RunManifest>,
+}
+
+/// Parses and validates a header line: format tag, version, declared count,
+/// optional manifest.
+pub(crate) fn parse_run_header(line: &str) -> Result<RunHeader> {
+    let header = JsonValue::parse(line)?;
+    let format = str_member(&header, "format", "header")?;
+    if format != RUN_FORMAT {
+        return Err(Error::Record {
+            what: format!("unknown format '{format}' (expected '{RUN_FORMAT}')"),
+        });
+    }
+    let version = member(&header, "version", "header")?
+        .as_u64()
+        .ok_or_else(|| Error::Record {
+            what: "header: field 'version' is not an integer".to_owned(),
+        })?;
+    if version != RUN_FORMAT_VERSION {
+        return Err(Error::Record {
+            what: format!(
+                "unsupported version {version} (this reader understands version {RUN_FORMAT_VERSION})"
+            ),
+        });
+    }
+    let declared = usize_member(&header, "records", "header")?;
+    let manifest = header
+        .get("manifest")
+        .map(RunManifest::from_header_value)
+        .transpose()?;
+    Ok(RunHeader { declared, manifest })
 }
 
 // ---------------------------------------------------------------------------
@@ -222,16 +278,8 @@ impl ExperimentRun {
     ///
     /// Returns [`Error::Record`] when a floating-point field is non-finite.
     pub fn to_jsonl(&self) -> Result<String> {
-        let manifest = match self.manifest() {
-            Some(manifest) => format!(",\"manifest\":{}", manifest.to_header_json()),
-            None => String::new(),
-        };
-        let mut out = format!(
-            "{{\"format\":{},\"version\":{},\"records\":{}{manifest}}}\n",
-            json_string(RUN_FORMAT),
-            RUN_FORMAT_VERSION,
-            self.records().len(),
-        );
+        let mut out = run_header_json(self.records().len(), self.manifest());
+        out.push('\n');
         for record in self.records() {
             out.push_str(&record.to_json_line()?);
             out.push('\n');
@@ -253,42 +301,85 @@ impl ExperimentRun {
         let header_line = lines.next().ok_or_else(|| Error::Record {
             what: "empty input: expected a header line".to_owned(),
         })?;
-        let header = JsonValue::parse(header_line)?;
-        let format = str_member(&header, "format", "header")?;
-        if format != RUN_FORMAT {
-            return Err(Error::Record {
-                what: format!("unknown format '{format}' (expected '{RUN_FORMAT}')"),
-            });
-        }
-        let version = member(&header, "version", "header")?
-            .as_u64()
-            .ok_or_else(|| Error::Record {
-                what: "header: field 'version' is not an integer".to_owned(),
-            })?;
-        if version != RUN_FORMAT_VERSION {
-            return Err(Error::Record {
-                what: format!(
-                    "unsupported version {version} (this reader understands version {RUN_FORMAT_VERSION})"
-                ),
-            });
-        }
-        let declared = usize_member(&header, "records", "header")?;
-        let manifest = header
-            .get("manifest")
-            .map(RunManifest::from_header_value)
-            .transpose()?;
+        let header = parse_run_header(header_line)?;
         let records = lines
             .map(RunRecord::from_json_line)
             .collect::<Result<Vec<_>>>()?;
-        if records.len() != declared {
+        if records.len() != header.declared {
             return Err(Error::Record {
                 what: format!(
-                    "header declares {declared} records but {} lines follow (truncated shard file?)",
+                    "header declares {} records but {} lines follow (truncated shard file?)",
+                    header.declared,
                     records.len()
                 ),
             });
         }
-        Ok(ExperimentRun::new(records, manifest))
+        Ok(ExperimentRun::new(records, header.manifest))
+    }
+
+    /// Recovers the complete prefix of records from a partial or torn run
+    /// file — the crash-tolerant counterpart of the strict
+    /// [`ExperimentRun::from_jsonl`].
+    ///
+    /// A worker killed mid-sweep leaves a shard with a valid header, `n`
+    /// complete record lines and possibly one torn final line. This loader
+    /// accepts that shape: it parses record lines until the first damaged
+    /// one, drops everything from the damage on (crash truncation only ever
+    /// tears the tail; anything else is corruption this loader refuses to
+    /// guess about), and reports what it kept and what it lost in a
+    /// [`RecoveredRun`] — including the covered `cell_index` span, which is
+    /// exactly the resume point a sweep orchestrator needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] when the *header itself* is missing, torn
+    /// or of an unknown format/version (nothing can be trusted then), or
+    /// when more record lines parse than the header declared.
+    pub fn from_jsonl_partial(input: &str) -> Result<RecoveredRun> {
+        let mut lines = input.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines.next().ok_or_else(|| Error::Record {
+            what: "empty input: expected a header line".to_owned(),
+        })?;
+        let header = parse_run_header(header_line)?;
+        let mut records = Vec::new();
+        let mut dropped = None;
+        for (offset, line) in lines.enumerate() {
+            match RunRecord::from_json_line(line) {
+                Ok(record) => {
+                    if records.len() == header.declared {
+                        return Err(Error::Record {
+                            what: format!(
+                                "more record lines than the declared {} records",
+                                header.declared
+                            ),
+                        });
+                    }
+                    records.push(record);
+                }
+                Err(e) => {
+                    dropped = Some(format!("record line {}: {e}", offset + 1));
+                    break;
+                }
+            }
+        }
+        let covered = match records.as_slice() {
+            [] => None,
+            [first, rest @ ..] => {
+                let mut end = first.cell_index + 1;
+                let contiguous = rest.iter().all(|record| {
+                    let matches = record.cell_index == end;
+                    end += 1;
+                    matches
+                });
+                contiguous.then_some(first.cell_index..end)
+            }
+        };
+        Ok(RecoveredRun {
+            declared: header.declared,
+            run: ExperimentRun::new(records, header.manifest),
+            dropped,
+            covered,
+        })
     }
 
     /// Writes [`ExperimentRun::to_jsonl`] to a file.
@@ -315,6 +406,159 @@ impl ExperimentRun {
             what: format!("could not read {}: {e}", path.display()),
         })?;
         Self::from_jsonl(&input)
+    }
+}
+
+/// The outcome of [`ExperimentRun::from_jsonl_partial`]: the recovered
+/// complete-prefix run, plus a report of what the damage cost.
+#[derive(Debug)]
+pub struct RecoveredRun {
+    /// The run assembled from the complete prefix of record lines. Its
+    /// manifest (when present) still describes the cell range the *writer
+    /// intended*; [`RecoveredRun::covered`] is what actually survived.
+    pub run: ExperimentRun,
+    /// The record count the header declared.
+    pub declared: usize,
+    /// Describes the first damaged record line, when one cut recovery
+    /// short. Everything from that line on was dropped.
+    pub dropped: Option<String>,
+    /// The contiguous `cell_index` span the recovered records cover:
+    /// `Some(start..end)` when the indices ascend without gaps (the shape
+    /// `imc run --cells` writes), `None` for an empty or non-contiguous
+    /// prefix.
+    pub covered: Option<Range<usize>>,
+}
+
+impl RecoveredRun {
+    /// The number of records that survived.
+    pub fn recovered(&self) -> usize {
+        self.run.records().len()
+    }
+
+    /// Whether the file was in fact undamaged: no line dropped and every
+    /// declared record present.
+    pub fn is_complete(&self) -> bool {
+        self.dropped.is_none() && self.recovered() == self.declared
+    }
+}
+
+/// Streams a run to a file record by record, flushing each line — so a
+/// worker killed at any moment leaves a header plus a complete-prefix of
+/// record lines (at worst one torn tail line), which
+/// [`ExperimentRun::from_jsonl_partial`] turns back into a resume point.
+///
+/// The bytes produced by a completed writer are identical to
+/// [`ExperimentRun::to_jsonl`] of the same run.
+#[derive(Debug)]
+pub struct RunWriter {
+    file: std::fs::File,
+    path: PathBuf,
+    declared: usize,
+    written: usize,
+}
+
+impl RunWriter {
+    /// Creates (or truncates) `path` and writes the header line declaring
+    /// `declared` records, flushed immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on filesystem failure.
+    pub fn create(
+        path: impl AsRef<Path>,
+        declared: usize,
+        manifest: Option<&RunManifest>,
+    ) -> Result<RunWriter> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::File::create(&path).map_err(|e| Error::Io {
+            what: format!("could not create {}: {e}", path.display()),
+        })?;
+        let mut header = run_header_json(declared, manifest);
+        header.push('\n');
+        file.write_all(header.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| Error::Io {
+                what: format!("could not write header to {}: {e}", path.display()),
+            })?;
+        Ok(RunWriter {
+            file,
+            path,
+            declared,
+            written: 0,
+        })
+    }
+
+    /// Appends one record line and flushes it, so a crash after this call
+    /// returns cannot lose the record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] when the record does not serialize or the
+    /// declared count is already reached, [`Error::Io`] on filesystem
+    /// failure.
+    pub fn write_record(&mut self, record: &RunRecord) -> Result<()> {
+        if self.written == self.declared {
+            return Err(Error::Record {
+                what: format!(
+                    "writer for {} declared {} records and cannot take more",
+                    self.path.display(),
+                    self.declared
+                ),
+            });
+        }
+        let mut line = record.to_json_line()?;
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| Error::Io {
+                what: format!("could not append record to {}: {e}", self.path.display()),
+            })?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Writes a deliberately torn prefix of `record`'s line — half the
+    /// bytes, no newline — and flushes. This is the crash point the
+    /// `IMC_FAULT_EXIT_AFTER_CELLS` fault-injection hook uses: the file is
+    /// left exactly as a worker killed mid-write leaves it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] when the record does not serialize,
+    /// [`Error::Io`] on filesystem failure.
+    pub fn write_torn_record(&mut self, record: &RunRecord) -> Result<()> {
+        let line = record.to_json_line()?;
+        let torn = &line.as_bytes()[..line.len() / 2];
+        self.file
+            .write_all(torn)
+            .and_then(|()| self.file.flush())
+            .map_err(|e| Error::Io {
+                what: format!("could not append record to {}: {e}", self.path.display()),
+            })
+    }
+
+    /// Finishes the file: checks every declared record was written and
+    /// syncs the bytes to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Record`] when fewer records were written than
+    /// declared, [`Error::Io`] when the sync fails.
+    pub fn finish(self) -> Result<()> {
+        if self.written != self.declared {
+            return Err(Error::Record {
+                what: format!(
+                    "writer for {} declared {} records but wrote {}",
+                    self.path.display(),
+                    self.declared,
+                    self.written
+                ),
+            });
+        }
+        self.file.sync_all().map_err(|e| Error::Io {
+            what: format!("could not sync {}: {e}", self.path.display()),
+        })
     }
 }
 
@@ -507,6 +751,173 @@ mod tests {
         let err = ExperimentRun::from_jsonl(&broken).unwrap_err();
         assert!(matches!(err, Error::Record { .. }), "{err}");
         assert!(format!("{err}").contains("cells"), "{err}");
+    }
+
+    /// Cuts `text` at the midpoint of its last record line — the shape a
+    /// `kill -9` mid-write leaves behind.
+    fn tear_last_line(text: &str) -> String {
+        let lines: Vec<&str> = text.lines().collect();
+        let (head, last) = lines.split_at(lines.len() - 1);
+        let mut torn: String = head.iter().map(|l| format!("{l}\n")).collect();
+        torn.push_str(&last[0][..last[0].len() / 2]);
+        torn
+    }
+
+    #[test]
+    fn torn_final_line_is_a_resume_point_for_the_partial_loader() {
+        let run = small_run();
+        let torn = tear_last_line(&run.to_jsonl().unwrap());
+
+        // The strict reader refuses the file outright…
+        let err = ExperimentRun::from_jsonl(&torn).unwrap_err();
+        assert!(matches!(err, Error::Record { .. }), "{err}");
+
+        // …the partial loader recovers the complete prefix and reports the
+        // damage.
+        let recovered = ExperimentRun::from_jsonl_partial(&torn).unwrap();
+        assert_eq!(recovered.declared, 4);
+        assert_eq!(recovered.recovered(), 3);
+        assert!(!recovered.is_complete());
+        assert!(recovered.dropped.is_some(), "the torn line is reported");
+        assert_eq!(recovered.covered, Some(0..3));
+        // The recovered records are byte-identical to the originals.
+        for (a, b) in recovered
+            .run
+            .records()
+            .iter()
+            .zip(run.records().iter().take(3))
+        {
+            assert_eq!(a.to_json_line().unwrap(), b.to_json_line().unwrap());
+        }
+        // The header survived intact, manifest included.
+        assert_eq!(recovered.run.manifest(), run.manifest());
+    }
+
+    #[test]
+    fn mid_record_truncation_drops_everything_from_the_damage_on() {
+        let run = small_run();
+        let text = run.to_jsonl().unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Damage the second of four record lines, keep the rest verbatim.
+        let mut doctored = String::new();
+        for (i, line) in lines.iter().enumerate() {
+            if i == 2 {
+                doctored.push_str(&line[..line.len() / 3]);
+            } else {
+                doctored.push_str(line);
+            }
+            doctored.push('\n');
+        }
+
+        assert!(ExperimentRun::from_jsonl(&doctored).is_err());
+        let recovered = ExperimentRun::from_jsonl_partial(&doctored).unwrap();
+        assert_eq!(
+            recovered.recovered(),
+            1,
+            "only the prefix before the damage is trusted"
+        );
+        assert_eq!(recovered.covered, Some(0..1));
+        let dropped = recovered.dropped.expect("damage is reported");
+        assert!(dropped.contains("record line 2"), "{dropped}");
+    }
+
+    #[test]
+    fn duplicate_cell_indices_yield_no_covered_span() {
+        let run = small_run();
+        let text = run.to_jsonl().unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Duplicate the first record line in place of the second: indices
+        // 0,0,2,3 — parseable, but not a contiguous span.
+        let mut doctored = format!("{}\n{}\n{}\n", lines[0], lines[1], lines[1]);
+        doctored.push_str(&format!("{}\n{}\n", lines[3], lines[4]));
+        let recovered = ExperimentRun::from_jsonl_partial(&doctored).unwrap();
+        assert_eq!(recovered.recovered(), 4);
+        assert_eq!(
+            recovered.covered, None,
+            "a duplicated cell index must not masquerade as a clean span"
+        );
+
+        // Across shards, the strict merge still rejects the duplicate (the
+        // orchestrator-level guarantee).
+        let a = ExperimentRun::from_jsonl(&text).unwrap();
+        let b = ExperimentRun::from_jsonl(&text).unwrap();
+        let err = ExperimentRun::merge([a, b]).unwrap_err();
+        assert!(format!("{err}").contains("duplicate cell index"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_header_only_shards() {
+        // Empty input: nothing to recover, both loaders refuse.
+        assert!(ExperimentRun::from_jsonl("").is_err());
+        assert!(ExperimentRun::from_jsonl_partial("").is_err());
+
+        // A header-only file (worker died before its first record): the
+        // strict loader calls it truncated, the partial loader reports an
+        // intact-but-empty prefix.
+        let run = small_run();
+        let header = run.to_jsonl().unwrap().lines().next().unwrap().to_owned();
+        let header_only = format!("{header}\n");
+        let err = ExperimentRun::from_jsonl(&header_only).unwrap_err();
+        assert!(format!("{err}").contains("truncated"), "{err}");
+        let recovered = ExperimentRun::from_jsonl_partial(&header_only).unwrap();
+        assert_eq!(recovered.recovered(), 0);
+        assert_eq!(recovered.declared, 4);
+        assert_eq!(recovered.covered, None);
+        assert!(!recovered.is_complete());
+        assert!(recovered.dropped.is_none());
+
+        // A torn *header* is unrecoverable for both.
+        let torn_header = header[..header.len() / 2].to_owned();
+        assert!(ExperimentRun::from_jsonl(&torn_header).is_err());
+        assert!(ExperimentRun::from_jsonl_partial(&torn_header).is_err());
+
+        // Surplus record lines (more than declared) are rejected too.
+        let surplus = format!(
+            "{}{}\n",
+            run.to_jsonl().unwrap(),
+            run.to_jsonl().unwrap().lines().nth(1).unwrap()
+        );
+        assert!(ExperimentRun::from_jsonl(&surplus).is_err());
+        assert!(ExperimentRun::from_jsonl_partial(&surplus).is_err());
+    }
+
+    #[test]
+    fn run_writer_streams_byte_identical_files() {
+        let run = small_run();
+        let dir = std::env::temp_dir().join("imc_record_writer_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("streamed_{}.jsonl", std::process::id()));
+
+        let mut writer = RunWriter::create(&path, run.records().len(), run.manifest()).unwrap();
+        for record in run.records() {
+            writer.write_record(record).unwrap();
+        }
+        writer.finish().unwrap();
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            streamed,
+            run.to_jsonl().unwrap(),
+            "streamed bytes must equal the in-memory serialization"
+        );
+
+        // Tear the tail the way the fault hook does: the partial loader
+        // gets the prefix back.
+        let mut writer = RunWriter::create(&path, run.records().len(), run.manifest()).unwrap();
+        writer.write_record(&run.records()[0]).unwrap();
+        writer.write_record(&run.records()[1]).unwrap();
+        writer.write_torn_record(&run.records()[2]).unwrap();
+        drop(writer); // a crashed worker never reaches finish()
+        let recovered =
+            ExperimentRun::from_jsonl_partial(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(recovered.recovered(), 2);
+        assert_eq!(recovered.covered, Some(0..2));
+        assert!(recovered.dropped.is_some());
+
+        // finish() refuses an under-filled writer.
+        let mut writer = RunWriter::create(&path, 2, None).unwrap();
+        writer.write_record(&run.records()[0]).unwrap();
+        assert!(matches!(writer.finish(), Err(Error::Record { .. })));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

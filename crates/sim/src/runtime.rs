@@ -8,8 +8,8 @@
 //! worker computed them or in which order they finished, so a parallel run is
 //! indistinguishable from a serial one.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// The number of workers a sweep uses when none is requested explicitly: one
 /// per available hardware thread (falling back to 1 when the parallelism
@@ -65,6 +65,115 @@ where
         .collect()
 }
 
+/// Like [`run_indexed`], but delivers each result to `each` **in index
+/// order as soon as it (and every earlier index) is available**, instead of
+/// collecting everything first. This is what lets a sweep stream records to
+/// disk while later cells are still computing: a worker killed mid-sweep
+/// leaves every already-delivered record safely written.
+///
+/// `each(index, result)` runs on the calling thread; returning `false`
+/// stops the run early (workers finish their in-flight job and claim no
+/// more indices).
+///
+/// With `workers <= 1` (or a single job) everything runs inline on the
+/// calling thread — the exact serial loop.
+///
+/// # Panics
+///
+/// Panics if `job` panics on any index. A worker panic is flagged to the
+/// in-order consumer (so it never waits for a slot that will not be
+/// filled), and the panic is propagated when the scope joins.
+pub fn run_indexed_each<T, F, C>(workers: usize, jobs: usize, job: F, mut each: C)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T) -> bool,
+{
+    let workers = workers.max(1).min(jobs);
+    if workers <= 1 {
+        for index in 0..jobs {
+            if !each(index, job(index)) {
+                return;
+            }
+        }
+        return;
+    }
+
+    struct Slots<T> {
+        results: Vec<Option<T>>,
+        panicked: bool,
+    }
+
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let state = Mutex::new(Slots {
+        results: (0..jobs).map(|_| None).collect(),
+        panicked: false,
+    });
+    let ready = Condvar::new();
+
+    // Flags a panicking worker to the consumer, which would otherwise wait
+    // forever on the slot that worker was going to fill.
+    struct PanicFlag<'a, T> {
+        state: &'a Mutex<Slots<T>>,
+        ready: &'a Condvar,
+    }
+    impl<T> Drop for PanicFlag<'_, T> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                if let Ok(mut slots) = self.state.lock() {
+                    slots.panicked = true;
+                }
+                self.ready.notify_all();
+            }
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _flag = PanicFlag {
+                    state: &state,
+                    ready: &ready,
+                };
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= jobs {
+                        break;
+                    }
+                    let result = job(index);
+                    state.lock().expect("result slots poisoned").results[index] = Some(result);
+                    ready.notify_all();
+                }
+            });
+        }
+        for index in 0..jobs {
+            let result = {
+                let mut slots = state.lock().expect("result slots poisoned");
+                loop {
+                    if let Some(result) = slots.results[index].take() {
+                        break result;
+                    }
+                    if slots.panicked {
+                        // Let the workers drain; the scope join below
+                        // re-raises the worker's panic on this thread.
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    slots = ready.wait(slots).expect("result slots poisoned");
+                }
+            };
+            if !each(index, result) {
+                stop.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +201,58 @@ mod tests {
     #[test]
     fn default_parallelism_is_at_least_one() {
         assert!(default_parallelism() >= 1);
+    }
+
+    #[test]
+    fn each_sees_results_in_index_order() {
+        for workers in [1, 2, 8] {
+            let mut seen = Vec::new();
+            run_indexed_each(
+                workers,
+                37,
+                |i| i * 3,
+                |index, result| {
+                    seen.push((index, result));
+                    true
+                },
+            );
+            let expected: Vec<_> = (0..37).map(|i| (i, i * 3)).collect();
+            assert_eq!(seen, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn each_returning_false_stops_the_run_early() {
+        for workers in [1, 4] {
+            let mut seen = Vec::new();
+            run_indexed_each(
+                workers,
+                1000,
+                |i| i,
+                |index, _| {
+                    seen.push(index);
+                    index < 4
+                },
+            );
+            assert_eq!(seen, vec![0, 1, 2, 3, 4], "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_caller_without_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            run_indexed_each(
+                4,
+                64,
+                |i| {
+                    if i == 7 {
+                        panic!("cell 7 exploded");
+                    }
+                    i
+                },
+                |_, _| true,
+            );
+        });
+        assert!(result.is_err(), "the worker panic must propagate");
     }
 }

@@ -384,6 +384,7 @@ struct MetricsInner {
     runs_computed: AtomicU64,
     runs_coalesced: AtomicU64,
     response_cache_hits: AtomicU64,
+    panicked_requests: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
 }
 
@@ -420,6 +421,10 @@ pub struct ServeMetrics {
     pub runs_coalesced: u64,
     /// Run requests served from the completed-response cache.
     pub response_cache_hits: u64,
+    /// Requests whose handler panicked. Each one was caught (converted to a
+    /// 500 and counted in [`ServeMetrics::error_responses`]) instead of
+    /// killing its pool worker, so the pool never shrinks.
+    pub panicked_requests: u64,
     /// Counts per latency bucket (the last bucket is the >60 s overflow).
     pub latency_buckets: Vec<u64>,
     /// Per-precision session cache statistics, sorted by precision name.
@@ -501,7 +506,7 @@ impl ServeMetrics {
             .collect();
         format!(
             "{{\"format\":{},\"version\":{},\
-             \"requests\":{{\"total\":{},\"run\":{},\"metrics\":{},\"health\":{},\"shutdown\":{},\"errors\":{}}},\
+             \"requests\":{{\"total\":{},\"run\":{},\"metrics\":{},\"health\":{},\"shutdown\":{},\"errors\":{},\"panics\":{}}},\
              \"runs\":{{\"computed\":{},\"coalesced\":{},\"response_cache_hits\":{}}},\
              \"latency_ms\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"bucket_bounds_ms\":[{}],\"bucket_counts\":[{}]}},\
              \"sessions\":[{}]}}",
@@ -513,6 +518,7 @@ impl ServeMetrics {
             self.health_requests,
             self.shutdown_requests,
             self.error_responses,
+            self.panicked_requests,
             self.runs_computed,
             self.runs_coalesced,
             self.response_cache_hits,
@@ -587,6 +593,7 @@ impl ServerState {
             runs_computed: m.runs_computed.load(Ordering::Relaxed),
             runs_coalesced: m.runs_coalesced.load(Ordering::Relaxed),
             response_cache_hits: m.response_cache_hits.load(Ordering::Relaxed),
+            panicked_requests: m.panicked_requests.load(Ordering::Relaxed),
             latency_buckets,
             sessions,
         }
@@ -647,7 +654,23 @@ impl Server {
             threads.push(std::thread::spawn(move || loop {
                 let next = receiver.lock().expect("connection queue poisoned").recv();
                 match next {
-                    Ok(stream) => handle_connection(&state, stream),
+                    Ok(stream) => {
+                        // Backstop: `handle_connection` catches handler
+                        // panics itself, but nothing that escapes it may
+                        // kill this thread — a panicking request must never
+                        // permanently shrink the pool.
+                        let state = &state;
+                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            handle_connection(state, stream)
+                        }))
+                        .is_err()
+                        {
+                            state
+                                .metrics
+                                .panicked_requests
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     // The accept loop dropped the sender: shutdown.
                     Err(_) => break,
                 }
@@ -907,6 +930,18 @@ fn write_error(stream: &mut TcpStream, error: &RequestError) -> std::io::Result<
     write_response(stream, error.status, "application/json", &[], &body)
 }
 
+/// Extracts the human-readable message from a caught panic payload
+/// (`panic!` with a literal yields `&str`, with a format string `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Request handling.
 // ---------------------------------------------------------------------------
@@ -930,65 +965,88 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
     };
     state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
     let endpoint = (request.method.as_str(), request.path.as_str());
-    let outcome: core::result::Result<(), RequestError> = match endpoint {
-        ("POST", "/v1/run") => {
-            state.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
-            handle_run(state, &request.body).and_then(|(bytes, source)| {
-                write_chunked_response(&mut stream, source, &bytes)
+    // A handler panic (a buggy strategy, a poisoned lock) is converted into
+    // a 500 for THIS request; the connection worker lives on.
+    let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> core::result::Result<(), RequestError> {
+            match endpoint {
+                ("POST", "/v1/run") => {
+                    state.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
+                    handle_run(state, &request.body).and_then(|(bytes, source)| {
+                        write_chunked_response(&mut stream, source, &bytes).map_err(|e| {
+                            RequestError::new(500, format!("could not write response: {e}"))
+                        })
+                    })
+                }
+                ("GET", "/v1/metrics") => {
+                    state
+                        .metrics
+                        .metrics_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    let body = format!("{}\n", state.snapshot_metrics().to_json());
+                    write_response(&mut stream, 200, "application/json", &[], &body).map_err(|e| {
+                        RequestError::new(500, format!("could not write response: {e}"))
+                    })
+                }
+                ("GET", "/v1/health") => {
+                    state
+                        .metrics
+                        .health_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    write_response(
+                        &mut stream,
+                        200,
+                        "application/json",
+                        &[],
+                        "{\"status\":\"ok\"}\n",
+                    )
                     .map_err(|e| RequestError::new(500, format!("could not write response: {e}")))
-            })
-        }
-        ("GET", "/v1/metrics") => {
-            state
-                .metrics
-                .metrics_requests
-                .fetch_add(1, Ordering::Relaxed);
-            let body = format!("{}\n", state.snapshot_metrics().to_json());
-            write_response(&mut stream, 200, "application/json", &[], &body)
-                .map_err(|e| RequestError::new(500, format!("could not write response: {e}")))
-        }
-        ("GET", "/v1/health") => {
-            state
-                .metrics
-                .health_requests
-                .fetch_add(1, Ordering::Relaxed);
-            write_response(
-                &mut stream,
-                200,
-                "application/json",
-                &[],
-                "{\"status\":\"ok\"}\n",
-            )
-            .map_err(|e| RequestError::new(500, format!("could not write response: {e}")))
-        }
-        ("POST", "/v1/shutdown") => {
-            state
-                .metrics
-                .shutdown_requests
-                .fetch_add(1, Ordering::Relaxed);
-            let written = write_response(
-                &mut stream,
-                200,
-                "application/json",
-                &[],
-                "{\"status\":\"shutting down\"}\n",
-            );
-            // Acknowledge first, then stop accepting; the local address is
-            // recoverable from the connection itself.
-            if let Ok(addr) = stream.local_addr() {
-                trigger_shutdown(state, addr);
-            } else {
-                state.shutdown.store(true, Ordering::SeqCst);
+                }
+                ("POST", "/v1/shutdown") => {
+                    state
+                        .metrics
+                        .shutdown_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    let written = write_response(
+                        &mut stream,
+                        200,
+                        "application/json",
+                        &[],
+                        "{\"status\":\"shutting down\"}\n",
+                    );
+                    // Acknowledge first, then stop accepting; the local address is
+                    // recoverable from the connection itself.
+                    if let Ok(addr) = stream.local_addr() {
+                        trigger_shutdown(state, addr);
+                    } else {
+                        state.shutdown.store(true, Ordering::SeqCst);
+                    }
+                    written.map_err(|e| {
+                        RequestError::new(500, format!("could not write response: {e}"))
+                    })
+                }
+                ("POST" | "GET", "/v1/run" | "/v1/metrics" | "/v1/health" | "/v1/shutdown") => {
+                    Err(RequestError::new(
+                        405,
+                        format!("{} does not accept {}", request.path, request.method),
+                    ))
+                }
+                (_, path) => Err(RequestError::new(404, format!("unknown path '{path}'"))),
             }
-            written.map_err(|e| RequestError::new(500, format!("could not write response: {e}")))
-        }
-        ("POST" | "GET", "/v1/run" | "/v1/metrics" | "/v1/health" | "/v1/shutdown") => {
+        },
+    ));
+    let outcome = match dispatched {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            state
+                .metrics
+                .panicked_requests
+                .fetch_add(1, Ordering::Relaxed);
             Err(RequestError::new(
-                405,
-                format!("{} does not accept {}", request.path, request.method),
+                500,
+                format!("internal panic: {}", panic_message(payload.as_ref())),
             ))
         }
-        (_, path) => Err(RequestError::new(404, format!("unknown path '{path}'"))),
     };
     if let Err(error) = outcome {
         state
@@ -1046,8 +1104,28 @@ fn handle_run(
         return result.map(|bytes| (bytes, RunSource::Coalesced));
     }
 
-    // Leader: execute the spec on the shared session of its precision.
-    let result = execute_spec(state, &spec);
+    // Leader: execute the spec on the shared session of its precision. A
+    // panic inside the evaluation must still publish to the flight —
+    // coalesced waiters would otherwise block on a leader that no longer
+    // exists.
+    let result =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_spec(state, &spec)))
+        {
+            Ok(result) => result,
+            Err(payload) => {
+                state
+                    .metrics
+                    .panicked_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(RequestError::new(
+                    500,
+                    format!(
+                        "internal panic while executing the run: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                ))
+            }
+        };
     {
         // Publish under the flight-map lock so a request that misses the
         // response cache always finds either the flight or the cached
@@ -1104,6 +1182,8 @@ fn execute_spec(
 pub struct ServeClient {
     addr: String,
     timeout: Duration,
+    retries: u32,
+    retry_backoff: Duration,
 }
 
 impl ServeClient {
@@ -1112,6 +1192,8 @@ impl ServeClient {
         Self {
             addr: addr.into(),
             timeout: Duration::from_secs(600),
+            retries: 0,
+            retry_backoff: Duration::from_millis(100),
         }
     }
 
@@ -1120,6 +1202,30 @@ impl ServeClient {
     #[must_use]
     pub fn timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Opt-in retries of *transient* failures — refused/failed connections,
+    /// send failures, connections dropped before any response byte — up to
+    /// `retries` additional attempts with jittered exponential backoff.
+    ///
+    /// Default 0: fail fast. Two failure classes are never retried no
+    /// matter the budget: anything after response-**body** bytes have
+    /// arrived (the request may have executed; replaying it is not the
+    /// client's call), and non-2xx responses (the server answered; asking
+    /// again changes nothing).
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Base backoff between retry attempts (default 100 ms); attempt `n`
+    /// waits `base * 2^(n-1)`, jittered to 50–100 % so synchronized
+    /// clients spread out.
+    #[must_use]
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
         self
     }
 
@@ -1162,8 +1268,36 @@ impl ServeClient {
     }
 
     fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<String> {
-        let mut stream = TcpStream::connect(&self.addr)
-            .map_err(|e| serve_error(format!("could not connect to {}: {e}", self.addr)))?;
+        let mut attempt = 0u32;
+        loop {
+            match self.request_once(method, path, body) {
+                Ok(response) => return Ok(response),
+                Err((error, retryable)) => {
+                    if !retryable || attempt >= self.retries {
+                        return Err(error);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(jittered_backoff(self.retry_backoff, attempt));
+                }
+            }
+        }
+    }
+
+    /// One request attempt. The error carries whether a retry is safe:
+    /// everything up to the arrival of the first response-body byte is
+    /// (the request was provably not answered), nothing after it is.
+    fn request_once(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> core::result::Result<String, (Error, bool)> {
+        let mut stream = TcpStream::connect(&self.addr).map_err(|e| {
+            (
+                serve_error(format!("could not connect to {}: {e}", self.addr)),
+                true,
+            )
+        })?;
         let _ = stream.set_read_timeout(Some(self.timeout));
         let _ = stream.set_write_timeout(Some(self.timeout));
         let _ = stream.set_nodelay(true);
@@ -1177,12 +1311,27 @@ impl ServeClient {
             .write_all(head.as_bytes())
             .and_then(|()| stream.write_all(body.as_bytes()))
             .and_then(|()| stream.flush())
-            .map_err(|e| serve_error(format!("could not send request: {e}")))?;
+            .map_err(|e| (serve_error(format!("could not send request: {e}")), true))?;
         let mut raw = Vec::new();
-        stream
-            .read_to_end(&mut raw)
-            .map_err(|e| serve_error(format!("could not read response: {e}")))?;
-        let (status, body) = parse_response(&raw)?;
+        if let Err(e) = stream.read_to_end(&mut raw) {
+            let retryable = !response_body_started(&raw);
+            return Err((
+                serve_error(format!("could not read response: {e}")),
+                retryable,
+            ));
+        }
+        if raw.is_empty() {
+            return Err((
+                serve_error("connection closed before any response bytes arrived".to_owned()),
+                true,
+            ));
+        }
+        let (status, body) = parse_response(&raw).map_err(|e| {
+            // A malformed response whose body never started is a dropped
+            // connection in disguise; a torn body is not retry-safe.
+            let retryable = !response_body_started(&raw);
+            (e, retryable)
+        })?;
         if !(200..300).contains(&status) {
             // Error bodies are `{"error": "..."}`; surface the message.
             let message = JsonValue::parse(body.trim())
@@ -1193,12 +1342,37 @@ impl ServeClient {
                         .map(str::to_owned)
                 })
                 .unwrap_or_else(|| body.trim().to_owned());
-            return Err(serve_error(format!(
-                "server returned HTTP {status}: {message}"
-            )));
+            return Err((
+                serve_error(format!("server returned HTTP {status}: {message}")),
+                false,
+            ));
         }
         Ok(body)
     }
+}
+
+/// Whether `raw` already contains response-body bytes (a complete header
+/// terminator with anything after it). Once it does, the client must not
+/// retry: the server may have executed the request.
+fn response_body_started(raw: &[u8]) -> bool {
+    match find_subslice(raw, b"\r\n\r\n") {
+        Some(position) => raw.len() > position + 4,
+        None => false,
+    }
+}
+
+/// `base * 2^(attempt-1)`, jittered to 50–100 % from wall-clock
+/// sub-second entropy — the one spot in the workspace where
+/// nondeterminism is the point (spreading synchronized retries), safely
+/// outside every reproducible result path.
+fn jittered_backoff(base: Duration, attempt: u32) -> Duration {
+    let scaled = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(10));
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let factor = 0.5 + 0.5 * f64::from(nanos % 1024) / 1024.0;
+    scaled.mul_f64(factor)
 }
 
 /// Parses a complete HTTP/1.1 response (status line, headers, then either a
@@ -1461,6 +1635,7 @@ mod tests {
             health_requests: 0,
             shutdown_requests: 0,
             error_responses: 0,
+            panicked_requests: 0,
             runs_computed: 0,
             runs_coalesced: 0,
             response_cache_hits: 0,
@@ -1503,6 +1678,86 @@ mod tests {
         let mut reseeded = tiny_spec();
         reseeded.seed = 7;
         assert_ne!(RunKey::of(&reseeded), base, "seed changes the hash");
+    }
+
+    #[test]
+    fn a_panicking_request_is_a_500_and_the_pool_keeps_serving() {
+        // One worker, so a panic that killed its thread would leave nobody
+        // to answer the follow-up requests.
+        let mut registry = Registry::new();
+        registry.strategy("boom", |_| panic!("strategy exploded"));
+        let server =
+            Server::bind(ServeConfig::new().registry(registry).workers(1)).expect("server binds");
+        let client = ServeClient::new(server.local_addr().to_string());
+        let mut spec = tiny_spec();
+        spec.strategies = vec![StrategySpec::new("boom")];
+        let err = client.post_run(&spec.to_json()).unwrap_err();
+        let message = format!("{err}");
+        assert!(message.contains("HTTP 500"), "{message}");
+        assert!(message.contains("panic"), "{message}");
+        assert!(message.contains("strategy exploded"), "{message}");
+        // The poisoned request did not shrink the pool: the same (only)
+        // worker still serves, and the panic shows up in the metrics.
+        assert!(client.health().unwrap().contains("ok"));
+        let raw = client.metrics().unwrap();
+        assert!(raw.contains("\"panics\":1"), "{raw}");
+        let metrics = server.metrics();
+        assert_eq!(metrics.panicked_requests, 1);
+        assert!(metrics.error_responses >= 1);
+    }
+
+    #[test]
+    fn client_retries_heal_transient_connection_failures() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let flaky = std::thread::spawn(move || {
+            // Drop two connections before any response byte, then answer.
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                drop(stream);
+            }
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut scratch = [0u8; 4096];
+            let _ = stream.read(&mut scratch);
+            let body = "{\"status\":\"ok\"}\n";
+            let response = format!(
+                "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(response.as_bytes()).unwrap();
+        });
+        let client = ServeClient::new(addr.to_string())
+            .retries(3)
+            .retry_backoff(Duration::from_millis(5));
+        let body = client.health().expect("third attempt succeeds");
+        assert!(body.contains("ok"), "{body}");
+        flaky.join().unwrap();
+
+        // Default (0 retries) fails fast on a dead port — the listener
+        // above is gone, nobody answers.
+        let fail_fast = ServeClient::new(addr.to_string());
+        assert!(fail_fast.health().is_err());
+    }
+
+    #[test]
+    fn retry_safety_hinges_on_body_bytes() {
+        assert!(!response_body_started(b""));
+        assert!(!response_body_started(b"HTTP/1.1 200 OK\r\n"));
+        // A complete head with no body byte yet: still retry-safe.
+        assert!(!response_body_started(b"HTTP/1.1 200 OK\r\n\r\n"));
+        // The first body byte ends retry eligibility.
+        assert!(response_body_started(b"HTTP/1.1 200 OK\r\n\r\nx"));
+        // Non-2xx responses are never retried, independent of the budget.
+        let (server, client) = start_server();
+        let client = client.retries(5).retry_backoff(Duration::from_millis(1));
+        let err = client.post_run("not json").unwrap_err();
+        assert!(format!("{err}").contains("HTTP 400"), "{err}");
+        let metrics = server.metrics();
+        assert_eq!(
+            metrics.run_requests, 1,
+            "a 400 must be delivered once, not retried into {}",
+            metrics.run_requests
+        );
     }
 
     #[test]

@@ -1,0 +1,1363 @@
+//! Fault-tolerant sweep orchestration: a spec's cell grid as a dynamic
+//! queue of cell-range chunks over worker *processes*, surviving worker
+//! death, `kill -9`, and orchestrator restarts.
+//!
+//! The existing sharding machinery ([`Experiment::cells`] + `imc run
+//! --cells` + [`ExperimentRun::merge`]) already lets a grid cross process
+//! boundaries, but driving it used to assume every worker finishes. This
+//! module is the driver that does not:
+//!
+//! * **Checkpointing.** A versioned `imc.sweep-state` JSON ledger
+//!   ([`SWEEP_STATE_FORMAT`]) records every chunk's `pending → leased →
+//!   done` transitions, fsynced atomically (temp file + rename) on each
+//!   transition and keyed by the spec's content hash so stale state for a
+//!   different experiment is rejected.
+//! * **Crash tolerance.** Workers stream records through
+//!   [`crate::record::RunWriter`], so a killed worker leaves a shard with a
+//!   complete-prefix of records. On retry or [`sweep`] with
+//!   `resume = true`, [`ExperimentRun::from_jsonl_partial`] salvages that
+//!   prefix into a valid (smaller) done shard, and only the missing cells
+//!   are re-leased.
+//! * **Dead-worker handling.** Liveness comes from child exit status plus a
+//!   configurable per-chunk timeout; transient deaths (signals, exit
+//!   code 4) are retried with exponential backoff up to
+//!   [`SweepConfig::max_attempts`], permanent failures (exit codes 1–3:
+//!   the spec will never run) abort the sweep, and cells still missing
+//!   after the retry budget produce a terminal error naming them.
+//! * **Streaming merge.** [`stream_merge`] reassembles the shard files with
+//!   a k-way merge on `cell_index`, holding one record per shard in memory
+//!   instead of the full run, byte-identical to [`ExperimentRun::merge`].
+//! * **Deterministic fault injection.** The [`FAULT_ENV`] hook makes `imc
+//!   run` die like `kill -9` after a fixed number of cells (complete
+//!   records plus one torn line), so the whole crash/salvage/resume path is
+//!   testable reproducibly — alongside the real `kill -9` integration test.
+//!
+//! The end-to-end contract: a sweep that lost workers (or whole
+//! orchestrator runs) and was resumed merges to bytes identical to an
+//! unsharded `imc run` of the same spec.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::experiment::ExperimentRun;
+use crate::json::JsonValue;
+use crate::record::{parse_run_header, run_header_json};
+use crate::spec::ExperimentSpec;
+use crate::{Error, Result, RunRecord};
+
+/// Format tag of the sweep-state ledger file.
+pub const SWEEP_STATE_FORMAT: &str = "imc.sweep-state";
+
+/// Current version of the sweep-state format; readers reject other
+/// versions.
+pub const SWEEP_STATE_VERSION: u64 = 1;
+
+/// Name of the state ledger inside the sweep working directory.
+pub const STATE_FILE: &str = "sweep-state.json";
+
+/// Name of the spec copy the workers run against, inside the sweep working
+/// directory.
+pub const SPEC_FILE: &str = "spec.json";
+
+/// Environment variable of the deterministic fault-injection hook in `imc
+/// run --out`: with `IMC_FAULT_EXIT_AFTER_CELLS=k`, the worker writes `k`
+/// complete records plus one torn line and aborts (dying by signal, exactly
+/// like `kill -9` mid-write). The orchestrator strips this variable from
+/// worker environments unless [`SweepConfig::inject_fault_after_cells`]
+/// asks for it, so a fault-injected sweep's *retries* run clean.
+pub const FAULT_ENV: &str = "IMC_FAULT_EXIT_AFTER_CELLS";
+
+fn sweep_error(what: impl Into<String>) -> Error {
+    Error::Sweep { what: what.into() }
+}
+
+fn io_error(what: impl Into<String>) -> Error {
+    Error::Io { what: what.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration, events, report.
+// ---------------------------------------------------------------------------
+
+/// A [`SweepEvent`] callback installed with [`SweepConfig::observer`].
+type Observer = Box<dyn Fn(&SweepEvent) + Send + Sync>;
+
+/// Configuration of a [`sweep`] run.
+pub struct SweepConfig {
+    worker_program: PathBuf,
+    workers: usize,
+    chunk_cells: usize,
+    max_attempts: u32,
+    chunk_timeout: Duration,
+    retry_backoff: Duration,
+    worker_parallelism: usize,
+    inject_fault_after_cells: Option<usize>,
+    observer: Option<Observer>,
+}
+
+impl SweepConfig {
+    /// Defaults: this executable as the worker program, 2 workers, 8 cells
+    /// per chunk, 3 attempts per chunk, a 600 s per-chunk timeout, 200 ms
+    /// base retry backoff, worker parallelism 1.
+    pub fn new() -> Self {
+        SweepConfig {
+            worker_program: std::env::current_exe().unwrap_or_else(|_| PathBuf::from("imc")),
+            workers: 2,
+            chunk_cells: 8,
+            max_attempts: 3,
+            chunk_timeout: Duration::from_secs(600),
+            retry_backoff: Duration::from_millis(200),
+            worker_parallelism: 1,
+            inject_fault_after_cells: None,
+            observer: None,
+        }
+    }
+
+    /// The binary spawned per chunk as `<program> run <spec> --cells A..B
+    /// --out <shard>`; defaults to the current executable.
+    pub fn worker_program(mut self, program: impl Into<PathBuf>) -> Self {
+        self.worker_program = program.into();
+        self
+    }
+
+    /// Number of worker processes kept in flight.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Cells per chunk: the unit of leasing, retry and loss.
+    pub fn chunk_cells(mut self, cells: usize) -> Self {
+        self.chunk_cells = cells.max(1);
+        self
+    }
+
+    /// Launch budget per chunk (first attempt included) before its cells
+    /// are declared unrecoverable.
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Per-chunk wall-clock budget; a worker exceeding it is killed and
+    /// handled like any other dead worker.
+    pub fn chunk_timeout(mut self, timeout: Duration) -> Self {
+        self.chunk_timeout = timeout;
+        self
+    }
+
+    /// Base backoff before relaunching a failed chunk; attempt `n` waits
+    /// `base * 2^(n-1)`.
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// `--parallelism` passed to every worker (an execution knob — it never
+    /// enters the run manifest, so it cannot break byte-identity). Defaults
+    /// to 1: process-level parallelism comes from [`SweepConfig::workers`].
+    pub fn worker_parallelism(mut self, threads: usize) -> Self {
+        self.worker_parallelism = threads.max(1);
+        self
+    }
+
+    /// Test/CI hook: injects [`FAULT_ENV`]`=k` into the **first** attempt
+    /// of every chunk, so each chunk's first worker dies mid-shard and the
+    /// retry path has to heal it.
+    pub fn inject_fault_after_cells(mut self, cells: usize) -> Self {
+        self.inject_fault_after_cells = Some(cells);
+        self
+    }
+
+    /// Observer called (on the orchestrator thread) for every
+    /// [`SweepEvent`]; the CLI uses it for progress lines, tests for
+    /// capturing worker PIDs to `kill -9`.
+    pub fn observer(mut self, observer: impl Fn(&SweepEvent) + Send + Sync + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    fn emit(&self, event: SweepEvent) {
+        if let Some(observer) = &self.observer {
+            observer(&event);
+        }
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for SweepConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SweepConfig")
+            .field("worker_program", &self.worker_program)
+            .field("workers", &self.workers)
+            .field("chunk_cells", &self.chunk_cells)
+            .field("max_attempts", &self.max_attempts)
+            .field("chunk_timeout", &self.chunk_timeout)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("worker_parallelism", &self.worker_parallelism)
+            .field("inject_fault_after_cells", &self.inject_fault_after_cells)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+/// Progress events emitted to the [`SweepConfig::observer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SweepEvent {
+    /// A worker process was spawned for a chunk.
+    WorkerSpawned {
+        /// Ledger index of the chunk.
+        chunk: usize,
+        /// Cell range of the chunk.
+        cells: Range<usize>,
+        /// 1-based launch count for the chunk.
+        attempt: u32,
+        /// OS process id of the worker.
+        pid: u32,
+    },
+    /// A chunk's shard completed and validated.
+    ChunkDone {
+        /// Ledger index of the chunk.
+        chunk: usize,
+        /// Cell range of the chunk.
+        cells: Range<usize>,
+    },
+    /// A worker died (signal, timeout, transient failure, or invalid
+    /// output).
+    WorkerDied {
+        /// Ledger index of the chunk.
+        chunk: usize,
+        /// Cell range of the chunk.
+        cells: Range<usize>,
+        /// 1-based launch count that died.
+        attempt: u32,
+        /// What happened, including any worker stderr.
+        reason: String,
+        /// Whether the chunk will be relaunched (false: retry budget
+        /// exhausted).
+        retrying: bool,
+    },
+    /// The complete prefix of a dead worker's shard was salvaged into a
+    /// done shard; only the missing tail will be re-run.
+    ChunkSalvaged {
+        /// Ledger index of the chunk that now covers the salvaged range.
+        chunk: usize,
+        /// Cells rescued from the partial shard.
+        recovered: Range<usize>,
+        /// Cells re-queued as a new pending chunk.
+        missing: Range<usize>,
+    },
+    /// A resumed sweep reconciled the ledger against the shards on disk.
+    Resumed {
+        /// Chunks already complete.
+        done: usize,
+        /// Chunks still to run (salvage remainders included).
+        pending: usize,
+    },
+}
+
+/// Summary of a completed [`sweep`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// The global cell range the sweep covered.
+    pub cells: Range<usize>,
+    /// Chunks in the final ledger (salvage splits included).
+    pub chunks: usize,
+    /// Records in the merged output.
+    pub records: usize,
+    /// Worker processes launched by *this* orchestrator run.
+    pub workers_spawned: usize,
+    /// Worker deaths observed (signals, timeouts, transient failures).
+    pub worker_failures: usize,
+    /// Partial shards whose prefix was salvaged instead of re-run.
+    pub chunks_salvaged: usize,
+}
+
+// ---------------------------------------------------------------------------
+// The state ledger.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkStatus {
+    Pending,
+    Leased,
+    Done,
+}
+
+impl ChunkStatus {
+    fn tag(self) -> &'static str {
+        match self {
+            ChunkStatus::Pending => "pending",
+            ChunkStatus::Leased => "leased",
+            ChunkStatus::Done => "done",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Result<Self> {
+        match tag {
+            "pending" => Ok(ChunkStatus::Pending),
+            "leased" => Ok(ChunkStatus::Leased),
+            "done" => Ok(ChunkStatus::Done),
+            other => Err(sweep_error(format!("unknown chunk status '{other}'"))),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ChunkState {
+    cells: Range<usize>,
+    status: ChunkStatus,
+    attempts: u32,
+    shard: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SweepState {
+    spec_hash: u64,
+    cells: Range<usize>,
+    chunks: Vec<ChunkState>,
+}
+
+fn range_value(range: &Range<usize>) -> JsonValue {
+    JsonValue::Object(vec![
+        ("start".to_owned(), JsonValue::integer(range.start as u64)),
+        ("end".to_owned(), JsonValue::integer(range.end as u64)),
+    ])
+}
+
+fn range_member(value: &JsonValue, key: &str) -> Result<Range<usize>> {
+    let range = value
+        .get(key)
+        .ok_or_else(|| sweep_error(format!("state file: missing field '{key}'")))?;
+    let bound = |bound: &str| {
+        range
+            .get(bound)
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| {
+                sweep_error(format!(
+                    "state file: '{key}.{bound}' is not a non-negative integer"
+                ))
+            })
+    };
+    Ok(bound("start")?..bound("end")?)
+}
+
+impl SweepState {
+    /// Partitions `cells` into `chunk_cells`-sized pending chunks.
+    fn fresh(spec_hash: u64, cells: Range<usize>, chunk_cells: usize) -> SweepState {
+        let mut chunks = Vec::new();
+        let mut start = cells.start;
+        while start < cells.end {
+            let end = (start + chunk_cells).min(cells.end);
+            chunks.push(ChunkState {
+                cells: start..end,
+                status: ChunkStatus::Pending,
+                attempts: 0,
+                shard: format!("chunk_{}.jsonl", chunks.len()),
+            });
+            start = end;
+        }
+        SweepState {
+            spec_hash,
+            cells,
+            chunks,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let chunks: Vec<JsonValue> = self
+            .chunks
+            .iter()
+            .map(|chunk| {
+                JsonValue::Object(vec![
+                    ("cells".to_owned(), range_value(&chunk.cells)),
+                    ("status".to_owned(), JsonValue::string(chunk.status.tag())),
+                    (
+                        "attempts".to_owned(),
+                        JsonValue::integer(u64::from(chunk.attempts)),
+                    ),
+                    ("shard".to_owned(), JsonValue::string(chunk.shard.as_str())),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("format".to_owned(), JsonValue::string(SWEEP_STATE_FORMAT)),
+            (
+                "version".to_owned(),
+                JsonValue::integer(SWEEP_STATE_VERSION),
+            ),
+            (
+                "spec_hash".to_owned(),
+                JsonValue::string(format!("{:016x}", self.spec_hash)),
+            ),
+            ("cells".to_owned(), range_value(&self.cells)),
+            ("chunks".to_owned(), JsonValue::Array(chunks)),
+        ])
+        .to_json()
+    }
+
+    fn parse(text: &str) -> Result<SweepState> {
+        let value = JsonValue::parse(text)
+            .map_err(|e| sweep_error(format!("state file is not valid JSON: {e}")))?;
+        let format = value
+            .get("format")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| sweep_error("state file: missing 'format'"))?;
+        if format != SWEEP_STATE_FORMAT {
+            return Err(sweep_error(format!(
+                "state file has format '{format}' (expected '{SWEEP_STATE_FORMAT}')"
+            )));
+        }
+        let version = value
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| sweep_error("state file: missing 'version'"))?;
+        if version != SWEEP_STATE_VERSION {
+            return Err(sweep_error(format!(
+                "unsupported state version {version} (this orchestrator understands version {SWEEP_STATE_VERSION})"
+            )));
+        }
+        let spec_hash = value
+            .get("spec_hash")
+            .and_then(JsonValue::as_str)
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| sweep_error("state file: 'spec_hash' is not a hex hash"))?;
+        let cells = range_member(&value, "cells")?;
+        let chunks = value
+            .get("chunks")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| sweep_error("state file: missing 'chunks' array"))?
+            .iter()
+            .map(|chunk| {
+                Ok(ChunkState {
+                    cells: range_member(chunk, "cells")?,
+                    status: ChunkStatus::from_tag(
+                        chunk
+                            .get("status")
+                            .and_then(JsonValue::as_str)
+                            .ok_or_else(|| sweep_error("state file: chunk missing 'status'"))?,
+                    )?,
+                    attempts: chunk
+                        .get("attempts")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| sweep_error("state file: chunk missing 'attempts'"))?
+                        as u32,
+                    shard: chunk
+                        .get("shard")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| sweep_error("state file: chunk missing 'shard'"))?
+                        .to_owned(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SweepState {
+            spec_hash,
+            cells,
+            chunks,
+        })
+    }
+
+    /// Persists the ledger atomically: temp file, fsync, rename — a crash
+    /// at any point leaves either the old or the new ledger, never a torn
+    /// one.
+    fn save(&self, dir: &Path) -> Result<()> {
+        let tmp = dir.join(format!("{STATE_FILE}.tmp"));
+        let target = dir.join(STATE_FILE);
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| io_error(format!("could not create {}: {e}", tmp.display())))?;
+        file.write_all(self.to_json().as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| io_error(format!("could not write {}: {e}", tmp.display())))?;
+        drop(file);
+        std::fs::rename(&tmp, &target)
+            .map_err(|e| io_error(format!("could not commit {}: {e}", target.display())))?;
+        // Best-effort directory fsync so the rename itself is durable.
+        if let Ok(dir_handle) = std::fs::File::open(dir) {
+            let _ = dir_handle.sync_all();
+        }
+        Ok(())
+    }
+
+    fn load(path: &Path) -> Result<SweepState> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| io_error(format!("could not read {}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Salvage: turning a dead worker's partial shard into a resume point.
+// ---------------------------------------------------------------------------
+
+/// Reconciles chunk `index` against its shard file on disk: a complete,
+/// valid shard marks the chunk done; a partial shard with a usable prefix
+/// is rewritten as a smaller done shard plus a new pending chunk for the
+/// missing tail; anything else resets the chunk to pending. Returns the
+/// ledger index of the chunk that still needs running, if any.
+fn salvage_chunk(
+    state: &mut SweepState,
+    index: usize,
+    dir: &Path,
+    config: &SweepConfig,
+    report: &mut SweepReport,
+) -> Result<Option<usize>> {
+    let chunk_cells = state.chunks[index].cells.clone();
+    let shard_path = dir.join(&state.chunks[index].shard);
+    let Ok(text) = std::fs::read_to_string(&shard_path) else {
+        // No shard at all (worker died before the header): rerun whole.
+        state.chunks[index].status = ChunkStatus::Pending;
+        return Ok(Some(index));
+    };
+    let Ok(recovered) = ExperimentRun::from_jsonl_partial(&text) else {
+        // Torn header or worse: nothing trustworthy, rerun whole.
+        state.chunks[index].status = ChunkStatus::Pending;
+        return Ok(Some(index));
+    };
+    if recovered.is_complete() && recovered.covered == Some(chunk_cells.clone()) {
+        // The worker finished its shard; only the done-transition was lost.
+        state.chunks[index].status = ChunkStatus::Done;
+        return Ok(None);
+    }
+    match recovered.covered {
+        Some(covered) if covered.start == chunk_cells.start && covered.end < chunk_cells.end => {
+            // A usable prefix: rewrite it as a valid shard of its own (with
+            // an honest manifest range) and queue only the missing tail.
+            let mut manifest = recovered.run.manifest().cloned();
+            if let Some(manifest) = &mut manifest {
+                manifest.cells = covered.clone();
+            }
+            let salvaged = ExperimentRun::new(recovered.run.records().to_vec(), manifest);
+            let salvage_name = format!("salvage_{}_{}.jsonl", covered.start, covered.end);
+            salvaged.save_jsonl(dir.join(&salvage_name))?;
+            let missing = covered.end..chunk_cells.end;
+            let attempts = state.chunks[index].attempts;
+            state.chunks[index] = ChunkState {
+                cells: covered.clone(),
+                status: ChunkStatus::Done,
+                attempts,
+                shard: salvage_name,
+            };
+            let remainder_index = state.chunks.len();
+            state.chunks.push(ChunkState {
+                cells: missing.clone(),
+                status: ChunkStatus::Pending,
+                attempts,
+                shard: format!("chunk_{remainder_index}.jsonl"),
+            });
+            report.chunks_salvaged += 1;
+            config.emit(SweepEvent::ChunkSalvaged {
+                chunk: index,
+                recovered: covered,
+                missing,
+            });
+            Ok(Some(remainder_index))
+        }
+        _ => {
+            // Empty, non-contiguous, or not starting at the chunk's first
+            // cell: refuse to guess, rerun the whole chunk.
+            state.chunks[index].status = ChunkStatus::Pending;
+            Ok(Some(index))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The orchestrator.
+// ---------------------------------------------------------------------------
+
+struct Running {
+    chunk: usize,
+    child: Child,
+    started: Instant,
+}
+
+fn kill_all(running: &mut Vec<Running>) {
+    for worker in running.iter_mut() {
+        let _ = worker.child.kill();
+        let _ = worker.child.wait();
+    }
+    running.clear();
+}
+
+fn stderr_excerpt(child: &mut Child) -> String {
+    let mut text = String::new();
+    if let Some(mut stderr) = child.stderr.take() {
+        let _ = stderr.read_to_string(&mut text);
+    }
+    let trimmed = text.trim();
+    let mut excerpt: String = trimmed.chars().take(300).collect();
+    if excerpt.len() < trimmed.len() {
+        excerpt.push('…');
+    }
+    excerpt
+}
+
+/// What a worker's exit means for its chunk.
+enum Disposition {
+    /// Exit 0: validate the shard and mark the chunk done.
+    Success,
+    /// Signal death, timeout, or transient I/O (exit code 4): salvage and
+    /// retry within the attempt budget.
+    Retryable(String),
+    /// Exit codes 1–3: the spec/evaluation will fail identically on every
+    /// retry, so the whole sweep aborts.
+    Permanent(String),
+}
+
+fn classify_exit(status: std::process::ExitStatus) -> Disposition {
+    match status.code() {
+        Some(0) => Disposition::Success,
+        None => Disposition::Retryable(format!("worker died ({status})")),
+        Some(4) => {
+            Disposition::Retryable("worker hit a transient I/O failure (exit code 4)".into())
+        }
+        Some(code) => {
+            Disposition::Permanent(format!("worker failed permanently (exit code {code})"))
+        }
+    }
+}
+
+/// Strict validation of a finished shard: loads it and checks it covers
+/// exactly the chunk's cell range.
+fn validate_shard(path: &Path, cells: &Range<usize>) -> Result<()> {
+    let run = ExperimentRun::load_jsonl(path)?;
+    if run.records().len() != cells.len()
+        || !run
+            .records()
+            .iter()
+            .enumerate()
+            .all(|(i, record)| record.cell_index == cells.start + i)
+    {
+        return Err(sweep_error(format!(
+            "shard {} does not cover cells {}..{}",
+            path.display(),
+            cells.start,
+            cells.end
+        )));
+    }
+    Ok(())
+}
+
+/// Runs `spec_json`'s cell grid to completion across worker processes and
+/// merges the shards into `out`, byte-identical to an unsharded `imc run`
+/// of the same spec.
+///
+/// `dir` is the working directory: the spec copy, the shard files and the
+/// [`STATE_FILE`] ledger live there. With `resume = false` the directory
+/// must not already hold a ledger; with `resume = true` an existing ledger
+/// is reconciled against the shards on disk (salvaging partial ones) and
+/// only missing cells are re-leased. A resume also resets each pending
+/// chunk's attempt count — resuming is an explicit decision to try again.
+///
+/// # Errors
+///
+/// Returns [`Error::Spec`] for an invalid spec or cell range,
+/// [`Error::Sweep`] for ledger mismatches (stale state for a different
+/// spec), permanent worker failures, or cells left unrecoverable after the
+/// retry budget, and [`Error::Io`] for filesystem/process failures.
+pub fn sweep(
+    spec_json: &str,
+    dir: &Path,
+    out: &Path,
+    resume: bool,
+    config: &SweepConfig,
+) -> Result<SweepReport> {
+    let spec = ExperimentSpec::from_json(spec_json)?;
+    let grid = spec.networks.len() * spec.arrays.len() * spec.strategies.len();
+    let cells = spec.cells.clone().unwrap_or(0..grid);
+    if cells.start >= cells.end || cells.end > grid {
+        return Err(Error::Spec {
+            what: format!(
+                "cell range {}..{} is empty or exceeds the {grid}-cell grid",
+                cells.start, cells.end
+            ),
+        });
+    }
+    let spec_hash = spec.content_hash();
+
+    std::fs::create_dir_all(dir)
+        .map_err(|e| io_error(format!("could not create {}: {e}", dir.display())))?;
+    let state_path = dir.join(STATE_FILE);
+
+    let mut report = SweepReport {
+        cells: cells.clone(),
+        chunks: 0,
+        records: 0,
+        workers_spawned: 0,
+        worker_failures: 0,
+        chunks_salvaged: 0,
+    };
+
+    let mut state = if resume {
+        let state = SweepState::load(&state_path)?;
+        if state.spec_hash != spec_hash {
+            return Err(sweep_error(format!(
+                "{} was written for spec hash {:016x}, but this spec hashes to {spec_hash:016x} — \
+                 refusing to resume a different experiment",
+                state_path.display(),
+                state.spec_hash
+            )));
+        }
+        if state.cells != cells {
+            return Err(sweep_error(format!(
+                "{} covers cells {}..{}, but this spec sweeps {}..{}",
+                state_path.display(),
+                state.cells.start,
+                state.cells.end,
+                cells.start,
+                cells.end
+            )));
+        }
+        state
+    } else {
+        if state_path.exists() {
+            return Err(sweep_error(format!(
+                "{} already exists — resume the sweep, or remove the directory to start over",
+                state_path.display()
+            )));
+        }
+        SweepState::fresh(spec_hash, cells.clone(), config.chunk_cells)
+    };
+
+    let spec_path = dir.join(SPEC_FILE);
+    std::fs::write(&spec_path, spec_json)
+        .map_err(|e| io_error(format!("could not write {}: {e}", spec_path.display())))?;
+
+    if resume {
+        // Reconcile the ledger against what actually reached disk: done
+        // shards are re-validated, leased/pending ones salvaged.
+        for index in 0..state.chunks.len() {
+            let chunk = state.chunks[index].clone();
+            match chunk.status {
+                ChunkStatus::Done => {
+                    if validate_shard(&dir.join(&chunk.shard), &chunk.cells).is_err() {
+                        salvage_chunk(&mut state, index, dir, config, &mut report)?;
+                    }
+                }
+                ChunkStatus::Leased | ChunkStatus::Pending => {
+                    salvage_chunk(&mut state, index, dir, config, &mut report)?;
+                }
+            }
+        }
+        for chunk in &mut state.chunks {
+            if chunk.status != ChunkStatus::Done {
+                chunk.attempts = 0;
+            }
+        }
+        let done = state
+            .chunks
+            .iter()
+            .filter(|c| c.status == ChunkStatus::Done)
+            .count();
+        config.emit(SweepEvent::Resumed {
+            done,
+            pending: state.chunks.len() - done,
+        });
+    }
+    state.save(dir)?;
+
+    let mut running: Vec<Running> = Vec::new();
+    let mut eligible_at: HashMap<usize, Instant> = HashMap::new();
+    let mut dead: Vec<(usize, String)> = Vec::new();
+
+    let outcome = loop {
+        // 1. Reap exited and timed-out workers.
+        let mut finished: Vec<(Running, std::process::ExitStatus, bool)> = Vec::new();
+        let mut poll_error: Option<Error> = None;
+        let mut index = 0;
+        while index < running.len() {
+            match running[index].child.try_wait() {
+                Ok(Some(status)) => {
+                    finished.push((running.swap_remove(index), status, false));
+                }
+                Ok(None) if running[index].started.elapsed() > config.chunk_timeout => {
+                    let mut worker = running.swap_remove(index);
+                    let _ = worker.child.kill();
+                    match worker.child.wait() {
+                        Ok(status) => finished.push((worker, status, true)),
+                        Err(e) => {
+                            poll_error = Some(io_error(format!("could not reap worker: {e}")));
+                            break;
+                        }
+                    }
+                }
+                Ok(None) => index += 1,
+                Err(e) => {
+                    poll_error = Some(io_error(format!("could not poll worker: {e}")));
+                    break;
+                }
+            }
+        }
+        if let Some(e) = poll_error {
+            break Err(e);
+        }
+
+        // 2. Handle every exit.
+        let mut fatal = None;
+        for (mut worker, status, timed_out) in finished {
+            let chunk_index = worker.chunk;
+            let cells = state.chunks[chunk_index].cells.clone();
+            let attempt = state.chunks[chunk_index].attempts;
+            let disposition = if timed_out {
+                Disposition::Retryable(format!(
+                    "worker exceeded the {}s chunk timeout and was killed",
+                    config.chunk_timeout.as_secs()
+                ))
+            } else {
+                classify_exit(status)
+            };
+            let failure = match disposition {
+                Disposition::Success => {
+                    let shard_path = dir.join(&state.chunks[chunk_index].shard);
+                    match validate_shard(&shard_path, &cells) {
+                        Ok(()) => {
+                            state.chunks[chunk_index].status = ChunkStatus::Done;
+                            state.save(dir)?;
+                            config.emit(SweepEvent::ChunkDone {
+                                chunk: chunk_index,
+                                cells,
+                            });
+                            continue;
+                        }
+                        Err(e) => format!("worker exited cleanly but its shard is invalid: {e}"),
+                    }
+                }
+                Disposition::Retryable(reason) => {
+                    let stderr = stderr_excerpt(&mut worker.child);
+                    if stderr.is_empty() {
+                        reason
+                    } else {
+                        format!("{reason}: {stderr}")
+                    }
+                }
+                Disposition::Permanent(reason) => {
+                    let stderr = stderr_excerpt(&mut worker.child);
+                    let detail = if stderr.is_empty() {
+                        reason
+                    } else {
+                        format!("{reason}: {stderr}")
+                    };
+                    fatal = Some(sweep_error(format!(
+                        "cells {}..{}: {detail} — this spec will fail identically on every retry",
+                        cells.start, cells.end
+                    )));
+                    break;
+                }
+            };
+            report.worker_failures += 1;
+            let pending = salvage_chunk(&mut state, chunk_index, dir, config, &mut report)?;
+            if let Some(pending_index) = pending {
+                let attempts = state.chunks[pending_index].attempts;
+                let retrying = attempts < config.max_attempts;
+                if retrying {
+                    let backoff = config
+                        .retry_backoff
+                        .saturating_mul(1u32 << (attempts.max(1) - 1).min(16));
+                    eligible_at.insert(pending_index, Instant::now() + backoff);
+                } else {
+                    dead.push((pending_index, failure.clone()));
+                }
+                config.emit(SweepEvent::WorkerDied {
+                    chunk: chunk_index,
+                    cells,
+                    attempt,
+                    reason: failure,
+                    retrying,
+                });
+            } else {
+                // Salvage found the shard complete after all.
+                config.emit(SweepEvent::WorkerDied {
+                    chunk: chunk_index,
+                    cells: cells.clone(),
+                    attempt,
+                    reason: failure,
+                    retrying: false,
+                });
+                config.emit(SweepEvent::ChunkDone {
+                    chunk: chunk_index,
+                    cells,
+                });
+            }
+            state.save(dir)?;
+        }
+        if let Some(e) = fatal {
+            break Err(e);
+        }
+
+        // 3. Lease pending chunks onto free workers.
+        while running.len() < config.workers {
+            let now = Instant::now();
+            let next = state.chunks.iter().enumerate().position(|(i, chunk)| {
+                chunk.status == ChunkStatus::Pending
+                    && !dead.iter().any(|(d, _)| *d == i)
+                    && eligible_at.get(&i).is_none_or(|&at| now >= at)
+            });
+            let Some(chunk_index) = next else { break };
+            state.chunks[chunk_index].status = ChunkStatus::Leased;
+            state.chunks[chunk_index].attempts += 1;
+            state.save(dir)?;
+            let chunk = state.chunks[chunk_index].clone();
+            let mut command = Command::new(&config.worker_program);
+            command
+                .arg("run")
+                .arg(&spec_path)
+                .arg("--cells")
+                .arg(format!("{}..{}", chunk.cells.start, chunk.cells.end))
+                .arg("--out")
+                .arg(dir.join(&chunk.shard))
+                .arg("--parallelism")
+                .arg(config.worker_parallelism.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::piped())
+                .env_remove(FAULT_ENV);
+            if let Some(k) = config.inject_fault_after_cells {
+                if chunk.attempts == 1 {
+                    command.env(FAULT_ENV, k.to_string());
+                }
+            }
+            let child = match command.spawn() {
+                Ok(child) => child,
+                Err(e) => {
+                    kill_all(&mut running);
+                    return Err(io_error(format!(
+                        "could not spawn worker {}: {e}",
+                        config.worker_program.display()
+                    )));
+                }
+            };
+            report.workers_spawned += 1;
+            config.emit(SweepEvent::WorkerSpawned {
+                chunk: chunk_index,
+                cells: chunk.cells.clone(),
+                attempt: chunk.attempts,
+                pid: child.id(),
+            });
+            running.push(Running {
+                chunk: chunk_index,
+                child,
+                started: Instant::now(),
+            });
+        }
+
+        // 4. Termination.
+        if running.is_empty() {
+            if state.chunks.iter().all(|c| c.status == ChunkStatus::Done) {
+                break Ok(());
+            }
+            let waiting = state.chunks.iter().enumerate().any(|(i, chunk)| {
+                chunk.status == ChunkStatus::Pending && !dead.iter().any(|(d, _)| *d == i)
+            });
+            if !waiting {
+                let mut lost: Vec<String> = dead
+                    .iter()
+                    .map(|(i, reason)| {
+                        let cells = &state.chunks[*i].cells;
+                        format!("{}..{} ({reason})", cells.start, cells.end)
+                    })
+                    .collect();
+                lost.sort();
+                break Err(sweep_error(format!(
+                    "cells unrecoverable after {} attempts: {} — fix the cause and resume",
+                    config.max_attempts,
+                    lost.join(", ")
+                )));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(15));
+    };
+
+    if let Err(e) = outcome {
+        kill_all(&mut running);
+        state.save(dir)?;
+        return Err(e);
+    }
+
+    // 5. Streaming merge of the done shards into the final run.
+    let mut done: Vec<&ChunkState> = state.chunks.iter().collect();
+    done.sort_by_key(|chunk| chunk.cells.start);
+    let shards: Vec<PathBuf> = done.iter().map(|chunk| dir.join(&chunk.shard)).collect();
+    report.records = stream_merge(&shards, out)?;
+    report.chunks = state.chunks.len();
+    if report.records != cells.len() {
+        return Err(sweep_error(format!(
+            "merged {} records but the sweep covers {} cells",
+            report.records,
+            cells.len()
+        )));
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming merge.
+// ---------------------------------------------------------------------------
+
+struct ShardReader {
+    path: PathBuf,
+    lines: std::io::Lines<BufReader<std::fs::File>>,
+    declared: usize,
+    taken: usize,
+    last_cell: Option<usize>,
+    head: Option<RunRecord>,
+}
+
+impl ShardReader {
+    fn next_line(&mut self) -> Result<Option<String>> {
+        for line in self.lines.by_ref() {
+            let line =
+                line.map_err(|e| io_error(format!("could not read {}: {e}", self.path.display())))?;
+            if !line.trim().is_empty() {
+                return Ok(Some(line));
+            }
+        }
+        Ok(None)
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        if self.taken == self.declared {
+            if self.next_line()?.is_some() {
+                return Err(Error::Record {
+                    what: format!(
+                        "{}: more record lines than the declared {} records",
+                        self.path.display(),
+                        self.declared
+                    ),
+                });
+            }
+            self.head = None;
+            return Ok(());
+        }
+        let line = self.next_line()?.ok_or_else(|| Error::Record {
+            what: format!(
+                "{}: header declares {} records but only {} lines follow (truncated shard file?)",
+                self.path.display(),
+                self.declared,
+                self.taken
+            ),
+        })?;
+        let record = RunRecord::from_json_line(&line)?;
+        if let Some(last) = self.last_cell {
+            if record.cell_index <= last {
+                return Err(Error::Record {
+                    what: format!(
+                        "{} is not sorted by cell index (cell {} after cell {last})",
+                        self.path.display(),
+                        record.cell_index
+                    ),
+                });
+            }
+        }
+        self.last_cell = Some(record.cell_index);
+        self.head = Some(record);
+        self.taken += 1;
+        Ok(())
+    }
+}
+
+/// Merges shard files into `out` with a streaming k-way merge on
+/// `cell_index`, holding one parsed record per shard in memory instead of
+/// materializing the full run — and emitting bytes identical to loading
+/// every shard and serializing [`ExperimentRun::merge`]. Returns the
+/// number of records written.
+///
+/// Each shard must be internally sorted by cell index (`imc run --cells`
+/// always writes them that way); overlapping shards are rejected with the
+/// same duplicate-cell error as the in-memory merge.
+///
+/// # Errors
+///
+/// Returns [`Error::Record`] for malformed, truncated, unsorted or
+/// overlapping shards (and manifests of different experiments), and
+/// [`Error::Io`] on filesystem failure.
+pub fn stream_merge(shards: &[PathBuf], out: &Path) -> Result<usize> {
+    let mut readers = Vec::with_capacity(shards.len());
+    let mut present = Vec::new();
+    let mut missing = false;
+    for path in shards {
+        let file = std::fs::File::open(path)
+            .map_err(|e| io_error(format!("could not open {}: {e}", path.display())))?;
+        let mut reader = ShardReader {
+            path: path.clone(),
+            lines: BufReader::new(file).lines(),
+            declared: 0,
+            taken: 0,
+            last_cell: None,
+            head: None,
+        };
+        let header_line = reader.next_line()?.ok_or_else(|| Error::Record {
+            what: format!("{}: empty input: expected a header line", path.display()),
+        })?;
+        let header = parse_run_header(&header_line)?;
+        reader.declared = header.declared;
+        match header.manifest {
+            Some(manifest) => present.push(manifest),
+            None => missing = true,
+        }
+        reader.advance()?;
+        readers.push(reader);
+    }
+    // Same manifest policy as `ExperimentRun::merge`: cross-check every
+    // manifest that exists, keep a merged one only when all shards carried
+    // one.
+    let manifest = if present.is_empty() {
+        None
+    } else {
+        let merged = ExperimentRun::merge_manifests(&present)?;
+        if missing {
+            None
+        } else {
+            merged
+        }
+    };
+
+    let total: usize = readers.iter().map(|r| r.declared).sum();
+    let file = std::fs::File::create(out)
+        .map_err(|e| io_error(format!("could not create {}: {e}", out.display())))?;
+    let mut writer = BufWriter::new(file);
+    let mut header = run_header_json(total, manifest.as_ref());
+    header.push('\n');
+    writer
+        .write_all(header.as_bytes())
+        .map_err(|e| io_error(format!("could not write {}: {e}", out.display())))?;
+
+    for _ in 0..total {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, reader) in readers.iter().enumerate() {
+            let Some(cell) = reader.head.as_ref().map(|r| r.cell_index) else {
+                continue;
+            };
+            match best {
+                None => best = Some((i, cell)),
+                Some((_, best_cell)) if cell == best_cell => {
+                    return Err(Error::Record {
+                        what: format!(
+                            "duplicate cell index {cell} across shards (overlapping cell ranges?)"
+                        ),
+                    });
+                }
+                Some((_, best_cell)) if cell < best_cell => best = Some((i, cell)),
+                Some(_) => {}
+            }
+        }
+        let (index, _) = best.expect("total equals the records remaining across readers");
+        let record = readers[index].head.take().expect("best reader has a head");
+        readers[index].advance()?;
+        let mut line = record.to_json_line()?;
+        line.push('\n');
+        writer
+            .write_all(line.as_bytes())
+            .map_err(|e| io_error(format!("could not write {}: {e}", out.display())))?;
+    }
+    let file = writer
+        .into_inner()
+        .map_err(|e| io_error(format!("could not flush {}: {e}", out.display())))?;
+    file.sync_all()
+        .map_err(|e| io_error(format!("could not sync {}: {e}", out.display())))?;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use crate::experiments::DEFAULT_SEED;
+    use crate::network::CompressionMethod;
+    use imc_nn::resnet20;
+
+    fn grid() -> Experiment {
+        Experiment::new()
+            .network(resnet20())
+            .arrays([32, 64])
+            .seed(DEFAULT_SEED)
+            .method(CompressionMethod::Uncompressed { sdk: false })
+            .method(CompressionMethod::PatternPruning { entries: 4 })
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("imc_sweep_unit_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn state_ledger_round_trips_and_partitions_the_grid() {
+        let state = SweepState::fresh(0xdead_beef_cafe_f00d, 3..33, 8);
+        let spans: Vec<Range<usize>> = state.chunks.iter().map(|c| c.cells.clone()).collect();
+        assert_eq!(spans, vec![3..11, 11..19, 19..27, 27..33]);
+        assert!(state
+            .chunks
+            .iter()
+            .all(|c| c.status == ChunkStatus::Pending));
+
+        let text = state.to_json();
+        assert!(text.starts_with("{\"format\":\"imc.sweep-state\",\"version\":1"));
+        assert_eq!(SweepState::parse(&text).unwrap(), state);
+
+        // Unknown versions and formats are refused.
+        let future = text.replacen("\"version\":1", "\"version\":2", 1);
+        assert!(SweepState::parse(&future).is_err());
+        let foreign = text.replacen(SWEEP_STATE_FORMAT, "something.else", 1);
+        assert!(SweepState::parse(&foreign).is_err());
+    }
+
+    #[test]
+    fn state_save_is_atomic_and_loadable() {
+        let dir = temp_dir("state_save");
+        let state = SweepState::fresh(7, 0..4, 2);
+        state.save(&dir).unwrap();
+        assert_eq!(SweepState::load(&dir.join(STATE_FILE)).unwrap(), state);
+        assert!(
+            !dir.join(format!("{STATE_FILE}.tmp")).exists(),
+            "the temp file must be renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_state_for_a_different_spec() {
+        let dir = temp_dir("stale_state");
+        // A ledger written for some other experiment (hash 0).
+        SweepState::fresh(0, 0..4, 2).save(&dir).unwrap();
+        let spec_json = grid().to_spec().unwrap().to_json();
+        let err = sweep(
+            &spec_json,
+            &dir,
+            &dir.join("out.jsonl"),
+            true,
+            &SweepConfig::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Sweep { .. }), "{err}");
+        assert!(format!("{err}").contains("refusing to resume"), "{err}");
+
+        // Without resume, an existing ledger refuses to be clobbered.
+        let err = sweep(
+            &spec_json,
+            &dir,
+            &dir.join("out.jsonl"),
+            false,
+            &SweepConfig::new(),
+        )
+        .unwrap_err();
+        assert!(format!("{err}").contains("already exists"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_merge_is_byte_identical_to_in_memory_merge() {
+        let dir = temp_dir("stream_merge");
+        let unsharded = grid().run().unwrap();
+        let shard_a = grid().cells(0..1).run().unwrap();
+        let shard_b = grid().cells(1..4).run().unwrap();
+        let path_a = dir.join("a.jsonl");
+        let path_b = dir.join("b.jsonl");
+        shard_a.save_jsonl(&path_a).unwrap();
+        shard_b.save_jsonl(&path_b).unwrap();
+
+        // Shards given out of order still merge into canonical order.
+        let out = dir.join("merged.jsonl");
+        let written = stream_merge(&[path_b.clone(), path_a.clone()], &out).unwrap();
+        assert_eq!(written, 4);
+        let streamed = std::fs::read_to_string(&out).unwrap();
+        let in_memory = ExperimentRun::merge([
+            ExperimentRun::load_jsonl(&path_b).unwrap(),
+            ExperimentRun::load_jsonl(&path_a).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(streamed, in_memory.to_jsonl().unwrap());
+        assert_eq!(
+            streamed,
+            unsharded.to_jsonl().unwrap(),
+            "and to the unsharded run"
+        );
+
+        // A manifest-less shard in the mix drops the merged manifest, same
+        // as the in-memory merge.
+        let stripped = shard_a.to_jsonl().unwrap().replacen(
+            &format!(
+                ",\"manifest\":{}",
+                shard_a.manifest().unwrap().to_header_json()
+            ),
+            "",
+            1,
+        );
+        let path_c = dir.join("c.jsonl");
+        std::fs::write(&path_c, &stripped).unwrap();
+        stream_merge(&[path_c.clone(), path_b.clone()], &out).unwrap();
+        let streamed = std::fs::read_to_string(&out).unwrap();
+        let in_memory = ExperimentRun::merge([
+            ExperimentRun::from_jsonl(&stripped).unwrap(),
+            ExperimentRun::load_jsonl(&path_b).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(streamed, in_memory.to_jsonl().unwrap());
+        assert!(ExperimentRun::from_jsonl(&streamed)
+            .unwrap()
+            .manifest()
+            .is_none());
+
+        // Overlapping shards are rejected with the merge's error.
+        let err = stream_merge(&[path_a.clone(), path_a.clone()], &out).unwrap_err();
+        assert!(format!("{err}").contains("duplicate cell index"), "{err}");
+
+        // An unsorted shard is rejected (the k-way merge requires it).
+        let lines: Vec<&str> = streamed.lines().collect();
+        let shuffled = format!("{}\n{}\n{}\n", lines[0], lines[2], lines[1]);
+        let shuffled = shuffled.replacen("\"records\":4", "\"records\":2", 1);
+        let path_d = dir.join("d.jsonl");
+        std::fs::write(&path_d, shuffled).unwrap();
+        let err = stream_merge(&[path_d], &out).unwrap_err();
+        assert!(format!("{err}").contains("not sorted"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn salvage_splits_a_torn_shard_into_done_plus_pending() {
+        let dir = temp_dir("salvage");
+        let shard = grid().cells(0..3).run().unwrap();
+        let text = shard.to_jsonl().unwrap();
+        // Tear the last record line in half, as a killed worker would.
+        let lines: Vec<&str> = text.lines().collect();
+        let mut torn: String = lines[..3].iter().map(|l| format!("{l}\n")).collect();
+        torn.push_str(&lines[3][..lines[3].len() / 2]);
+        std::fs::write(dir.join("chunk_0.jsonl"), &torn).unwrap();
+
+        let mut state = SweepState::fresh(shard.manifest().unwrap().spec_hash, 0..4, 3);
+        assert_eq!(state.chunks.len(), 2);
+        let config = SweepConfig::new();
+        let mut report = SweepReport {
+            cells: 0..4,
+            chunks: 0,
+            records: 0,
+            workers_spawned: 0,
+            worker_failures: 0,
+            chunks_salvaged: 0,
+        };
+        let pending = salvage_chunk(&mut state, 0, &dir, &config, &mut report)
+            .unwrap()
+            .expect("a remainder chunk is queued");
+        assert_eq!(report.chunks_salvaged, 1);
+        assert_eq!(state.chunks[0].status, ChunkStatus::Done);
+        assert_eq!(state.chunks[0].cells, 0..2);
+        assert_eq!(state.chunks[pending].cells, 2..3);
+        assert_eq!(state.chunks[pending].status, ChunkStatus::Pending);
+
+        // The salvaged shard is strictly valid and honestly ranged.
+        let salvaged = ExperimentRun::load_jsonl(dir.join(&state.chunks[0].shard)).unwrap();
+        assert_eq!(salvaged.manifest().unwrap().cells, 0..2);
+        assert_eq!(salvaged.records().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,93 +1,151 @@
-//! Sharded sweep demo, driven entirely through the `imc` CLI: emits the
-//! canonical Fig. 6 spec (`imc spec`), runs the grid as N cell-range shards
-//! (`imc run --cells`), merges the shard files back (`imc merge`), and
-//! diffs the merged run against the unsharded CLI run — byte for byte,
-//! reproducibility manifest included.
+//! Fault-tolerant sweep demo: runs the canonical Fig. 6 grid through the
+//! `imc sweep` orchestrator ([`imc::sim::sweep::sweep`]), which shards the
+//! spec over real `imc run --cells` worker processes, checkpoints progress
+//! in a `sweep-state.json` ledger, and merges the shards back into the
+//! canonical run — byte-identical to one unsharded `imc run`.
 //!
-//! In production the shards would run in separate processes (or on separate
-//! hosts), each executing `imc run fig6.spec.json --cells A..B` and
-//! shipping its JSON-lines file back to the driver; this example performs
-//! the same dataflow in one process by calling the CLI entry point
-//! ([`imc::cli::run_command`]) with the exact argument vectors those shell
-//! commands would carry.
+//! To show the fault tolerance rather than just claim it, the demo runs the
+//! sweep twice:
 //!
-//! Run with `cargo run --release --example shard_sweep` (optionally pass the
-//! shard count, default 4: `-- 8`).
+//! 1. with deterministic fault injection (`IMC_FAULT_EXIT_AFTER_CELLS`) and
+//!    a retry budget of one, so every first-attempt worker dies mid-chunk
+//!    and the sweep *fails* — leaving the ledger and partial shards behind;
+//! 2. with `--resume`, which salvages the complete prefix of every torn
+//!    shard, re-leases only the missing cells, and completes the run.
+//!
+//! The merged output is then diffed byte-for-byte against the unsharded
+//! CLI run.
+//!
+//! Run with `cargo run --release --example shard_sweep` (the release `imc`
+//! binary must exist; `cargo build --release` first, or point `IMC_BIN` at
+//! one). Optionally pass the worker count, default 4: `-- 8`.
 
 use imc::cli::run_command;
-use imc::sim::experiments::{fig6_experiment, DEFAULT_SEED};
-use imc::{resnet20, ExperimentRun};
+use imc::sim::sweep::sweep;
+use imc::{SweepConfig, SweepEvent};
+use std::path::PathBuf;
 
-/// `imc <args...>`, argv-style.
+/// `imc <args...>`, argv-style, in-process.
 fn imc(args: &[&str]) {
     run_command(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
         .unwrap_or_else(|e| panic!("imc {}: {e}", args.join(" ")));
 }
 
+/// Locates the `imc` binary the orchestrator will spawn: `IMC_BIN` if set,
+/// else the sibling of this example binary (`target/<profile>/imc`).
+fn imc_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("IMC_BIN") {
+        return PathBuf::from(path);
+    }
+    let candidate = std::env::current_exe()
+        .ok()
+        .and_then(|exe| Some(exe.parent()?.parent()?.join("imc")))
+        .filter(|p| p.is_file());
+    candidate.unwrap_or_else(|| {
+        panic!(
+            "no `imc` binary next to this example — run `cargo build --release` \
+             first, or set IMC_BIN=/path/to/imc"
+        )
+    })
+}
+
 fn main() {
-    let shards: usize = std::env::args()
+    let workers: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
-        .unwrap_or(4);
-    let total = fig6_experiment(&resnet20(), 64, DEFAULT_SEED).grid_cells();
-    let shards = shards.clamp(1, total);
-    println!("fig6 grid: {total} cells, running as {shards} shard(s)\n");
+        .unwrap_or(4)
+        .max(1);
 
     let dir = std::env::temp_dir().join("imc_shard_sweep");
-    std::fs::create_dir_all(&dir).expect("can create shard directory");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("can create demo directory");
     let path = |name: &str| dir.join(name).to_str().expect("utf-8 path").to_owned();
 
     // The request travels as data: one canonical spec file for everybody.
-    let spec = path("fig6.spec.json");
-    imc(&["spec", "fig6", "--out", &spec]);
+    let spec_path = path("fig6.spec.json");
+    imc(&["spec", "fig6", "--out", &spec_path]);
+    let spec = std::fs::read_to_string(&spec_path).expect("spec readable");
 
     // The reference: one unsharded CLI run of the full grid.
     let full = path("full.jsonl");
-    imc(&["run", &spec, "--out", &full]);
+    imc(&["run", &spec_path, "--out", &full]);
 
-    // Each worker runs one contiguous cell range of the same spec.
-    let mut shard_files = Vec::new();
-    for s in 0..shards {
-        let (start, end) = (s * total / shards, (s + 1) * total / shards);
-        let out = path(&format!("shard_{s}.jsonl"));
-        imc(&[
-            "run",
-            &spec,
-            "--cells",
-            &format!("{start}..{end}"),
-            "--out",
-            &out,
-        ]);
-        println!("shard {s}: imc run fig6.spec.json --cells {start:>3}..{end:>3}  ->  {out}");
-        shard_files.push(out);
-    }
+    let work_dir = dir.join("fig6.sweep");
+    let out = dir.join("swept.jsonl");
+    let observe = |event: &SweepEvent| match event {
+        SweepEvent::WorkerSpawned {
+            cells,
+            attempt,
+            pid,
+            ..
+        } => println!("  worker {pid} leased cells {cells:?} (attempt {attempt})"),
+        SweepEvent::ChunkDone { cells, .. } => println!("  cells {cells:?} done"),
+        SweepEvent::WorkerDied {
+            cells,
+            reason,
+            retrying,
+            ..
+        } => println!(
+            "  worker died on cells {cells:?} ({}): {reason}",
+            if *retrying { "retrying" } else { "giving up" }
+        ),
+        SweepEvent::ChunkSalvaged {
+            recovered, missing, ..
+        } => println!("  salvaged cells {recovered:?}; re-queuing {missing:?}"),
+        SweepEvent::Resumed { done, pending } => {
+            println!("  resumed: {done} chunks done, {pending} to run")
+        }
+        _ => {}
+    };
+    let config = || {
+        SweepConfig::new()
+            .worker_program(imc_bin())
+            .workers(workers)
+            .chunk_cells(8)
+            .retry_backoff(std::time::Duration::from_millis(50))
+            .observer(observe)
+    };
 
-    // The driver side: merge the shard files back into the canonical run.
-    let merged = path("merged.jsonl");
-    let mut merge_args = vec!["merge"];
-    merge_args.extend(shard_files.iter().map(String::as_str));
-    merge_args.extend(["--out", &merged]);
-    imc(&merge_args);
+    // Round 1: every first-attempt worker is told to abort after 3 cells,
+    // and the retry budget is 1 — the sweep must fail, but keeps its
+    // ledger and the complete prefix of every torn shard.
+    println!("round 1: sweep with injected worker crashes (retry budget 1)");
+    let faulted = config().inject_fault_after_cells(3).max_attempts(1);
+    let err = sweep(&spec, &work_dir, &out, false, &faulted)
+        .expect_err("a sweep with crashing workers and no retries must fail");
+    println!("  sweep failed as intended: {err}\n");
+    assert!(
+        work_dir.join("sweep-state.json").is_file(),
+        "the state ledger survives the failure"
+    );
+
+    // Round 2: resume. Fault injection only ever arms first attempts, so
+    // the re-leased cells run clean this time.
+    println!("round 2: --resume re-leases only the missing cells");
+    let report = sweep(&spec, &work_dir, &out, true, &config()).expect("resume completes");
+    println!(
+        "  resumed sweep: {} records over cells {:?}, {} chunks, \
+         {} workers spawned, {} died, {} shards salvaged\n",
+        report.records,
+        report.cells,
+        report.chunks,
+        report.workers_spawned,
+        report.worker_failures,
+        report.chunks_salvaged
+    );
 
     // Diff against the unsharded run, byte for byte.
-    let merged_bytes = std::fs::read_to_string(&merged).expect("merged run readable");
+    let merged_bytes = std::fs::read_to_string(&out).expect("merged run readable");
     let full_bytes = std::fs::read_to_string(&full).expect("unsharded run readable");
     assert_eq!(
         merged_bytes, full_bytes,
-        "merged shards must be byte-identical to the unsharded run"
+        "crash + resume must be byte-identical to the unsharded run"
     );
-    let run = ExperimentRun::from_jsonl(&merged_bytes).expect("merged run parses");
-    let manifest = run.manifest().expect("spec-driven runs carry a manifest");
     println!(
-        "\nmerged {} records from {} shard file(s): byte-identical to the \
-         unsharded run ({} bytes of JSON lines, spec hash {})",
-        run.records().len(),
-        shard_files.len(),
+        "merged {} records: byte-identical to the unsharded run ({} bytes of JSON lines)",
+        report.records,
         merged_bytes.len(),
-        manifest.spec_hash_hex(),
     );
 
-    for name in shard_files.iter().chain([&spec, &full, &merged]) {
-        let _ = std::fs::remove_file(name);
-    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -11,6 +11,7 @@
 //! | `imc report` | run JSON lines → the table1/fig6 text reports |
 //! | `imc serve`  | spec JSON over HTTP → run JSON lines over HTTP |
 //! | `imc call`   | client for a running `imc serve` (run/metrics/health/shutdown) |
+//! | `imc sweep`  | spec JSON → merged run, fault-tolerantly, across worker processes |
 //!
 //! The binary (`src/bin/imc.rs`) is a thin wrapper over
 //! [`main_from_args`]; [`run_command`] is the same entry point with
@@ -25,13 +26,19 @@
 //! instead.
 
 use std::io::Read;
+use std::path::Path;
+use std::time::Duration;
 
 use imc_sim::experiments::{
     fig6_experiment, fig6_panel_from_run, fig7_experiment, fig8_experiment, fig9_experiment,
     table1_experiment, table1_rows_from_run, DEFAULT_SEED,
 };
+use imc_sim::record::RunWriter;
 use imc_sim::report::{fig6_markdown, table1_csv, table1_markdown};
-use imc_sim::{ExperimentRun, ExperimentSpec, Registry, ServeClient, ServeConfig, Server};
+use imc_sim::sweep::{self, SweepEvent};
+use imc_sim::{
+    ExperimentRun, ExperimentSpec, Registry, ServeClient, ServeConfig, Server, SweepConfig,
+};
 
 use crate::{Error, Result};
 
@@ -49,6 +56,7 @@ COMMANDS:
     report    Render a run file as a text report (table1, fig6)
     serve     Run the long-lived evaluation server (spec in, run out)
     call      Talk to a running server (run, metrics, health, shutdown)
+    sweep     Run a spec across worker processes with checkpoint/resume
     help      Show this help, or `imc help <COMMAND>` for one command
 
 Specs are versioned `imc.experiment-spec` JSON documents; runs are versioned
@@ -57,6 +65,15 @@ manifest in the header. File arguments accept `-` for stdin, and every
 producing command takes `--out FILE` instead of stdout, so commands compose:
 
     imc spec fig6 | imc run - | imc report fig6 -
+
+EXIT CODES (so supervisors can tell what is worth retrying):
+    0   success
+    1   other failure
+    2   spec/usage error — the request is invalid; retrying cannot help
+    3   run-record format error — the data is malformed; retrying cannot help
+    4   I/O or service failure — transient; safe to retry
+    —   death by signal (kill -9, fault injection) reaches the supervisor as
+        no exit code at all; `imc sweep` retries these
 ";
 
 const SPEC_HELP: &str = "\
@@ -98,6 +115,59 @@ Networks and strategies are resolved by name against the built-in registry
 (networks: resnet20, wrn16-4; strategies: im2col, sdk, lowrank, patdnn,
 pairs, dorefa). Unknown names fail with a spec error listing what is
 registered.
+
+With `--out`, records stream to the file as cells finish (header first, one
+flushed line per record), so a run killed mid-sweep leaves a shard whose
+complete prefix `imc sweep` can salvage and resume from. The bytes are
+identical to the buffered stdout form. Setting IMC_FAULT_EXIT_AFTER_CELLS=k
+makes the process write k records plus one torn line and abort — the
+deterministic stand-in for `kill -9` used by the fault-tolerance tests.
+";
+
+const SWEEP_HELP: &str = "\
+imc sweep — run a spec across worker processes, fault-tolerantly
+
+USAGE:
+    imc sweep <SPEC|-> --out <FILE> [OPTIONS]
+
+OPTIONS:
+    --out <FILE>              Destination of the merged run (required).
+    --dir <DIR>               Working directory for shards and the state
+                              ledger (default: <out>.sweep).
+    --workers <N>             Worker processes in flight (default: 2).
+    --chunk-cells <N>         Cells per chunk — the unit of leasing, retry
+                              and loss (default: 8).
+    --max-attempts <N>        Launch budget per chunk before its cells are
+                              declared unrecoverable (default: 3).
+    --timeout-secs <N>        Per-chunk wall-clock budget; a worker past it
+                              is killed and retried (default: 600).
+    --retry-backoff-ms <N>    Base backoff before relaunching a failed
+                              chunk; attempt n waits base*2^(n-1)
+                              (default: 200).
+    --worker <PATH>           Worker binary (default: this executable).
+    --worker-parallelism <N>  --parallelism passed to each worker
+                              (default: 1; never affects output bytes).
+    --resume                  Reconcile an existing state ledger against the
+                              shards on disk and run only missing cells.
+    --inject-fault-cells <K>  Test hook: first attempt of every chunk runs
+                              with IMC_FAULT_EXIT_AFTER_CELLS=K, so each
+                              worker dies once and the retry path heals it.
+    --help                    Show this help.
+
+The grid is partitioned into cell-range chunks, each executed by `imc run
+--cells A..B --out <shard>` in a child process. Progress is checkpointed to
+<DIR>/sweep-state.json — a versioned `imc.sweep-state` document recording
+every chunk's pending/leased/done status, fsynced atomically on each
+transition and keyed by the spec's content hash (stale state for a different
+spec is rejected). Dead workers (signals, timeouts, exit code 4) are retried
+with exponential backoff; a killed worker's partial shard has its complete
+prefix salvaged so only missing cells re-run. Exit codes 1-3 from a worker
+abort the sweep: that spec would fail identically on every retry.
+
+The final merge streams shard files by cell index (never materializing the
+full run) and is byte-identical to the unsharded `imc run` of the same spec.
+After a crash — of workers or of `imc sweep` itself — rerun with `--resume`
+to finish from the ledger.
 ";
 
 const SHARD_HELP: &str = "\
@@ -193,9 +263,15 @@ USAGE:
     imc call <metrics|health|shutdown> [OPTIONS]
 
 OPTIONS:
-    --addr <HOST:PORT>   Server address (default: 127.0.0.1:8077).
-    --out <FILE>         Write the response to FILE instead of stdout.
-    --help               Show this help.
+    --addr <HOST:PORT>         Server address (default: 127.0.0.1:8077).
+    --retries <N>              Retry transient connect/send failures up to N
+                               times with jittered exponential backoff
+                               (default: 0). Never retries once response
+                               body bytes have arrived, and never retries
+                               a non-2xx response.
+    --retry-backoff-ms <N>     Base backoff between retries (default: 100).
+    --out <FILE>               Write the response to FILE instead of stdout.
+    --help                     Show this help.
 
 `imc call run` POSTs the spec document to /v1/run and writes the returned
 run JSON lines — byte-identical to running the spec locally with `imc run`,
@@ -207,9 +283,15 @@ fn usage_error(what: impl Into<String>) -> Error {
     Error::Sim(imc_sim::Error::Spec { what: what.into() })
 }
 
+fn io_error(what: impl Into<String>) -> Error {
+    Error::Sim(imc_sim::Error::Io { what: what.into() })
+}
+
 /// Entry point of the `imc` binary: parses `args` (without the program
-/// name), executes the subcommand, and maps errors to an exit code (`0`
-/// success, `1` failure) after printing them to stderr.
+/// name), executes the subcommand, and maps errors to a classified exit
+/// code (see [`Error::exit_code`]: `0` success, `2` spec/usage, `3` record
+/// format, `4` transient I/O or service failure, `1` anything else) after
+/// printing them to stderr.
 pub fn main_from_args(args: impl IntoIterator<Item = String>) -> i32 {
     let args: Vec<String> = args.into_iter().collect();
     match run_command(&args) {
@@ -217,7 +299,7 @@ pub fn main_from_args(args: impl IntoIterator<Item = String>) -> i32 {
         Err(error) => {
             eprintln!("imc: {error}");
             eprintln!("run `imc help` for usage");
-            1
+            error.exit_code()
         }
     }
 }
@@ -244,6 +326,7 @@ pub fn run_command(args: &[String]) -> Result<()> {
         "report" => cmd_report(rest),
         "serve" => cmd_serve(rest),
         "call" => cmd_call(rest),
+        "sweep" => cmd_sweep(rest),
         "help" | "--help" | "-h" => {
             let text = match rest.first().map(String::as_str) {
                 None => ROOT_HELP,
@@ -254,6 +337,7 @@ pub fn run_command(args: &[String]) -> Result<()> {
                 Some("report") => REPORT_HELP,
                 Some("serve") => SERVE_HELP,
                 Some("call") => CALL_HELP,
+                Some("sweep") => SWEEP_HELP,
                 Some(other) => return Err(usage_error(format!("unknown command '{other}'"))),
             };
             print_stdout(text)
@@ -278,6 +362,17 @@ struct Parsed {
     threads: Option<usize>,
     cache_budget_mb: Option<usize>,
     response_cache_mb: Option<usize>,
+    dir: Option<String>,
+    workers: Option<usize>,
+    chunk_cells: Option<usize>,
+    max_attempts: Option<usize>,
+    timeout_secs: Option<usize>,
+    retry_backoff_ms: Option<usize>,
+    worker: Option<String>,
+    worker_parallelism: Option<usize>,
+    inject_fault_cells: Option<usize>,
+    retries: Option<usize>,
+    resume: bool,
     csv: bool,
     help: bool,
 }
@@ -295,6 +390,17 @@ fn parse_args(args: &[String], allowed: &[&str]) -> Result<Parsed> {
         threads: None,
         cache_budget_mb: None,
         response_cache_mb: None,
+        dir: None,
+        workers: None,
+        chunk_cells: None,
+        max_attempts: None,
+        timeout_secs: None,
+        retry_backoff_ms: None,
+        worker: None,
+        worker_parallelism: None,
+        inject_fault_cells: None,
+        retries: None,
+        resume: false,
         csv: false,
         help: false,
     };
@@ -320,6 +426,10 @@ fn parse_args(args: &[String], allowed: &[&str]) -> Result<Parsed> {
                 parsed.csv = true;
                 continue;
             }
+            if name == "resume" {
+                parsed.resume = true;
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| usage_error(format!("option '--{name}' needs a value")))?;
@@ -342,6 +452,22 @@ fn parse_args(args: &[String], allowed: &[&str]) -> Result<Parsed> {
                 "response-cache-mb" => {
                     parsed.response_cache_mb = Some(parse_usize(value, "--response-cache-mb")?)
                 }
+                "dir" => parsed.dir = Some(value.clone()),
+                "workers" => parsed.workers = Some(parse_usize(value, "--workers")?),
+                "chunk-cells" => parsed.chunk_cells = Some(parse_usize(value, "--chunk-cells")?),
+                "max-attempts" => parsed.max_attempts = Some(parse_usize(value, "--max-attempts")?),
+                "timeout-secs" => parsed.timeout_secs = Some(parse_usize(value, "--timeout-secs")?),
+                "retry-backoff-ms" => {
+                    parsed.retry_backoff_ms = Some(parse_usize(value, "--retry-backoff-ms")?)
+                }
+                "worker" => parsed.worker = Some(value.clone()),
+                "worker-parallelism" => {
+                    parsed.worker_parallelism = Some(parse_usize(value, "--worker-parallelism")?)
+                }
+                "inject-fault-cells" => {
+                    parsed.inject_fault_cells = Some(parse_usize(value, "--inject-fault-cells")?)
+                }
+                "retries" => parsed.retries = Some(parse_usize(value, "--retries")?),
                 _ => unreachable!("allowed list covers every match arm"),
             }
         } else {
@@ -364,17 +490,24 @@ fn parse_cell_range(value: &str) -> Result<std::ops::Range<usize>> {
     Ok(parse_usize(start, "--cells")?..parse_usize(end, "--cells")?)
 }
 
-/// Reads a document argument: a path, or `-` for stdin.
+/// Reads a document argument: a path, or `-` for stdin. A missing file is
+/// a usage error (exit code 2: retrying cannot conjure it up); any other
+/// read failure is transient I/O (exit code 4).
 fn read_input(source: &str) -> Result<String> {
     if source == "-" {
         let mut input = String::new();
         std::io::stdin()
             .read_to_string(&mut input)
-            .map_err(|e| usage_error(format!("could not read stdin: {e}")))?;
+            .map_err(|e| io_error(format!("could not read stdin: {e}")))?;
         Ok(input)
     } else {
-        std::fs::read_to_string(source)
-            .map_err(|e| usage_error(format!("could not read {source}: {e}")))
+        std::fs::read_to_string(source).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                usage_error(format!("could not read {source}: {e}"))
+            } else {
+                io_error(format!("could not read {source}: {e}"))
+            }
+        })
     }
 }
 
@@ -390,7 +523,7 @@ fn print_stdout(content: &str) -> Result<()> {
     {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
-        Err(e) => Err(usage_error(format!("could not write stdout: {e}"))),
+        Err(e) => Err(io_error(format!("could not write stdout: {e}"))),
     }
 }
 
@@ -398,7 +531,7 @@ fn print_stdout(content: &str) -> Result<()> {
 fn write_output(out: Option<&str>, content: &str) -> Result<()> {
     match out {
         Some(path) => std::fs::write(path, content)
-            .map_err(|e| usage_error(format!("could not write {path}: {e}"))),
+            .map_err(|e| io_error(format!("could not write {path}: {e}"))),
         None => print_stdout(content),
     }
 }
@@ -470,8 +603,48 @@ fn cmd_run(args: &[String], shard: bool) -> Result<()> {
     if let Some(workers) = parsed.parallelism {
         experiment = experiment.parallelism_override(workers);
     }
-    let run = experiment.run()?;
-    write_output(parsed.out.as_deref(), &run.to_jsonl()?)
+    match parsed.out.as_deref() {
+        None => {
+            let run = experiment.run()?;
+            write_output(None, &run.to_jsonl()?)
+        }
+        Some(path) => {
+            // Stream records to the file as cells finish: a process killed
+            // mid-run leaves a complete-prefix shard `imc sweep` can
+            // salvage. The bytes match the buffered form exactly.
+            let fault = fault_after_cells()?;
+            let declared = experiment.planned_cells();
+            let manifest = experiment.planned_manifest();
+            let mut writer =
+                RunWriter::create(path, declared, manifest.as_ref()).map_err(Error::Sim)?;
+            let mut written = 0usize;
+            experiment.run_streaming(&mut |record| {
+                if Some(written) == fault {
+                    writer.write_torn_record(record)?;
+                    std::process::abort();
+                }
+                writer.write_record(record)?;
+                written += 1;
+                Ok(())
+            })?;
+            writer.finish().map_err(Error::Sim)
+        }
+    }
+}
+
+/// Reads the deterministic fault-injection hook ([`sweep::FAULT_ENV`]):
+/// after this many complete records, `imc run --out` writes one torn line
+/// and aborts — dying by signal exactly like `kill -9` mid-write.
+fn fault_after_cells() -> Result<Option<usize>> {
+    match std::env::var(sweep::FAULT_ENV) {
+        Ok(value) => value.parse().map(Some).map_err(|_| {
+            usage_error(format!(
+                "{}={value} is not a non-negative cell count",
+                sweep::FAULT_ENV
+            ))
+        }),
+        Err(_) => Ok(None),
+    }
 }
 
 fn cmd_merge(args: &[String]) -> Result<()> {
@@ -562,11 +735,17 @@ fn cmd_serve(args: &[String]) -> Result<()> {
 }
 
 fn cmd_call(args: &[String]) -> Result<()> {
-    let parsed = parse_args(args, &["addr", "out"])?;
+    let parsed = parse_args(args, &["addr", "out", "retries", "retry-backoff-ms"])?;
     if parsed.help {
         return print_stdout(CALL_HELP);
     }
-    let client = ServeClient::new(parsed.addr.as_deref().unwrap_or(DEFAULT_ADDR));
+    let mut client = ServeClient::new(parsed.addr.as_deref().unwrap_or(DEFAULT_ADDR));
+    if let Some(retries) = parsed.retries {
+        client = client.retries(retries as u32);
+    }
+    if let Some(ms) = parsed.retry_backoff_ms {
+        client = client.retry_backoff(Duration::from_millis(ms as u64));
+    }
     let response = match parsed.positional.as_slice() {
         [action] if action == "run" => {
             return Err(usage_error("imc call run needs a spec file (or '-')"))
@@ -591,6 +770,117 @@ fn cmd_call(args: &[String]) -> Result<()> {
         }
     };
     write_output(parsed.out.as_deref(), &response)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<()> {
+    let parsed = parse_args(
+        args,
+        &[
+            "out",
+            "dir",
+            "workers",
+            "chunk-cells",
+            "max-attempts",
+            "timeout-secs",
+            "retry-backoff-ms",
+            "worker",
+            "worker-parallelism",
+            "resume",
+            "inject-fault-cells",
+        ],
+    )?;
+    if parsed.help {
+        return print_stdout(SWEEP_HELP);
+    }
+    let [source] = parsed.positional.as_slice() else {
+        return Err(usage_error("expected exactly one spec file (or '-')"));
+    };
+    let Some(out) = parsed.out.as_deref() else {
+        return Err(usage_error(
+            "imc sweep needs '--out FILE' (the merged run destination)",
+        ));
+    };
+    let spec_json = read_input(source)?;
+    let dir = parsed.dir.clone().unwrap_or_else(|| format!("{out}.sweep"));
+    let mut config = SweepConfig::new().observer(|event| match event {
+        SweepEvent::WorkerSpawned {
+            cells,
+            attempt,
+            pid,
+            ..
+        } => eprintln!(
+            "imc sweep: worker {pid} leased cells {}..{} (attempt {attempt})",
+            cells.start, cells.end
+        ),
+        SweepEvent::ChunkDone { cells, .. } => {
+            eprintln!("imc sweep: cells {}..{} done", cells.start, cells.end)
+        }
+        SweepEvent::WorkerDied {
+            cells,
+            attempt,
+            reason,
+            retrying,
+            ..
+        } => eprintln!(
+            "imc sweep: worker died on cells {}..{} (attempt {attempt}, {}): {reason}",
+            cells.start,
+            cells.end,
+            if *retrying { "retrying" } else { "giving up" }
+        ),
+        SweepEvent::ChunkSalvaged {
+            recovered, missing, ..
+        } => eprintln!(
+            "imc sweep: salvaged cells {}..{} from a dead worker's shard; re-queuing {}..{}",
+            recovered.start, recovered.end, missing.start, missing.end
+        ),
+        SweepEvent::Resumed { done, pending } => eprintln!(
+            "imc sweep: resumed from the state ledger — {done} chunks done, {pending} to run"
+        ),
+        _ => {}
+    });
+    if let Some(workers) = parsed.workers {
+        config = config.workers(workers);
+    }
+    if let Some(cells) = parsed.chunk_cells {
+        config = config.chunk_cells(cells);
+    }
+    if let Some(attempts) = parsed.max_attempts {
+        config = config.max_attempts(attempts as u32);
+    }
+    if let Some(secs) = parsed.timeout_secs {
+        config = config.chunk_timeout(Duration::from_secs(secs as u64));
+    }
+    if let Some(ms) = parsed.retry_backoff_ms {
+        config = config.retry_backoff(Duration::from_millis(ms as u64));
+    }
+    if let Some(worker) = &parsed.worker {
+        config = config.worker_program(worker);
+    }
+    if let Some(threads) = parsed.worker_parallelism {
+        config = config.worker_parallelism(threads);
+    }
+    if let Some(cells) = parsed.inject_fault_cells {
+        config = config.inject_fault_after_cells(cells);
+    }
+    let report = sweep::sweep(
+        &spec_json,
+        Path::new(&dir),
+        Path::new(out),
+        parsed.resume,
+        &config,
+    )
+    .map_err(Error::Sim)?;
+    print_stdout(&format!(
+        "imc sweep: {} records over cells {}..{} merged into {out} \
+         ({} chunks, {} workers spawned, {} died, {} shards salvaged)\n",
+        report.records,
+        report.cells.start,
+        report.cells.end,
+        report.chunks,
+        report.workers_spawned,
+        report.worker_failures,
+        report.chunks_salvaged
+    ))
 }
 
 #[cfg(test)]
@@ -618,6 +908,37 @@ mod tests {
         assert!(format!("{err}").contains("--cells"), "{err}");
         let err = run_command(&strings(&["run", "-", "--cells", "3"])).unwrap_err();
         assert!(format!("{err}").contains("A..B"), "{err}");
+        let err = run_command(&strings(&["sweep", "spec.json"])).unwrap_err();
+        assert!(format!("{err}").contains("--out"), "{err}");
+        let err = run_command(&strings(&["sweep"])).unwrap_err();
+        assert!(format!("{err}").contains("spec file"), "{err}");
+    }
+
+    #[test]
+    fn usage_and_io_failures_carry_distinct_exit_codes() {
+        // A missing spec file is a usage error: the sweep orchestrator must
+        // not retry it.
+        let err = run_command(&strings(&[
+            "run",
+            "/nonexistent/never/spec.json",
+            "--out",
+            "/tmp/unused.jsonl",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        // An unwritable output path is transient I/O: worth retrying.
+        let dir = std::env::temp_dir().join("imc_cli_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("exitcode.spec.json");
+        run_command(&strings(&["spec", "fig8", "--out", spec.to_str().unwrap()])).unwrap();
+        let err = run_command(&strings(&[
+            "run",
+            spec.to_str().unwrap(),
+            "--out",
+            "/nonexistent/never/out.jsonl",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
     }
 
     #[test]

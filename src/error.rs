@@ -30,6 +30,30 @@ pub enum Error {
     Sim(imc_sim::Error),
 }
 
+impl Error {
+    /// Classifies the error into the `imc` CLI's exit code, so process
+    /// supervisors (the sweep orchestrator above all) can tell failures
+    /// that will repeat identically from ones worth retrying:
+    ///
+    /// | Code | Meaning | Retry? |
+    /// |---|---|---|
+    /// | `2` | spec/usage error — the request itself is invalid | never |
+    /// | `3` | run-record format error — the data is malformed | never |
+    /// | `4` | I/O or service failure — the environment hiccuped | yes |
+    /// | `1` | any other failure | no |
+    ///
+    /// (`0` is success, and exit by signal — `kill -9`, fault injection —
+    /// reaches the supervisor as no code at all; both retryable-by-design.)
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Error::Sim(imc_sim::Error::Spec { .. } | imc_sim::Error::Builder { .. }) => 2,
+            Error::Sim(imc_sim::Error::Record { .. }) => 3,
+            Error::Sim(imc_sim::Error::Io { .. } | imc_sim::Error::Serve { .. }) => 4,
+            _ => 1,
+        }
+    }
+}
+
 impl core::fmt::Display for Error {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
@@ -107,5 +131,38 @@ mod tests {
         let sim = imc_sim::Error::strategy("external failure");
         let err: Error = sim.into();
         assert!(err.to_string().contains("external failure"));
+    }
+
+    #[test]
+    fn exit_codes_separate_permanent_from_transient_failures() {
+        let code = |e: imc_sim::Error| Error::Sim(e).exit_code();
+        assert_eq!(code(imc_sim::Error::Spec { what: "bad".into() }), 2);
+        assert_eq!(
+            code(imc_sim::Error::Builder {
+                what: "empty".into()
+            }),
+            2
+        );
+        assert_eq!(
+            code(imc_sim::Error::Record {
+                what: "torn".into()
+            }),
+            3
+        );
+        assert_eq!(
+            code(imc_sim::Error::Io {
+                what: "disk".into()
+            }),
+            4
+        );
+        assert_eq!(
+            code(imc_sim::Error::Serve {
+                what: "refused".into()
+            }),
+            4
+        );
+        assert_eq!(code(imc_sim::Error::strategy("external")), 1);
+        let err: Error = imc_array::ArrayConfig::square(0).unwrap_err().into();
+        assert_eq!(err.exit_code(), 1);
     }
 }

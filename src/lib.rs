@@ -84,5 +84,5 @@ pub use imc_sim::{
     CompressionMethod, CompressionStrategy, ConvContext, EvalSession, EvalSessionBuilder,
     Experiment, ExperimentRun, ExperimentSpec, LayerOutcome, NetworkEvaluation, Registry,
     RunManifest, RunRecord, ServeClient, ServeConfig, ServeMetrics, Server, StrategySpec,
-    DEFAULT_SEED,
+    SweepConfig, SweepEvent, SweepReport, DEFAULT_SEED,
 };

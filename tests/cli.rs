@@ -239,7 +239,11 @@ fn future_version_documents_fail_with_spec_errors_not_panics() {
     let future_spec = spec.replacen("\"version\": 1", "\"version\": 2", 1);
     let output = imc(&["run", "-"], Some(&future_spec));
     assert!(!output.status.success());
-    assert_eq!(output.status.code(), Some(1), "clean exit, not a signal");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "spec errors exit 2 (permanent), not a signal"
+    );
     let stderr = String::from_utf8_lossy(&output.stderr).to_string();
     assert!(stderr.contains("unsupported version 2"), "{stderr}");
     assert!(!stderr.contains("panicked"), "{stderr}");
@@ -273,7 +277,11 @@ fn future_version_documents_fail_with_spec_errors_not_panics() {
     let future_run = run.replacen("\"version\":1", "\"version\":7", 1);
     let output = imc(&["report", "fig6", "-"], Some(&future_run));
     assert!(!output.status.success());
-    assert_eq!(output.status.code(), Some(1));
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "record-format errors exit 3 (permanent)"
+    );
     let stderr = String::from_utf8_lossy(&output.stderr).to_string();
     assert!(stderr.contains("unsupported version 7"), "{stderr}");
     assert!(!stderr.contains("panicked"), "{stderr}");
@@ -281,7 +289,7 @@ fn future_version_documents_fail_with_spec_errors_not_panics() {
 
 #[test]
 fn every_subcommand_has_help_text() {
-    for command in ["spec", "run", "shard", "merge", "report"] {
+    for command in ["spec", "run", "shard", "merge", "report", "sweep"] {
         let direct = stdout_of(&[command, "--help"], None);
         assert!(direct.contains("USAGE:"), "{command} --help: {direct}");
         assert!(direct.contains(command), "{command} --help names itself");

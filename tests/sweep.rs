@@ -1,0 +1,271 @@
+//! Fault-tolerance tests for the `imc sweep` orchestrator: a sweep over
+//! worker processes must be byte-identical to an unsharded run, survive
+//! deterministic fault injection and real `kill -9`, and resume from its
+//! state ledger to the same bytes.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn imc_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_imc")
+}
+
+/// Runs `imc <args...>` with optional stdin, capturing stdout/stderr.
+fn imc(args: &[&str], stdin: Option<&str>) -> Output {
+    let mut child = Command::new(imc_bin())
+        .args(args)
+        .stdin(if stdin.is_some() {
+            Stdio::piped()
+        } else {
+            Stdio::null()
+        })
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("imc binary spawns");
+    if let Some(input) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(input.as_bytes())
+            .expect("stdin writes");
+    }
+    child.wait_with_output().expect("imc binary exits")
+}
+
+fn stdout_of(args: &[&str], stdin: Option<&str>) -> String {
+    let output = imc(args, stdin);
+    assert!(
+        output.status.success(),
+        "imc {:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+/// A fresh per-test scratch directory (removed on drop).
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("imc_sweep_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_str().expect("utf-8 path").to_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The 8-cell fig8 grid: small enough to sweep repeatedly, large enough
+/// for multiple chunks.
+fn spec_and_golden(scratch: &Scratch) -> (String, String) {
+    let spec = stdout_of(&["spec", "fig8"], None);
+    let spec_path = scratch.path("fig8.spec.json");
+    std::fs::write(&spec_path, &spec).expect("spec file writes");
+    let golden = stdout_of(&["run", "-"], Some(&spec));
+    (spec_path, golden)
+}
+
+#[test]
+fn a_clean_sweep_is_byte_identical_to_the_unsharded_run() {
+    let scratch = Scratch::new("clean");
+    let (spec_path, golden) = spec_and_golden(&scratch);
+    let out = scratch.path("swept.jsonl");
+
+    let output = imc(
+        &[
+            "sweep",
+            &spec_path,
+            "--out",
+            &out,
+            "--workers",
+            "2",
+            "--chunk-cells",
+            "3",
+        ],
+        None,
+    );
+    assert!(
+        output.status.success(),
+        "clean sweep failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let merged = std::fs::read_to_string(&out).expect("merged output exists");
+    assert_eq!(
+        merged, golden,
+        "sweep over worker processes must be byte-identical to `imc run`"
+    );
+    let summary = String::from_utf8_lossy(&output.stdout);
+    assert!(summary.contains("merged into"), "{summary}");
+}
+
+#[test]
+fn an_injected_crash_fails_the_sweep_and_resume_completes_it_byte_identically() {
+    let scratch = Scratch::new("resume");
+    let (spec_path, golden) = spec_and_golden(&scratch);
+    let out = scratch.path("swept.jsonl");
+    let dir = scratch.path("work.sweep");
+
+    // Every first-attempt worker aborts after one record; with a budget of
+    // one attempt the orchestrator must give up — but keep its ledger.
+    let output = imc(
+        &[
+            "sweep",
+            &spec_path,
+            "--out",
+            &out,
+            "--dir",
+            &dir,
+            "--workers",
+            "2",
+            "--chunk-cells",
+            "3",
+            "--max-attempts",
+            "1",
+            "--inject-fault-cells",
+            "1",
+        ],
+        None,
+    );
+    assert!(!output.status.success(), "faulted sweep must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(stderr.contains("died"), "stderr names the deaths: {stderr}");
+    assert!(
+        stderr.contains("unrecoverable"),
+        "the terminal error names the lost cells: {stderr}"
+    );
+    let state = std::path::Path::new(&dir).join("sweep-state.json");
+    assert!(state.is_file(), "the state ledger survives the failure");
+    assert!(
+        !std::path::Path::new(&out).exists(),
+        "no merged output is published for a failed sweep"
+    );
+
+    // Resume re-leases only the missing cells (salvaged prefixes stay) and
+    // lands on the exact bytes of the unsharded run.
+    let output = imc(
+        &[
+            "sweep", &spec_path, "--out", &out, "--dir", &dir, "--resume",
+        ],
+        None,
+    );
+    assert!(
+        output.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("resumed"), "{stderr}");
+    let merged = std::fs::read_to_string(&out).expect("merged output exists");
+    assert_eq!(merged, golden, "crash + resume must not change a byte");
+}
+
+#[test]
+fn retries_self_heal_injected_crashes_within_a_single_sweep() {
+    let scratch = Scratch::new("retry");
+    let (spec_path, golden) = spec_and_golden(&scratch);
+    let out = scratch.path("swept.jsonl");
+
+    // Fault injection only arms first attempts, so the default retry
+    // budget completes the sweep without outside help.
+    let output = imc(
+        &[
+            "sweep",
+            &spec_path,
+            "--out",
+            &out,
+            "--workers",
+            "2",
+            "--chunk-cells",
+            "3",
+            "--retry-backoff-ms",
+            "10",
+            "--inject-fault-cells",
+            "1",
+        ],
+        None,
+    );
+    assert!(
+        output.status.success(),
+        "retrying sweep failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(stderr.contains("died"), "{stderr}");
+    assert!(
+        stderr.contains("salvaged"),
+        "torn shards are salvaged, not re-run wholesale: {stderr}"
+    );
+    let merged = std::fs::read_to_string(&out).expect("merged output exists");
+    assert_eq!(merged, golden, "deaths and retries must not change a byte");
+}
+
+/// A real `kill -9` mid-sweep: the orchestrator sees a signal death (no
+/// exit code), retries, and still produces the canonical bytes.
+#[cfg(unix)]
+#[test]
+fn a_kill_nine_mid_sweep_is_retried_to_byte_identical_output() {
+    use imc::SweepConfig;
+
+    let scratch = Scratch::new("kill9");
+    let (spec_path, golden) = spec_and_golden(&scratch);
+    let spec = std::fs::read_to_string(&spec_path).expect("spec readable");
+    let dir = scratch.0.join("work.sweep");
+    let out = scratch.0.join("swept.jsonl");
+
+    // Debug-build workers finish a 3-cell chunk in milliseconds, so a kill
+    // racing a bare worker usually loses. A wrapper that sleeps before
+    // exec'ing the real binary keeps every worker alive long enough for
+    // the first kill to land mid-run, deterministically.
+    let wrapper = scratch.0.join("slow-imc.sh");
+    std::fs::write(
+        &wrapper,
+        format!("#!/bin/sh\nsleep 0.5\nexec {} \"$@\"\n", imc_bin()),
+    )
+    .expect("wrapper writes");
+    {
+        use std::os::unix::fs::PermissionsExt;
+        std::fs::set_permissions(&wrapper, std::fs::Permissions::from_mode(0o755))
+            .expect("wrapper is executable");
+    }
+
+    // Kill the first worker the moment it is spawned; every later worker
+    // runs unmolested.
+    let killed = std::sync::Arc::new(AtomicBool::new(false));
+    let latch = killed.clone();
+    let config = SweepConfig::new()
+        .worker_program(&wrapper)
+        .workers(2)
+        .chunk_cells(3)
+        .retry_backoff(std::time::Duration::from_millis(10))
+        .observer(move |event| {
+            if let imc::SweepEvent::WorkerSpawned { pid, .. } = event {
+                if !latch.swap(true, Ordering::SeqCst) {
+                    let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+                }
+            }
+        });
+
+    let report = imc::sim::sweep::sweep(&spec, &dir, &out, false, &config)
+        .expect("sweep survives a kill -9");
+    assert!(killed.load(Ordering::SeqCst), "a worker was killed");
+    assert!(
+        report.worker_failures >= 1,
+        "the signal death was observed: {report:?}"
+    );
+    assert_eq!(report.records, 8, "fig8 sweeps 8 cells");
+    let merged = std::fs::read_to_string(&out).expect("merged output exists");
+    assert_eq!(merged, golden, "kill -9 and retry must not change a byte");
+}
