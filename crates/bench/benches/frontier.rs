@@ -1,0 +1,76 @@
+//! Frontier bench: the adaptive frontier search (`Experiment::frontier`)
+//! against the exhaustive sweep of the same grid.
+//!
+//! The grid is rank-dense on purpose — every divisor 2..=64 at four group
+//! counts — because that is the regime the search is for: many rank cells
+//! resolve to the same effective rank (or are dominated outright), and the
+//! bisection plus the analytic cycles probe skips them without evaluating.
+//! The measured cell reduction is printed and the searched-vs-exhaustive
+//! pair is tracked in `BENCH_results.json` under the `frontier` group.
+
+use imc_bench::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use imc_core::{CompressionConfig, RankSpec};
+use imc_nn::resnet20;
+use imc_sim::experiments::DEFAULT_SEED;
+use imc_sim::runtime::default_parallelism;
+use imc_sim::{CompressionMethod, Experiment};
+
+/// The rank-dense low-rank grid: the im2col baseline plus every divisor
+/// rank 2..=64 at group counts {1, 2, 4, 8}, SDK-mapped — 253 cells.
+fn dense_methods() -> Vec<CompressionMethod> {
+    let mut methods = vec![CompressionMethod::Uncompressed { sdk: false }];
+    for groups in [1usize, 2, 4, 8] {
+        for divisor in 2..=64usize {
+            methods.push(CompressionMethod::LowRank(
+                CompressionConfig::new(RankSpec::Divisor(divisor), groups, true)
+                    .expect("valid low-rank config"),
+            ));
+        }
+    }
+    methods
+}
+
+fn dense_grid() -> Experiment {
+    Experiment::new()
+        .network(resnet20())
+        .array(64)
+        .seed(DEFAULT_SEED)
+        .methods(dense_methods())
+        .parallelism(default_parallelism())
+}
+
+fn bench_frontier(c: &mut Criterion) {
+    let cells = dense_grid().grid_cells() as u64;
+    let outcome = dense_grid()
+        .frontier_mode(true)
+        .frontier()
+        .expect("frontier search succeeds");
+    println!(
+        "\n== Frontier search (ResNet-20, 64x64, rank-dense grid) ==\n\
+         evaluated {} of {} cells ({:.1}x fewer), front holds {} records\n",
+        outcome.cells_evaluated,
+        outcome.grid_cells,
+        outcome.grid_cells as f64 / outcome.cells_evaluated as f64,
+        outcome.run.records().len(),
+    );
+
+    c.bench_function("frontier_dense_lowrank_resnet20_64_exhaustive", |b| {
+        b.throughput(cells);
+        b.iter(|| dense_grid().run().expect("exhaustive sweep succeeds"))
+    });
+    c.bench_function("frontier_dense_lowrank_resnet20_64_adaptive", |b| {
+        b.throughput(cells);
+        b.iter(|| {
+            dense_grid()
+                .frontier_mode(true)
+                .frontier()
+                .expect("frontier search succeeds")
+        })
+    });
+    black_box(outcome);
+}
+
+criterion_group!(frontier, bench_frontier);
+criterion_main!(frontier);

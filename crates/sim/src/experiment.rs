@@ -47,14 +47,24 @@
 //! reassembles shard runs — possibly serialized through
 //! [`ExperimentRun::to_jsonl`](crate::record) in between — into the
 //! canonical grid order, byte-identically to an unsharded run.
+//!
+//! [`Experiment::frontier`] is the adaptive alternative to the exhaustive
+//! sweep: a successive-halving / bisection search over each monotone
+//! strategy chain that returns exactly the per-method-series accuracy/cycles
+//! Pareto front of the grid while evaluating only a fraction of its cells.
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::Range;
 
-use imc_array::ArrayConfig;
-use imc_core::{DecompCache, Precision};
+use imc_array::{linear_mapping, ArrayConfig};
+use imc_core::{
+    lowrank_im2col_cycles, search_lowrank_window, CompressionConfig, DecompCache, Precision,
+    RankSpec,
+};
 use imc_energy::EnergyParams;
 use imc_nn::NetworkArch;
+use imc_tensor::LayerKind;
 
 use crate::experiments::DEFAULT_SEED;
 use crate::network::{evaluate_strategy_with, CompressionMethod, NetworkEvaluation};
@@ -65,9 +75,10 @@ use crate::session::EvalSession;
 /// [`Experiment::run_streaming`].
 type RecordSink<'a> = &'a mut dyn FnMut(&RunRecord) -> Result<()>;
 use crate::spec::{
-    builtin_method_spec, ExperimentSpec, RunManifest, StrategySpec, SPEC_FORMAT_VERSION,
+    builtin_method_from_spec, builtin_method_spec, ExperimentSpec, RunManifest, StrategySpec,
+    SPEC_FORMAT_VERSION,
 };
-use crate::strategy::CompressionStrategy;
+use crate::strategy::{dense_im2col_outcome, CompressionStrategy};
 use crate::{Error, Result};
 
 /// A declarative sweep over networks × array sizes × compression strategies.
@@ -81,6 +92,7 @@ pub struct Experiment {
     use_cache: bool,
     precision: Precision,
     cell_range: Option<Range<usize>>,
+    frontier: bool,
     /// Spec provenance of `networks`, index-aligned: the name each network
     /// is addressable by on the wire (the architecture's display name, or
     /// the registry name a spec resolved it from).
@@ -111,6 +123,7 @@ impl Experiment {
             use_cache: true,
             precision: Precision::F64,
             cell_range: None,
+            frontier: false,
             network_names: Vec::new(),
             strategy_specs: Vec::new(),
         }
@@ -262,6 +275,26 @@ impl Experiment {
         self
     }
 
+    /// Switches the experiment into adaptive frontier-search mode (default:
+    /// off). A frontier-mode experiment is run with [`Experiment::frontier`]
+    /// (or [`Experiment::frontier_in`]) instead of [`Experiment::run`], its
+    /// spec round-trip carries `"frontier": true`, and its manifest marks
+    /// the run as a Pareto-front subset of the grid.
+    ///
+    /// Frontier mode and [`Experiment::cells`] are mutually exclusive: the
+    /// search plans its own evaluations over the full grid.
+    #[must_use]
+    pub fn frontier_mode(mut self, enabled: bool) -> Self {
+        self.frontier = enabled;
+        self
+    }
+
+    /// Whether the experiment is in frontier-search mode
+    /// ([`Experiment::frontier_mode`]).
+    pub fn is_frontier(&self) -> bool {
+        self.frontier
+    }
+
     /// Number of cells in the full grid (networks × arrays × strategies), as
     /// currently configured — the exclusive upper bound for
     /// [`Experiment::cells`] ranges.
@@ -305,6 +338,7 @@ impl Experiment {
             parallelism: self.parallelism,
             cache: self.use_cache,
             cells: self.cell_range.clone(),
+            frontier: self.frontier,
             networks: self.network_names.clone(),
             arrays: self.arrays.clone(),
             strategies,
@@ -391,6 +425,9 @@ impl Experiment {
     /// configuration would not survive validation.
     pub fn planned_manifest(&self) -> Option<RunManifest> {
         let grid = self.grid_cells();
+        if self.frontier && self.cell_range.is_some() {
+            return None;
+        }
         if let Some(range) = &self.cell_range {
             if range.start >= range.end || range.end > grid {
                 return None;
@@ -401,6 +438,7 @@ impl Experiment {
             precision: self.precision,
             parallelism: self.parallelism,
             cells: self.cell_range.clone().unwrap_or(0..grid),
+            frontier: self.frontier,
             spec_version: SPEC_FORMAT_VERSION,
             spec_hash: spec.content_hash(),
         })
@@ -428,6 +466,13 @@ impl Experiment {
         cache: Option<&DecompCache>,
         sink: Option<RecordSink<'_>>,
     ) -> Result<ExperimentRun> {
+        if self.frontier {
+            return Err(Error::Builder {
+                what: "experiment is in frontier mode; run it with .frontier() or \
+                       .frontier_in(..) instead of .run()"
+                    .to_owned(),
+            });
+        }
         if self.networks.is_empty() {
             return Err(Error::Builder {
                 what: "no network added (call .network(..) or .networks(..))".to_owned(),
@@ -483,6 +528,7 @@ impl Experiment {
             precision: self.precision,
             parallelism: self.parallelism,
             cells: self.cell_range.clone().unwrap_or(0..grid_size),
+            frontier: false,
             spec_version: SPEC_FORMAT_VERSION,
             spec_hash: spec.content_hash(),
         });
@@ -550,6 +596,534 @@ impl Experiment {
         }
         Ok(ExperimentRun::new(records, manifest))
     }
+
+    /// Runs the adaptive frontier search: instead of evaluating the full
+    /// grid, a successive-halving / bisection search walks each monotone
+    /// strategy chain of every (network, array) panel and returns **exactly**
+    /// the union of the per-method-series accuracy/cycles Pareto fronts —
+    /// the same records, byte for byte, that filtering an exhaustive
+    /// [`Experiment::run`] down to those fronts would produce — while
+    /// evaluating only a fraction of the cells.
+    ///
+    /// # Algorithm
+    ///
+    /// Strategies are classified by their wire spec into *chains* along
+    /// which both accuracy and cycles are monotone non-increasing: the
+    /// low-rank method per `(groups, rank-kind, sdk)` with the rank as the
+    /// axis, PatDNN/PAIRS with kept entries, DoReFa with bits; baselines and
+    /// unrecognized strategies are singleton chains (always evaluated).
+    /// Chains grouped by *method series* (the fig6 grouping: all low-rank
+    /// configurations are one "ours" series) compete for the same front.
+    /// Each round evaluates one bisection candidate per chain — the
+    /// unevaluated end of the open gap, or its midpoint once both ends are
+    /// known — and then prunes every cell that an evaluated series point
+    /// provably dominates, using the accuracy of the nearest evaluated
+    /// higher-rank chain mate as an upper bound and an exact analytic
+    /// cycles probe (mapping-only, no SVD) for low-rank cells. Candidates of
+    /// one round run in parallel; the result is identical for every worker
+    /// count.
+    ///
+    /// # Exactness
+    ///
+    /// Pruning only removes cells that a completed evaluation dominates
+    /// under the monotonicity above (which holds for the built-in methods:
+    /// reconstruction error shrinks as rank/entries/bits grow), so the
+    /// evaluated set always contains the true front, and the Pareto filter
+    /// over it — including the grid-order tie handling of
+    /// [`pareto_front`](crate::experiments::pareto_front) — reproduces the
+    /// exhaustive front exactly. The differential test suite certifies this
+    /// against the exhaustive fig6 grid at
+    /// [`DEFAULT_SEED`](crate::experiments::DEFAULT_SEED).
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::run`]; additionally [`Error::Builder`] when the
+    /// experiment carries a [`Experiment::cells`] restriction (the search
+    /// plans its own evaluations over the full grid).
+    pub fn frontier(self) -> Result<FrontierOutcome> {
+        let cache = self
+            .use_cache
+            .then(|| DecompCache::with_precision(self.precision));
+        self.frontier_with(cache.as_ref())
+    }
+
+    /// The session variant of [`Experiment::frontier`]: the search borrows
+    /// the long-lived decomposition cache of an
+    /// [`EvalSession`](crate::session::EvalSession), so its evaluations warm
+    /// (and reuse) the same entries as every other run of the session.
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::frontier`], plus [`Error::Builder`] when the
+    /// session's precision differs from the experiment's (same contract as
+    /// [`Experiment::run_in`]).
+    pub fn frontier_in(self, session: &EvalSession) -> Result<FrontierOutcome> {
+        if session.precision() != self.precision {
+            return Err(Error::Builder {
+                what: format!(
+                    "session was built for {} but the experiment requested {} \
+                     (set EvalSession::builder().precision(..) to match)",
+                    session.precision(),
+                    self.precision
+                ),
+            });
+        }
+        let cache = self.use_cache.then(|| session.cache());
+        self.frontier_with(cache)
+    }
+
+    /// The frontier search engine behind [`Experiment::frontier`] and
+    /// [`Experiment::frontier_in`].
+    fn frontier_with(self, cache: Option<&DecompCache>) -> Result<FrontierOutcome> {
+        if self.networks.is_empty() {
+            return Err(Error::Builder {
+                what: "no network added (call .network(..) or .networks(..))".to_owned(),
+            });
+        }
+        if self.arrays.is_empty() {
+            return Err(Error::Builder {
+                what: "no array size added (call .array(..) or .arrays(..))".to_owned(),
+            });
+        }
+        if self.strategies.is_empty() {
+            return Err(Error::Builder {
+                what: "no strategy added (call .strategy(..) or .method(..))".to_owned(),
+            });
+        }
+        if self.cell_range.is_some() {
+            return Err(Error::Builder {
+                what: "frontier search explores the full grid adaptively and cannot be \
+                       combined with .cells(..)"
+                    .to_owned(),
+            });
+        }
+        let mut arrays = Vec::with_capacity(self.arrays.len());
+        for &size in &self.arrays {
+            arrays.push((size, ArrayConfig::square(size)?));
+        }
+
+        // Classify every strategy once: which monotone chain and method
+        // series it belongs to, and where on the chain's accuracy axis it
+        // sits.
+        let classes: Vec<CellClass> = (0..self.strategies.len())
+            .map(|index| classify_strategy(self.strategy_specs[index].as_ref(), index))
+            .collect();
+
+        // Flatten the grid in canonical order (network-major, then array,
+        // then strategy — identical to the exhaustive engine), instantiating
+        // the chains and series per (network, array) panel.
+        let mut cells: Vec<FrontierCell> =
+            Vec::with_capacity(self.networks.len() * arrays.len() * self.strategies.len());
+        let mut series_ids: HashMap<(usize, usize, SeriesKey), usize> = HashMap::new();
+        let mut chain_map: HashMap<(usize, usize, ChainKey), Vec<usize>> = HashMap::new();
+        for network_index in 0..self.networks.len() {
+            for (array_pos, &(size, array)) in arrays.iter().enumerate() {
+                for (strategy_index, class) in classes.iter().enumerate() {
+                    let id = cells.len();
+                    let next_series = series_ids.len();
+                    let series = *series_ids
+                        .entry((network_index, array_pos, class.series))
+                        .or_insert(next_series);
+                    chain_map
+                        .entry((network_index, array_pos, class.chain))
+                        .or_default()
+                        .push(id);
+                    cells.push(FrontierCell {
+                        cell_index: id,
+                        network_index,
+                        size,
+                        array,
+                        strategy_index,
+                        series,
+                        probe: None,
+                    });
+                }
+            }
+        }
+        let mut chains: Vec<Vec<usize>> = chain_map.into_values().collect();
+        for chain in &mut chains {
+            // Descending accuracy along the chain; insertion (= grid) order
+            // among strategies sharing an axis position.
+            chain.sort_by_key(|&id| (classes[cells[id].strategy_index].axis, id));
+        }
+        chains.sort_by_key(|chain| chain[0]);
+
+        // Exact analytic cycles for every low-rank cell: the two-stage
+        // mapping cost is a pure function of layer geometry, rank and array
+        // (no SVD involved), so the probe equals what the full evaluation
+        // will report and lets pruning see cycle plateaus before paying for
+        // the decomposition.
+        for cell in &mut cells {
+            if let Some(cfg) = &classes[cell.strategy_index].lowrank {
+                cell.probe = Some(probe_lowrank_cycles(
+                    &self.networks[cell.network_index],
+                    cfg,
+                    cell.array,
+                    cache,
+                )?);
+            }
+        }
+
+        let workers = self
+            .parallelism_override
+            .or(self.parallelism)
+            .unwrap_or_else(runtime::default_parallelism);
+        let mut evaluated: Vec<Option<RunRecord>> = (0..cells.len()).map(|_| None).collect();
+        let mut pruned = vec![false; cells.len()];
+        let mut cells_evaluated = 0usize;
+
+        loop {
+            // One bisection candidate per chain; per-chain choices depend
+            // only on that chain's state and pruning only on the evaluated
+            // set, so the round structure (and with it every produced value)
+            // is identical for any worker count.
+            let mut batch: Vec<usize> = Vec::new();
+            for chain in &chains {
+                if let Some(id) = next_candidate(chain, &evaluated, &pruned) {
+                    batch.push(id);
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let evaluate_cell = |index: usize| -> Result<RunRecord> {
+                let cell = &cells[batch[index]];
+                let arch = &self.networks[cell.network_index];
+                let strategy = self.strategies[cell.strategy_index].as_ref();
+                let eval = evaluate_strategy_with(
+                    arch,
+                    strategy,
+                    cell.array,
+                    self.seed,
+                    self.precision,
+                    cache,
+                )?;
+                Ok(RunRecord {
+                    cell_index: cell.cell_index,
+                    network_index: cell.network_index,
+                    array_size: cell.size,
+                    strategy_index: cell.strategy_index,
+                    eval,
+                })
+            };
+            let mut results = Vec::with_capacity(batch.len());
+            if workers <= 1 {
+                for index in 0..batch.len() {
+                    results.push(evaluate_cell(index)?);
+                }
+            } else {
+                for result in runtime::run_indexed(workers, batch.len(), evaluate_cell) {
+                    results.push(result?);
+                }
+            }
+            cells_evaluated += results.len();
+            for (offset, record) in results.into_iter().enumerate() {
+                evaluated[batch[offset]] = Some(record);
+            }
+            prune_dominated(&cells, &chains, &evaluated, &mut pruned);
+        }
+
+        // Every cell is now evaluated or provably off its series front, so
+        // the Pareto filter over the evaluated points reproduces the
+        // exhaustive front exactly.
+        let mut by_series: HashMap<usize, Vec<usize>> = HashMap::new();
+        for record in evaluated.iter().flatten() {
+            by_series
+                .entry(cells[record.cell_index].series)
+                .or_default()
+                .push(record.cell_index);
+        }
+        let mut front_ids: Vec<usize> = Vec::new();
+        for ids in by_series.values() {
+            front_ids.extend(series_front_ids(ids, &evaluated));
+        }
+        front_ids.sort_unstable();
+        let records: Vec<RunRecord> = front_ids
+            .into_iter()
+            .map(|id| evaluated[id].clone().expect("front cells are evaluated"))
+            .collect();
+
+        let grid_cells = cells.len();
+        let manifest = self.to_spec().ok().map(|spec| RunManifest {
+            seed: self.seed,
+            precision: self.precision,
+            parallelism: self.parallelism,
+            cells: 0..grid_cells,
+            frontier: true,
+            spec_version: SPEC_FORMAT_VERSION,
+            spec_hash: spec.content_hash(),
+        });
+        Ok(FrontierOutcome {
+            run: ExperimentRun::new(records, manifest),
+            cells_evaluated,
+            grid_cells,
+        })
+    }
+}
+
+/// The result of an adaptive frontier search ([`Experiment::frontier`]): the
+/// Pareto-front run plus the search's evaluation accounting.
+#[derive(Debug)]
+pub struct FrontierOutcome {
+    /// The front records in canonical grid order, with a manifest marked
+    /// `frontier` (when the experiment is spec-serializable).
+    pub run: ExperimentRun,
+    /// How many grid cells the search actually evaluated.
+    pub cells_evaluated: usize,
+    /// Size of the full grid the exhaustive sweep would have evaluated.
+    pub grid_cells: usize,
+}
+
+/// One cell of the frontier search grid, with its chain/series
+/// classification and the optional analytic cycles probe.
+struct FrontierCell {
+    cell_index: usize,
+    network_index: usize,
+    size: usize,
+    array: ArrayConfig,
+    strategy_index: usize,
+    /// Dense id of the (network, array, method-series) group this cell
+    /// competes in.
+    series: usize,
+    /// Exact cycles of this cell, known without evaluation (low-rank cells
+    /// only: the mapping cost is geometry-determined).
+    probe: Option<f64>,
+}
+
+/// A monotone strategy chain: cells ordered by an axis along which accuracy
+/// and cycles are non-increasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ChainKey {
+    LowRank {
+        sdk: bool,
+        groups: usize,
+        absolute: bool,
+    },
+    PatDnn,
+    Pairs,
+    DoReFa,
+    Single(usize),
+}
+
+/// The fig6 method-series grouping: every chain belongs to one series, and
+/// fronts are computed per series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SeriesKey {
+    LowRank { sdk: bool },
+    PatDnn,
+    Pairs,
+    DoReFa,
+    Single(usize),
+}
+
+/// Per-strategy classification shared by every (network, array) panel.
+struct CellClass {
+    chain: ChainKey,
+    series: SeriesKey,
+    /// Position on the chain's axis, increasing toward *lower* accuracy.
+    axis: i64,
+    /// The low-rank configuration, for the analytic cycles probe.
+    lowrank: Option<CompressionConfig>,
+}
+
+fn axis_descending(value: usize) -> i64 {
+    -i64::try_from(value).unwrap_or(i64::MAX)
+}
+
+/// Classifies one strategy by its wire spec. Strategies without a spec (or
+/// with one the built-in parser does not recognize) become singleton chains:
+/// they are always evaluated and compete only with themselves.
+fn classify_strategy(spec: Option<&StrategySpec>, index: usize) -> CellClass {
+    let method = spec.and_then(|s| builtin_method_from_spec(s).ok());
+    match method {
+        Some(CompressionMethod::LowRank(cfg)) => CellClass {
+            chain: ChainKey::LowRank {
+                sdk: cfg.use_sdk,
+                groups: cfg.groups,
+                absolute: matches!(cfg.rank, RankSpec::Absolute(_)),
+            },
+            series: SeriesKey::LowRank { sdk: cfg.use_sdk },
+            // Ascending divisor and descending absolute rank both walk the
+            // chain from high accuracy to low.
+            axis: match cfg.rank {
+                RankSpec::Divisor(d) => i64::try_from(d).unwrap_or(i64::MAX),
+                RankSpec::Absolute(k) => axis_descending(k),
+            },
+            lowrank: Some(cfg),
+        },
+        Some(CompressionMethod::PatternPruning { entries }) => CellClass {
+            chain: ChainKey::PatDnn,
+            series: SeriesKey::PatDnn,
+            axis: axis_descending(entries),
+            lowrank: None,
+        },
+        Some(CompressionMethod::Pairs { entries }) => CellClass {
+            chain: ChainKey::Pairs,
+            series: SeriesKey::Pairs,
+            axis: axis_descending(entries),
+            lowrank: None,
+        },
+        Some(CompressionMethod::Quantized { bits }) => CellClass {
+            chain: ChainKey::DoReFa,
+            series: SeriesKey::DoReFa,
+            axis: axis_descending(bits),
+            lowrank: None,
+        },
+        Some(CompressionMethod::Uncompressed { .. }) | None => CellClass {
+            chain: ChainKey::Single(index),
+            series: SeriesKey::Single(index),
+            axis: 0,
+            lowrank: None,
+        },
+    }
+}
+
+/// The exact per-inference cycle count of one network under a low-rank
+/// configuration: the same per-layer accounting as
+/// [`evaluate_strategy_with`], with the rank resolution of
+/// [`imc_core::LayerCompression::compress_cached`] mirrored exactly —
+/// mapping-only work, no SVD.
+fn probe_lowrank_cycles(
+    arch: &NetworkArch,
+    cfg: &CompressionConfig,
+    array: ArrayConfig,
+    cache: Option<&DecompCache>,
+) -> Result<f64> {
+    let mut cycles = 0.0_f64;
+    for layer in &arch.layers {
+        match layer.kind {
+            LayerKind::Linear => {
+                let shape = layer.linear.expect("linear layers carry a linear shape");
+                cycles += linear_mapping(&shape, array).cycles() as f64;
+            }
+            LayerKind::Conv => {
+                let shape = layer.conv.expect("conv layers carry a conv shape");
+                if layer.compressible {
+                    let groups = cfg.groups.min(shape.im2col_rows());
+                    let per_group_cols = shape.im2col_rows() / groups;
+                    let max_rank = shape.out_channels.min(per_group_cols).max(1);
+                    let k = cfg.rank.resolve(shape.out_channels, max_rank);
+                    let mapped = match cache {
+                        Some(cache) => {
+                            cache.lowrank_cycles(&shape, k, groups, array, cfg.use_sdk)?
+                        }
+                        None if cfg.use_sdk => search_lowrank_window(&shape, k, groups, &array)?,
+                        None => lowrank_im2col_cycles(&shape, k, groups, &array)?,
+                    };
+                    cycles += mapped.total() as f64;
+                } else {
+                    cycles += dense_im2col_outcome(&shape, array).cycles;
+                }
+            }
+        }
+    }
+    Ok(cycles)
+}
+
+/// Picks this round's bisection candidate of one chain: the first maximal
+/// run of undecided cells, probed at its high-accuracy end while that side
+/// is unexplored, at its low-accuracy end while that side is, and bisected
+/// once both sides have evaluated anchors.
+fn next_candidate(
+    chain: &[usize],
+    evaluated: &[Option<RunRecord>],
+    pruned: &[bool],
+) -> Option<usize> {
+    let is_undecided = |id: usize| evaluated[id].is_none() && !pruned[id];
+    let start = (0..chain.len()).find(|&pos| is_undecided(chain[pos]))?;
+    let mut end = start;
+    while end + 1 < chain.len() && is_undecided(chain[end + 1]) {
+        end += 1;
+    }
+    let has_eval_before = chain[..start].iter().any(|&id| evaluated[id].is_some());
+    let has_eval_after = chain[end + 1..].iter().any(|&id| evaluated[id].is_some());
+    let pick = if !has_eval_before {
+        start
+    } else if !has_eval_after {
+        end
+    } else {
+        start + (end - start) / 2
+    };
+    Some(chain[pick])
+}
+
+/// Prunes every undecided cell that an evaluated point of its series
+/// provably dominates: the accuracy of the nearest evaluated
+/// higher-accuracy chain mate bounds the cell's accuracy from above, the
+/// analytic probe (or the nearest evaluated lower-accuracy chain mate)
+/// bounds its cycles from below, and exact cycle ties fall back to grid
+/// order — matching the stable-sort tie handling of
+/// [`pareto_front`](crate::experiments::pareto_front), so a pruned cell can
+/// never be on the front.
+fn prune_dominated(
+    cells: &[FrontierCell],
+    chains: &[Vec<usize>],
+    evaluated: &[Option<RunRecord>],
+    pruned: &mut [bool],
+) {
+    let mut series_points: HashMap<usize, Vec<(f64, f64, usize)>> = HashMap::new();
+    for record in evaluated.iter().flatten() {
+        series_points
+            .entry(cells[record.cell_index].series)
+            .or_default()
+            .push((record.eval.accuracy, record.eval.cycles, record.cell_index));
+    }
+    for chain in chains {
+        for (pos, &id) in chain.iter().enumerate() {
+            if pruned[id] || evaluated[id].is_some() {
+                continue;
+            }
+            let acc_ub = chain[..pos]
+                .iter()
+                .rev()
+                .find_map(|&q| evaluated[q].as_ref().map(|r| r.eval.accuracy))
+                .unwrap_or(f64::INFINITY);
+            let cyc_lb = cells[id].probe.or_else(|| {
+                chain[pos + 1..]
+                    .iter()
+                    .find_map(|&q| evaluated[q].as_ref().map(|r| r.eval.cycles))
+            });
+            let Some(cyc_lb) = cyc_lb else { continue };
+            let Some(points) = series_points.get(&cells[id].series) else {
+                continue;
+            };
+            let blocked = points.iter().any(|&(acc, cyc, grid)| {
+                acc >= acc_ub && (cyc < cyc_lb || (cyc == cyc_lb && grid < id))
+            });
+            if blocked {
+                pruned[id] = true;
+            }
+        }
+    }
+}
+
+/// The Pareto front of one series' evaluated cells, replicating
+/// [`pareto_front`](crate::experiments::pareto_front) exactly: stable sort
+/// by cycles (grid order among exact ties), keep strictly increasing
+/// accuracy. `ids` must be in grid order.
+fn series_front_ids(ids: &[usize], evaluated: &[Option<RunRecord>]) -> Vec<usize> {
+    let eval = |id: usize| {
+        &evaluated[id]
+            .as_ref()
+            .expect("series cells are evaluated")
+            .eval
+    };
+    let mut sorted: Vec<usize> = ids.to_vec();
+    sorted.sort_by(|&a, &b| {
+        eval(a)
+            .cycles
+            .partial_cmp(&eval(b).cycles)
+            .unwrap_or(Ordering::Equal)
+    });
+    let mut best_acc = f64::NEG_INFINITY;
+    let mut front = Vec::new();
+    for id in sorted {
+        if eval(id).accuracy > best_acc {
+            best_acc = eval(id).accuracy;
+            front.push(id);
+        }
+    }
+    front
 }
 
 /// One cell of the sweep grid: a network evaluated under one strategy on one
@@ -653,6 +1227,23 @@ impl ExperimentRun {
             }
             records.extend(shard.records);
         }
+        // Cross-check every manifest that exists — a manifest-less shard in
+        // the mix must not disable mismatch detection for the others — but
+        // only keep a merged manifest when *all* shards carried one (a
+        // partial manifest could not vouch for the whole run). Checked
+        // before the duplicate scan so fundamentally unmergeable shards
+        // (different experiments, or frontier mixed with exhaustive) report
+        // that, not a coincidental cell overlap.
+        let manifest = if present.is_empty() {
+            None
+        } else {
+            let merged = Self::merge_manifests(&present)?;
+            if missing {
+                None
+            } else {
+                merged
+            }
+        };
         records.sort_by_key(|r| r.cell_index);
         for pair in records.windows(2) {
             if pair[0].cell_index == pair[1].cell_index {
@@ -664,20 +1255,6 @@ impl ExperimentRun {
                 });
             }
         }
-        // Cross-check every manifest that exists — a manifest-less shard in
-        // the mix must not disable mismatch detection for the others — but
-        // only keep a merged manifest when *all* shards carried one (a
-        // partial manifest could not vouch for the whole run).
-        let manifest = if present.is_empty() {
-            None
-        } else {
-            let merged = Self::merge_manifests(&present)?;
-            if missing {
-                None
-            } else {
-                merged
-            }
-        };
         Ok(ExperimentRun::new(records, manifest))
     }
 
@@ -690,6 +1267,13 @@ impl ExperimentRun {
     pub(crate) fn merge_manifests(list: &[RunManifest]) -> Result<Option<RunManifest>> {
         let first = &list[0];
         for manifest in &list[1..] {
+            if manifest.frontier != first.frontier {
+                return Err(Error::Record {
+                    what: "cannot mix frontier and exhaustive shards: a frontier run is a \
+                           Pareto-front subset of the grid, not a cell-range slice"
+                        .to_owned(),
+                });
+            }
             let same = manifest.seed == first.seed
                 && manifest.precision == first.precision
                 && manifest.spec_version == first.spec_version
@@ -828,6 +1412,133 @@ mod tests {
         assert_eq!(built.parameters, direct.parameters);
         assert_eq!(built.method, direct.method);
         assert_eq!(built.schedules, direct.schedules);
+    }
+
+    fn small_grid() -> Experiment {
+        let mut experiment = Experiment::new()
+            .network(resnet20())
+            .array(32)
+            .method(CompressionMethod::Uncompressed { sdk: false });
+        for groups in [1usize, 8] {
+            for divisor in [2usize, 4, 8, 16] {
+                experiment = experiment.method(CompressionMethod::LowRank(
+                    CompressionConfig::new(RankSpec::Divisor(divisor), groups, false).unwrap(),
+                ));
+            }
+        }
+        for entries in 1..=3 {
+            experiment = experiment.method(CompressionMethod::PatternPruning { entries });
+        }
+        experiment
+    }
+
+    /// Per-series Pareto front of an exhaustive run, computed independently
+    /// of the frontier engine via the public `pareto_front` (matching its
+    /// stable-sort tie semantics by brute-force domination with grid-order
+    /// ties).
+    fn reference_front_cells(run: &ExperimentRun, series: &[Vec<usize>]) -> Vec<usize> {
+        let mut keep = Vec::new();
+        for group in series {
+            let members: Vec<&RunRecord> = run
+                .records()
+                .iter()
+                .filter(|r| group.contains(&r.strategy_index))
+                .collect();
+            // A point survives `pareto_front`'s cycle sort + strictly
+            // increasing accuracy filter iff no point sorted before it (less
+            // cycles, or equal cycles and earlier grid order) has at least
+            // its accuracy.
+            for r in &members {
+                let blocked = members.iter().any(|q| {
+                    q.eval.accuracy >= r.eval.accuracy
+                        && (q.eval.cycles < r.eval.cycles
+                            || (q.eval.cycles == r.eval.cycles && q.cell_index < r.cell_index))
+                });
+                if !blocked {
+                    keep.push(r.cell_index);
+                }
+            }
+        }
+        keep.sort_unstable();
+        keep
+    }
+
+    #[test]
+    fn frontier_reproduces_the_per_series_fronts_byte_for_byte() {
+        let exhaustive = small_grid().run().unwrap();
+        let outcome = small_grid().frontier_mode(true).frontier().unwrap();
+
+        // The three series of the small grid: the baseline singleton, the
+        // low-rank grid (two group chains), and the PatDNN entry chain.
+        let series = vec![vec![0usize], (1..=8).collect(), (9..=11).collect()];
+        let expected_cells = reference_front_cells(&exhaustive, &series);
+        let got_cells: Vec<usize> = outcome.run.records().iter().map(|r| r.cell_index).collect();
+        assert_eq!(got_cells, expected_cells);
+
+        // Byte-identical to filtering the exhaustive run down to the front.
+        let filtered: Vec<RunRecord> = exhaustive
+            .records()
+            .iter()
+            .filter(|r| expected_cells.contains(&r.cell_index))
+            .cloned()
+            .collect();
+        let expected_run = ExperimentRun::new(filtered, outcome.run.manifest().cloned());
+        assert_eq!(
+            outcome.run.to_jsonl().unwrap(),
+            expected_run.to_jsonl().unwrap()
+        );
+
+        assert_eq!(outcome.grid_cells, 12);
+        assert!(
+            outcome.cells_evaluated < outcome.grid_cells,
+            "search evaluated all {} cells",
+            outcome.cells_evaluated
+        );
+
+        // The manifest marks the run as a frontier subset of the full grid.
+        let manifest = outcome.run.manifest().expect("spec-serializable");
+        assert!(manifest.frontier);
+        assert_eq!(manifest.cells, 0..12);
+        assert_eq!(
+            manifest.spec_hash,
+            exhaustive.manifest().unwrap().spec_hash,
+            "frontier and exhaustive runs of one grid share the spec hash"
+        );
+    }
+
+    #[test]
+    fn frontier_is_identical_for_every_worker_count() {
+        // The override knob is the one that must not change a byte (the
+        // recorded .parallelism() is part of the manifest by design).
+        let serial = small_grid().parallelism_override(1).frontier().unwrap();
+        let parallel = small_grid().parallelism_override(4).frontier().unwrap();
+        assert_eq!(serial.cells_evaluated, parallel.cells_evaluated);
+        assert_eq!(
+            serial.run.to_jsonl().unwrap(),
+            parallel.run.to_jsonl().unwrap()
+        );
+    }
+
+    #[test]
+    fn frontier_mode_guards_are_enforced() {
+        // run() refuses a frontier-mode experiment.
+        let err = small_grid().frontier_mode(true).run().unwrap_err();
+        assert!(matches!(err, Error::Builder { .. }), "{err}");
+        assert!(err.to_string().contains("frontier"), "{err}");
+
+        // frontier() refuses a cell-range restriction.
+        let err = small_grid().cells(0..2).frontier().unwrap_err();
+        assert!(matches!(err, Error::Builder { .. }), "{err}");
+        assert!(err.to_string().contains("cells"), "{err}");
+    }
+
+    #[test]
+    fn merge_refuses_to_mix_frontier_and_exhaustive_shards() {
+        let exhaustive = small_grid().cells(0..2).run().unwrap();
+        let front = small_grid().frontier().unwrap().run;
+        let err = ExperimentRun::merge([front, exhaustive]).unwrap_err();
+        assert!(matches!(err, Error::Record { .. }), "{err}");
+        assert!(err.to_string().contains("frontier"), "{err}");
     }
 
     #[test]

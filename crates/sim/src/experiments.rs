@@ -517,6 +517,9 @@ fn fig6_method_series() -> Fig6Series {
 pub fn fig6_panel_from_run(run: &ExperimentRun) -> Result<Fig6Panel> {
     let (lowrank, patdnn, pairs) = fig6_method_series();
     let expected = 1 + lowrank.len() + patdnn.len() + pairs.len();
+    if run.manifest().is_some_and(|m| m.frontier) {
+        return fig6_panel_from_frontier_run(run, (lowrank.len(), patdnn.len(), pairs.len()));
+    }
     let single_cell_grid = run
         .records()
         .iter()
@@ -544,6 +547,55 @@ pub fn fig6_panel_from_run(run: &ExperimentRun) -> Result<Fig6Panel> {
         ours: pareto_front(&ours_grid),
         patdnn: patdnn_evals.iter().copied().map(pareto_point).collect(),
         pairs: pairs_evals.iter().copied().map(pareto_point).collect(),
+    })
+}
+
+/// [`fig6_panel_from_run`] for a frontier run: the records are a per-series
+/// Pareto subset of the Fig. 6 grid, so the series are recovered by strategy
+/// index (which survives the subset) rather than by position. The baseline
+/// cell is always on its one-point front, so it is always present.
+fn fig6_panel_from_frontier_run(
+    run: &ExperimentRun,
+    (lowrank_len, patdnn_len, pairs_len): (usize, usize, usize),
+) -> Result<Fig6Panel> {
+    let strategies = 1 + lowrank_len + patdnn_len + pairs_len;
+    let records = run.records();
+    let not_fig6 = || Error::Spec {
+        what: format!(
+            "frontier run is not from a fig6 sweep (expected a subset of one network on one \
+             array size with {strategies} strategies; generate one with `imc spec fig6`)"
+        ),
+    };
+    let baseline = records
+        .iter()
+        .find(|r| r.strategy_index == 0)
+        .ok_or_else(not_fig6)?;
+    let shape_ok = records
+        .iter()
+        .all(|r| r.network_index == 0 && r.array_size == baseline.array_size)
+        && records.iter().all(|r| r.strategy_index < strategies);
+    if !shape_ok {
+        return Err(not_fig6());
+    }
+    let series = |range: std::ops::Range<usize>| -> Vec<ParetoPoint> {
+        records
+            .iter()
+            .filter(|r| range.contains(&r.strategy_index))
+            .map(|r| pareto_point(&r.eval))
+            .collect()
+    };
+    let ours_front = series(1..1 + lowrank_len);
+    Ok(Fig6Panel {
+        network: baseline.eval.network.clone(),
+        array_size: baseline.array_size,
+        baseline_cycles: baseline.eval.cycles,
+        baseline_accuracy: baseline.eval.accuracy,
+        // Re-running the front filter over an already-frontier subset is a
+        // no-op, but it re-establishes the panel's sort order (by cycles)
+        // from first principles instead of trusting the subset's cell order.
+        ours: pareto_front(&ours_front),
+        patdnn: series(1 + lowrank_len..1 + lowrank_len + patdnn_len),
+        pairs: series(1 + lowrank_len + patdnn_len..strategies),
     })
 }
 

@@ -72,7 +72,7 @@ pub mod spec;
 pub mod strategy;
 pub mod sweep;
 
-pub use experiment::{Experiment, ExperimentRun, RunRecord};
+pub use experiment::{Experiment, ExperimentRun, FrontierOutcome, RunRecord};
 pub use experiments::{
     fig6, fig6_experiment, fig6_in, fig6_panel_from_run, fig6_with, fig6_with_parallelism, fig7,
     fig7_experiment, fig8, fig8_experiment, fig9, fig9_experiment, fig9_for, headline, table1,

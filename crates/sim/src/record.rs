@@ -336,14 +336,22 @@ impl ExperimentRun {
     /// or of an unknown format/version (nothing can be trusted then), or
     /// when more record lines parse than the header declared.
     pub fn from_jsonl_partial(input: &str) -> Result<RecoveredRun> {
-        let mut lines = input.lines().filter(|l| !l.trim().is_empty());
-        let header_line = lines.next().ok_or_else(|| Error::Record {
+        // Number lines *before* dropping blanks, so a damage report names
+        // the real 1-based line of the file on disk — the number an operator
+        // can jump to with `sed -n Np` — not an index into the blank-filtered
+        // iterator (which drifts as soon as the file contains a blank line).
+        let mut lines = input
+            .lines()
+            .enumerate()
+            .map(|(index, line)| (index + 1, line))
+            .filter(|(_, line)| !line.trim().is_empty());
+        let (_, header_line) = lines.next().ok_or_else(|| Error::Record {
             what: "empty input: expected a header line".to_owned(),
         })?;
         let header = parse_run_header(header_line)?;
         let mut records = Vec::new();
         let mut dropped = None;
-        for (offset, line) in lines.enumerate() {
+        for (file_line, line) in lines {
             match RunRecord::from_json_line(line) {
                 Ok(record) => {
                     if records.len() == header.declared {
@@ -357,7 +365,7 @@ impl ExperimentRun {
                     records.push(record);
                 }
                 Err(e) => {
-                    dropped = Some(format!("record line {}: {e}", offset + 1));
+                    dropped = Some(format!("line {file_line}: {e}"));
                     break;
                 }
             }
@@ -420,7 +428,9 @@ pub struct RecoveredRun {
     /// The record count the header declared.
     pub declared: usize,
     /// Describes the first damaged record line, when one cut recovery
-    /// short. Everything from that line on was dropped.
+    /// short — named by its real 1-based line number in the input (blank
+    /// lines included in the count). Everything from that line on was
+    /// dropped.
     pub dropped: Option<String>,
     /// The contiguous `cell_index` span the recovered records cover:
     /// `Some(start..end)` when the indices ascend without gaps (the shape
@@ -818,7 +828,34 @@ mod tests {
         );
         assert_eq!(recovered.covered, Some(0..1));
         let dropped = recovered.dropped.expect("damage is reported");
-        assert!(dropped.contains("record line 2"), "{dropped}");
+        // The damaged line is the third line of the file (header, record,
+        // damaged record) — reported by its real file position.
+        assert!(dropped.contains("line 3"), "{dropped}");
+    }
+
+    #[test]
+    fn dropped_line_numbers_count_blank_lines() {
+        let run = small_run();
+        let text = run.to_jsonl().unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Interleave blank lines (a hand-edited or concatenated shard) and
+        // damage the second record: the file now reads header / blank /
+        // record 0 / blank / damaged record 1 — the damage sits on line 5.
+        let doctored = format!(
+            "{}\n\n{}\n\n{}\n{}\n{}\n",
+            lines[0],
+            lines[1],
+            &lines[2][..lines[2].len() / 3],
+            lines[3],
+            lines[4],
+        );
+        let recovered = ExperimentRun::from_jsonl_partial(&doctored).unwrap();
+        assert_eq!(recovered.recovered(), 1);
+        let dropped = recovered.dropped.expect("damage is reported");
+        assert!(
+            dropped.contains("line 5"),
+            "must name the real file line, not the blank-filtered index: {dropped}"
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@
 //! session [`CacheStats`] (with the hit-rate accessors), and p50/p90/p99
 //! run latencies from a **fixed-bucket histogram**. Latencies live only in
 //! this histogram — run records carry no timestamps — so serving a spec
-//! through the server never perturbs the determinism of the run bytes.
+//! through the server never perturbs the determinism of the run bytes. A
+//! `latency_ms` percentile is a bucket upper bound in milliseconds; when
+//! the quantile falls in the >60 s overflow bucket it is reported as the
+//! JSON string `"saturated"` (no boundary exists to report), and `null`
+//! means no observations yet.
 //!
 //! # Shutdown
 //!
@@ -215,7 +219,11 @@ impl ServeConfig {
 /// produce headers that differ byte-wise and must not share a response.
 /// `precision` is already inside the hash; it is kept as an explicit member
 /// because it also selects the shared session (and guards against hash
-/// collisions across widths).
+/// collisions across widths). `frontier` is likewise outside the content
+/// hash (a frontier run is a subset of the same grid, not a different
+/// experiment) but changes both the record set and the manifest — a
+/// frontier request must never share a response with the exhaustive sweep
+/// of the same spec.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunKey {
     /// FNV-1a content hash of the spec identity.
@@ -226,6 +234,9 @@ pub struct RunKey {
     pub cells: Option<(usize, usize)>,
     /// The spec's pinned worker count, if any (recorded in the manifest).
     pub parallelism: Option<usize>,
+    /// Whether the spec requests the adaptive frontier search instead of
+    /// the exhaustive grid.
+    pub frontier: bool,
 }
 
 impl RunKey {
@@ -236,6 +247,7 @@ impl RunKey {
             precision: spec.precision,
             cells: spec.cells.clone().map(|r| (r.start, r.end)),
             parallelism: spec.parallelism,
+            frontier: spec.frontier,
         }
     }
 }
@@ -439,8 +451,13 @@ impl ServeMetrics {
 
     /// The `q`-quantile run latency in milliseconds, from the fixed-bucket
     /// histogram: the upper boundary of the bucket in which the quantile
-    /// falls (saturating at the 60 s overflow boundary). `None` without
-    /// observations.
+    /// falls. `None` without observations.
+    ///
+    /// When the quantile lands in the >60 s overflow bucket the histogram
+    /// has no upper boundary to report, so the result is
+    /// [`f64::INFINITY`] — an explicit saturation marker. The previous
+    /// behaviour (reporting the 60 s boundary) silently understated any
+    /// tail that had actually blown past it.
     pub fn latency_quantile_ms(&self, q: f64) -> Option<f64> {
         let count = self.latency_count();
         if count == 0 {
@@ -451,11 +468,11 @@ impl ServeMetrics {
         for (bucket, &n) in self.latency_buckets.iter().enumerate() {
             seen += n;
             if seen >= needed {
-                let bound_us = LATENCY_BUCKETS_US
-                    .get(bucket)
-                    .copied()
-                    .unwrap_or(LATENCY_BUCKETS_US[LATENCY_BUCKETS_US.len() - 1]);
-                return Some(bound_us as f64 / 1_000.0);
+                return Some(match LATENCY_BUCKETS_US.get(bucket) {
+                    Some(&bound_us) => bound_us as f64 / 1_000.0,
+                    // The overflow bucket: beyond the last boundary.
+                    None => f64::INFINITY,
+                });
             }
         }
         None
@@ -464,8 +481,12 @@ impl ServeMetrics {
     /// Serializes the snapshot as the versioned `/v1/metrics` JSON
     /// document.
     pub fn to_json(&self) -> String {
+        // `null` = no observations; the string `"saturated"` = the quantile
+        // fell in the >60 s overflow bucket, where the histogram cannot
+        // bound it (JSON has no encoding for infinity).
         let quantile = |q: f64| match self.latency_quantile_ms(q) {
-            Some(ms) => format!("{ms}"),
+            Some(ms) if ms.is_finite() => format!("{ms}"),
+            Some(_) => "\"saturated\"".to_owned(),
             None => "null".to_owned(),
         };
         let buckets: Vec<String> = self
@@ -1163,9 +1184,16 @@ fn execute_spec(
         .into_experiment(&state.registry)
         .map_err(|e| RequestError::new(classify(&e), format!("{e}")))?;
     let session = state.session_for(spec.precision);
-    let run = experiment
-        .run_in(&session)
-        .map_err(|e| RequestError::new(classify(&e), format!("{e}")))?;
+    let run = if spec.frontier {
+        experiment
+            .frontier_in(&session)
+            .map_err(|e| RequestError::new(classify(&e), format!("{e}")))?
+            .run
+    } else {
+        experiment
+            .run_in(&session)
+            .map_err(|e| RequestError::new(classify(&e), format!("{e}")))?
+    };
     let bytes = run
         .to_jsonl()
         .map_err(|e| RequestError::new(500, format!("{e}")))?;
@@ -1410,7 +1438,11 @@ fn parse_response(raw: &[u8]) -> Result<(u16, String)> {
         .map_err(|_| serve_error("response body is not UTF-8".to_owned()))
 }
 
-/// Decodes a chunked transfer-encoded body.
+/// Decodes a chunked transfer-encoded body, strictly: every chunk's data
+/// must be terminated by `\r\n`, and the terminal `0` chunk must be
+/// followed by the final CRLF (RFC 9112 §7.1). A decoder that shrugs at
+/// either would silently accept truncated or corrupted framing and hand
+/// back a body that is missing bytes.
 fn decode_chunked(mut payload: &[u8]) -> Result<Vec<u8>> {
     let mut body = Vec::new();
     loop {
@@ -1425,10 +1457,22 @@ fn decode_chunked(mut payload: &[u8]) -> Result<Vec<u8>> {
             .map_err(|_| serve_error(format!("invalid chunk size '{size_token}'")))?;
         payload = &payload[line_end + 2..];
         if size == 0 {
+            // The last-chunk line is itself terminated by one final CRLF
+            // (trailer fields are not expected from this crate's peers).
+            if !payload.starts_with(b"\r\n") {
+                return Err(serve_error(
+                    "malformed chunked body: missing final CRLF after last chunk".to_owned(),
+                ));
+            }
             return Ok(body);
         }
         if payload.len() < size + 2 {
             return Err(serve_error("truncated chunked body".to_owned()));
+        }
+        if &payload[size..size + 2] != b"\r\n" {
+            return Err(serve_error(
+                "malformed chunked body: chunk data not terminated by CRLF".to_owned(),
+            ));
         }
         body.extend_from_slice(&payload[..size]);
         payload = &payload[size + 2..];
@@ -1448,6 +1492,7 @@ mod tests {
             parallelism: None,
             cache: true,
             cells: None,
+            frontier: false,
             networks: vec!["resnet20".to_owned()],
             arrays: vec![32],
             strategies: vec![StrategySpec::new("im2col")],
@@ -1607,6 +1652,7 @@ mod tests {
             precision: Precision::F64,
             cells: None,
             parallelism: None,
+            frontier: false,
         };
         let bytes = |s: &str| Arc::new(s.to_owned());
         cache.insert(key(1), bytes("aaaa"));
@@ -1650,12 +1696,41 @@ mod tests {
         assert_eq!(metrics.latency_quantile_ms(0.50), Some(0.25));
         assert_eq!(metrics.latency_quantile_ms(0.90), Some(0.25));
         assert_eq!(metrics.latency_quantile_ms(0.99), Some(100.0));
-        // The overflow bucket saturates at the last boundary.
-        assert_eq!(metrics.latency_quantile_ms(1.0), Some(60_000.0));
+        // The overflow bucket has no upper boundary: a quantile landing in
+        // it surfaces saturation instead of masquerading as "60 s exactly".
+        assert_eq!(metrics.latency_quantile_ms(1.0), Some(f64::INFINITY));
         let json = metrics.to_json();
         assert!(json.contains("\"p50\":0.25"), "{json}");
         assert!(json.contains("\"count\":100"), "{json}");
         assert!(JsonValue::parse(&json).is_ok(), "metrics JSON parses");
+    }
+
+    #[test]
+    fn a_saturated_quantile_is_an_explicit_marker_in_the_document() {
+        let mut metrics = ServeMetrics {
+            requests_total: 0,
+            run_requests: 0,
+            metrics_requests: 0,
+            health_requests: 0,
+            shutdown_requests: 0,
+            error_responses: 0,
+            panicked_requests: 0,
+            runs_computed: 0,
+            runs_coalesced: 0,
+            response_cache_hits: 0,
+            latency_buckets: vec![0; LATENCY_BUCKETS_US.len() + 1],
+            sessions: Vec::new(),
+        };
+        // Every observation beyond 60 s: all percentiles are saturated.
+        metrics.latency_buckets[LATENCY_BUCKETS_US.len()] = 3;
+        assert_eq!(metrics.latency_quantile_ms(0.5), Some(f64::INFINITY));
+        let json = metrics.to_json();
+        assert!(json.contains("\"p50\":\"saturated\""), "{json}");
+        assert!(json.contains("\"p99\":\"saturated\""), "{json}");
+        assert!(
+            JsonValue::parse(&json).is_ok(),
+            "the marker keeps the document valid JSON: {json}"
+        );
     }
 
     #[test]
@@ -1678,6 +1753,18 @@ mod tests {
         let mut reseeded = tiny_spec();
         reseeded.seed = 7;
         assert_ne!(RunKey::of(&reseeded), base, "seed changes the hash");
+        let mut frontier = tiny_spec();
+        frontier.frontier = true;
+        assert_eq!(
+            frontier.content_hash(),
+            tiny_spec().content_hash(),
+            "frontier is a traversal mode, not experiment identity"
+        );
+        assert_ne!(
+            RunKey::of(&frontier),
+            base,
+            "but a frontier response is a different record set"
+        );
     }
 
     #[test]
@@ -1766,5 +1853,24 @@ mod tests {
         assert_eq!(decode_chunked(encoded).unwrap(), b"Wikipedia");
         assert!(decode_chunked(b"zz\r\nxx\r\n").is_err());
         assert!(decode_chunked(b"5\r\nab").is_err());
+        // A chunk extension on the size line is legal framing.
+        let extended = b"4;name=value\r\nWiki\r\n0\r\n\r\n";
+        assert_eq!(decode_chunked(extended).unwrap(), b"Wiki");
+    }
+
+    #[test]
+    fn chunked_decoding_rejects_corrupted_framing() {
+        // Chunk data must end in CRLF exactly where the size line said it
+        // would; junk there means the framing (and thus the body) is
+        // corrupt, not that the next chunk starts two bytes later.
+        let bad_terminator = b"4\r\nWikiXX5\r\npedia\r\n0\r\n\r\n";
+        let err = decode_chunked(bad_terminator).unwrap_err();
+        assert!(err.to_string().contains("not terminated by CRLF"), "{err}");
+
+        // The terminal `0` chunk must be followed by the final CRLF — its
+        // absence means the sender (or the transport) cut the tail off.
+        let missing_final = b"4\r\nWiki\r\n0\r\n";
+        let err = decode_chunked(missing_final).unwrap_err();
+        assert!(err.to_string().contains("missing final CRLF"), "{err}");
     }
 }

@@ -38,6 +38,11 @@
 //!   only) and `"cells": {"start": A, "end": B}` (restrict the run to a cell
 //!   range of the grid — the sharding primitive, usually supplied by the
 //!   driver via `imc run --cells` instead of baked into the spec).
+//! * `"frontier": true` (default `false`) requests the adaptive frontier
+//!   search ([`Experiment::frontier`]): instead of evaluating the full grid,
+//!   the run returns exactly the per-method-series accuracy/cycles Pareto
+//!   front of each (network, array) panel. Frontier runs are marked in their
+//!   manifest and never merge with exhaustive shards.
 //! * `networks` and `strategies` are resolved against a
 //!   [`Registry`](crate::registry::Registry): the built-in names are
 //!   pre-registered, external [`CompressionStrategy`] implementations and
@@ -356,6 +361,10 @@ pub struct ExperimentSpec {
     /// Restriction to a contiguous cell range of the grid (the sharding
     /// primitive); `None` = the full grid.
     pub cells: Option<Range<usize>>,
+    /// Whether the run is an adaptive frontier search
+    /// ([`Experiment::frontier`]) returning only the per-method-series
+    /// Pareto front instead of the exhaustive grid (default `false`).
+    pub frontier: bool,
     /// Network names, resolved via [`Registry`](crate::registry::Registry).
     pub networks: Vec<String>,
     /// Square array sizes.
@@ -389,6 +398,9 @@ impl ExperimentSpec {
                 "  \"cells\": {{\"start\": {}, \"end\": {}}},\n",
                 cells.start, cells.end
             ));
+        }
+        if self.frontier {
+            out.push_str("  \"frontier\": true,\n");
         }
         let networks: Vec<String> = self.networks.iter().map(|n| json_string(n)).collect();
         out.push_str(&format!("  \"networks\": [{}],\n", networks.join(", ")));
@@ -458,7 +470,7 @@ impl ExperimentSpec {
             )));
         }
 
-        const KNOWN: [&str; 10] = [
+        const KNOWN: [&str; 11] = [
             "format",
             "version",
             "seed",
@@ -466,6 +478,7 @@ impl ExperimentSpec {
             "parallelism",
             "cache",
             "cells",
+            "frontier",
             "networks",
             "arrays",
             "strategies",
@@ -520,6 +533,18 @@ impl ExperimentSpec {
             None | Some(JsonValue::Null) => None,
             Some(v) => Some(parse_cells(v).map_err(spec_error)?),
         };
+        let frontier = match value.get("frontier") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| spec_error("member 'frontier' must be a boolean"))?,
+        };
+        if frontier && cells.is_some() {
+            return Err(spec_error(
+                "a frontier spec explores the full grid adaptively and cannot carry a \
+                 'cells' restriction",
+            ));
+        }
 
         let networks = value
             .get("networks")
@@ -557,6 +582,7 @@ impl ExperimentSpec {
             parallelism,
             cache,
             cells,
+            frontier,
             networks,
             arrays,
             strategies,
@@ -613,6 +639,7 @@ impl ExperimentSpec {
         if let Some(cells) = &self.cells {
             experiment = experiment.cells(cells.clone());
         }
+        experiment = experiment.frontier_mode(self.frontier);
         for name in &self.networks {
             experiment = experiment.network(registry.build_network(name)?);
             // Keep the spec's name (possibly a registry alias) as the
@@ -636,6 +663,9 @@ impl ExperimentSpec {
     /// determine every produced value. The execution knobs (`parallelism`,
     /// `cache`) and the shard restriction (`cells`) are excluded, so all
     /// shards of one grid (and reruns at any worker count) share the hash.
+    /// `frontier` is likewise excluded: a frontier run produces a subset of
+    /// the same grid's values, so it shares the exhaustive run's hash and is
+    /// distinguished by the manifest's `frontier` flag instead.
     pub fn content_hash(&self) -> u64 {
         let mut hash = 0xcbf2_9ce4_8422_2325u64;
         for &byte in self.identity_json().as_bytes() {
@@ -701,6 +731,11 @@ pub struct RunManifest {
     /// The (global) cell range this run covers; the full grid for unsharded
     /// runs.
     pub cells: Range<usize>,
+    /// Whether the run is an adaptive frontier search
+    /// ([`Experiment::frontier`]): its records are the per-method-series
+    /// Pareto front of the grid, not an exhaustive slice. Frontier runs
+    /// never merge with exhaustive shards.
+    pub frontier: bool,
     /// [`SPEC_FORMAT_VERSION`] of the producing spec.
     pub spec_version: u64,
     /// [`ExperimentSpec::content_hash`] of the producing spec.
@@ -716,7 +751,7 @@ impl RunManifest {
     /// Serializes as the compact header object.
     pub(crate) fn to_header_json(&self) -> String {
         format!(
-            "{{\"spec_version\":{},\"spec_hash\":{},\"seed\":{},\"precision\":{},\"parallelism\":{},\"cells\":{{\"start\":{},\"end\":{}}}}}",
+            "{{\"spec_version\":{},\"spec_hash\":{},\"seed\":{},\"precision\":{},\"parallelism\":{},\"cells\":{{\"start\":{},\"end\":{}}}{}}}",
             self.spec_version,
             json_string(&self.spec_hash_hex()),
             self.seed,
@@ -727,6 +762,9 @@ impl RunManifest {
             },
             self.cells.start,
             self.cells.end,
+            // Emitted only when set so pre-frontier readers keep parsing
+            // exhaustive headers byte-identically.
+            if self.frontier { ",\"frontier\":true" } else { "" },
         )
     }
 
@@ -768,11 +806,18 @@ impl RunManifest {
             .and_then(|v| {
                 parse_cells(v).map_err(|what| record_error(format!("manifest: {what}")))
             })?;
+        let frontier = match value.get("frontier") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| record_error("manifest: 'frontier' must be a boolean".into()))?,
+        };
         Ok(Self {
             seed,
             precision,
             parallelism,
             cells,
+            frontier,
             spec_version,
             spec_hash,
         })
@@ -791,6 +836,7 @@ mod tests {
             parallelism: None,
             cache: true,
             cells: None,
+            frontier: false,
             networks: vec!["resnet20".to_owned()],
             arrays: vec![32, 64],
             strategies: vec![
@@ -828,6 +874,62 @@ mod tests {
         );
         let back = ExperimentSpec::from_json(&text).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn frontier_member_round_trips_and_rejects_cells() {
+        let mut spec = fixture_spec();
+        spec.frontier = true;
+        let text = spec.to_json();
+        assert!(text.contains("\"frontier\": true"), "{text}");
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text, "canonical parse → write is stable");
+
+        // A frontier spec explores the whole grid; carrying a shard
+        // restriction is contradictory and must fail at parse time.
+        let conflicted = text.replacen(
+            "\"frontier\": true,",
+            "\"frontier\": true,\n  \"cells\": {\"start\": 0, \"end\": 2},",
+            1,
+        );
+        let err = ExperimentSpec::from_json(&conflicted).unwrap_err();
+        assert!(matches!(err, Error::Spec { .. }), "wrong error {err}");
+        assert!(err.to_string().contains("cells"), "{err}");
+
+        let mistyped = text.replacen("\"frontier\": true", "\"frontier\": 1", 1);
+        assert!(matches!(
+            ExperimentSpec::from_json(&mistyped),
+            Err(Error::Spec { .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_frontier_flag_round_trips_and_defaults_off() {
+        let manifest = RunManifest {
+            seed: DEFAULT_SEED,
+            precision: Precision::F64,
+            parallelism: None,
+            cells: 0..33,
+            frontier: true,
+            spec_version: SPEC_FORMAT_VERSION,
+            spec_hash: 0xfeed_beef,
+        };
+        let json = manifest.to_header_json();
+        assert!(json.ends_with("\"frontier\":true}"), "{json}");
+        let parsed = RunManifest::from_header_value(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, manifest);
+
+        // Exhaustive manifests omit the member entirely (old headers stay
+        // byte-identical) and absent parses as false.
+        let exhaustive = RunManifest {
+            frontier: false,
+            ..manifest
+        };
+        let json = exhaustive.to_header_json();
+        assert!(!json.contains("frontier"), "{json}");
+        let parsed = RunManifest::from_header_value(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, exhaustive);
     }
 
     #[test]
@@ -927,6 +1029,7 @@ mod tests {
             precision: Precision::F32,
             parallelism: Some(4),
             cells: 3..9,
+            frontier: false,
             spec_version: SPEC_FORMAT_VERSION,
             spec_hash: 0x0123_4567_89ab_cdef,
         };

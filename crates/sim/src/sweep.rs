@@ -673,6 +673,14 @@ pub fn sweep(
     config: &SweepConfig,
 ) -> Result<SweepReport> {
     let spec = ExperimentSpec::from_json(spec_json)?;
+    if spec.frontier {
+        return Err(Error::Spec {
+            what: "a frontier spec cannot be swept: the sweep shards the grid into fixed cell \
+                   ranges, but a frontier search chooses its cells adaptively (run it with \
+                   `imc run` instead)"
+                .to_owned(),
+        });
+    }
     let grid = spec.networks.len() * spec.arrays.len() * spec.strategies.len();
     let cells = spec.cells.clone().unwrap_or(0..grid);
     if cells.start >= cells.end || cells.end > grid {
@@ -1252,6 +1260,27 @@ mod tests {
         )
         .unwrap_err();
         assert!(format!("{err}").contains("already exists"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn frontier_specs_refuse_to_be_swept() {
+        let dir = temp_dir("frontier_reject");
+        let spec_json = grid().frontier_mode(true).to_spec().unwrap().to_json();
+        let err = sweep(
+            &spec_json,
+            &dir,
+            &dir.join("out.jsonl"),
+            false,
+            &SweepConfig::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Spec { .. }), "{err}");
+        assert!(format!("{err}").contains("frontier"), "{err}");
+        assert!(
+            !dir.join(STATE_FILE).exists(),
+            "the refusal must not leave a ledger behind"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -122,6 +122,13 @@ complete prefix `imc sweep` can salvage and resume from. The bytes are
 identical to the buffered stdout form. Setting IMC_FAULT_EXIT_AFTER_CELLS=k
 makes the process write k records plus one torn line and abort — the
 deterministic stand-in for `kill -9` used by the fault-tolerance tests.
+
+A spec with \"frontier\": true runs the adaptive frontier search instead of
+the exhaustive grid: only the cells on each method series' accuracy/cycles
+Pareto front are reported (the manifest records \"frontier\": true), and the
+records are certified identical to filtering the exhaustive run. Frontier
+runs reject '--cells' and `imc shard`/`imc sweep` — the search chooses its
+own cells — and are always written buffered.
 ";
 
 const SWEEP_HELP: &str = "\
@@ -487,7 +494,16 @@ fn parse_cell_range(value: &str) -> Result<std::ops::Range<usize>> {
     let (start, end) = value
         .split_once("..")
         .ok_or_else(|| usage_error(format!("'--cells {value}' is not of the form A..B")))?;
-    Ok(parse_usize(start, "--cells")?..parse_usize(end, "--cells")?)
+    let range = parse_usize(start, "--cells")?..parse_usize(end, "--cells")?;
+    // An inverted or empty range would sail through here only to fail (or
+    // silently select nothing) deep in the run — reject it at parse time,
+    // where the message can still name what the user typed.
+    if range.start >= range.end {
+        return Err(usage_error(format!(
+            "'--cells {value}' selects no cells (A must be below B)"
+        )));
+    }
+    Ok(range)
 }
 
 /// Reads a document argument: a path, or `-` for stdin. A missing file is
@@ -596,6 +612,28 @@ fn cmd_run(args: &[String], shard: bool) -> Result<()> {
         return Err(usage_error("imc shard needs '--cells A..B'"));
     }
     let spec = ExperimentSpec::from_json(&read_input(source)?)?;
+    if spec.frontier {
+        if shard {
+            return Err(usage_error(
+                "a frontier spec cannot be sharded: the search chooses its cells adaptively \
+                 (run it whole with `imc run`)",
+            ));
+        }
+        if parsed.cells.is_some() {
+            return Err(usage_error(
+                "'--cells' cannot restrict a frontier spec: the search chooses its cells \
+                 adaptively",
+            ));
+        }
+        let mut experiment = spec.into_experiment(&Registry::new())?;
+        if let Some(workers) = parsed.parallelism {
+            experiment = experiment.parallelism_override(workers);
+        }
+        // The frontier's record set is only known once the search finishes,
+        // so there is no streaming form — the run is written buffered.
+        let outcome = experiment.frontier()?;
+        return write_output(parsed.out.as_deref(), &outcome.run.to_jsonl()?);
+    }
     let mut experiment = spec.into_experiment(&Registry::new())?;
     if let Some(cells) = parsed.cells {
         experiment = experiment.cells(cells);

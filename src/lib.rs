@@ -82,7 +82,7 @@ pub use imc_nn::{resnet20, wrn16_4, NetworkArch};
 pub use imc_sim::strategy;
 pub use imc_sim::{
     CompressionMethod, CompressionStrategy, ConvContext, EvalSession, EvalSessionBuilder,
-    Experiment, ExperimentRun, ExperimentSpec, LayerOutcome, NetworkEvaluation, Registry,
-    RunManifest, RunRecord, ServeClient, ServeConfig, ServeMetrics, Server, StrategySpec,
+    Experiment, ExperimentRun, ExperimentSpec, FrontierOutcome, LayerOutcome, NetworkEvaluation,
+    Registry, RunManifest, RunRecord, ServeClient, ServeConfig, ServeMetrics, Server, StrategySpec,
     SweepConfig, SweepEvent, SweepReport, DEFAULT_SEED,
 };

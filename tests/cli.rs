@@ -288,6 +288,81 @@ fn future_version_documents_fail_with_spec_errors_not_panics() {
 }
 
 #[test]
+fn inverted_or_empty_cell_ranges_are_rejected_at_parse_time() {
+    // `--cells 5..2` and `--cells 3..3` select nothing; letting them
+    // through would fail (or silently no-op) only deep inside the run.
+    // They must die as usage errors (exit 2) naming the range as typed.
+    for range in ["5..2", "3..3"] {
+        let output = imc(&["run", "ignored.spec.json", "--cells", range], None);
+        assert!(!output.status.success());
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "usage errors exit 2 (permanent)"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+        assert!(stderr.contains(range), "message names the range: {stderr}");
+        assert!(stderr.contains("selects no cells"), "{stderr}");
+    }
+}
+
+#[test]
+fn frontier_specs_run_report_and_refuse_the_sharding_paths() {
+    use imc::sim::experiments::fig6_panel_from_run;
+    use imc::sim::report::fig6_markdown;
+
+    let experiment = || fig6_experiment(&resnet20(), 64, DEFAULT_SEED).frontier_mode(true);
+    let spec = experiment()
+        .to_spec()
+        .expect("built-ins serialize")
+        .to_json();
+    assert!(spec.contains("\"frontier\": true"), "{spec}");
+
+    // `imc run` honors the field: bytes match the library frontier search.
+    let cli_run = stdout_of(&["run", "-"], Some(&spec));
+    let golden = experiment()
+        .frontier()
+        .expect("library frontier succeeds")
+        .run;
+    assert_eq!(
+        cli_run,
+        golden.to_jsonl().expect("frontier run serializes"),
+        "CLI frontier run must match the library golden"
+    );
+
+    // `imc report fig6` consumes the frontier run.
+    let report = stdout_of(&["report", "fig6", "-"], Some(&cli_run));
+    let panel = fig6_panel_from_run(&golden).expect("frontier panel");
+    assert_eq!(report, fig6_markdown(&panel));
+
+    // The sharding paths refuse frontier specs as usage/spec errors.
+    let output = imc(&["run", "-", "--cells", "0..2"], Some(&spec));
+    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(stderr.contains("frontier"), "{stderr}");
+
+    let output = imc(&["shard", "-", "--cells", "0..2"], Some(&spec));
+    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(stderr.contains("frontier"), "{stderr}");
+
+    let dir = std::env::temp_dir().join("imc_cli_frontier_sweep_reject");
+    let out = dir
+        .join("out.jsonl")
+        .to_str()
+        .expect("utf-8 path")
+        .to_owned();
+    let output = imc(&["sweep", "-", "--out", &out], Some(&spec));
+    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(stderr.contains("frontier"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn every_subcommand_has_help_text() {
     for command in ["spec", "run", "shard", "merge", "report", "sweep"] {
         let direct = stdout_of(&[command, "--help"], None);

@@ -1,0 +1,157 @@
+//! Certification of the adaptive frontier search: `Experiment::frontier()`
+//! must return *exactly* the records of the exhaustive run that sit on each
+//! method series' accuracy/cycles Pareto front — byte for byte, at both
+//! kernel precisions, for every worker count — and the downstream consumers
+//! (`imc report fig6`, merge) must treat frontier runs correctly.
+
+use std::collections::HashMap;
+
+use imc::sim::experiments::{fig6_experiment, fig6_panel_from_run, DEFAULT_SEED};
+use imc::sim::report::fig6_markdown;
+use imc::{resnet20, EvalSession, Experiment, ExperimentRun, Precision, RunRecord};
+
+/// Brute-force reference: the cells of `run` that survive per-series Pareto
+/// filtering. A cell is dominated when some cell of its series reaches at
+/// least its accuracy in strictly fewer cycles — or in exactly the same
+/// cycles at an earlier grid position (the stable tie-break of
+/// `pareto_front`'s sort).
+fn reference_front_cells(run: &ExperimentRun, series: &[Vec<usize>]) -> Vec<usize> {
+    let mut keep = Vec::new();
+    for group in series {
+        let members: Vec<&RunRecord> = run
+            .records()
+            .iter()
+            .filter(|r| group.contains(&r.strategy_index))
+            .collect();
+        for r in &members {
+            let blocked = members.iter().any(|q| {
+                q.eval.accuracy >= r.eval.accuracy
+                    && (q.eval.cycles < r.eval.cycles
+                        || (q.eval.cycles == r.eval.cycles && q.cell_index < r.cell_index))
+            });
+            if !blocked {
+                keep.push(r.cell_index);
+            }
+        }
+    }
+    keep.sort_unstable();
+    keep
+}
+
+/// The method series of the fig6 grid by strategy index: the im2col
+/// baseline, the 16-cell low-rank grid, PatDNN entries 1..=8, PAIRS
+/// entries 1..=8.
+fn fig6_series() -> Vec<Vec<usize>> {
+    vec![
+        vec![0],
+        (1..=16).collect(),
+        (17..=24).collect(),
+        (25..=32).collect(),
+    ]
+}
+
+fn fig6(precision: Precision) -> Experiment {
+    fig6_experiment(&resnet20(), 64, DEFAULT_SEED).precision(precision)
+}
+
+#[test]
+fn frontier_is_certified_against_the_exhaustive_front_in_both_precisions() {
+    for precision in [Precision::F64, Precision::F32] {
+        // One shared session per precision: the exhaustive run warms the
+        // decomposition cache, so the frontier passes re-use its SVDs and
+        // any value drift between the two paths would be a real bug, not
+        // numeric noise.
+        let session = EvalSession::builder().precision(precision).build();
+        let exhaustive = fig6(precision).run_in(&session).expect("exhaustive run");
+        let expected = reference_front_cells(&exhaustive, &fig6_series());
+
+        let serial = fig6(precision)
+            .frontier_mode(true)
+            .parallelism_override(1)
+            .frontier_in(&session)
+            .expect("serial frontier");
+        let parallel = fig6(precision)
+            .frontier_mode(true)
+            .parallelism_override(4)
+            .frontier_in(&session)
+            .expect("parallel frontier");
+
+        // Worker count must not change a byte.
+        assert_eq!(
+            serial.run.to_jsonl().unwrap(),
+            parallel.run.to_jsonl().unwrap(),
+            "{precision:?}: frontier bytes must not depend on the worker count"
+        );
+
+        // The frontier is exactly the reference front, in canonical order.
+        let got: Vec<usize> = serial.run.records().iter().map(|r| r.cell_index).collect();
+        assert_eq!(
+            got, expected,
+            "{precision:?}: frontier must select exactly the per-series Pareto cells"
+        );
+
+        // Every frontier record is byte-identical to its exhaustive twin.
+        let exhaustive_lines: HashMap<usize, String> = exhaustive
+            .records()
+            .iter()
+            .map(|r| (r.cell_index, r.to_json_line().unwrap()))
+            .collect();
+        for record in serial.run.records() {
+            assert_eq!(
+                record.to_json_line().unwrap(),
+                exhaustive_lines[&record.cell_index],
+                "{precision:?}: cell {} must match the exhaustive record exactly",
+                record.cell_index
+            );
+        }
+
+        // The search did not simply evaluate everything, and the manifest
+        // records the provenance a consumer needs.
+        assert_eq!(serial.grid_cells, 33);
+        assert!(
+            serial.cells_evaluated < serial.grid_cells,
+            "{precision:?}: adaptive search must skip dominated cells \
+             ({} of {} evaluated)",
+            serial.cells_evaluated,
+            serial.grid_cells
+        );
+        let manifest = serial.run.manifest().expect("frontier manifest");
+        assert!(
+            manifest.frontier,
+            "manifest must mark the run as a frontier"
+        );
+        assert_eq!(
+            manifest.spec_hash,
+            exhaustive
+                .manifest()
+                .expect("exhaustive manifest")
+                .spec_hash,
+            "same experiment identity, different traversal"
+        );
+
+        // `imc report fig6` parity: the frontier run renders the identical
+        // panel (the exhaustive panel is already front-filtered).
+        let frontier_panel = fig6_panel_from_run(&serial.run).expect("frontier panel");
+        let exhaustive_panel = fig6_panel_from_run(&exhaustive).expect("exhaustive panel");
+        assert_eq!(
+            fig6_markdown(&frontier_panel),
+            fig6_markdown(&exhaustive_panel),
+            "{precision:?}: the fig6 report must not depend on the traversal"
+        );
+    }
+}
+
+#[test]
+fn frontier_and_exhaustive_shards_refuse_to_merge() {
+    let frontier = fig6(Precision::F64)
+        .frontier_mode(true)
+        .frontier()
+        .expect("frontier run")
+        .run;
+    let shard = fig6(Precision::F64).cells(17..20).run().expect("shard");
+    let err = ExperimentRun::merge([frontier, shard]).unwrap_err();
+    assert!(
+        err.to_string().contains("frontier"),
+        "mixing must be named for what it is: {err}"
+    );
+}
