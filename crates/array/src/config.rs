@@ -26,6 +26,11 @@ pub struct ArrayConfig {
 }
 
 impl ArrayConfig {
+    /// The paper's default bit-serial input/ADC precision
+    /// ([`ArrayConfig::square`] uses it); evaluation layers treat arrays at
+    /// this precision as the unscaled cycle baseline.
+    pub const DEFAULT_INPUT_BITS: usize = 4;
+
     /// Creates an array configuration.
     ///
     /// # Errors

@@ -1,0 +1,74 @@
+//! Synth bench: a declarative synthetic-network sweep (the `synthetic:`
+//! scenario family) through the experiment engine, cold versus warm,
+//! tracked in `BENCH_results.json` under the `synth` group.
+//!
+//! The workload is the `deep-thin` scenario at its defaults (18 thin 3×3
+//! blocks over three linearly-ramped stages) swept over two array sizes
+//! with the im2col baseline plus a low-rank ladder — the shape of grid the
+//! generator exists for: many skinny layers whose decompositions dominate
+//! the cost, so session reuse pays off.
+//!
+//! * `synth_deep_thin_sweep_cold` — `Experiment::run` semantics: a fresh
+//!   decomposition cache per iteration.
+//! * `synth_deep_thin_sweep_warm` — `Experiment::run_in` against a warmed
+//!   unbounded session: decompositions are cache hits.
+//!
+//! Both produce bit-identical runs (asserted before measuring).
+
+use imc_bench::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use imc_core::{CompressionConfig, RankSpec};
+use imc_sim::experiments::DEFAULT_SEED;
+use imc_sim::runtime::default_parallelism;
+use imc_sim::synth;
+use imc_sim::{CompressionMethod, EvalSession, Experiment};
+
+/// im2col baseline plus an SDK-mapped low-rank ladder.
+fn methods() -> Vec<CompressionMethod> {
+    let mut methods = vec![CompressionMethod::Uncompressed { sdk: false }];
+    for divisor in [2usize, 4, 8] {
+        methods.push(CompressionMethod::LowRank(
+            CompressionConfig::new(RankSpec::Divisor(divisor), 1, true)
+                .expect("valid low-rank config"),
+        ));
+    }
+    methods
+}
+
+fn sweep() -> Experiment {
+    Experiment::new()
+        .synthetic_network(synth::deep_thin(18, 8))
+        .expect("deep-thin builds at its defaults")
+        .arrays([32, 64])
+        .seed(DEFAULT_SEED)
+        .methods(methods())
+        .parallelism(default_parallelism())
+}
+
+fn bench_synth(c: &mut Criterion) {
+    let cells = sweep().grid_cells() as u64;
+    let session = EvalSession::new();
+
+    // Warm the session and pin the bit-identity contract before timing.
+    let cold_run = sweep().run().expect("cold sweep succeeds");
+    let warm_run = sweep().run_in(&session).expect("warm sweep succeeds");
+    assert_eq!(
+        cold_run.to_jsonl().expect("cold run serializes"),
+        warm_run.to_jsonl().expect("warm run serializes"),
+        "session reuse must not change bytes"
+    );
+    println!("\n== synthetic:deep-thin-d18-w8 sweep ({cells} cells, arrays 32/64) ==\n");
+
+    c.bench_function("synth_deep_thin_sweep_cold", |b| {
+        b.throughput(cells);
+        b.iter(|| black_box(sweep().run().expect("cold sweep succeeds")));
+    });
+    c.bench_function("synth_deep_thin_sweep_warm", |b| {
+        b.throughput(cells);
+        b.iter(|| black_box(sweep().run_in(&session).expect("warm sweep succeeds")));
+    });
+}
+
+criterion_group!(synth, bench_synth);
+criterion_main!(synth);

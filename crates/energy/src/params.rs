@@ -54,6 +54,18 @@ impl EnergyParams {
             ..*self
         }
     }
+
+    /// A parameter set rescaled for an ADC resolution of `bits`, relative to
+    /// the 4-bit default the conversion constant is calibrated at. The
+    /// per-conversion cost is modelled linear in the bit width, matching the
+    /// bit-serial cycle model of the evaluation layers (each extra input bit
+    /// costs one extra conversion pass, not an exponential comparator tree).
+    pub fn with_adc_bits(&self, bits: usize) -> Self {
+        Self {
+            adc_per_column: self.adc_per_column * bits as f64 / 4.0,
+            ..*self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +95,15 @@ mod tests {
         assert_eq!(p.demux_per_row, 0.0);
         assert_eq!(p.zero_skip_per_row, 0.0);
         assert!(p.adc_per_column > 0.0);
+    }
+
+    #[test]
+    fn with_adc_bits_scales_only_the_conversion_term() {
+        let base = EnergyParams::default();
+        let p = base.with_adc_bits(8);
+        assert_eq!(p.adc_per_column, base.adc_per_column * 2.0);
+        assert_eq!(p.dac_per_row, base.dac_per_row);
+        assert_eq!(p.mux_per_column, base.mux_per_column);
+        assert_eq!(base.with_adc_bits(4), base, "4 bits is the identity");
     }
 }

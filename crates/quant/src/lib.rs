@@ -20,7 +20,9 @@ pub mod dorefa;
 pub mod mapping;
 
 pub use dorefa::{quantization_error, quantize_matrix, quantize_value};
-pub use mapping::{quantized_conv_cycles, quantized_network_scale, QuantConfig};
+pub use mapping::{
+    activation_cycle_scale, quantized_conv_cycles, quantized_network_scale, QuantConfig,
+};
 
 /// Errors produced by the quantization layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -46,8 +46,18 @@ impl QuantConfig {
     /// are applied bit-serially, so fewer activation bits proportionally
     /// reduce the number of wordline activations per load.
     pub fn cycle_scale(&self) -> f64 {
-        self.activation_bits as f64 / 4.0
+        activation_cycle_scale(self.activation_bits)
     }
+}
+
+/// The bit-serial cycle scale of an arbitrary activation/input precision,
+/// relative to the paper's 4-bit default: each input-vector load takes one
+/// wordline activation per input bit, so cycle totals scale linearly in the
+/// bit width. Shared by the model-side quantization sweep
+/// ([`QuantConfig::cycle_scale`]) and the array-side ADC-precision sweep
+/// axis of the experiment harness.
+pub fn activation_cycle_scale(input_bits: usize) -> f64 {
+    input_bits as f64 / 4.0
 }
 
 /// Computing cycles (relative to the 4-bit activation reference) of an
@@ -95,6 +105,13 @@ mod tests {
         assert_eq!(QuantConfig::new(2, 2).unwrap().cycle_scale(), 0.5);
         assert_eq!(QuantConfig::new(1, 1).unwrap().cycle_scale(), 0.25);
         assert_eq!(QuantConfig::new(8, 8).unwrap().cycle_scale(), 2.0);
+        // The free function is the same scale for arbitrary input widths.
+        assert_eq!(activation_cycle_scale(4), 1.0);
+        assert_eq!(activation_cycle_scale(6), 1.5);
+        assert_eq!(
+            QuantConfig::new(4, 3).unwrap().cycle_scale(),
+            activation_cycle_scale(3)
+        );
     }
 
     #[test]

@@ -75,16 +75,17 @@ use crate::session::EvalSession;
 /// [`Experiment::run_streaming`].
 type RecordSink<'a> = &'a mut dyn FnMut(&RunRecord) -> Result<()>;
 use crate::spec::{
-    builtin_method_from_spec, builtin_method_spec, ExperimentSpec, RunManifest, StrategySpec,
-    SPEC_FORMAT_VERSION,
+    builtin_method_from_spec, builtin_method_spec, ArrayAxis, ExperimentSpec, RunManifest,
+    StrategySpec, SPEC_FORMAT_VERSION,
 };
 use crate::strategy::{dense_im2col_outcome, CompressionStrategy};
+use crate::synth::SyntheticNetSpec;
 use crate::{Error, Result};
 
 /// A declarative sweep over networks × array sizes × compression strategies.
 pub struct Experiment {
     networks: Vec<NetworkArch>,
-    arrays: Vec<usize>,
+    arrays: Vec<ArrayAxis>,
     strategies: Vec<Box<dyn CompressionStrategy>>,
     seed: u64,
     parallelism: Option<usize>,
@@ -101,6 +102,10 @@ pub struct Experiment {
     /// methods and registry-built strategies, `None` for opaque
     /// [`CompressionStrategy`] objects (which cannot be serialized).
     pub(crate) strategy_specs: Vec<Option<StrategySpec>>,
+    /// Inline synthetic-network generator documents carried by the
+    /// experiment's spec (possibly unused by `networks`); kept wholesale so
+    /// the spec round-trip is lossless.
+    pub(crate) synthetic_networks: Vec<SyntheticNetSpec>,
 }
 
 impl Default for Experiment {
@@ -126,6 +131,7 @@ impl Experiment {
             frontier: false,
             network_names: Vec::new(),
             strategy_specs: Vec::new(),
+            synthetic_networks: Vec::new(),
         }
     }
 
@@ -146,18 +152,49 @@ impl Experiment {
         self
     }
 
-    /// Adds one square array size to the sweep.
+    /// Adds one square array size to the sweep (at the default 4-bit
+    /// weight/ADC precision — sugar for [`Experiment::array_axis`] with
+    /// [`ArrayAxis::square`]).
     #[must_use]
-    pub fn array(mut self, size: usize) -> Self {
-        self.arrays.push(size);
-        self
+    pub fn array(self, size: usize) -> Self {
+        self.array_axis(ArrayAxis::square(size))
     }
 
     /// Adds several square array sizes to the sweep.
     #[must_use]
     pub fn arrays(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
-        self.arrays.extend(sizes);
+        self.arrays.extend(sizes.into_iter().map(ArrayAxis::square));
         self
+    }
+
+    /// Adds one full array sweep axis — rectangular geometry and/or
+    /// non-default weight/ADC precision ([`ArrayAxis`]).
+    #[must_use]
+    pub fn array_axis(mut self, axis: ArrayAxis) -> Self {
+        self.arrays.push(axis);
+        self
+    }
+
+    /// Adds several array sweep axes.
+    #[must_use]
+    pub fn array_axes(mut self, axes: impl IntoIterator<Item = ArrayAxis>) -> Self {
+        self.arrays.extend(axes);
+        self
+    }
+
+    /// Adds a synthetic network to the sweep from its generator document
+    /// ([`crate::synth`]): the document is built immediately and also kept
+    /// as spec provenance, so [`Experiment::to_spec`] emits it under
+    /// `"synthetic_networks"` and the round-trip is lossless.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] when the document does not generate a valid
+    /// network.
+    pub fn synthetic_network(mut self, spec: SyntheticNetSpec) -> Result<Self> {
+        let network = spec.build()?;
+        self.synthetic_networks.push(spec);
+        Ok(self.network(network))
     }
 
     /// Adds a compression strategy to the sweep. Anything implementing
@@ -339,10 +376,21 @@ impl Experiment {
             cache: self.use_cache,
             cells: self.cell_range.clone(),
             frontier: self.frontier,
+            synthetic_networks: self.synthetic_networks.clone(),
             networks: self.network_names.clone(),
             arrays: self.arrays.clone(),
             strategies,
         })
+    }
+
+    /// The `arrays` member of this experiment's manifests: recorded only
+    /// when at least one axis leaves the default square geometry, so every
+    /// default-axis run keeps its pre-axis header bytes.
+    fn manifest_axes(&self) -> Option<Vec<ArrayAxis>> {
+        self.arrays
+            .iter()
+            .any(|axis| !axis.is_square_default())
+            .then(|| self.arrays.clone())
     }
 
     /// Runs the sweep inside a long-lived [`EvalSession`], sharing the
@@ -438,6 +486,7 @@ impl Experiment {
             precision: self.precision,
             parallelism: self.parallelism,
             cells: self.cell_range.clone().unwrap_or(0..grid),
+            arrays: self.manifest_axes(),
             frontier: self.frontier,
             spec_version: SPEC_FORMAT_VERSION,
             spec_hash: spec.content_hash(),
@@ -493,8 +542,8 @@ impl Experiment {
         // flatten the grid into independent cells for the worker pool. Each
         // cell carries its global grid index so shard runs stay mergeable.
         let mut arrays = Vec::with_capacity(self.arrays.len());
-        for &size in &self.arrays {
-            arrays.push((size, ArrayConfig::square(size)?));
+        for axis in &self.arrays {
+            arrays.push((axis.rows, axis.to_config()?));
         }
         let mut cells =
             Vec::with_capacity(self.networks.len() * arrays.len() * self.strategies.len());
@@ -528,6 +577,7 @@ impl Experiment {
             precision: self.precision,
             parallelism: self.parallelism,
             cells: self.cell_range.clone().unwrap_or(0..grid_size),
+            arrays: self.manifest_axes(),
             frontier: false,
             spec_version: SPEC_FORMAT_VERSION,
             spec_hash: spec.content_hash(),
@@ -698,8 +748,8 @@ impl Experiment {
             });
         }
         let mut arrays = Vec::with_capacity(self.arrays.len());
-        for &size in &self.arrays {
-            arrays.push((size, ArrayConfig::square(size)?));
+        for axis in &self.arrays {
+            arrays.push((axis.rows, axis.to_config()?));
         }
 
         // Classify every strategy once: which monotone chain and method
@@ -849,6 +899,7 @@ impl Experiment {
             precision: self.precision,
             parallelism: self.parallelism,
             cells: 0..grid_cells,
+            arrays: self.manifest_axes(),
             frontier: true,
             spec_version: SPEC_FORMAT_VERSION,
             spec_hash: spec.content_hash(),
@@ -1016,6 +1067,12 @@ fn probe_lowrank_cycles(
                 }
             }
         }
+    }
+    // Mirror the ADC/input-precision cycle scale of `evaluate_strategy_with`
+    // exactly — the probe must equal what the full evaluation reports for
+    // pruning to stay sound on non-default axes.
+    if array.input_bits != ArrayConfig::DEFAULT_INPUT_BITS {
+        cycles *= imc_quant::activation_cycle_scale(array.input_bits);
     }
     Ok(cycles)
 }
@@ -1276,12 +1333,13 @@ impl ExperimentRun {
             }
             let same = manifest.seed == first.seed
                 && manifest.precision == first.precision
+                && manifest.arrays == first.arrays
                 && manifest.spec_version == first.spec_version
                 && manifest.spec_hash == first.spec_hash;
             if !same {
                 return Err(Error::Record {
                     what: "shards carry manifests of different experiments \
-                           (mismatched seed, precision or spec hash)"
+                           (mismatched seed, precision, arrays or spec hash)"
                         .to_owned(),
                 });
             }

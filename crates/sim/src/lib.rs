@@ -40,6 +40,10 @@
 //! * [`registry`] — the name → constructor [`Registry`] the spec layer
 //!   resolves against; external networks and strategies register under
 //!   their own names and become addressable over the wire.
+//! * [`synth`] — the declarative synthetic-network generator: whole conv
+//!   topologies as wire-format [`SyntheticNetSpec`] documents, plus the
+//!   pre-registered `synthetic:*` scenario family, so the scenario space
+//!   extends beyond the paper's two fixed models without Rust changes.
 //! * [`serve`] — the long-lived evaluation [`Server`]: a zero-dependency
 //!   HTTP/1.1 service that executes POSTed spec documents on shared
 //!   per-precision sessions, coalesces identical in-flight requests onto
@@ -71,6 +75,7 @@ pub mod session;
 pub mod spec;
 pub mod strategy;
 pub mod sweep;
+pub mod synth;
 
 pub use experiment::{Experiment, ExperimentRun, FrontierOutcome, RunRecord};
 pub use experiments::{
@@ -86,9 +91,12 @@ pub use network::{
 pub use registry::Registry;
 pub use serve::{ServeClient, ServeConfig, ServeMetrics, Server};
 pub use session::{EvalSession, EvalSessionBuilder};
-pub use spec::{ExperimentSpec, RunManifest, StrategySpec, SPEC_FORMAT, SPEC_FORMAT_VERSION};
+pub use spec::{
+    ArrayAxis, ExperimentSpec, RunManifest, StrategySpec, SPEC_FORMAT, SPEC_FORMAT_VERSION,
+};
 pub use strategy::{CompressionStrategy, ConvContext, LayerOutcome};
 pub use sweep::{SweepConfig, SweepEvent, SweepReport};
+pub use synth::{ChannelRamp, StageSpec, SyntheticNetSpec};
 
 // The cache-observability types surfaced by `EvalSession::stats`; defined
 // next to `DecompCache` in `imc-core`.

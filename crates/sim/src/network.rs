@@ -232,6 +232,17 @@ pub fn evaluate_strategy_with(
         }
     }
 
+    // Non-default ADC/input precision stretches (or shrinks) the bit-serial
+    // input schedule of every mapped region uniformly, relative to the 4-bit
+    // baseline the per-layer cycle model assumes. Guarded so the default
+    // path performs zero extra float operations and stays byte-identical to
+    // pre-axis runs. (DoReFa's own activation scaling composes with this
+    // multiplicatively: the strategy models the *model's* quantization, the
+    // array's `input_bits` models the hardware's converter resolution.)
+    if array.input_bits != ArrayConfig::DEFAULT_INPUT_BITS {
+        cycles *= imc_quant::activation_cycle_scale(array.input_bits);
+    }
+
     let accuracy = strategy.network_accuracy(&accuracy_model, &layer_errors);
 
     Ok(NetworkEvaluation {

@@ -7,7 +7,8 @@
 //!
 //! | Kind | Names |
 //! |---|---|
-//! | Networks | `resnet20` (alias `ResNet-20`), `wrn16-4` (alias `WRN16-4`) |
+//! | Networks | `resnet20` (alias `ResNet-20`), `wrn16-4` (alias `WRN16-4`), `synthetic:deep-thin`, `synthetic:wide-shallow`, `synthetic:depthwise-heavy`, `synthetic:matmul-projection` |
+//! | Name families | `synthetic:` — parameterized names like `synthetic:deep-thin-d32-w16` (see [`crate::synth`]) |
 //! | Strategies | `im2col`, `sdk`, `lowrank`, `patdnn`, `pairs`, `dorefa` |
 //!
 //! Network aliases exist because
@@ -16,7 +17,11 @@
 //! from a [`NetworkArch`] value directly — both spellings resolve to the
 //! same constructor.
 //!
-//! External code extends the registry without touching this crate:
+//! Lookup order is exact name first, then registered name *families*: a
+//! family owns a whole prefix (the built-in `synthetic:` family resolves any
+//! `synthetic:<scenario>[-d<depth>][-w<width>]` spelling without one
+//! registration per parameter combination). External code extends the
+//! registry without touching this crate:
 //!
 //! ```
 //! use imc_sim::registry::Registry;
@@ -33,7 +38,8 @@
 //! ```
 //!
 //! Unknown names surface as [`Error::Spec`], with the registered names
-//! listed in the message.
+//! listed in the message and — when an existing name is within a small edit
+//! distance — a `did you mean '…'?` suggestion for the nearest match.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -42,20 +48,24 @@ use imc_nn::{resnet20, wrn16_4, NetworkArch};
 
 use crate::spec::{builtin_method_from_spec, StrategySpec};
 use crate::strategy::CompressionStrategy;
+use crate::synth;
 use crate::{Error, Result};
 
 type NetworkFactory = Arc<dyn Fn() -> NetworkArch + Send + Sync>;
+type FamilyResolver = Arc<dyn Fn(&str) -> Result<NetworkArch> + Send + Sync>;
 type StrategyFactory =
     Arc<dyn Fn(&StrategySpec) -> Result<Box<dyn CompressionStrategy>> + Send + Sync>;
 
 /// Name → constructor registries for spec resolution.
 ///
-/// Lookup is exact-match on the name; networks and strategies live in
-/// separate namespaces. The registry is `Send + Sync` (factories must be),
-/// so one registry can serve a whole evaluation service.
+/// Lookup is exact-match on the name, falling back to prefix-matched name
+/// families for networks; networks and strategies live in separate
+/// namespaces. The registry is `Send + Sync` (factories must be), so one
+/// registry can serve a whole evaluation service.
 pub struct Registry {
-    networks: BTreeMap<String, NetworkFactory>,
-    strategies: BTreeMap<String, StrategyFactory>,
+    networks: BTreeMap<String, (NetworkFactory, String)>,
+    families: BTreeMap<String, (FamilyResolver, String)>,
+    strategies: BTreeMap<String, (StrategyFactory, String)>,
 }
 
 impl Default for Registry {
@@ -65,16 +75,44 @@ impl Default for Registry {
 }
 
 impl Registry {
-    /// A registry with every built-in network and strategy pre-registered
-    /// (see the [module docs](self) for the names).
+    /// A registry with every built-in network, name family, and strategy
+    /// pre-registered (see the [module docs](self) for the names).
     pub fn new() -> Self {
         let mut registry = Self::empty();
-        registry.network("resnet20", resnet20);
-        registry.network("ResNet-20", resnet20);
-        registry.network("wrn16-4", wrn16_4);
-        registry.network("WRN16-4", wrn16_4);
-        for name in ["im2col", "sdk", "lowrank", "patdnn", "pairs", "dorefa"] {
-            registry.strategy(name, |spec: &StrategySpec| {
+        registry.network_described(
+            "resnet20",
+            "ResNet-20 on CIFAR-10, the paper's main benchmark",
+            resnet20,
+        );
+        registry.network_described("ResNet-20", "alias of resnet20", resnet20);
+        registry.network_described(
+            "wrn16-4",
+            "WideResNet-16-4 on CIFAR-10, the paper's wide benchmark",
+            wrn16_4,
+        );
+        registry.network_described("WRN16-4", "alias of wrn16-4", wrn16_4);
+        for scenario in &synth::SCENARIOS {
+            registry.network_described(scenario.full_name(), scenario.description, move || {
+                scenario
+                    .default_spec()
+                    .build()
+                    .expect("curated scenario builds at its defaults")
+            });
+        }
+        registry.family(
+            synth::SCENARIO_PREFIX,
+            "parameterized synthetic networks, e.g. synthetic:deep-thin-d32-w16",
+            synth::network_from_name,
+        );
+        for (name, description) in [
+            ("im2col", "dense im2col mapping, the uncompressed baseline"),
+            ("sdk", "shift-and-duplicate-kernel dense mapping"),
+            ("lowrank", "the paper's rank-decomposed column compression"),
+            ("patdnn", "PatDNN-style pattern pruning baseline"),
+            ("pairs", "paired-column structured pruning baseline"),
+            ("dorefa", "DoReFa quantized dense baseline"),
+        ] {
+            registry.strategy_described(name, description, |spec: &StrategySpec| {
                 Ok(builtin_method_from_spec(spec)?.strategy())
             });
         }
@@ -86,6 +124,7 @@ impl Registry {
     pub fn empty() -> Self {
         Self {
             networks: BTreeMap::new(),
+            families: BTreeMap::new(),
             strategies: BTreeMap::new(),
         }
     }
@@ -96,7 +135,34 @@ impl Registry {
         name: impl Into<String>,
         factory: impl Fn() -> NetworkArch + Send + Sync + 'static,
     ) -> &mut Self {
-        self.networks.insert(name.into(), Arc::new(factory));
+        self.network_described(name, "", factory)
+    }
+
+    /// Registers (or replaces) a network constructor under `name` with a
+    /// one-line description for listings (`imc spec list`).
+    pub fn network_described(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        factory: impl Fn() -> NetworkArch + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.networks
+            .insert(name.into(), (Arc::new(factory), description.into()));
+        self
+    }
+
+    /// Registers (or replaces) a network name *family*: any looked-up name
+    /// starting with `prefix` that has no exact registration is handed to
+    /// `resolver` with the full name. The resolver owns parsing of the rest
+    /// of the name and reports its own errors for malformed spellings.
+    pub fn family(
+        &mut self,
+        prefix: impl Into<String>,
+        description: impl Into<String>,
+        resolver: impl Fn(&str) -> Result<NetworkArch> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.families
+            .insert(prefix.into(), (Arc::new(resolver), description.into()));
         self
     }
 
@@ -109,7 +175,19 @@ impl Registry {
         name: impl Into<String>,
         factory: impl Fn(&StrategySpec) -> Result<Box<dyn CompressionStrategy>> + Send + Sync + 'static,
     ) -> &mut Self {
-        self.strategies.insert(name.into(), Arc::new(factory));
+        self.strategy_described(name, "", factory)
+    }
+
+    /// Registers (or replaces) a strategy factory under `name` with a
+    /// one-line description for listings (`imc spec list`).
+    pub fn strategy_described(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        factory: impl Fn(&StrategySpec) -> Result<Box<dyn CompressionStrategy>> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.strategies
+            .insert(name.into(), (Arc::new(factory), description.into()));
         self
     }
 
@@ -123,22 +201,51 @@ impl Registry {
         self.strategies.keys().map(String::as_str)
     }
 
-    /// Builds the network registered under `name`.
+    /// The registered `(name, description)` network pairs, sorted by name.
+    pub fn network_entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.networks
+            .iter()
+            .map(|(name, (_, description))| (name.as_str(), description.as_str()))
+    }
+
+    /// The registered `(prefix, description)` family pairs, sorted by prefix.
+    pub fn family_entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.families
+            .iter()
+            .map(|(prefix, (_, description))| (prefix.as_str(), description.as_str()))
+    }
+
+    /// The registered `(name, description)` strategy pairs, sorted by name.
+    pub fn strategy_entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.strategies
+            .iter()
+            .map(|(name, (_, description))| (name.as_str(), description.as_str()))
+    }
+
+    /// Builds the network registered under `name`, trying exact
+    /// registrations first and prefix-matched families second.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Spec`] for unknown names, listing the registered
-    /// ones.
+    /// ones (with a nearest-match suggestion when one is close), and
+    /// propagates family-resolver errors for malformed family spellings.
     pub fn build_network(&self, name: &str) -> Result<NetworkArch> {
-        match self.networks.get(name) {
-            Some(factory) => Ok(factory()),
-            None => Err(Error::Spec {
-                what: format!(
-                    "unknown network '{name}' (registered: {})",
-                    join_or_none(self.network_names())
-                ),
-            }),
+        if let Some((factory, _)) = self.networks.get(name) {
+            return Ok(factory());
         }
+        for (prefix, (resolver, _)) in &self.families {
+            if name.starts_with(prefix.as_str()) {
+                return resolver(name);
+            }
+        }
+        Err(Error::Spec {
+            what: format!(
+                "unknown network '{name}' (registered: {}){}",
+                join_or_none(self.network_names()),
+                suggestion(name, self.network_names())
+            ),
+        })
     }
 
     /// Builds a strategy from its spec entry, dispatching on
@@ -147,15 +254,17 @@ impl Registry {
     /// # Errors
     ///
     /// Returns [`Error::Spec`] for unknown method names (listing the
-    /// registered ones) and propagates the factory's own errors.
+    /// registered ones, with a nearest-match suggestion when one is close)
+    /// and propagates the factory's own errors.
     pub fn build_strategy(&self, spec: &StrategySpec) -> Result<Box<dyn CompressionStrategy>> {
         let name = spec.method();
         match self.strategies.get(name) {
-            Some(factory) => factory(spec),
+            Some((factory, _)) => factory(spec),
             None => Err(Error::Spec {
                 what: format!(
-                    "unknown strategy '{name}' (registered: {})",
-                    join_or_none(self.strategy_names())
+                    "unknown strategy '{name}' (registered: {}){}",
+                    join_or_none(self.strategy_names()),
+                    suggestion(name, self.strategy_names())
                 ),
             }),
         }
@@ -171,10 +280,48 @@ fn join_or_none<'a>(names: impl Iterator<Item = &'a str>) -> String {
     }
 }
 
+/// Levenshtein edit distance, two-row dynamic program over chars.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = substitute.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// A `; did you mean '…'?` suffix naming the candidate nearest to `name`,
+/// or an empty string when nothing is within the distance budget
+/// (`max(2, len/3)` edits — far enough to catch typos, near enough not to
+/// suggest unrelated names). Ties resolve to the lexicographically first
+/// candidate, keeping messages deterministic.
+fn suggestion<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> String {
+    let budget = (name.chars().count() / 3).max(2);
+    let mut best: Option<(usize, &str)> = None;
+    for candidate in candidates {
+        let dist = edit_distance(name, candidate);
+        if dist <= budget && best.is_none_or(|(d, _)| dist < d) {
+            best = Some((dist, candidate));
+        }
+    }
+    match best {
+        Some((_, candidate)) => format!("; did you mean '{candidate}'?"),
+        None => String::new(),
+    }
+}
+
 impl core::fmt::Debug for Registry {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Registry")
             .field("networks", &self.networks.keys().collect::<Vec<_>>())
+            .field("families", &self.families.keys().collect::<Vec<_>>())
             .field("strategies", &self.strategies.keys().collect::<Vec<_>>())
             .finish()
     }
@@ -223,6 +370,56 @@ mod tests {
         let empty = Registry::empty();
         let err = empty.build_network("resnet20").unwrap_err();
         assert!(format!("{err}").contains("none"), "{err}");
+    }
+
+    #[test]
+    fn near_miss_names_get_a_did_you_mean_suggestion() {
+        let registry = Registry::new();
+        let err = registry.build_network("resnet18").unwrap_err();
+        assert!(
+            format!("{err}").contains("did you mean 'resnet20'?"),
+            "{err}"
+        );
+
+        let err = registry
+            .build_strategy(&StrategySpec::new("sdkk"))
+            .err()
+            .expect("near-miss strategy name must be rejected");
+        assert!(format!("{err}").contains("did you mean 'sdk'?"), "{err}");
+
+        // Far-off names list the namespace but suggest nothing.
+        let err = registry.build_network("transformer-xl").unwrap_err();
+        assert!(!format!("{err}").contains("did you mean"), "{err}");
+        let err = registry
+            .build_strategy(&StrategySpec::new("magik"))
+            .err()
+            .expect("unknown strategy name must be rejected");
+        assert!(!format!("{err}").contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn synthetic_scenarios_resolve_exactly_and_through_the_family() {
+        let registry = Registry::new();
+        // Curated exact registrations resolve at scenario defaults…
+        let network = registry.build_network("synthetic:deep-thin").unwrap();
+        assert_eq!(network.name, "synthetic:deep-thin-d18-w8");
+        // …and the family resolves parameterized spellings with no
+        // per-combination registration.
+        let network = registry.build_network("synthetic:deep-thin-d6-w4").unwrap();
+        assert_eq!(network.name, "synthetic:deep-thin-d6-w4");
+        // Malformed family spellings surface the family's own error, not
+        // the generic unknown-name listing.
+        let err = registry.build_network("synthetic:nope").unwrap_err();
+        assert!(matches!(err, Error::Spec { .. }));
+        assert!(format!("{err}").contains("deep-thin"), "{err}");
+
+        let entries: Vec<(&str, &str)> = registry.network_entries().collect();
+        assert!(entries
+            .iter()
+            .any(|(name, desc)| *name == "synthetic:wide-shallow" && !desc.is_empty()));
+        let families: Vec<(&str, &str)> = registry.family_entries().collect();
+        assert_eq!(families.len(), 1);
+        assert_eq!(families[0].0, "synthetic:");
     }
 
     #[test]

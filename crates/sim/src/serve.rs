@@ -1493,8 +1493,9 @@ mod tests {
             cache: true,
             cells: None,
             frontier: false,
+            synthetic_networks: vec![],
             networks: vec!["resnet20".to_owned()],
-            arrays: vec![32],
+            arrays: vec![crate::spec::ArrayAxis::square(32)],
             strategies: vec![StrategySpec::new("im2col")],
         }
     }
@@ -1620,7 +1621,10 @@ mod tests {
         // reuses the same session's decompositions.
         let mut wider = tiny_spec();
         wider.strategies = vec![lowrank_strategy()];
-        wider.arrays = vec![32, 64];
+        wider.arrays = vec![
+            crate::spec::ArrayAxis::square(32),
+            crate::spec::ArrayAxis::square(64),
+        ];
         client.post_run(&wider.to_json()).unwrap();
         let metrics = server.metrics();
         assert_eq!(metrics.runs_computed, 2);

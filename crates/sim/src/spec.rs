@@ -64,6 +64,7 @@
 use std::ops::Range;
 use std::path::Path;
 
+use imc_array::ArrayConfig;
 use imc_core::{CompressionConfig, Precision, RankSpec};
 
 use crate::experiment::Experiment;
@@ -71,6 +72,7 @@ use crate::experiments::DEFAULT_SEED;
 use crate::json::{json_string, JsonValue};
 use crate::network::CompressionMethod;
 use crate::registry::Registry;
+use crate::synth::SyntheticNetSpec;
 use crate::{Error, Result};
 
 /// Format tag of the experiment-spec document.
@@ -80,15 +82,26 @@ pub const SPEC_FORMAT: &str = "imc.experiment-spec";
 /// versions.
 pub const SPEC_FORMAT_VERSION: u64 = 1;
 
-fn spec_error(what: impl Into<String>) -> Error {
+pub(crate) fn spec_error(what: impl Into<String>) -> Error {
     Error::Spec { what: what.into() }
 }
 
 /// Re-labels a JSON syntax error (raised as [`Error::Record`] by the shared
 /// parser) as a spec error, since here the malformed document is a spec.
-fn as_spec_error(error: Error) -> Error {
+pub(crate) fn as_spec_error(error: Error) -> Error {
     match error {
         Error::Record { what } => Error::Spec { what },
+        other => other,
+    }
+}
+
+/// The inverse re-label: manifest headers embed spec-level tokens (array
+/// axes), whose parse errors must surface as record errors there.
+fn as_record_error(error: Error) -> Error {
+    match error {
+        Error::Spec { what } => Error::Record {
+            what: format!("manifest: {what}"),
+        },
         other => other,
     }
 }
@@ -334,6 +347,153 @@ pub fn builtin_method_from_spec(spec: &StrategySpec) -> Result<CompressionMethod
 }
 
 // ---------------------------------------------------------------------------
+// Array sweep axes.
+// ---------------------------------------------------------------------------
+
+/// One entry of a spec's `"arrays"` member: an addressable point on the
+/// array-geometry/ADC-precision sweep axes.
+///
+/// Two wire encodings exist:
+///
+/// * a bare integer `N` — the classic square `N`×`N` array at the default
+///   4-bit cells, weights and ADC precision (how every pre-existing spec is
+///   written, and how every default axis is re-emitted, so those documents
+///   stay byte-stable), or
+/// * an object `{"rows": R, "cols": C, "weight_bits": W, "adc_bits": B}`
+///   (`cols` defaults to `rows`; `weight_bits`/`adc_bits` default to 4)
+///   opening the rectangular-geometry and precision axes.
+///
+/// `adc_bits` sets the array's bit-serial input/ADC resolution
+/// ([`ArrayConfig::input_bits`]): evaluation cycle counts scale by
+/// `adc_bits / 4` relative to the 4-bit baseline (see
+/// [`imc_quant::activation_cycle_scale`]), and
+/// [`EnergyParams::with_adc_bits`](imc_energy::EnergyParams::with_adc_bits)
+/// applies the matching ADC energy scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayAxis {
+    /// Array rows (the wordline count; also the recorded
+    /// [`array_size`](crate::experiment::RunRecord::array_size)).
+    pub rows: usize,
+    /// Array columns (bitlines).
+    pub cols: usize,
+    /// Bits stored per weight.
+    pub weight_bits: usize,
+    /// Bit-serial input/ADC precision in bits (default 4).
+    pub adc_bits: usize,
+}
+
+impl ArrayAxis {
+    /// Bit width every axis member defaults to.
+    pub const DEFAULT_BITS: usize = 4;
+
+    /// The classic square axis: `size`×`size` at default precisions —
+    /// exactly what a bare integer in a spec's `"arrays"` member means.
+    pub fn square(size: usize) -> Self {
+        Self {
+            rows: size,
+            cols: size,
+            weight_bits: Self::DEFAULT_BITS,
+            adc_bits: Self::DEFAULT_BITS,
+        }
+    }
+
+    /// Whether this axis is a default square one (encodable as a bare
+    /// integer on the wire).
+    pub fn is_square_default(&self) -> bool {
+        self.cols == self.rows
+            && self.weight_bits == Self::DEFAULT_BITS
+            && self.adc_bits == Self::DEFAULT_BITS
+    }
+
+    /// Lowers the axis into the crossbar model's [`ArrayConfig`] (cells stay
+    /// at the model's default 4 bits; `adc_bits` becomes the bit-serial
+    /// `input_bits`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Array`](crate::Error::Array) when a member is zero.
+    pub fn to_config(&self) -> Result<ArrayConfig> {
+        Ok(ArrayConfig::new(
+            self.rows,
+            self.cols,
+            Self::DEFAULT_BITS,
+            self.weight_bits,
+            self.adc_bits,
+        )?)
+    }
+
+    /// The compact wire token: a bare integer for default square axes, the
+    /// full object otherwise.
+    pub fn spec_token(&self) -> String {
+        if self.is_square_default() {
+            self.rows.to_string()
+        } else {
+            format!(
+                "{{\"rows\":{},\"cols\":{},\"weight_bits\":{},\"adc_bits\":{}}}",
+                self.rows, self.cols, self.weight_bits, self.adc_bits
+            )
+        }
+    }
+
+    /// The pretty token used inside [`ExperimentSpec::to_json`] documents.
+    fn pretty_token(&self) -> String {
+        if self.is_square_default() {
+            self.rows.to_string()
+        } else {
+            format!(
+                "{{\"rows\": {}, \"cols\": {}, \"weight_bits\": {}, \"adc_bits\": {}}}",
+                self.rows, self.cols, self.weight_bits, self.adc_bits
+            )
+        }
+    }
+
+    /// Parses one `"arrays"` entry (either wire encoding; unknown object
+    /// members are rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] on a malformed entry.
+    pub fn from_spec_value(value: &JsonValue) -> Result<Self> {
+        if let Some(size) = value.as_usize() {
+            return Ok(Self::square(size));
+        }
+        let members = value.as_object().ok_or_else(|| {
+            spec_error(
+                "member 'arrays' entries must be integers or \
+                 {\"rows\": R, \"cols\": C, \"weight_bits\": W, \"adc_bits\": B} objects",
+            )
+        })?;
+        const KNOWN: [&str; 4] = ["rows", "cols", "weight_bits", "adc_bits"];
+        for (key, _) in members {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(spec_error(format!(
+                    "array axis: unknown member '{key}' (allowed: {})",
+                    KNOWN.join(", ")
+                )));
+            }
+        }
+        let rows = value
+            .get("rows")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| spec_error("array axis: missing integer member 'rows'"))?;
+        let optional = |key: &str, default: usize| match value.get(key) {
+            None => Ok(default),
+            Some(v) => v.as_usize().ok_or_else(|| {
+                spec_error(format!(
+                    "array axis: member '{key}' must be a non-negative integer"
+                ))
+            }),
+        };
+        Ok(Self {
+            rows,
+            cols: optional("cols", rows)?,
+            weight_bits: optional("weight_bits", Self::DEFAULT_BITS)?,
+            adc_bits: optional("adc_bits", Self::DEFAULT_BITS)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The spec document.
 // ---------------------------------------------------------------------------
 
@@ -365,10 +525,17 @@ pub struct ExperimentSpec {
     /// ([`Experiment::frontier`]) returning only the per-method-series
     /// Pareto front instead of the exhaustive grid (default `false`).
     pub frontier: bool,
-    /// Network names, resolved via [`Registry`](crate::registry::Registry).
+    /// Inline synthetic-network generator documents ([`crate::synth`]);
+    /// empty for every pre-PR-9 spec. Each document's `name` becomes
+    /// resolvable from `networks` (taking precedence over the registry), so
+    /// a novel conv topology rides along inside the spec itself.
+    pub synthetic_networks: Vec<SyntheticNetSpec>,
+    /// Network names, resolved against `synthetic_networks` first, then via
+    /// [`Registry`](crate::registry::Registry).
     pub networks: Vec<String>,
-    /// Square array sizes.
-    pub arrays: Vec<usize>,
+    /// Array sweep axes (square sizes, rectangular geometries, ADC
+    /// precisions — see [`ArrayAxis`]).
+    pub arrays: Vec<ArrayAxis>,
     /// Strategy entries, resolved via [`Registry`](crate::registry::Registry).
     pub strategies: Vec<StrategySpec>,
 }
@@ -402,9 +569,24 @@ impl ExperimentSpec {
         if self.frontier {
             out.push_str("  \"frontier\": true,\n");
         }
+        // Emitted only when used, so every pre-existing spec stays
+        // byte-stable (the same pattern as "frontier" above).
+        if !self.synthetic_networks.is_empty() {
+            out.push_str("  \"synthetic_networks\": [\n");
+            for (i, doc) in self.synthetic_networks.iter().enumerate() {
+                out.push_str("    ");
+                out.push_str(&doc.to_json());
+                out.push_str(if i + 1 < self.synthetic_networks.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ],\n");
+        }
         let networks: Vec<String> = self.networks.iter().map(|n| json_string(n)).collect();
         out.push_str(&format!("  \"networks\": [{}],\n", networks.join(", ")));
-        let arrays: Vec<String> = self.arrays.iter().map(ToString::to_string).collect();
+        let arrays: Vec<String> = self.arrays.iter().map(ArrayAxis::pretty_token).collect();
         out.push_str(&format!("  \"arrays\": [{}],\n", arrays.join(", ")));
         if self.strategies.is_empty() {
             out.push_str("  \"strategies\": []\n");
@@ -470,7 +652,7 @@ impl ExperimentSpec {
             )));
         }
 
-        const KNOWN: [&str; 11] = [
+        const KNOWN: [&str; 12] = [
             "format",
             "version",
             "seed",
@@ -479,6 +661,7 @@ impl ExperimentSpec {
             "cache",
             "cells",
             "frontier",
+            "synthetic_networks",
             "networks",
             "arrays",
             "strategies",
@@ -546,6 +729,26 @@ impl ExperimentSpec {
             ));
         }
 
+        let synthetic_networks = match value.get("synthetic_networks") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| spec_error("member 'synthetic_networks' must be an array"))?
+                .iter()
+                .map(SyntheticNetSpec::from_value)
+                .collect::<Result<Vec<_>>>()?,
+        };
+        for (index, doc) in synthetic_networks.iter().enumerate() {
+            if synthetic_networks[..index]
+                .iter()
+                .any(|d| d.name == doc.name)
+            {
+                return Err(spec_error(format!(
+                    "member 'synthetic_networks' names '{}' more than once",
+                    doc.name
+                )));
+            }
+        }
         let networks = value
             .get("networks")
             .and_then(JsonValue::as_array)
@@ -562,11 +765,7 @@ impl ExperimentSpec {
             .and_then(JsonValue::as_array)
             .ok_or_else(|| spec_error("missing array member 'arrays'"))?
             .iter()
-            .map(|a| {
-                a.as_usize().ok_or_else(|| {
-                    spec_error("member 'arrays' must contain only non-negative integers")
-                })
-            })
+            .map(ArrayAxis::from_spec_value)
             .collect::<Result<Vec<_>>>()?;
         let strategies = value
             .get("strategies")
@@ -583,6 +782,7 @@ impl ExperimentSpec {
             cache,
             cells,
             frontier,
+            synthetic_networks,
             networks,
             arrays,
             strategies,
@@ -640,15 +840,26 @@ impl ExperimentSpec {
             experiment = experiment.cells(cells.clone());
         }
         experiment = experiment.frontier_mode(self.frontier);
+        // Carry the generator documents wholesale (used or not) so the
+        // round-trip back to a spec is lossless.
+        experiment.synthetic_networks = self.synthetic_networks.clone();
         for name in &self.networks {
-            experiment = experiment.network(registry.build_network(name)?);
+            // Inline generator documents shadow the registry: a spec that
+            // carries a synthetic network resolves it without any
+            // registration step.
+            let inline = self.synthetic_networks.iter().find(|d| &d.name == name);
+            let network = match inline {
+                Some(doc) => doc.build()?,
+                None => registry.build_network(name)?,
+            };
+            experiment = experiment.network(network);
             // Keep the spec's name (possibly a registry alias) as the
             // provenance, so the round-trip back to a spec is lossless.
             if let Some(last) = experiment.network_names.last_mut() {
                 name.clone_into(last);
             }
         }
-        experiment = experiment.arrays(self.arrays.iter().copied());
+        experiment = experiment.array_axes(self.arrays.iter().copied());
         for strategy in &self.strategies {
             experiment = experiment.boxed_strategy(registry.build_strategy(strategy)?);
             if let Some(last) = experiment.strategy_specs.last_mut() {
@@ -678,14 +889,28 @@ impl ExperimentSpec {
     /// The compact serialization [`ExperimentSpec::content_hash`] runs over.
     fn identity_json(&self) -> String {
         let networks: Vec<String> = self.networks.iter().map(|n| json_string(n)).collect();
-        let arrays: Vec<String> = self.arrays.iter().map(ToString::to_string).collect();
+        let arrays: Vec<String> = self.arrays.iter().map(ArrayAxis::spec_token).collect();
         let strategies: Vec<String> = self.strategies.iter().map(StrategySpec::to_json).collect();
+        // Inline generator documents determine produced values, so they are
+        // part of the identity — but the segment appears only when used, so
+        // every pre-existing spec keeps its hash.
+        let synthetic = if self.synthetic_networks.is_empty() {
+            String::new()
+        } else {
+            let docs: Vec<String> = self
+                .synthetic_networks
+                .iter()
+                .map(SyntheticNetSpec::to_json)
+                .collect();
+            format!("\"synthetic_networks\":[{}],", docs.join(","))
+        };
         format!(
-            "{{\"format\":{},\"version\":{},\"seed\":{},\"precision\":{},\"networks\":[{}],\"arrays\":[{}],\"strategies\":[{}]}}",
+            "{{\"format\":{},\"version\":{},\"seed\":{},\"precision\":{},{}\"networks\":[{}],\"arrays\":[{}],\"strategies\":[{}]}}",
             json_string(SPEC_FORMAT),
             SPEC_FORMAT_VERSION,
             self.seed,
             json_string(precision_name(self.precision)),
+            synthetic,
             networks.join(","),
             arrays.join(","),
             strategies.join(","),
@@ -731,6 +956,13 @@ pub struct RunManifest {
     /// The (global) cell range this run covers; the full grid for unsharded
     /// runs.
     pub cells: Range<usize>,
+    /// The experiment's array sweep axes, recorded only when at least one
+    /// axis leaves the default square geometry (`None` otherwise, keeping
+    /// pre-axis headers byte-identical). Lets a reader recover the full
+    /// geometry/ADC layout of the grid from the header alone —
+    /// [`RunRecord::array_size`](crate::experiment::RunRecord::array_size)
+    /// only carries rows.
+    pub arrays: Option<Vec<ArrayAxis>>,
     /// Whether the run is an adaptive frontier search
     /// ([`Experiment::frontier`]): its records are the per-method-series
     /// Pareto front of the grid, not an exhaustive slice. Frontier runs
@@ -751,7 +983,7 @@ impl RunManifest {
     /// Serializes as the compact header object.
     pub(crate) fn to_header_json(&self) -> String {
         format!(
-            "{{\"spec_version\":{},\"spec_hash\":{},\"seed\":{},\"precision\":{},\"parallelism\":{},\"cells\":{{\"start\":{},\"end\":{}}}{}}}",
+            "{{\"spec_version\":{},\"spec_hash\":{},\"seed\":{},\"precision\":{},\"parallelism\":{},\"cells\":{{\"start\":{},\"end\":{}}}{}{}}}",
             self.spec_version,
             json_string(&self.spec_hash_hex()),
             self.seed,
@@ -762,8 +994,15 @@ impl RunManifest {
             },
             self.cells.start,
             self.cells.end,
-            // Emitted only when set so pre-frontier readers keep parsing
-            // exhaustive headers byte-identically.
+            // Both trailing members are emitted only when set, so readers
+            // predating them keep parsing default headers byte-identically.
+            match &self.arrays {
+                None => String::new(),
+                Some(axes) => {
+                    let tokens: Vec<String> = axes.iter().map(ArrayAxis::spec_token).collect();
+                    format!(",\"arrays\":[{}]", tokens.join(","))
+                }
+            },
             if self.frontier { ",\"frontier\":true" } else { "" },
         )
     }
@@ -806,6 +1045,16 @@ impl RunManifest {
             .and_then(|v| {
                 parse_cells(v).map_err(|what| record_error(format!("manifest: {what}")))
             })?;
+        let arrays = match value.get("arrays") {
+            None => None,
+            Some(v) => Some(
+                v.as_array()
+                    .ok_or_else(|| record_error("manifest: 'arrays' must be an array".into()))?
+                    .iter()
+                    .map(|axis| ArrayAxis::from_spec_value(axis).map_err(as_record_error))
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+        };
         let frontier = match value.get("frontier") {
             None => false,
             Some(v) => v
@@ -817,6 +1066,7 @@ impl RunManifest {
             precision,
             parallelism,
             cells,
+            arrays,
             frontier,
             spec_version,
             spec_hash,
@@ -837,8 +1087,9 @@ mod tests {
             cache: true,
             cells: None,
             frontier: false,
+            synthetic_networks: vec![],
             networks: vec!["resnet20".to_owned()],
-            arrays: vec![32, 64],
+            arrays: vec![ArrayAxis::square(32), ArrayAxis::square(64)],
             strategies: vec![
                 StrategySpec::new("im2col"),
                 builtin_method_spec(&CompressionMethod::LowRank(
@@ -911,6 +1162,7 @@ mod tests {
             precision: Precision::F64,
             parallelism: None,
             cells: 0..33,
+            arrays: None,
             frontier: true,
             spec_version: SPEC_FORMAT_VERSION,
             spec_hash: 0xfeed_beef,
@@ -930,6 +1182,118 @@ mod tests {
         assert!(!json.contains("frontier"), "{json}");
         let parsed = RunManifest::from_header_value(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(parsed, exhaustive);
+    }
+
+    #[test]
+    fn array_axes_round_trip_both_wire_encodings() {
+        // Bare integers mean default square axes and re-emit as integers.
+        let square = ArrayAxis::from_spec_value(&JsonValue::parse("64").unwrap()).unwrap();
+        assert_eq!(square, ArrayAxis::square(64));
+        assert!(square.is_square_default());
+        assert_eq!(square.spec_token(), "64");
+
+        // Objects open the rectangular/ADC axes; cols and bit widths
+        // default.
+        let wide = ArrayAxis::from_spec_value(
+            &JsonValue::parse("{\"rows\":64,\"cols\":128,\"adc_bits\":6}").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            wide,
+            ArrayAxis {
+                rows: 64,
+                cols: 128,
+                weight_bits: 4,
+                adc_bits: 6
+            }
+        );
+        let token = wide.spec_token();
+        assert_eq!(
+            token,
+            "{\"rows\":64,\"cols\":128,\"weight_bits\":4,\"adc_bits\":6}"
+        );
+        let back = ArrayAxis::from_spec_value(&JsonValue::parse(&token).unwrap()).unwrap();
+        assert_eq!(back, wide);
+        let config = wide.to_config().unwrap();
+        assert_eq!((config.rows, config.cols), (64, 128));
+        assert_eq!((config.weight_bits, config.input_bits), (4, 6));
+
+        for bad in ["\"64\"", "{\"cols\":64}", "{\"rows\":64,\"nope\":1}"] {
+            let err = ArrayAxis::from_spec_value(&JsonValue::parse(bad).unwrap()).unwrap_err();
+            assert!(matches!(err, Error::Spec { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn synthetic_networks_member_round_trips_and_is_emitted_only_when_used() {
+        let plain = fixture_spec();
+        assert!(
+            !plain.to_json().contains("synthetic_networks"),
+            "unused member must stay off the wire"
+        );
+
+        let mut spec = fixture_spec();
+        spec.synthetic_networks = vec![
+            crate::synth::deep_thin(6, 4),
+            crate::synth::SyntheticNetSpec::new("custom", vec![crate::synth::StageSpec::new(2, 8)]),
+        ];
+        spec.networks = vec!["custom".to_owned(), "resnet20".to_owned()];
+        let text = spec.to_json();
+        assert!(text.contains("\"synthetic_networks\": [\n"), "{text}");
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text, "canonical parse → write is stable");
+
+        // Duplicate document names are ambiguous and rejected.
+        let dup = text.replacen(
+            "\"name\":\"custom\"",
+            "\"name\":\"synthetic:deep-thin-d6-w4\"",
+            1,
+        );
+        let err = ExperimentSpec::from_json(&dup).unwrap_err();
+        assert!(matches!(err, Error::Spec { .. }), "{err}");
+        assert!(err.to_string().contains("more than once"), "{err}");
+
+        // Inline documents shadow the registry and resolve end-to-end.
+        let experiment = spec.into_experiment(&Registry::new()).unwrap();
+        assert_eq!(experiment.grid_cells(), 12, "2 networks x 2 arrays x 3");
+        assert_eq!(experiment.to_spec().unwrap(), spec, "lossless round-trip");
+    }
+
+    #[test]
+    fn manifest_arrays_member_round_trips_and_defaults_absent() {
+        let base = RunManifest {
+            seed: DEFAULT_SEED,
+            precision: Precision::F64,
+            parallelism: None,
+            cells: 0..6,
+            arrays: None,
+            frontier: false,
+            spec_version: SPEC_FORMAT_VERSION,
+            spec_hash: 0xfeed_beef,
+        };
+        assert!(!base.to_header_json().contains("arrays"));
+
+        let axes = vec![
+            ArrayAxis::square(32),
+            ArrayAxis {
+                rows: 64,
+                cols: 128,
+                weight_bits: 4,
+                adc_bits: 6,
+            },
+        ];
+        let recorded = RunManifest {
+            arrays: Some(axes),
+            frontier: true,
+            ..base.clone()
+        };
+        let json = recorded.to_header_json();
+        // The axes sit between "cells" and the trailing "frontier" member.
+        assert!(json.contains(",\"arrays\":[32,{\"rows\":64,"), "{json}");
+        assert!(json.ends_with("\"frontier\":true}"), "{json}");
+        let parsed = RunManifest::from_header_value(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, recorded);
     }
 
     #[test]
@@ -1017,9 +1381,20 @@ mod tests {
         reseeded.seed = 7;
         assert_ne!(reseeded.content_hash(), hash);
 
-        let mut regridded = base;
-        regridded.arrays.push(128);
+        let mut regridded = base.clone();
+        regridded.arrays.push(ArrayAxis::square(128));
         assert_ne!(regridded.content_hash(), hash);
+
+        // Leaving the default square axis changes produced values, so it
+        // changes the hash; spelling the same default axis as an object
+        // does not (the identity uses the canonical integer token).
+        let mut widened = base.clone();
+        widened.arrays[0].cols = 128;
+        assert_ne!(widened.content_hash(), hash);
+
+        let mut inline = base;
+        inline.synthetic_networks = vec![crate::synth::deep_thin(6, 4)];
+        assert_ne!(inline.content_hash(), hash, "inline docs are identity");
     }
 
     #[test]
@@ -1029,6 +1404,7 @@ mod tests {
             precision: Precision::F32,
             parallelism: Some(4),
             cells: 3..9,
+            arrays: None,
             frontier: false,
             spec_version: SPEC_FORMAT_VERSION,
             spec_hash: 0x0123_4567_89ab_cdef,

@@ -49,7 +49,8 @@ USAGE:
     imc <COMMAND> [ARGS]
 
 COMMANDS:
-    spec      Emit the canonical spec of a paper sweep (table1, fig6-9)
+    spec      Emit the canonical spec of a paper sweep (table1, fig6-9),
+              or list the registered names (`imc spec list`)
     run       Run an experiment spec, writing run JSON lines
     shard     Run one cell-range shard of an experiment spec
     merge     Merge shard run files into one canonical run
@@ -80,7 +81,7 @@ const SPEC_HELP: &str = "\
 imc spec — emit the canonical experiment spec of a paper sweep
 
 USAGE:
-    imc spec <table1|fig6|fig7|fig8|fig9> [OPTIONS]
+    imc spec <table1|fig6|fig7|fig8|fig9|list> [OPTIONS]
 
 OPTIONS:
     --network <NAME>   Network (default: resnet20). table1/fig6/fig7/fig9.
@@ -93,6 +94,11 @@ The emitted document is exactly what the library generators run: `imc spec
 fig6 | imc run -` is byte-identical to the in-process fig6 sweep. fig8 emits
 the quantization sweep of the figure (the full figure additionally uses the
 fig6 grids of the same array sizes).
+
+`imc spec list` prints the names a spec document can address — registered
+networks, name families (prefixes resolved parameterically, like
+`synthetic:deep-thin-d32-w16`), and strategies — one per line with a short
+description. It takes only `--out`.
 ";
 
 const RUN_HELP: &str = "\
@@ -559,9 +565,17 @@ fn cmd_spec(args: &[String]) -> Result<()> {
     }
     let [sweep] = parsed.positional.as_slice() else {
         return Err(usage_error(
-            "expected exactly one sweep name (table1, fig6, fig7, fig8 or fig9)",
+            "expected exactly one sweep name (table1, fig6, fig7, fig8, fig9 or list)",
         ));
     };
+    if sweep == "list" {
+        if parsed.network.is_some() || parsed.array.is_some() || parsed.seed.is_some() {
+            return Err(usage_error(
+                "'list' prints the registered names and takes no sweep options",
+            ));
+        }
+        return write_output(parsed.out.as_deref(), &spec_list(&Registry::new()));
+    }
     // Which options each sweep actually consumes; accepting (and dropping)
     // an unused `--network`/`--array` would silently emit a different sweep
     // than the one asked for.
@@ -571,7 +585,7 @@ fn cmd_spec(args: &[String]) -> Result<()> {
         "fig8" => (false, false),
         other => {
             return Err(usage_error(format!(
-                "unknown sweep '{other}' (known: table1, fig6, fig7, fig8, fig9)"
+                "unknown sweep '{other}' (known: table1, fig6, fig7, fig8, fig9, list)"
             )))
         }
     };
@@ -598,6 +612,29 @@ fn cmd_spec(args: &[String]) -> Result<()> {
         _ => fig8_experiment(seed),
     };
     write_output(parsed.out.as_deref(), &experiment.to_spec()?.to_json())
+}
+
+/// The `imc spec list` listing: every name a spec document can address,
+/// grouped by namespace, one `name  description` line each. The registry
+/// iterates sorted maps, so the output is deterministic.
+fn spec_list(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut section = |title: &str, entries: &mut dyn Iterator<Item = (&str, &str)>| {
+        out.push_str(title);
+        out.push('\n');
+        for (name, description) in entries {
+            let line = format!("    {name:<28}{description}");
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+    };
+    section("NETWORKS", &mut registry.network_entries());
+    section(
+        "\nNAME FAMILIES (prefix-resolved, parameterized)",
+        &mut registry.family_entries(),
+    );
+    section("\nSTRATEGIES", &mut registry.strategy_entries());
+    out
 }
 
 fn cmd_run(args: &[String], shard: bool) -> Result<()> {
@@ -987,7 +1024,7 @@ mod tests {
         run_command(&strings(&["spec", "fig6", "--out", path.to_str().unwrap()])).unwrap();
         let spec = ExperimentSpec::load_json(&path).unwrap();
         assert_eq!(spec.networks, vec!["ResNet-20".to_owned()]);
-        assert_eq!(spec.arrays, vec![64]);
+        assert_eq!(spec.arrays, vec![imc_sim::ArrayAxis::square(64)]);
         assert_eq!(spec.strategies.len(), 33, "baseline + 16 lowrank + 8 + 8");
         std::fs::remove_file(&path).unwrap();
     }

@@ -363,6 +363,52 @@ fn frontier_specs_run_report_and_refuse_the_sharding_paths() {
 }
 
 #[test]
+fn spec_list_prints_the_registered_names_golden() {
+    // The listing is a stable, documented surface: golden-pinned so any
+    // registration or description change is a conscious diff.
+    let listing = stdout_of(&["spec", "list"], None);
+    let golden = "\
+NETWORKS
+    ResNet-20                   alias of resnet20
+    WRN16-4                     alias of wrn16-4
+    resnet20                    ResNet-20 on CIFAR-10, the paper's main benchmark
+    synthetic:deep-thin         3 stages of thin 3x3 blocks with linear channel ramps (default d18 w8)
+    synthetic:depthwise-heavy   3 stages of depthwise-style grouped 3x3 convs with 1x1 mixes (default d6 w8)
+    synthetic:matmul-projection 2 thin 3x3 stages, each closed by a stack of 1x1 matmul layers (default d4 w32)
+    synthetic:wide-shallow      2 stages of wide 5x5 blocks, one block per stage (default d2 w64)
+    wrn16-4                     WideResNet-16-4 on CIFAR-10, the paper's wide benchmark
+
+NAME FAMILIES (prefix-resolved, parameterized)
+    synthetic:                  parameterized synthetic networks, e.g. synthetic:deep-thin-d32-w16
+
+STRATEGIES
+    dorefa                      DoReFa quantized dense baseline
+    im2col                      dense im2col mapping, the uncompressed baseline
+    lowrank                     the paper's rank-decomposed column compression
+    pairs                       paired-column structured pruning baseline
+    patdnn                      PatDNN-style pattern pruning baseline
+    sdk                         shift-and-duplicate-kernel dense mapping
+";
+    assert_eq!(listing, golden);
+
+    // `list` is a listing, not a sweep: sweep options are rejected.
+    let output = imc(&["spec", "list", "--network", "resnet20"], None);
+    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2));
+
+    // Near-miss names in a spec come back with a suggestion.
+    let spec = stdout_of(&["spec", "fig6"], None);
+    let bad = spec.replace("ResNet-20", "resnet21");
+    let output = imc(&["run", "-"], Some(&bad));
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(
+        stderr.contains("did you mean 'resnet20'?"),
+        "suggestion expected: {stderr}"
+    );
+}
+
+#[test]
 fn every_subcommand_has_help_text() {
     for command in ["spec", "run", "shard", "merge", "report", "sweep"] {
         let direct = stdout_of(&[command, "--help"], None);
