@@ -1,0 +1,93 @@
+//! Store bench: what a server restart costs with and without a persistent
+//! `--store` directory behind it, tracked in `BENCH_results.json` under the
+//! `store` group.
+//!
+//! * `store_fig6_cold_compute` — a fresh server with no store: bind,
+//!   connect, compute the fig6 sweep from scratch. The price every restart
+//!   paid before the store existed.
+//! * `store_fig6_restart_store_hit` — a fresh server per iteration over a
+//!   pre-warmed store directory: empty memory caches force the request to
+//!   the disk tier, so this measures open-store + read + re-verify +
+//!   stream. The ≥10× restart acceptance gate of the store issue compares
+//!   this against the cold compute.
+//! * `store_fig6_memory_cache_hit` — one long-lived store-backed server
+//!   serving identical repeats from the retained-bytes tier, for the
+//!   store-vs-memory gap.
+//!
+//! All three return byte-identical responses, equal to the in-process run
+//! (asserted here before measuring).
+
+use imc_bench::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use imc_nn::resnet20;
+use imc_sim::experiments::{fig6_experiment, DEFAULT_SEED};
+use imc_sim::{ServeClient, ServeConfig, Server};
+
+fn bench_store_tiers(c: &mut Criterion) {
+    let arch = resnet20();
+    let spec_json = fig6_experiment(&arch, 64, DEFAULT_SEED)
+        .to_spec()
+        .expect("fig6 serializes")
+        .to_json();
+    let golden = fig6_experiment(&arch, 64, DEFAULT_SEED)
+        .run()
+        .expect("library sweep succeeds")
+        .to_jsonl()
+        .expect("library run serializes");
+
+    let store_dir = std::env::temp_dir().join(format!("imc_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let cold_compute = || {
+        let server = Server::bind(ServeConfig::new()).expect("server binds");
+        let response = ServeClient::new(server.local_addr().to_string())
+            .post_run(&spec_json)
+            .expect("cold request succeeds");
+        drop(server);
+        response
+    };
+    let restart_store_hit = || {
+        let server = Server::bind(ServeConfig::new().store_dir(&store_dir)).expect("server binds");
+        let response = ServeClient::new(server.local_addr().to_string())
+            .post_run(&spec_json)
+            .expect("store-backed request succeeds");
+        assert_eq!(
+            server.metrics().runs_computed,
+            0,
+            "restart must not recompute"
+        );
+        drop(server);
+        response
+    };
+
+    // Warm the store once, keep a long-lived server for the memory tier,
+    // and pin the bit-identity contract before timing: every tier returns
+    // the in-process bytes.
+    let warm_server = Server::bind(ServeConfig::new().store_dir(&store_dir)).expect("server binds");
+    let warm_client = ServeClient::new(warm_server.local_addr().to_string());
+    assert_eq!(warm_client.post_run(&spec_json).expect("warms"), golden);
+    assert_eq!(cold_compute(), golden);
+    assert_eq!(restart_store_hit(), golden);
+
+    c.bench_function("store_fig6_cold_compute", |b| {
+        b.iter(|| black_box(cold_compute()));
+    });
+    c.bench_function("store_fig6_restart_store_hit", |b| {
+        b.iter(|| black_box(restart_store_hit()));
+    });
+    c.bench_function("store_fig6_memory_cache_hit", |b| {
+        b.iter(|| black_box(warm_client.post_run(&spec_json).expect("request")));
+    });
+
+    let metrics = warm_server.metrics();
+    println!(
+        "warm server after measurement: {} computed, {} store hits, {} cache hits",
+        metrics.runs_computed, metrics.store_hits, metrics.response_cache_hits
+    );
+    drop(warm_server);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+criterion_group!(store, bench_store_tiers);
+criterion_main!(store);

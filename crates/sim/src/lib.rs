@@ -23,7 +23,7 @@
 //!   networks × array sizes × strategies; the figure generators in
 //!   [`experiments`] are thin sweeps over it.
 //!
-//! Six service-scale layers sit on top of the experiment facade:
+//! Nine service-scale layers sit on top of the experiment facade:
 //!
 //! * [`session`] — the long-lived [`EvalSession`]: one bounded, shared
 //!   decomposition cache reused across [`Experiment::run_in`] calls, so
@@ -52,6 +52,10 @@
 //!   as a dynamic queue of cell-range chunks over worker *processes*, with
 //!   a checkpointed state ledger, salvage of torn shards, bounded retries
 //!   of dead workers, and a streaming byte-identical merge.
+//! * [`store`] — the persistent result store: a content-addressed directory
+//!   of completed run documents keyed by [`serve::RunKey`], written
+//!   atomically and shared by `imc run`, the server's two-tier cache and
+//!   the sweep orchestrator, so warm latency survives process restarts.
 //!
 //! (The [`json`] module holds the shared hand-rolled JSON value model both
 //! wire formats are built on.)
@@ -73,6 +77,7 @@ pub mod runtime;
 pub mod serve;
 pub mod session;
 pub mod spec;
+pub mod store;
 pub mod strategy;
 pub mod sweep;
 pub mod synth;
@@ -89,11 +94,12 @@ pub use network::{
     NetworkEvaluation,
 };
 pub use registry::Registry;
-pub use serve::{ServeClient, ServeConfig, ServeMetrics, Server};
+pub use serve::{RunKey, ServeClient, ServeConfig, ServeMetrics, Server};
 pub use session::{EvalSession, EvalSessionBuilder};
 pub use spec::{
     ArrayAxis, ExperimentSpec, RunManifest, StrategySpec, SPEC_FORMAT, SPEC_FORMAT_VERSION,
 };
+pub use store::{GcReport, RunStore, StoreEntry, VerifyReport};
 pub use strategy::{CompressionStrategy, ConvContext, LayerOutcome};
 pub use sweep::{SweepConfig, SweepEvent, SweepReport};
 pub use synth::{ChannelRamp, StageSpec, SyntheticNetSpec};

@@ -34,9 +34,16 @@
 //! so identical requests arriving *after* the flight has landed are served
 //! without recomputation (counted as `response_cache_hits`).
 //!
+//! With a [`ServeConfig::store_dir`], the response cache grows a second,
+//! *persistent* tier: a [`RunStore`](crate::store::RunStore) probed on
+//! every memory miss and written through by every completed computation,
+//! so a restarted server answers previously-computed specs from disk
+//! instead of paying cold compute (counted as `store_hits`, with misses
+//! and LRU evictions alongside).
+//!
 //! Coalescing and caching are observable only in the metrics and in the
-//! `x-imc-source` response header (`computed` / `coalesced` / `cache`);
-//! the response bytes are identical on every path.
+//! `x-imc-source` response header (`computed` / `coalesced` / `cache` /
+//! `store`); the response bytes are identical on every path.
 //!
 //! # Metrics and determinism
 //!
@@ -76,6 +83,7 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -87,6 +95,7 @@ use crate::json::{json_string, JsonValue};
 use crate::registry::Registry;
 use crate::session::EvalSession;
 use crate::spec::{precision_name, ExperimentSpec};
+use crate::store::RunStore;
 use crate::{Error, Result};
 
 /// Format tag of the `/v1/metrics` document.
@@ -113,6 +122,7 @@ pub struct ServeConfig {
     cache_budget_bytes: Option<usize>,
     response_cache_bytes: usize,
     max_body_bytes: usize,
+    store_dir: Option<PathBuf>,
     registry: Arc<Registry>,
 }
 
@@ -124,6 +134,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("cache_budget_bytes", &self.cache_budget_bytes)
             .field("response_cache_bytes", &self.response_cache_bytes)
             .field("max_body_bytes", &self.max_body_bytes)
+            .field("store_dir", &self.store_dir)
             .finish_non_exhaustive()
     }
 }
@@ -136,6 +147,7 @@ impl Default for ServeConfig {
             cache_budget_bytes: None,
             response_cache_bytes: 64 << 20,
             max_body_bytes: 8 << 20,
+            store_dir: None,
             registry: Arc::new(Registry::new()),
         }
     }
@@ -190,6 +202,18 @@ impl ServeConfig {
     #[must_use]
     pub fn max_body_bytes(mut self, limit: usize) -> Self {
         self.max_body_bytes = limit.max(1);
+        self
+    }
+
+    /// Backs the response cache with the persistent
+    /// [`RunStore`](crate::store::RunStore) at `dir` (created on bind if
+    /// absent; default: no persistent tier). Every completed computation is
+    /// written through, and a restarted server on the same directory serves
+    /// previously-computed specs from disk — byte-identical, sourced
+    /// `store`. Multiple servers may share one directory.
+    #[must_use]
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
         self
     }
 
@@ -259,6 +283,7 @@ enum RunSource {
     Computed,
     Coalesced,
     Cache,
+    Store,
 }
 
 impl RunSource {
@@ -267,6 +292,7 @@ impl RunSource {
             RunSource::Computed => "computed",
             RunSource::Coalesced => "coalesced",
             RunSource::Cache => "cache",
+            RunSource::Store => "store",
         }
     }
 }
@@ -396,6 +422,8 @@ struct MetricsInner {
     runs_computed: AtomicU64,
     runs_coalesced: AtomicU64,
     response_cache_hits: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
     panicked_requests: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
 }
@@ -433,6 +461,14 @@ pub struct ServeMetrics {
     pub runs_coalesced: u64,
     /// Run requests served from the completed-response cache.
     pub response_cache_hits: u64,
+    /// Run requests served from the persistent store (the disk tier behind
+    /// the memory cache); always zero without a
+    /// [`ServeConfig::store_dir`].
+    pub store_hits: u64,
+    /// Run requests that probed the persistent store and found no entry.
+    pub store_misses: u64,
+    /// Entries the persistent store evicted to hold its byte budget.
+    pub store_evictions: u64,
     /// Requests whose handler panicked. Each one was caught (converted to a
     /// 500 and counted in [`ServeMetrics::error_responses`]) instead of
     /// killing its pool worker, so the pool never shrinks.
@@ -528,7 +564,7 @@ impl ServeMetrics {
         format!(
             "{{\"format\":{},\"version\":{},\
              \"requests\":{{\"total\":{},\"run\":{},\"metrics\":{},\"health\":{},\"shutdown\":{},\"errors\":{},\"panics\":{}}},\
-             \"runs\":{{\"computed\":{},\"coalesced\":{},\"response_cache_hits\":{}}},\
+             \"runs\":{{\"computed\":{},\"coalesced\":{},\"response_cache_hits\":{},\"store_hits\":{},\"store_misses\":{},\"store_evictions\":{}}},\
              \"latency_ms\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"bucket_bounds_ms\":[{}],\"bucket_counts\":[{}]}},\
              \"sessions\":[{}]}}",
             json_string(METRICS_FORMAT),
@@ -543,6 +579,9 @@ impl ServeMetrics {
             self.runs_computed,
             self.runs_coalesced,
             self.response_cache_hits,
+            self.store_hits,
+            self.store_misses,
+            self.store_evictions,
             self.latency_count(),
             quantile(0.50),
             quantile(0.90),
@@ -570,6 +609,7 @@ struct ServerState {
     sessions: Mutex<HashMap<Precision, Arc<EvalSession>>>,
     flights: Mutex<HashMap<RunKey, Arc<Flight>>>,
     response_cache: Mutex<ResponseCache>,
+    store: Option<Arc<RunStore>>,
     metrics: MetricsInner,
     shutdown: AtomicBool,
     max_body_bytes: usize,
@@ -614,6 +654,9 @@ impl ServerState {
             runs_computed: m.runs_computed.load(Ordering::Relaxed),
             runs_coalesced: m.runs_coalesced.load(Ordering::Relaxed),
             response_cache_hits: m.response_cache_hits.load(Ordering::Relaxed),
+            store_hits: m.store_hits.load(Ordering::Relaxed),
+            store_misses: m.store_misses.load(Ordering::Relaxed),
+            store_evictions: self.store.as_ref().map_or(0, |store| store.evictions()),
             panicked_requests: m.panicked_requests.load(Ordering::Relaxed),
             latency_buckets,
             sessions,
@@ -648,8 +691,15 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Serve`] when the address cannot be bound.
+    /// Returns [`Error::Serve`] when the address cannot be bound,
+    /// [`Error::Io`] when the configured store directory cannot be opened.
     pub fn bind(config: ServeConfig) -> Result<Server> {
+        let store = config
+            .store_dir
+            .as_ref()
+            .map(RunStore::open)
+            .transpose()?
+            .map(Arc::new);
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| serve_error(format!("could not bind {}: {e}", config.addr)))?;
         let local_addr = listener
@@ -661,6 +711,7 @@ impl Server {
             sessions: Mutex::new(HashMap::new()),
             flights: Mutex::new(HashMap::new()),
             response_cache: Mutex::new(ResponseCache::new(config.response_cache_bytes)),
+            store,
             metrics: MetricsInner::default(),
             shutdown: AtomicBool::new(false),
             max_body_bytes: config.max_body_bytes,
@@ -1106,6 +1157,27 @@ fn handle_run(
         return Ok((bytes, RunSource::Cache));
     }
 
+    // Persisted by an earlier process? Serve the disk tier and promote the
+    // bytes into the memory tier. A damaged entry was already quarantined
+    // inside `get` and reads as a miss, so this path never errors.
+    if let Some(store) = &state.store {
+        match store.get(&key) {
+            Some(bytes) => {
+                state.metrics.store_hits.fetch_add(1, Ordering::Relaxed);
+                state
+                    .response_cache
+                    .lock()
+                    .expect("response cache poisoned")
+                    .insert(key, Arc::clone(&bytes));
+                state.metrics.record_run_latency(started.elapsed());
+                return Ok((bytes, RunSource::Store));
+            }
+            None => {
+                state.metrics.store_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     // Identical request in flight? Attach to it.
     let (flight, leader) = {
         let mut flights = state.flights.lock().expect("flight map poisoned");
@@ -1161,6 +1233,12 @@ fn handle_run(
         }
         flight.publish(result.clone());
         flights.remove(&key);
+    }
+    // Write the completed bytes through to the persistent tier,
+    // best-effort: a full or read-only disk must not fail a request whose
+    // computation already succeeded.
+    if let (Some(store), Ok(bytes)) = (&state.store, &result) {
+        let _ = store.put(&key, bytes);
     }
     if result.is_ok() {
         state.metrics.runs_computed.fetch_add(1, Ordering::Relaxed);
@@ -1689,6 +1767,9 @@ mod tests {
             runs_computed: 0,
             runs_coalesced: 0,
             response_cache_hits: 0,
+            store_hits: 0,
+            store_misses: 0,
+            store_evictions: 0,
             latency_buckets: vec![0; LATENCY_BUCKETS_US.len() + 1],
             sessions: Vec::new(),
         };
@@ -1722,6 +1803,9 @@ mod tests {
             runs_computed: 0,
             runs_coalesced: 0,
             response_cache_hits: 0,
+            store_hits: 0,
+            store_misses: 0,
+            store_evictions: 0,
             latency_buckets: vec![0; LATENCY_BUCKETS_US.len() + 1],
             sessions: Vec::new(),
         };

@@ -494,6 +494,17 @@ impl SyntheticNetSpec {
             let stage_input = channels;
             let padding = stage.kernel / 2;
             for block in 0..stage.blocks {
+                // Same-padding convs never reach a zero-sized output, so the
+                // "downsampled too far" failure the docs promise has to be
+                // caught here: a feature map narrower than the kernel means
+                // an earlier stride chain already collapsed the geometry.
+                if resolution < stage.kernel {
+                    return Err(fail(format!(
+                        "stage {stage_no}: the {resolution}x{resolution} feature map has shrunk \
+                         below the stage's {k}x{k} kernel (too many downsampling stages)",
+                        k = stage.kernel
+                    )));
+                }
                 let oc =
                     ramp_channels(stage.ramp, stage_input, stage.channels, block, stage.blocks);
                 let stride = if block == 0 { stage.stride } else { 1 };

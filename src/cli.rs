@@ -12,6 +12,7 @@
 //! | `imc serve`  | spec JSON over HTTP → run JSON lines over HTTP |
 //! | `imc call`   | client for a running `imc serve` (run/metrics/health/shutdown) |
 //! | `imc sweep`  | spec JSON → merged run, fault-tolerantly, across worker processes |
+//! | `imc store`  | persistent result store maintenance (ls, verify, gc, rm) |
 //!
 //! The binary (`src/bin/imc.rs`) is a thin wrapper over
 //! [`main_from_args`]; [`run_command`] is the same entry point with
@@ -37,7 +38,8 @@ use imc_sim::record::RunWriter;
 use imc_sim::report::{fig6_markdown, table1_csv, table1_markdown};
 use imc_sim::sweep::{self, SweepEvent};
 use imc_sim::{
-    ExperimentRun, ExperimentSpec, Registry, ServeClient, ServeConfig, Server, SweepConfig,
+    ExperimentRun, ExperimentSpec, Registry, RunKey, RunStore, ServeClient, ServeConfig, Server,
+    SweepConfig,
 };
 
 use crate::{Error, Result};
@@ -58,6 +60,8 @@ COMMANDS:
     serve     Run the long-lived evaluation server (spec in, run out)
     call      Talk to a running server (run, metrics, health, shutdown)
     sweep     Run a spec across worker processes with checkpoint/resume
+    store     Inspect and maintain a persistent result store (ls, verify,
+              gc, rm); `--store DIR` on run/serve/call/sweep fills it
     help      Show this help, or `imc help <COMMAND>` for one command
 
 Specs are versioned `imc.experiment-spec` JSON documents; runs are versioned
@@ -115,6 +119,10 @@ OPTIONS:
                           on it and it is not recorded in the manifest, so
                           the output is byte-identical for every N.
     --out <FILE>          Write the run to FILE instead of stdout.
+    --store <DIR>         Persistent result store: serve the run from DIR
+                          when its key is present (skipping compute), and
+                          write a freshly computed run through to DIR. The
+                          served bytes are identical to fresh compute.
     --help                Show this help.
 
 Networks and strategies are resolved by name against the built-in registry
@@ -162,6 +170,11 @@ OPTIONS:
                               (default: 1; never affects output bytes).
     --resume                  Reconcile an existing state ledger against the
                               shards on disk and run only missing cells.
+    --store <DIR>             Persistent result store: a fresh (non-resume)
+                              sweep whose key is already stored writes the
+                              persisted run to --out without spawning
+                              workers, and every completed merge is written
+                              through to DIR.
     --inject-fault-cells <K>  Test hook: first attempt of every chunk runs
                               with IMC_FAULT_EXIT_AFTER_CELLS=K, so each
                               worker dies once and the retry path heals it.
@@ -250,6 +263,12 @@ OPTIONS:
     --response-cache-mb <N>   Bound the completed-response cache to N MiB
                               (default: 64; 0 disables response reuse —
                               concurrent identical requests still coalesce).
+    --store <DIR>             Persistent response tier behind the memory
+                              cache: completed runs are written through to
+                              DIR and survive restarts — a fresh server on
+                              the same DIR serves them from disk
+                              (`x-imc-source: store`) instead of
+                              recomputing. Safe to share between servers.
     --help                    Show this help.
 
 ENDPOINTS:
@@ -263,9 +282,12 @@ ENDPOINTS:
                         requests, then exit 0.
 
 Identical concurrent requests coalesce onto one computation; identical later
-requests are served from the bounded response cache. Both are visible in the
-metrics and in the `x-imc-source` response header, never in the run bytes.
-The process runs until `POST /v1/shutdown` (`imc call shutdown`).
+requests are served from the bounded response cache, then from the
+persistent store when one is configured. All are visible in the metrics
+(`store_hits`/`store_misses`/`store_evictions` with `--store`) and in the
+`x-imc-source` response header (computed/coalesced/cache/store), never in
+the run bytes. The process runs until `POST /v1/shutdown` (`imc call
+shutdown`).
 ";
 
 const CALL_HELP: &str = "\
@@ -284,12 +306,50 @@ OPTIONS:
                                a non-2xx response.
     --retry-backoff-ms <N>     Base backoff between retries (default: 100).
     --out <FILE>               Write the response to FILE instead of stdout.
+    --store <DIR>              Offline fallback for `imc call run`: when the
+                               server stays unreachable after the retry
+                               budget, serve the request from the local
+                               store at DIR if its key is present (the
+                               bytes are identical to a server response).
     --help                     Show this help.
 
 `imc call run` POSTs the spec document to /v1/run and writes the returned
 run JSON lines — byte-identical to running the spec locally with `imc run`,
 but executed on the server's warm shared caches. The other forms fetch
 /v1/metrics, /v1/health, or request a graceful shutdown.
+";
+
+const STORE_HELP: &str = "\
+imc store — inspect and maintain a persistent result store
+
+USAGE:
+    imc store ls <DIR> [--out FILE]
+    imc store verify <DIR> [--repair]
+    imc store gc <DIR> --max-mb <N>
+    imc store rm <DIR> <SPEC|->
+
+ACTIONS:
+    ls        List every entry (file name, bytes, last-access tick) plus
+              totals. Entry file names encode the full run key: spec
+              content hash, precision, cell range, parallelism, grid vs
+              frontier, record-format version.
+    verify    Strictly re-parse every entry and cross-check its embedded
+              manifest against the key its file name encodes. Damaged
+              entries are reported with real 1-based line numbers; without
+              --repair they make the command fail with exit code 3 (record
+              format). With --repair each damaged entry is quarantined —
+              renamed to <entry>.corrupt, never deleted — and the command
+              exits 0.
+    gc        Evict least-recently-used entries until at most N MiB remain.
+    rm        Remove the entry of one spec's key (reads the spec document).
+
+A store directory is filled by `imc run --store`, `imc serve --store`,
+`imc sweep --store` and read by all of them plus `imc call run --store`
+(offline fallback). Entries are written atomically (tmp + fsync + rename),
+so several processes can share one directory; the store-index.json journal
+is advisory and is rebuilt from the entry files when lost. On the normal
+run/serve paths a damaged entry is quarantined and recomputed — only
+`imc store verify` turns corruption into a failing exit code.
 ";
 
 fn usage_error(what: impl Into<String>) -> Error {
@@ -340,6 +400,7 @@ pub fn run_command(args: &[String]) -> Result<()> {
         "serve" => cmd_serve(rest),
         "call" => cmd_call(rest),
         "sweep" => cmd_sweep(rest),
+        "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
             let text = match rest.first().map(String::as_str) {
                 None => ROOT_HELP,
@@ -351,6 +412,7 @@ pub fn run_command(args: &[String]) -> Result<()> {
                 Some("serve") => SERVE_HELP,
                 Some("call") => CALL_HELP,
                 Some("sweep") => SWEEP_HELP,
+                Some("store") => STORE_HELP,
                 Some(other) => return Err(usage_error(format!("unknown command '{other}'"))),
             };
             print_stdout(text)
@@ -385,7 +447,10 @@ struct Parsed {
     worker_parallelism: Option<usize>,
     inject_fault_cells: Option<usize>,
     retries: Option<usize>,
+    store: Option<String>,
+    max_mb: Option<usize>,
     resume: bool,
+    repair: bool,
     csv: bool,
     help: bool,
 }
@@ -413,7 +478,10 @@ fn parse_args(args: &[String], allowed: &[&str]) -> Result<Parsed> {
         worker_parallelism: None,
         inject_fault_cells: None,
         retries: None,
+        store: None,
+        max_mb: None,
         resume: false,
+        repair: false,
         csv: false,
         help: false,
     };
@@ -441,6 +509,10 @@ fn parse_args(args: &[String], allowed: &[&str]) -> Result<Parsed> {
             }
             if name == "resume" {
                 parsed.resume = true;
+                continue;
+            }
+            if name == "repair" {
+                parsed.repair = true;
                 continue;
             }
             let value = iter
@@ -481,6 +553,8 @@ fn parse_args(args: &[String], allowed: &[&str]) -> Result<Parsed> {
                     parsed.inject_fault_cells = Some(parse_usize(value, "--inject-fault-cells")?)
                 }
                 "retries" => parsed.retries = Some(parse_usize(value, "--retries")?),
+                "store" => parsed.store = Some(value.clone()),
+                "max-mb" => parsed.max_mb = Some(parse_usize(value, "--max-mb")?),
                 _ => unreachable!("allowed list covers every match arm"),
             }
         } else {
@@ -638,7 +712,14 @@ fn spec_list(registry: &Registry) -> String {
 }
 
 fn cmd_run(args: &[String], shard: bool) -> Result<()> {
-    let parsed = parse_args(args, &["cells", "parallelism", "out"])?;
+    // `imc shard` is the sweep orchestrator's worker; it stays store-blind
+    // (the orchestrator registers the *merged* run, not per-shard slices).
+    let allowed: &[&str] = if shard {
+        &["cells", "parallelism", "out"]
+    } else {
+        &["cells", "parallelism", "out", "store"]
+    };
+    let parsed = parse_args(args, allowed)?;
     if parsed.help {
         return print_stdout(if shard { SHARD_HELP } else { RUN_HELP });
     }
@@ -649,6 +730,33 @@ fn cmd_run(args: &[String], shard: bool) -> Result<()> {
         return Err(usage_error("imc shard needs '--cells A..B'"));
     }
     let spec = ExperimentSpec::from_json(&read_input(source)?)?;
+    // A store is consulted under the key of what will actually run: the
+    // spec's identity with the CLI `--cells` restriction folded in
+    // (`--parallelism` is a local override, never part of the manifest).
+    let store = parsed
+        .store
+        .as_deref()
+        .map(RunStore::open)
+        .transpose()
+        .map_err(Error::Sim)?;
+    let key = {
+        let mut key = RunKey::of(&spec);
+        if let Some(cells) = &parsed.cells {
+            key.cells = Some((cells.start, cells.end));
+        }
+        key
+    };
+    if let Some(bytes) = store.as_ref().and_then(|store| store.get(&key)) {
+        return write_output(parsed.out.as_deref(), &bytes);
+    }
+    let write_through = |run_bytes: &str| {
+        if let Some(store) = &store {
+            // Best-effort: a full disk must not fail a run that computed.
+            if let Err(e) = store.put(&key, run_bytes) {
+                eprintln!("imc run: warning: store write-through failed: {e}");
+            }
+        }
+    };
     if spec.frontier {
         if shard {
             return Err(usage_error(
@@ -669,7 +777,9 @@ fn cmd_run(args: &[String], shard: bool) -> Result<()> {
         // The frontier's record set is only known once the search finishes,
         // so there is no streaming form — the run is written buffered.
         let outcome = experiment.frontier()?;
-        return write_output(parsed.out.as_deref(), &outcome.run.to_jsonl()?);
+        let run_bytes = outcome.run.to_jsonl()?;
+        write_through(&run_bytes);
+        return write_output(parsed.out.as_deref(), &run_bytes);
     }
     let mut experiment = spec.into_experiment(&Registry::new())?;
     if let Some(cells) = parsed.cells {
@@ -681,7 +791,9 @@ fn cmd_run(args: &[String], shard: bool) -> Result<()> {
     match parsed.out.as_deref() {
         None => {
             let run = experiment.run()?;
-            write_output(None, &run.to_jsonl()?)
+            let run_bytes = run.to_jsonl()?;
+            write_through(&run_bytes);
+            write_output(None, &run_bytes)
         }
         Some(path) => {
             // Stream records to the file as cells finish: a process killed
@@ -693,7 +805,7 @@ fn cmd_run(args: &[String], shard: bool) -> Result<()> {
             let mut writer =
                 RunWriter::create(path, declared, manifest.as_ref()).map_err(Error::Sim)?;
             let mut written = 0usize;
-            experiment.run_streaming(&mut |record| {
+            let run = experiment.run_streaming(&mut |record| {
                 if Some(written) == fault {
                     writer.write_torn_record(record)?;
                     std::process::abort();
@@ -702,7 +814,12 @@ fn cmd_run(args: &[String], shard: bool) -> Result<()> {
                 written += 1;
                 Ok(())
             })?;
-            writer.finish().map_err(Error::Sim)
+            writer.finish().map_err(Error::Sim)?;
+            // Register the completed run only after the file landed whole:
+            // the store must never hold a run the crash-salvage path would
+            // still be recovering.
+            write_through(&run.to_jsonl()?);
+            Ok(())
         }
     }
 }
@@ -780,7 +897,13 @@ const DEFAULT_ADDR: &str = "127.0.0.1:8077";
 fn cmd_serve(args: &[String]) -> Result<()> {
     let parsed = parse_args(
         args,
-        &["addr", "threads", "cache-budget-mb", "response-cache-mb"],
+        &[
+            "addr",
+            "threads",
+            "cache-budget-mb",
+            "response-cache-mb",
+            "store",
+        ],
     )?;
     if parsed.help {
         return print_stdout(SERVE_HELP);
@@ -798,6 +921,9 @@ fn cmd_serve(args: &[String]) -> Result<()> {
     if let Some(mb) = parsed.response_cache_mb {
         config = config.response_cache_bytes(mb << 20);
     }
+    if let Some(dir) = &parsed.store {
+        config = config.store_dir(dir);
+    }
     let server = Server::bind(config).map_err(Error::Sim)?;
     // Flush before blocking so drivers polling stdout see readiness.
     print_stdout(&format!(
@@ -810,7 +936,10 @@ fn cmd_serve(args: &[String]) -> Result<()> {
 }
 
 fn cmd_call(args: &[String]) -> Result<()> {
-    let parsed = parse_args(args, &["addr", "out", "retries", "retry-backoff-ms"])?;
+    let parsed = parse_args(
+        args,
+        &["addr", "out", "retries", "retry-backoff-ms", "store"],
+    )?;
     if parsed.help {
         return print_stdout(CALL_HELP);
     }
@@ -826,7 +955,25 @@ fn cmd_call(args: &[String]) -> Result<()> {
             return Err(usage_error("imc call run needs a spec file (or '-')"))
         }
         [action, source] if action == "run" => {
-            client.post_run(&read_input(source)?).map_err(Error::Sim)?
+            let spec_json = read_input(source)?;
+            match client.post_run(&spec_json) {
+                Ok(response) => response,
+                Err(server_error) => {
+                    // Offline fallback: the request's key may already be in
+                    // the local store (its bytes are identical to a server
+                    // response), so a dead server need not block a reader.
+                    match store_fallback(parsed.store.as_deref(), &spec_json) {
+                        Some(bytes) => {
+                            eprintln!(
+                                "imc call: server unreachable ({server_error}); \
+                                 serving the run from the local store"
+                            );
+                            bytes
+                        }
+                        None => return Err(Error::Sim(server_error)),
+                    }
+                }
+            }
         }
         [action] => match action.as_str() {
             "metrics" => client.metrics().map_err(Error::Sim)?,
@@ -847,6 +994,19 @@ fn cmd_call(args: &[String]) -> Result<()> {
     write_output(parsed.out.as_deref(), &response)
 }
 
+/// The `imc call run --store` offline path: the stored bytes of the spec's
+/// key, when a store directory was given and holds them. Every failure —
+/// unparseable spec, unopenable store, key absent — returns `None` so the
+/// *server's* error (the actual problem) is what surfaces.
+fn store_fallback(store_dir: Option<&str>, spec_json: &str) -> Option<String> {
+    let dir = store_dir?;
+    let spec = ExperimentSpec::from_json(spec_json).ok()?;
+    let store = RunStore::open(dir).ok()?;
+    store
+        .get(&RunKey::of(&spec))
+        .map(|bytes| bytes.as_str().to_owned())
+}
+
 fn cmd_sweep(args: &[String]) -> Result<()> {
     let parsed = parse_args(
         args,
@@ -862,6 +1022,7 @@ fn cmd_sweep(args: &[String]) -> Result<()> {
             "worker-parallelism",
             "resume",
             "inject-fault-cells",
+            "store",
         ],
     )?;
     if parsed.help {
@@ -876,6 +1037,29 @@ fn cmd_sweep(args: &[String]) -> Result<()> {
         ));
     };
     let spec_json = read_input(source)?;
+    let store = parsed
+        .store
+        .as_deref()
+        .map(RunStore::open)
+        .transpose()
+        .map_err(Error::Sim)?;
+    // A fresh sweep whose spec is already stored needs no workers at all —
+    // the persisted run IS the byte-identical merged result. `--resume`
+    // deliberately skips this: the operator asked to finish an on-disk
+    // ledger, not to re-answer the spec.
+    if let Some(store) = &store {
+        if !parsed.resume {
+            let spec = ExperimentSpec::from_json(&spec_json)?;
+            if let Some(bytes) = store.get(&RunKey::of(&spec)) {
+                std::fs::write(out, bytes.as_bytes())
+                    .map_err(|e| io_error(format!("could not write {out}: {e}")))?;
+                return print_stdout(&format!(
+                    "imc sweep: store hit — wrote the persisted run ({} bytes) to {out}\n",
+                    bytes.len()
+                ));
+            }
+        }
+    }
     let dir = parsed.dir.clone().unwrap_or_else(|| format!("{out}.sweep"));
     let mut config = SweepConfig::new().observer(|event| match event {
         SweepEvent::WorkerSpawned {
@@ -945,6 +1129,20 @@ fn cmd_sweep(args: &[String]) -> Result<()> {
         &config,
     )
     .map_err(Error::Sim)?;
+    // Register the merged run write-through, so re-running this spec (or
+    // serving it anywhere that shares the store) is a hit. Best-effort:
+    // the sweep itself already succeeded.
+    if let Some(store) = &store {
+        let spec = ExperimentSpec::from_json(&spec_json)?;
+        match std::fs::read_to_string(out) {
+            Ok(bytes) => {
+                if let Err(e) = store.put(&RunKey::of(&spec), &bytes) {
+                    eprintln!("imc sweep: warning: store write-through failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("imc sweep: warning: could not re-read {out} for the store: {e}"),
+        }
+    }
     print_stdout(&format!(
         "imc sweep: {} records over cells {}..{} merged into {out} \
          ({} chunks, {} workers spawned, {} died, {} shards salvaged)\n",
@@ -956,6 +1154,107 @@ fn cmd_sweep(args: &[String]) -> Result<()> {
         report.worker_failures,
         report.chunks_salvaged
     ))
+}
+
+fn cmd_store(args: &[String]) -> Result<()> {
+    let parsed = parse_args(args, &["repair", "max-mb", "out"])?;
+    if parsed.help {
+        return print_stdout(STORE_HELP);
+    }
+    let Some((action, rest)) = parsed.positional.split_first() else {
+        return Err(usage_error(
+            "expected an action: `imc store <ls|verify|gc|rm> <DIR> ...`",
+        ));
+    };
+    match action.as_str() {
+        "ls" => {
+            let [dir] = rest else {
+                return Err(usage_error("expected `imc store ls <DIR>`"));
+            };
+            let store = RunStore::open(dir).map_err(Error::Sim)?;
+            let mut listing = String::new();
+            let entries = store.entries();
+            for entry in &entries {
+                listing.push_str(&format!(
+                    "{}  {} bytes  last-access {}\n",
+                    entry.file, entry.bytes, entry.last_access
+                ));
+            }
+            listing.push_str(&format!(
+                "{} entries, {} bytes\n",
+                entries.len(),
+                store.total_bytes()
+            ));
+            write_output(parsed.out.as_deref(), &listing)
+        }
+        "verify" => {
+            let [dir] = rest else {
+                return Err(usage_error("expected `imc store verify <DIR> [--repair]`"));
+            };
+            let store = RunStore::open(dir).map_err(Error::Sim)?;
+            let report = store.verify(parsed.repair).map_err(Error::Sim)?;
+            for issue in &report.issues {
+                eprintln!("imc store: damaged entry — {issue}");
+            }
+            for quarantined in &report.quarantined {
+                eprintln!("imc store: quarantined as {quarantined}");
+            }
+            if !report.issues.is_empty() && !parsed.repair {
+                // Corruption found on the *explicit* verification path is a
+                // record-format failure (exit code 3): retrying will not
+                // heal it — `--repair` will.
+                return Err(Error::Sim(imc_sim::Error::Record {
+                    what: format!(
+                        "{} of {} store entries are damaged (rerun with --repair to quarantine)",
+                        report.issues.len(),
+                        report.checked
+                    ),
+                }));
+            }
+            print_stdout(&format!(
+                "imc store: {} entries checked, {} ok, {} damaged, {} quarantined\n",
+                report.checked,
+                report.ok,
+                report.issues.len(),
+                report.quarantined.len()
+            ))
+        }
+        "gc" => {
+            let [dir] = rest else {
+                return Err(usage_error("expected `imc store gc <DIR> --max-mb <N>`"));
+            };
+            let Some(max_mb) = parsed.max_mb else {
+                return Err(usage_error("imc store gc needs '--max-mb <N>'"));
+            };
+            let store = RunStore::open(dir).map_err(Error::Sim)?;
+            let report = store.gc((max_mb as u64) << 20).map_err(Error::Sim)?;
+            for evicted in &report.evicted {
+                eprintln!("imc store: evicted {evicted}");
+            }
+            print_stdout(&format!(
+                "imc store: {} entries evicted; {} entries ({} bytes) remain within {max_mb} MiB\n",
+                report.evicted.len(),
+                report.remaining,
+                report.remaining_bytes
+            ))
+        }
+        "rm" => {
+            let [dir, spec_source] = rest else {
+                return Err(usage_error("expected `imc store rm <DIR> <SPEC|->`"));
+            };
+            let spec = ExperimentSpec::from_json(&read_input(spec_source)?)?;
+            let store = RunStore::open(dir).map_err(Error::Sim)?;
+            let removed = store.remove(&RunKey::of(&spec)).map_err(Error::Sim)?;
+            print_stdout(if removed {
+                "imc store: entry removed\n"
+            } else {
+                "imc store: no entry for that spec's key\n"
+            })
+        }
+        other => Err(usage_error(format!(
+            "unknown store action '{other}' (known: ls, verify, gc, rm)"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -1014,6 +1313,50 @@ mod tests {
         ]))
         .unwrap_err();
         assert_eq!(err.exit_code(), 4, "{err}");
+    }
+
+    #[test]
+    fn store_commands_classify_corruption_and_io_failures() {
+        let dir = std::env::temp_dir().join(format!("imc_cli_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A garbage file under a valid entry name: only the explicit verify
+        // path turns it into a failure, and only without --repair.
+        let key = RunKey {
+            spec_hash: 0xabc,
+            precision: imc_sim::Precision::F64,
+            cells: None,
+            parallelism: None,
+            frontier: false,
+        };
+        let entry = imc_sim::store::entry_name(&key);
+        std::fs::write(dir.join(&entry), "garbage\n").unwrap();
+        let err = run_command(&strings(&["store", "verify", dir.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        run_command(&strings(&[
+            "store",
+            "verify",
+            dir.to_str().unwrap(),
+            "--repair",
+        ]))
+        .unwrap();
+        assert!(
+            dir.join(format!("{entry}.corrupt")).exists(),
+            "repair quarantines instead of deleting"
+        );
+        // Pointing a store command at a regular file is transient I/O.
+        let blocking_file = dir.join("blocking");
+        std::fs::write(&blocking_file, "x").unwrap();
+        let err = run_command(&strings(&[
+            "store",
+            "gc",
+            blocking_file.to_str().unwrap(),
+            "--max-mb",
+            "1",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

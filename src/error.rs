@@ -165,4 +165,45 @@ mod tests {
         let err: Error = imc_array::ArrayConfig::square(0).unwrap_err().into();
         assert_eq!(err.exit_code(), 1);
     }
+
+    #[test]
+    fn store_failures_classify_like_their_underlying_layer() {
+        // The persistent store introduces no variant of its own: corruption
+        // surfaced by `imc store verify` is a record-format failure (exit 3
+        // — rerunning verify cannot heal the bytes), while an unreachable
+        // or unwritable store directory is transient I/O (exit 4 — worth
+        // retrying). The normal run/serve paths never surface either: a
+        // damaged entry degrades to a miss there.
+        let dir = std::env::temp_dir().join(format!("imc_store_exitcode_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // An I/O failure opening a store: the path is a regular file.
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocking_file = dir.join("not-a-dir");
+        std::fs::write(&blocking_file, "x").unwrap();
+        let err: Error = imc_sim::RunStore::open(&blocking_file).unwrap_err().into();
+        assert!(
+            matches!(err, Error::Sim(imc_sim::Error::Io { .. })),
+            "{err}"
+        );
+        assert_eq!(err.exit_code(), 4, "{err}");
+
+        // Verify-path corruption: a put of bytes that contradict the key is
+        // the same Record classification `imc store verify` maps to exit 3.
+        let store = imc_sim::RunStore::open(&dir).unwrap();
+        let key = imc_sim::RunKey {
+            spec_hash: 1,
+            precision: imc_sim::Precision::F64,
+            cells: None,
+            parallelism: None,
+            frontier: false,
+        };
+        let err: Error = store.put(&key, "not a run document").unwrap_err().into();
+        assert!(
+            matches!(err, Error::Sim(imc_sim::Error::Record { .. })),
+            "{err}"
+        );
+        assert_eq!(err.exit_code(), 3, "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

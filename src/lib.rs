@@ -82,7 +82,8 @@ pub use imc_nn::{resnet20, wrn16_4, NetworkArch};
 pub use imc_sim::strategy;
 pub use imc_sim::{
     CompressionMethod, CompressionStrategy, ConvContext, EvalSession, EvalSessionBuilder,
-    Experiment, ExperimentRun, ExperimentSpec, FrontierOutcome, LayerOutcome, NetworkEvaluation,
-    Registry, RunManifest, RunRecord, ServeClient, ServeConfig, ServeMetrics, Server, StrategySpec,
-    SweepConfig, SweepEvent, SweepReport, DEFAULT_SEED,
+    Experiment, ExperimentRun, ExperimentSpec, FrontierOutcome, GcReport, LayerOutcome,
+    NetworkEvaluation, Registry, RunKey, RunManifest, RunRecord, RunStore, ServeClient,
+    ServeConfig, ServeMetrics, Server, StoreEntry, StrategySpec, SweepConfig, SweepEvent,
+    SweepReport, VerifyReport, DEFAULT_SEED,
 };
